@@ -1,0 +1,46 @@
+// Figure 10: flow duration distribution under the Section 7.1 policy.
+// Paper observation: most flows are short (seconds), arguing for keeping
+// datagram semantics rather than paying connection setup; a minority of
+// long-lived flows (NFS-style) benefit from the per-flow key amortization.
+#include <cstdio>
+
+#include "support/figures.hpp"
+#include "util/histogram.hpp"
+
+using namespace fbs;
+
+int main() {
+  const trace::Trace t = bench::campus_trace();
+  bench::print_trace_header(
+      "Figure 10: flow duration distribution (five-tuple policy, "
+      "THRESHOLD=600s)",
+      t);
+
+  trace::FlowSimConfig cfg;
+  cfg.threshold = util::seconds(600);
+  const trace::FlowSimResult r = trace::simulate_flows(t, cfg);
+
+  util::LogHistogram duration_s(2.0);
+  std::size_t sub_second = 0, over_minute = 0;
+  for (const auto& f : r.flows) {
+    const double seconds =
+        static_cast<double>(f.duration()) / util::kMicrosPerSecond;
+    duration_s.add(seconds);
+    if (seconds < 1.0) ++sub_second;
+    if (seconds > 60.0) ++over_minute;
+  }
+
+  std::printf("total flows: %zu\n\n", r.flows.size());
+  std::printf("%s\n", duration_s.render("duration (s)").c_str());
+  std::printf("median duration: %.1f s,  p90: %.1f s,  max: %.1f s\n",
+              duration_s.quantile(0.5), duration_s.quantile(0.9),
+              duration_s.max());
+  std::printf(
+      "%.0f%% of flows last under a second; %.0f%% last over a minute "
+      "(paper: majority of flows are short, a few are long-lived)\n",
+      100.0 * static_cast<double>(sub_second) /
+          static_cast<double>(r.flows.size()),
+      100.0 * static_cast<double>(over_minute) /
+          static_cast<double>(r.flows.size()));
+  return 0;
+}

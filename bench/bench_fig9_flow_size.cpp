@@ -1,0 +1,74 @@
+// Figure 9(a)/(b): flow size distributions -- packets per flow and bytes per
+// flow under the Section 7.1 policy (THRESHOLD = 600 s). The paper's
+// observation: "the majority of flows are short, consist of few packets and
+// transfer only a small amount of data", with a few long-lived flows (NFS)
+// carrying the bulk of the traffic.
+#include <algorithm>
+#include <cstdio>
+
+#include "support/figures.hpp"
+#include "util/histogram.hpp"
+
+using namespace fbs;
+
+int main() {
+  const trace::Trace t = bench::campus_trace();
+  bench::print_trace_header(
+      "Figure 9: flow size distributions (five-tuple policy, THRESHOLD=600s)",
+      t);
+
+  trace::FlowSimConfig cfg;
+  cfg.threshold = util::seconds(600);
+  const trace::FlowSimResult r = trace::simulate_flows(t, cfg);
+
+  util::LogHistogram packets(2.0), bytes(4.0);
+  for (const auto& f : r.flows) {
+    packets.add(static_cast<double>(f.packets));
+    bytes.add(static_cast<double>(f.bytes));
+  }
+
+  std::printf("total flows: %zu\n\n", r.flows.size());
+  std::printf("--- Figure 9(a): packets per flow ---\n%s\n",
+              packets.render("packets/flow").c_str());
+  std::printf("--- Figure 9(b): bytes per flow ---\n%s\n",
+              bytes.render("bytes/flow").c_str());
+
+  // Paper-shape checks.
+  const double median_packets = packets.quantile(0.5);
+  std::printf("median packets/flow: %.0f (paper: majority of flows small)\n",
+              median_packets);
+
+  // Share of bytes carried by the top 10%% of flows by size.
+  std::vector<std::uint64_t> flow_bytes;
+  flow_bytes.reserve(r.flows.size());
+  for (const auto& f : r.flows) flow_bytes.push_back(f.bytes);
+  std::sort(flow_bytes.rbegin(), flow_bytes.rend());
+  std::uint64_t top = 0;
+  const std::size_t top_n = std::max<std::size_t>(1, flow_bytes.size() / 10);
+  for (std::size_t i = 0; i < top_n; ++i) top += flow_bytes[i];
+  std::printf(
+      "top 10%% of flows carry %.1f%% of bytes (paper: a few long-lived "
+      "flows carry the bulk of the traffic)\n",
+      100.0 * static_cast<double>(top) / static_cast<double>(r.total_bytes));
+
+  // Per-workload breakdown (the paper analyzed the LAN sniff and the WWW
+  // server trace separately).
+  std::printf("\n--- per-workload breakdown ---\n");
+  std::printf("%-12s %10s %14s %16s %14s\n", "workload", "flows",
+              "median pkts", "median bytes", "p99 pkts");
+  for (const auto& [name, workload] :
+       {std::pair<const char*, trace::Trace>{"LAN",
+                                             bench::lan_only_trace()},
+        std::pair<const char*, trace::Trace>{"WWW",
+                                             bench::www_only_trace()}}) {
+    const auto wr = trace::simulate_flows(workload, cfg);
+    util::LogHistogram p(2.0), b(4.0);
+    for (const auto& f : wr.flows) {
+      p.add(static_cast<double>(f.packets));
+      b.add(static_cast<double>(f.bytes));
+    }
+    std::printf("%-12s %10zu %14.0f %16.0f %14.0f\n", name, wr.flows.size(),
+                p.quantile(0.5), b.quantile(0.5), p.quantile(0.99));
+  }
+  return 0;
+}

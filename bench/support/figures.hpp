@@ -1,0 +1,47 @@
+// Shared input for the Figure 9-14 benches: the synthetic campus LAN + WWW
+// server trace standing in for the paper's tcpdump captures, and small
+// table-printing helpers.
+#pragma once
+
+#include <cstdio>
+
+#include "trace/flowsim.hpp"
+#include "trace/record.hpp"
+#include "trace/synth.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::bench {
+
+/// The standard workload: 30 simulated minutes of a workgroup LAN plus a
+/// 10,000-hits/day WWW server, deterministic in its seed.
+inline trace::Trace campus_trace(std::uint64_t seed = 1997) {
+  return trace::generate_campus_trace(seed, util::minutes(30));
+}
+
+/// The two workloads separately (the paper analyzed both traces).
+inline trace::Trace lan_only_trace(std::uint64_t seed = 1997) {
+  trace::LanWorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = util::minutes(30);
+  return trace::generate_lan_trace(cfg);
+}
+
+inline trace::Trace www_only_trace(std::uint64_t seed = 1997) {
+  trace::WwwWorkloadConfig cfg;
+  cfg.seed = seed ^ 0x5741424Bu;  // matches generate_campus_trace's seeding
+  cfg.duration = util::minutes(30);
+  return trace::generate_www_trace(cfg);
+}
+
+inline void print_trace_header(const char* figure, const trace::Trace& t) {
+  const trace::TraceSummary s = trace::summarize(t);
+  std::printf("%s\n", figure);
+  std::printf(
+      "input trace: %zu packets, %.1f MB, %.1f min, %zu five-tuples, %zu "
+      "hosts\n\n",
+      s.packets, static_cast<double>(s.bytes) / 1e6,
+      static_cast<double>(s.last - s.first) / util::kMicrosPerMinute,
+      s.distinct_tuples, s.distinct_hosts);
+}
+
+}  // namespace fbs::bench

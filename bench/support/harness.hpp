@@ -1,0 +1,125 @@
+// Shared bench fixtures: a keyed two-host world on a zero-delay simulated
+// segment (the "dedicated 10M Ethernet" of Section 7.3), in the three
+// Figure 8 configurations -- GENERIC (no security), FBS NOP (nullified
+// crypto), FBS DES+MD5 (the real thing).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cert/certificate.hpp"
+#include "cert/directory.hpp"
+#include "crypto/dh.hpp"
+#include "fbs/ip_map.hpp"
+#include "net/udp.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::bench {
+
+enum class StackConfig { kGeneric, kFbsNop, kFbsDesMd5, kFbsMd5Only };
+
+inline const char* to_string(StackConfig c) {
+  switch (c) {
+    case StackConfig::kGeneric: return "GENERIC";
+    case StackConfig::kFbsNop: return "FBS NOP";
+    case StackConfig::kFbsDesMd5: return "FBS DES+MD5";
+    case StackConfig::kFbsMd5Only: return "FBS MD5 (auth only)";
+  }
+  return "?";
+}
+
+/// Two hosts, certificates published, FBS mappings installed per config.
+class TwoHostWorld {
+ public:
+  explicit TwoHostWorld(StackConfig config, std::uint64_t seed = 1997)
+      : rng_(seed),
+        clock_(util::minutes(1000)),
+        ca_(512, rng_),
+        directory_(0, nullptr),
+        net_(clock_, seed ^ 0xBEEF) {
+    net::LinkParams instant;
+    instant.delay = 0;
+    net_.set_default_link(instant);
+
+    a_ = make_host("10.0.0.1");
+    b_ = make_host("10.0.0.2");
+
+    if (config != StackConfig::kGeneric) {
+      core::IpMappingConfig cfg;
+      cfg.fbs.suite = suite_for(config);
+      if (config == StackConfig::kFbsNop ||
+          config == StackConfig::kFbsMd5Only) {
+        cfg.secret_policy = [](const core::FlowAttributes&) { return false; };
+      }
+      a_->fbs = std::make_unique<core::FbsIpMapping>(*a_->stack, cfg,
+                                                     *a_->keys, clock_, rng_);
+      b_->fbs = std::make_unique<core::FbsIpMapping>(*b_->stack, cfg,
+                                                     *b_->keys, clock_, rng_);
+    }
+  }
+
+  static crypto::AlgorithmSuite suite_for(StackConfig config) {
+    crypto::AlgorithmSuite suite;
+    switch (config) {
+      case StackConfig::kGeneric:
+        break;
+      case StackConfig::kFbsNop:
+        suite.mac = crypto::MacAlgorithm::kNull;
+        suite.cipher = crypto::CipherAlgorithm::kNone;
+        break;
+      case StackConfig::kFbsDesMd5:
+        break;  // default: keyed MD5 + DES-CBC
+      case StackConfig::kFbsMd5Only:
+        suite.cipher = crypto::CipherAlgorithm::kNone;
+        break;
+    }
+    return suite;
+  }
+
+  struct Host {
+    net::Ipv4Address address;
+    crypto::DhKeyPair dh;
+    std::unique_ptr<core::MasterKeyDaemon> mkd;
+    std::unique_ptr<core::KeyManager> keys;
+    std::unique_ptr<net::IpStack> stack;
+    std::unique_ptr<core::FbsIpMapping> fbs;
+    std::unique_ptr<net::UdpService> udp;
+  };
+
+  Host& a() { return *a_; }
+  Host& b() { return *b_; }
+  net::SimNetwork& network() { return net_; }
+  util::VirtualClock& clock() { return clock_; }
+  util::RandomSource& rng_public() { return rng_; }
+
+ private:
+  std::unique_ptr<Host> make_host(const std::string& ip) {
+    auto host = std::make_unique<Host>();
+    host->address = *net::Ipv4Address::parse(ip);
+    const core::Principal principal = core::Principal::from_ipv4(host->address);
+    host->dh = crypto::dh_generate(crypto::test_group(), rng_);
+    directory_.publish(ca_.issue(
+        principal.address, crypto::test_group().name,
+        host->dh.public_value.to_bytes_be(crypto::test_group().element_size()),
+        0, clock_.now() + util::minutes(1000000)));
+    host->mkd = std::make_unique<core::MasterKeyDaemon>(
+        principal, host->dh.private_value, crypto::test_group(), ca_,
+        directory_, clock_);
+    host->keys = std::make_unique<core::KeyManager>(*host->mkd);
+    host->stack =
+        std::make_unique<net::IpStack>(net_, clock_, host->address);
+    host->udp = std::make_unique<net::UdpService>(*host->stack);
+    return host;
+  }
+
+  util::SplitMix64 rng_;
+  util::VirtualClock clock_;
+  cert::CertificateAuthority ca_;
+  cert::DirectoryService directory_;
+  net::SimNetwork net_;
+  std::unique_ptr<Host> a_;
+  std::unique_ptr<Host> b_;
+};
+
+}  // namespace fbs::bench

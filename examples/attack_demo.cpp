@@ -1,0 +1,191 @@
+// Attack demonstration: the Section 2.2 / Section 6 threat catalogue run
+// against both the raw host-pair baseline and FBS, with an attacker sitting
+// on the wire tap of the simulated segment.
+//
+//   1. eavesdropping        -- ciphertext only, on both schemes
+//   2. tampering            -- silently accepted by host-pair (no MAC),
+//                              detected and dropped by FBS
+//   3. cut-and-paste        -- succeeds against host-pair keying,
+//                              rejected by FBS (per-flow MAC)
+//   4. replay               -- accepted inside the FBS freshness window
+//                              (the paper's documented residual risk),
+//                              rejected outside it, and rejected even inside
+//                              with the strict-replay extension
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/hostpair.hpp"
+#include "cert/certificate.hpp"
+#include "cert/directory.hpp"
+#include "crypto/dh.hpp"
+#include "fbs/engine.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+using namespace fbs;
+
+namespace {
+
+struct Principal {
+  core::Principal id;
+  std::unique_ptr<core::MasterKeyDaemon> mkd;
+  std::unique_ptr<core::KeyManager> keys;
+};
+
+Principal enroll(const char* ip, cert::CertificateAuthority& ca,
+                 cert::DirectoryService& directory, util::Clock& clock,
+                 util::RandomSource& rng) {
+  Principal p;
+  p.id = core::Principal::from_ipv4(*net::Ipv4Address::parse(ip));
+  const auto& group = crypto::test_group();
+  const crypto::DhKeyPair dh = crypto::dh_generate(group, rng);
+  directory.publish(ca.issue(p.id.address, group.name,
+                             dh.public_value.to_bytes_be(group.element_size()),
+                             0, clock.now() + util::minutes(1000000)));
+  p.mkd = std::make_unique<core::MasterKeyDaemon>(
+      p.id, dh.private_value, group, ca, directory, clock);
+  p.keys = std::make_unique<core::KeyManager>(*p.mkd);
+  return p;
+}
+
+core::Datagram make_datagram(const Principal& from, const Principal& to,
+                             std::uint16_t sport, std::uint16_t dport,
+                             const char* body) {
+  core::Datagram d;
+  d.source = from.id;
+  d.destination = to.id;
+  d.attrs.protocol = 17;
+  d.attrs.source_address = from.id.ipv4().value;
+  d.attrs.source_port = sport;
+  d.attrs.destination_address = to.id.ipv4().value;
+  d.attrs.destination_port = dport;
+  d.body = util::to_bytes(body);
+  return d;
+}
+
+const char* verdict(bool attack_succeeded) {
+  return attack_succeeded ? "ATTACK SUCCEEDS" : "attack defeated";
+}
+
+}  // namespace
+
+int main() {
+  util::VirtualClock clock(util::minutes(1000));
+  util::SplitMix64 rng(1337);
+  cert::CertificateAuthority ca(512, rng);
+  cert::DirectoryService directory;
+
+  Principal alice = enroll("10.0.0.1", ca, directory, clock, rng);
+  Principal bob = enroll("10.0.0.2", ca, directory, clock, rng);
+
+  baselines::HostPairProtocol hp_alice(alice.id, *alice.keys, rng);
+  baselines::HostPairProtocol hp_bob(bob.id, *bob.keys, rng);
+  core::FbsConfig fbs_cfg;
+  core::FbsEndpoint fbs_alice(alice.id, fbs_cfg, *alice.keys, clock, rng);
+  core::FbsEndpoint fbs_bob(bob.id, fbs_cfg, *bob.keys, clock, rng);
+
+  std::printf("== datagram security attack demo ==\n");
+  std::printf("schemes: [host-pair] raw pair-key encryption (Section 2.2)\n");
+  std::printf("         [FBS]       flow-based security, DES-CBC + keyed "
+              "MD5\n\n");
+
+  // ---- 1. Eavesdropping --------------------------------------------------
+  std::printf("1. EAVESDROPPING on \"wire transfer $1000 to carol\"\n");
+  const auto hp_wire =
+      *hp_alice.protect(make_datagram(alice, bob, 40, 7, "wire transfer "
+                                                         "$1000 to carol"));
+  const auto fbs_wire = *fbs_alice.protect(
+      make_datagram(alice, bob, 40, 7, "wire transfer $1000 to carol"), true);
+  auto leaks = [](const util::Bytes& wire) {
+    static const util::Bytes needle = util::to_bytes("$1000");
+    return std::search(wire.begin(), wire.end(), needle.begin(),
+                       needle.end()) != wire.end();
+  };
+  std::printf("   host-pair wire leaks plaintext: %s -> %s\n",
+              leaks(hp_wire) ? "yes" : "no", verdict(leaks(hp_wire)));
+  std::printf("   FBS wire leaks plaintext:       %s -> %s\n\n",
+              leaks(fbs_wire) ? "yes" : "no", verdict(leaks(fbs_wire)));
+
+  // ---- 2. Tampering -------------------------------------------------------
+  std::printf("2. TAMPERING: attacker flips bits in transit\n");
+  util::Bytes hp_bad = hp_wire;
+  hp_bad[8 + 16] ^= 0xFF;  // inside the second ciphertext block
+  const auto hp_result = hp_bob.unprotect(alice.id, hp_bad);
+  std::printf("   host-pair: receiver %s garbled data (no MAC) -> %s\n",
+              hp_result.has_value() ? "ACCEPTS" : "rejects",
+              verdict(hp_result.has_value()));
+  util::Bytes fbs_bad = fbs_wire;
+  fbs_bad[fbs_bad.size() - 3] ^= 0xFF;
+  auto fbs_result = fbs_bob.unprotect(alice.id, fbs_bad);
+  const bool fbs_accepted =
+      std::holds_alternative<core::ReceivedDatagram>(fbs_result);
+  std::printf("   FBS:       receiver %s (%s) -> %s\n\n",
+              fbs_accepted ? "ACCEPTS" : "rejects",
+              fbs_accepted ? "?"
+                           : core::to_string(
+                                 std::get<core::ReceiveError>(fbs_result)),
+              verdict(fbs_accepted));
+
+  // ---- 3. Cut-and-paste ----------------------------------------------------
+  std::printf("3. CUT-AND-PASTE: splice ciphertext between conversations\n");
+  // Host-pair: swap the whole encrypted payload of datagram B into A's slot.
+  const auto hp_a = *hp_alice.protect(
+      make_datagram(alice, bob, 40, 7, "pay carol  $10"));
+  const auto hp_b = *hp_alice.protect(
+      make_datagram(alice, bob, 41, 9, "pay mallet $99"));
+  const auto hp_spliced = hp_bob.unprotect(alice.id, hp_b);
+  std::printf("   host-pair: spliced datagram decrypts to \"%s\" -> %s\n",
+              hp_spliced ? util::to_string(*hp_spliced).c_str() : "(reject)",
+              verdict(hp_spliced.has_value()));
+  // FBS: same ciphertext splice across two flows.
+  const auto fbs_a = *fbs_alice.protect(
+      make_datagram(alice, bob, 40, 7, "pay carol  $10"), true);
+  const auto fbs_b = *fbs_alice.protect(
+      make_datagram(alice, bob, 41, 9, "pay mallet $99"), true);
+  const auto pa = core::FbsHeader::parse(fbs_a);
+  const auto pb = core::FbsHeader::parse(fbs_b);
+  util::Bytes spliced = pa->header.serialize();
+  spliced.insert(spliced.end(), pb->body.begin(), pb->body.end());
+  auto fbs_spliced = fbs_bob.unprotect(alice.id, spliced);
+  const bool splice_ok =
+      std::holds_alternative<core::ReceivedDatagram>(fbs_spliced);
+  std::printf("   FBS:       spliced datagram %s -> %s\n\n",
+              splice_ok ? "accepted" : "rejected (flow keys differ)",
+              verdict(splice_ok));
+
+  // ---- 4. Replay -----------------------------------------------------------
+  std::printf("4. REPLAY of a recorded FBS datagram\n");
+  const auto recorded = *fbs_alice.protect(
+      make_datagram(alice, bob, 40, 7, "launch the batch job"), true);
+  (void)fbs_bob.unprotect(alice.id, recorded);  // original delivery
+  auto replay1 = fbs_bob.unprotect(alice.id, recorded);
+  const bool within =
+      std::holds_alternative<core::ReceivedDatagram>(replay1);
+  std::printf("   within freshness window: %s -> %s (paper Section 6.2: "
+              "residual risk, left to higher layers)\n",
+              within ? "ACCEPTED" : "rejected", verdict(within));
+  clock.advance(util::minutes(10));
+  auto replay2 = fbs_bob.unprotect(alice.id, recorded);
+  const bool outside =
+      std::holds_alternative<core::ReceivedDatagram>(replay2);
+  std::printf("   after window slides:     %s -> %s\n",
+              outside ? "ACCEPTED" : "rejected (stale)", verdict(outside));
+
+  core::FbsConfig strict_cfg;
+  strict_cfg.strict_replay = true;
+  core::FbsEndpoint strict_bob(bob.id, strict_cfg, *bob.keys, clock, rng);
+  const auto recorded2 = *fbs_alice.protect(
+      make_datagram(alice, bob, 40, 7, "launch it again"), true);
+  (void)strict_bob.unprotect(alice.id, recorded2);
+  auto replay3 = strict_bob.unprotect(alice.id, recorded2);
+  const bool strict_within =
+      std::holds_alternative<core::ReceivedDatagram>(replay3);
+  std::printf("   strict-replay extension, within window: %s -> %s\n",
+              strict_within ? "ACCEPTED" : "rejected (soft-state MAC cache)",
+              verdict(strict_within));
+
+  std::printf("\nsummary: FBS defeats tampering and cut-and-paste that raw "
+              "host-pair keying misses;\nreplay inside the window is the "
+              "documented residual (closed by the strict extension).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Gateway-to-gateway FBS: the Section 7.1 "host/gateway to host/gateway"
+// deployment, i.e. a site-to-site VPN. Two offices, each with plain
+// (FBS-oblivious) hosts, joined by security gateways that tunnel all
+// cross-site traffic -- one flow and one key per end-to-end conversation.
+//
+//   office A (10.1/16)            WAN              office B (10.2/16)
+//   pc1 pc2 --- gwA(198.18.0.1) ========= gwB(198.18.0.2) --- srv
+#include <cstdio>
+
+#include "crypto/dh.hpp"
+#include "fbs/tunnel.hpp"
+#include "net/udp.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+using namespace fbs;
+
+namespace {
+
+struct Gateway {
+  std::unique_ptr<net::IpStack> stack;
+  std::unique_ptr<core::MasterKeyDaemon> mkd;
+  std::unique_ptr<core::KeyManager> keys;
+  std::unique_ptr<core::FbsTunnel> tunnel;
+};
+
+Gateway make_gateway(const char* wan_ip, cert::CertificateAuthority& ca,
+                     cert::DirectoryService& directory,
+                     net::SimNetwork& network, util::Clock& clock,
+                     util::RandomSource& rng) {
+  Gateway gw;
+  const auto address = *net::Ipv4Address::parse(wan_ip);
+  const core::Principal principal = core::Principal::from_ipv4(address);
+  const auto& group = crypto::test_group();
+  const crypto::DhKeyPair dh = crypto::dh_generate(group, rng);
+  directory.publish(ca.issue(principal.address, group.name,
+                             dh.public_value.to_bytes_be(group.element_size()),
+                             0, clock.now() + util::minutes(1000000)));
+  gw.mkd = std::make_unique<core::MasterKeyDaemon>(
+      principal, dh.private_value, group, ca, directory, clock);
+  gw.keys = std::make_unique<core::KeyManager>(*gw.mkd);
+  gw.stack = std::make_unique<net::IpStack>(network, clock, address);
+  gw.stack->enable_forwarding(true);
+  gw.tunnel = std::make_unique<core::FbsTunnel>(*gw.stack, *gw.keys, clock,
+                                                rng);
+  return gw;
+}
+
+}  // namespace
+
+int main() {
+  util::VirtualClock clock(util::minutes(7777));
+  util::SplitMix64 rng(31337);
+  cert::CertificateAuthority ca(512, rng);
+  cert::DirectoryService directory;
+  net::SimNetwork network(clock, 8);
+
+  std::printf("== site-to-site VPN with FBS gateways ==\n\n");
+  std::printf("only the two GATEWAYS hold keys; office hosts run stock IP.\n\n");
+
+  Gateway gwA = make_gateway("198.18.0.1", ca, directory, network, clock, rng);
+  Gateway gwB = make_gateway("198.18.0.2", ca, directory, network, clock, rng);
+  gwA.stack->add_route(*net::Ipv4Address::parse("10.2.0.0"), 16,
+                       gwB.stack->address());
+  gwB.stack->add_route(*net::Ipv4Address::parse("10.1.0.0"), 16,
+                       gwA.stack->address());
+  gwA.tunnel->add_remote_network(*net::Ipv4Address::parse("10.2.0.0"), 16,
+                                 gwB.stack->address());
+  gwB.tunnel->add_remote_network(*net::Ipv4Address::parse("10.1.0.0"), 16,
+                                 gwA.stack->address());
+
+  // Plain hosts.
+  net::IpStack pc1(network, clock, *net::Ipv4Address::parse("10.1.0.11"));
+  net::IpStack pc2(network, clock, *net::Ipv4Address::parse("10.1.0.12"));
+  net::IpStack srv(network, clock, *net::Ipv4Address::parse("10.2.0.5"));
+  pc1.set_default_route(gwA.stack->address());
+  pc2.set_default_route(gwA.stack->address());
+  srv.set_default_route(gwB.stack->address());
+  net::UdpService pc1_udp(pc1), pc2_udp(pc2), srv_udp(srv);
+
+  // Watch the WAN: nothing readable may cross it.
+  std::size_t wan_frames = 0;
+  bool leaked = false;
+  const util::Bytes needle = util::to_bytes("quarterly numbers");
+  network.set_tap([&](net::Ipv4Address from, net::Ipv4Address to,
+                      util::Bytes& f) {
+    const bool wan = (from == gwA.stack->address() &&
+                      to == gwB.stack->address()) ||
+                     (from == gwB.stack->address() &&
+                      to == gwA.stack->address());
+    if (wan) {
+      ++wan_frames;
+      if (std::search(f.begin(), f.end(), needle.begin(), needle.end()) !=
+          f.end())
+        leaked = true;
+    }
+    return net::SimNetwork::TapVerdict::kPass;
+  });
+
+  srv_udp.bind(5432, [&](net::Ipv4Address from, std::uint16_t sport,
+                         util::Bytes payload) {
+    std::printf("srv  <- %s:%u  \"%s\"\n", from.to_string().c_str(), sport,
+                util::to_string(payload).c_str());
+    srv_udp.send(from, 5432, sport, util::to_bytes("ack"));
+  });
+  pc1_udp.bind(4001, [&](net::Ipv4Address, std::uint16_t, util::Bytes p) {
+    std::printf("pc1  <- srv  \"%s\"\n", util::to_string(p).c_str());
+  });
+  pc2_udp.bind(4002, [&](net::Ipv4Address, std::uint16_t, util::Bytes p) {
+    std::printf("pc2  <- srv  \"%s\"\n", util::to_string(p).c_str());
+  });
+
+  std::printf("pc1 and pc2 talk to the database server across the WAN:\n");
+  pc1_udp.send(srv.address(), 4001, 5432,
+               util::to_bytes("SELECT quarterly numbers"));
+  pc2_udp.send(srv.address(), 4002, 5432,
+               util::to_bytes("INSERT quarterly numbers"));
+  network.run();
+
+  std::printf("\nWAN saw %zu frames, plaintext leaked: %s\n", wan_frames,
+              leaked ? "YES (bug!)" : "no");
+  std::printf("gwA: %llu packets encapsulated on %llu flows (one per "
+              "end-to-end conversation, not one bulk pipe)\n",
+              static_cast<unsigned long long>(
+                  gwA.tunnel->counters().encapsulated),
+              static_cast<unsigned long long>(
+                  gwA.tunnel->endpoint().send_stats().flow_keys_derived));
+  std::printf("gwB: %llu packets decapsulated, %llu rejected\n",
+              static_cast<unsigned long long>(
+                  gwB.tunnel->counters().decapsulated),
+              static_cast<unsigned long long>(gwB.tunnel->counters().rejected));
+  return leaked ? 1 : 0;
+}

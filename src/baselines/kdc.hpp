@@ -1,0 +1,91 @@
+// Session-based keying through a key distribution center (Section 2.1):
+// "before a source sends a datagram, it contacts the KDC to request a
+// session key and an authentication ticket" -- Kerberos/Sun-RPC/DCE style.
+//
+// This baseline exists to quantify exactly what FBS avoids: the setup
+// message exchange (a KDC round trip, charged to the virtual clock) and the
+// hard per-peer session state at both ends. The ticket -- the session key
+// encrypted under the destination's KDC secret -- rides along in every
+// datagram so the destination can recover the key statelessly on first
+// contact, after which it too holds hard state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "fbs/principal.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::baselines {
+
+/// The trusted third party. Shares a long-term secret with each registered
+/// principal.
+class KeyDistributionCenter {
+ public:
+  KeyDistributionCenter(util::RandomSource& rng, util::TimeUs rtt,
+                        util::VirtualClock* clock = nullptr)
+      : rng_(rng), rtt_(rtt), clock_(clock) {}
+
+  /// Enroll a principal; returns its long-term KDC secret.
+  util::Bytes enroll(const core::Principal& p);
+
+  struct TicketReply {
+    util::Bytes session_key;  // encrypted under the requestor's secret
+    util::Bytes ticket;       // session key encrypted under the target's secret
+  };
+  /// One KDC round trip (charged to the clock).
+  std::optional<TicketReply> request(const core::Principal& source,
+                                     const core::Principal& destination);
+
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  util::RandomSource& rng_;
+  util::TimeUs rtt_;
+  util::VirtualClock* clock_;
+  std::map<util::Bytes, util::Bytes> secrets_;  // principal address -> secret
+  std::uint64_t requests_ = 0;
+};
+
+/// One endpoint of the session-keyed protocol. Note the hard state: the
+/// session table survives until explicitly torn down; losing it breaks the
+/// session (unlike every FBS cache).
+class KdcSessionProtocol {
+ public:
+  KdcSessionProtocol(core::Principal self, util::Bytes kdc_secret,
+                     KeyDistributionCenter& kdc, util::RandomSource& rng)
+      : self_(std::move(self)),
+        secret_(std::move(kdc_secret)),
+        kdc_(kdc),
+        iv_gen_(rng.next_u64()) {}
+
+  /// wire = ticket_len(2) || ticket || iv(8) || MAC(16) || ct.
+  std::optional<util::Bytes> protect(const core::Datagram& d);
+  std::optional<util::Bytes> unprotect(const core::Principal& source,
+                                       util::BytesView wire);
+
+  /// Hard-state metrics.
+  std::size_t send_sessions() const { return send_sessions_.size(); }
+  std::size_t receive_sessions() const { return receive_sessions_.size(); }
+  std::uint64_t setup_round_trips() const { return setups_; }
+
+  void teardown(const core::Principal& peer);
+
+ private:
+  core::Principal self_;
+  util::Bytes secret_;
+  KeyDistributionCenter& kdc_;
+  util::Lcg48 iv_gen_;
+  struct Session {
+    util::Bytes key;
+    util::Bytes ticket;
+  };
+  std::map<util::Bytes, Session> send_sessions_;     // peer -> session
+  std::map<util::Bytes, util::Bytes> receive_sessions_;  // peer -> key
+  std::uint64_t setups_ = 0;
+};
+
+}  // namespace fbs::baselines

@@ -1,0 +1,69 @@
+#include "bignum/prime.hpp"
+
+#include <array>
+
+namespace fbs::bignum {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+bool miller_rabin_round(const Uint& n, const Uint& n_minus_1, const Uint& d,
+                        std::size_t r, const Uint& a) {
+  Uint x = Uint::powmod(a, d, n);
+  if (x == Uint(1) || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = Uint::mulmod(x, x, n);
+    if (x == n_minus_1) return true;
+    if (x == Uint(1)) return false;  // nontrivial sqrt of 1 -> composite
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const Uint& n, util::RandomSource& rng, int rounds) {
+  if (n < Uint(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (n == Uint(p)) return true;
+    if ((n % Uint(p)).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const Uint n_minus_1 = n - Uint(1);
+  Uint d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const Uint span = n - Uint(4);  // bases in [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const Uint a = Uint::random_below(rng, span) + Uint(2);
+    if (!miller_rabin_round(n, n_minus_1, d, r, a)) return false;
+  }
+  return true;
+}
+
+Uint generate_prime(std::size_t bits, util::RandomSource& rng, int rounds) {
+  for (;;) {
+    Uint candidate = Uint::random_bits(rng, bits);
+    if (candidate.is_even()) candidate = candidate + Uint(1);
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+Uint generate_blum_prime(std::size_t bits, util::RandomSource& rng,
+                         int rounds) {
+  for (;;) {
+    const Uint p = generate_prime(bits, rng, rounds);
+    if ((p % Uint(4)) == Uint(3)) return p;
+  }
+}
+
+}  // namespace fbs::bignum

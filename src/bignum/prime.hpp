@@ -1,0 +1,26 @@
+// Primality testing and prime generation, used by the RSA certificate
+// authority (src/cert) and by the Blum-Blum-Shub generator (src/crypto),
+// which needs Blum primes (p ≡ 3 mod 4).
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/uint.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::bignum {
+
+/// Miller-Rabin probabilistic primality test after trial division by small
+/// primes. `rounds` random bases; error probability <= 4^-rounds.
+bool is_probable_prime(const Uint& n, util::RandomSource& rng,
+                       int rounds = 24);
+
+/// Random probable prime with exactly `bits` bits (top and low bit set).
+Uint generate_prime(std::size_t bits, util::RandomSource& rng,
+                    int rounds = 24);
+
+/// Random Blum prime (p ≡ 3 mod 4) with exactly `bits` bits.
+Uint generate_blum_prime(std::size_t bits, util::RandomSource& rng,
+                         int rounds = 24);
+
+}  // namespace fbs::bignum

@@ -1,0 +1,371 @@
+#include "bignum/uint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fbs::bignum {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+Uint::Uint(std::uint64_t v) {
+  if (v) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Uint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::optional<Uint> Uint::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty()) return std::nullopt;
+  Uint out;
+  // Consume nibbles most-significant first.
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else if (c == ' ' || c == '\n' || c == '\t') continue;  // allow formatted constants
+    else return std::nullopt;
+    out = (out << 4) + Uint(static_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+Uint Uint::from_bytes_be(util::BytesView b) {
+  Uint out;
+  for (std::uint8_t byte : b) out = (out << 8) + Uint(byte);
+  return out;
+}
+
+std::string Uint::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 28; shift >= 0; shift -= 4)
+      out.push_back(kDigits[(*it >> shift) & 0xF]);
+  }
+  const auto first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+util::Bytes Uint::to_bytes_be(std::size_t width) const {
+  util::Bytes out;
+  for (std::uint32_t limb : limbs_) {
+    out.push_back(static_cast<std::uint8_t>(limb));
+    out.push_back(static_cast<std::uint8_t>(limb >> 8));
+    out.push_back(static_cast<std::uint8_t>(limb >> 16));
+    out.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  std::reverse(out.begin(), out.end());
+  if (width) {
+    assert(out.size() <= width && "value does not fit requested width");
+    out.insert(out.begin(), width - out.size(), 0);
+  }
+  return out;
+}
+
+std::size_t Uint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool Uint::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t Uint::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::strong_ordering Uint::operator<=>(const Uint& o) const {
+  if (limbs_.size() != o.limbs_.size())
+    return limbs_.size() <=> o.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] <=> o.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+Uint Uint::operator+(const Uint& o) const {
+  Uint out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+Uint Uint::operator-(const Uint& o) const {
+  assert(*this >= o && "unsigned subtraction underflow");
+  Uint out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
+                        (i < o.limbs_.size() ? o.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+Uint Uint::operator*(const Uint& o) const {
+  if (is_zero() || o.is_zero()) return Uint();
+  Uint out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + a * o.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + o.limbs_.size()] = static_cast<std::uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+Uint Uint::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Uint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+Uint Uint::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return Uint();
+  const std::size_t bit_shift = bits % 32;
+  Uint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+DivMod Uint::divmod(const Uint& divisor) const {
+  assert(!divisor.is_zero() && "division by zero");
+  if (*this < divisor) return {Uint(), *this};
+
+  // Single-limb fast path.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    Uint q;
+    q.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = rem << 32 | limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, Uint(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D (base 2^32).
+  const std::size_t n = divisor.limbs_.size();
+  const std::size_t m = limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (std::uint32_t top = divisor.limbs_.back(); !(top & 0x80000000u);
+       top <<= 1)
+    ++shift;
+  const Uint un_big = *this << static_cast<std::size_t>(shift);
+  const Uint vn = divisor << static_cast<std::size_t>(shift);
+  std::vector<std::uint32_t> u = un_big.limbs_;
+  u.resize(limbs_.size() + 1, 0);  // ensure u[m+n] exists
+  const std::vector<std::uint32_t>& v = vn.limbs_;
+
+  Uint q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat.
+    const std::uint64_t num =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = num / v[n - 1];
+    std::uint64_t rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xFFFFFFFFull) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(t);
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    if (t < 0) {
+      // D6: qhat was one too large; add the divisor back (rare branch).
+      --q.limbs_[j];
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + c);
+    }
+  }
+  q.trim();
+
+  // D8: the remainder is u[0..n) shifted back down.
+  Uint r;
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r >> static_cast<std::size_t>(shift);
+  return {q, r};
+}
+
+Uint Uint::mulmod(const Uint& a, const Uint& b, const Uint& m) {
+  return (a * b) % m;
+}
+
+Uint Uint::powmod(const Uint& base, const Uint& exp, const Uint& m) {
+  assert(!m.is_zero());
+  if (m == Uint(1)) return Uint();
+  Uint result(1);
+  Uint b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, b, m);
+    b = mulmod(b, b, m);
+  }
+  return result;
+}
+
+Uint Uint::gcd(Uint a, Uint b) {
+  while (!b.is_zero()) {
+    Uint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::optional<Uint> Uint::modinv(const Uint& a, const Uint& m) {
+  // Extended Euclid with explicitly signed Bezout coefficients.
+  struct Signed {
+    Uint mag;
+    bool neg = false;
+  };
+  auto sub = [](const Signed& x, const Signed& y) -> Signed {
+    // x - y
+    if (x.neg == y.neg) {
+      if (x.mag >= y.mag) return {x.mag - y.mag, x.neg};
+      return {y.mag - x.mag, !x.neg};
+    }
+    return {x.mag + y.mag, x.neg};
+  };
+  auto mul = [](const Signed& x, const Uint& k) -> Signed {
+    return {x.mag * k, x.neg};
+  };
+
+  Uint old_r = a % m, r = m;
+  Signed old_t{Uint(1), false}, t{Uint(0), false};
+  while (!r.is_zero()) {
+    const auto dm = old_r.divmod(r);
+    Uint next_r = dm.remainder;
+    Signed next_t = sub(old_t, mul(t, dm.quotient));
+    old_r = std::move(r);
+    r = std::move(next_r);
+    old_t = t;
+    t = next_t;
+  }
+  if (old_r != Uint(1)) return std::nullopt;  // not coprime
+  if (old_t.neg) return m - (old_t.mag % m);
+  return old_t.mag % m;
+}
+
+Uint Uint::random_bits(util::RandomSource& rng, std::size_t bits) {
+  if (bits == 0) return Uint();
+  Uint out;
+  out.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& limb : out.limbs_) limb = rng.next_u32();
+  const std::size_t top_bits = (bits - 1) % 32 + 1;
+  std::uint32_t& top = out.limbs_.back();
+  if (top_bits < 32) top &= (1u << top_bits) - 1;
+  top |= 1u << (top_bits - 1);  // force exact bit length
+  return out;
+}
+
+Uint Uint::random_below(util::RandomSource& rng, const Uint& bound) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling: uniform in [0, 2^bits) until < bound.
+  for (;;) {
+    Uint candidate;
+    candidate.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : candidate.limbs_) limb = rng.next_u32();
+    const std::size_t top_bits = (bits - 1) % 32 + 1;
+    if (top_bits < 32) candidate.limbs_.back() &= (1u << top_bits) - 1;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+}  // namespace fbs::bignum

@@ -1,0 +1,93 @@
+// Arbitrary-precision unsigned integers.
+//
+// This is the arithmetic substrate for the Diffie-Hellman zero-message keying
+// scheme (Section 5.1: K_{S,D} = g^{sd} mod p), for the RSA signatures on
+// public-value certificates, and for the Blum-Blum-Shub generator the paper
+// cites as the canonically secure (but slow) random source. The original
+// implementation used CryptoLib's bignum; we build our own.
+//
+// Representation: little-endian vector of 32-bit limbs, normalized so the
+// most significant limb is non-zero; zero is the empty vector.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::bignum {
+
+struct DivMod;  // defined after Uint
+
+class Uint {
+ public:
+  Uint() = default;
+  Uint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal interop is intended
+
+  /// Parse hexadecimal (no 0x prefix required; one is accepted).
+  static std::optional<Uint> from_hex(std::string_view hex);
+  /// Parse big-endian bytes (network order, as keys appear on the wire).
+  static Uint from_bytes_be(util::BytesView b);
+
+  std::string to_hex() const;
+  /// Big-endian bytes, zero-padded/truncated-checked to `width` if nonzero.
+  /// Width smaller than the value's natural size is a programming error.
+  util::Bytes to_bytes_be(std::size_t width = 0) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+  /// Number of significant bits; 0 for zero.
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  /// Low 64 bits (value need not fit).
+  std::uint64_t low_u64() const;
+
+  std::strong_ordering operator<=>(const Uint& o) const;
+  bool operator==(const Uint& o) const = default;
+
+  Uint operator+(const Uint& o) const;
+  /// Requires *this >= o (unsigned arithmetic); violating this asserts.
+  Uint operator-(const Uint& o) const;
+  Uint operator*(const Uint& o) const;
+  Uint operator<<(std::size_t bits) const;
+  Uint operator>>(std::size_t bits) const;
+
+  /// Knuth Algorithm D. Divisor must be non-zero.
+  DivMod divmod(const Uint& divisor) const;
+  Uint operator/(const Uint& o) const;
+  Uint operator%(const Uint& o) const;
+
+  /// (a * b) mod m
+  static Uint mulmod(const Uint& a, const Uint& b, const Uint& m);
+  /// (base ^ exp) mod m by square-and-multiply; m must be non-zero.
+  static Uint powmod(const Uint& base, const Uint& exp, const Uint& m);
+  static Uint gcd(Uint a, Uint b);
+  /// Multiplicative inverse of a mod m, if gcd(a, m) == 1.
+  static std::optional<Uint> modinv(const Uint& a, const Uint& m);
+
+  /// Uniform value in [0, bound) drawn from `rng`; bound must be non-zero.
+  static Uint random_below(util::RandomSource& rng, const Uint& bound);
+  /// Random value with exactly `bits` bits (top bit set).
+  static Uint random_bits(util::RandomSource& rng, std::size_t bits);
+
+ private:
+  void trim();
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct DivMod {
+  Uint quotient;
+  Uint remainder;
+};
+
+inline Uint Uint::operator/(const Uint& o) const { return divmod(o).quotient; }
+inline Uint Uint::operator%(const Uint& o) const { return divmod(o).remainder; }
+
+}  // namespace fbs::bignum

@@ -1,0 +1,108 @@
+#include "cert/certificate.hpp"
+
+namespace fbs::cert {
+
+util::Bytes PublicValueCertificate::tbs_bytes() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(subject.size()));
+  w.bytes(subject);
+  w.u32(static_cast<std::uint32_t>(group_name.size()));
+  w.bytes(util::to_bytes(group_name));
+  w.u32(static_cast<std::uint32_t>(public_value.size()));
+  w.bytes(public_value);
+  w.u64(static_cast<std::uint64_t>(not_before));
+  w.u64(static_cast<std::uint64_t>(not_after));
+  w.u64(serial);
+  return w.take();
+}
+
+CertificateAuthority::CertificateAuthority(std::size_t rsa_bits,
+                                           util::RandomSource& rng)
+    : key_(crypto::rsa_generate(rsa_bits, rng)) {}
+
+PublicValueCertificate CertificateAuthority::issue(
+    util::BytesView subject, const std::string& group_name,
+    util::BytesView public_value, util::TimeUs not_before,
+    util::TimeUs not_after) {
+  PublicValueCertificate cert;
+  cert.subject.assign(subject.begin(), subject.end());
+  cert.group_name = group_name;
+  cert.public_value.assign(public_value.begin(), public_value.end());
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.serial = next_serial_++;
+  cert.signature = crypto::rsa_sign_md5(key_, cert.tbs_bytes());
+  return cert;
+}
+
+namespace {
+
+CertStatus verify_with(const crypto::RsaPublicKey& key,
+                       const PublicValueCertificate& cert, util::TimeUs now) {
+  if (!crypto::rsa_verify_md5(key, cert.tbs_bytes(), cert.signature))
+    return CertStatus::kBadSignature;
+  if (now < cert.not_before) return CertStatus::kNotYetValid;
+  if (now > cert.not_after) return CertStatus::kExpired;
+  return CertStatus::kValid;
+}
+
+util::Bytes serialize_rsa_public(const crypto::RsaPublicKey& key) {
+  util::ByteWriter w;
+  const util::Bytes n = key.n.to_bytes_be();
+  const util::Bytes e = key.e.to_bytes_be();
+  w.u16(static_cast<std::uint16_t>(n.size()));
+  w.bytes(n);
+  w.u16(static_cast<std::uint16_t>(e.size()));
+  w.bytes(e);
+  return w.take();
+}
+
+std::optional<crypto::RsaPublicKey> parse_rsa_public(util::BytesView wire) {
+  util::ByteReader r(wire);
+  const auto n_len = r.u16();
+  if (!n_len) return std::nullopt;
+  const auto n = r.bytes(*n_len);
+  const auto e_len = r.u16();
+  if (!n || !e_len) return std::nullopt;
+  const auto e = r.bytes(*e_len);
+  if (!e) return std::nullopt;
+  return crypto::RsaPublicKey{bignum::Uint::from_bytes_be(*n),
+                              bignum::Uint::from_bytes_be(*e)};
+}
+
+}  // namespace
+
+CertStatus CertificateAuthority::verify(const PublicValueCertificate& cert,
+                                        util::TimeUs now) const {
+  return verify_with(key_.pub, cert, now);
+}
+
+util::Bytes CertificateAuthority::public_key_bytes() const {
+  return serialize_rsa_public(key_.pub);
+}
+
+PublicValueCertificate CertificateAuthority::delegate(
+    const CertificateAuthority& child, util::BytesView child_name,
+    util::TimeUs not_before, util::TimeUs not_after) {
+  // A delegation is an ordinary certificate whose public_value carries the
+  // child CA's RSA key (group_name marks the kind).
+  return issue(child_name, "rsa-ca-delegation", child.public_key_bytes(),
+               not_before, not_after);
+}
+
+CertStatus verify_chain(const crypto::RsaPublicKey& root,
+                        const CertificateChain& chain, util::TimeUs now) {
+  crypto::RsaPublicKey current = root;
+  // Walk from the root-signed delegation inward to the leaf's issuer.
+  for (auto it = chain.delegations.rbegin(); it != chain.delegations.rend();
+       ++it) {
+    const CertStatus status = verify_with(current, *it, now);
+    if (status != CertStatus::kValid) return status;
+    const auto next = parse_rsa_public(it->public_value);
+    if (!next) return CertStatus::kBadSignature;
+    current = *next;
+  }
+  return verify_with(current, chain.leaf, now);
+}
+
+}  // namespace fbs::cert

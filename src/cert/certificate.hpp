@@ -1,0 +1,130 @@
+// Public-value certificates.
+//
+// Section 5.2: "the public values are made available and authenticated via a
+// distributed certification hierarchy (e.g., X.509 certificates) or a secure
+// DNS service". This is our stand-in for that hierarchy: a certificate binds
+// a principal address to its Diffie-Hellman public value, signed by a
+// certificate authority with RSA over MD5. The PVC (public values cache,
+// Section 5.3) caches these certificates -- not bare public values --
+// because "a certificate can be verified each time it is used".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bignum/uint.hpp"
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::cert {
+
+struct PublicValueCertificate {
+  util::Bytes subject;        // principal address (opaque to this layer)
+  std::string group_name;     // DH group the public value belongs to
+  util::Bytes public_value;   // big-endian g^x mod p
+  util::TimeUs not_before = 0;
+  util::TimeUs not_after = 0;
+  std::uint64_t serial = 0;
+  util::Bytes signature;      // RSA-MD5 over tbs_bytes()
+
+  /// Canonical "to-be-signed" encoding (everything but the signature).
+  util::Bytes tbs_bytes() const;
+};
+
+/// Why verification rejected a certificate (useful for audit counters).
+enum class CertStatus {
+  kValid,
+  kBadSignature,
+  kNotYetValid,
+  kExpired,
+};
+
+/// How a received certificate is judged trustworthy. The master key daemon
+/// depends on this interface only, so deployments can trust a single CA
+/// directly or require a delegation chain back to a root.
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+  virtual CertStatus verify(const PublicValueCertificate& cert,
+                            util::TimeUs now) const = 0;
+};
+
+/// A certificate authority in the hierarchy. Holds an RSA keypair; issues
+/// and verifies public-value certificates. The root is self-standing;
+/// subordinate CAs carry a cross-certificate from their parent (see
+/// delegate() / CertificateChain), realizing the paper's "distributed
+/// certification hierarchy".
+class CertificateAuthority : public Verifier {
+ public:
+  /// Generate a fresh CA key (512..1024-bit modulus; keygen cost is
+  /// noticeable, so tests share a fixture CA).
+  CertificateAuthority(std::size_t rsa_bits, util::RandomSource& rng);
+
+  PublicValueCertificate issue(util::BytesView subject,
+                               const std::string& group_name,
+                               util::BytesView public_value,
+                               util::TimeUs not_before,
+                               util::TimeUs not_after);
+
+  CertStatus verify(const PublicValueCertificate& cert,
+                    util::TimeUs now) const override;
+
+  /// Cross-certify a subordinate CA: a certificate binding `child`'s RSA
+  /// public key (serialized) under this CA's signature, so verifiers
+  /// trusting this CA can verify certificates `child` issues.
+  PublicValueCertificate delegate(const CertificateAuthority& child,
+                                  util::BytesView child_name,
+                                  util::TimeUs not_before,
+                                  util::TimeUs not_after);
+
+  /// Serialized form of this CA's public key, as embedded in a delegation
+  /// certificate's public_value field.
+  util::Bytes public_key_bytes() const;
+
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+ private:
+  crypto::RsaPrivateKey key_;
+  std::uint64_t next_serial_ = 1;
+};
+
+/// An end-entity certificate plus the delegation certificates linking its
+/// issuer back to the root: {leaf, intermediate_n, ..., intermediate_1}
+/// where intermediate_1 is signed by the root.
+struct CertificateChain {
+  PublicValueCertificate leaf;
+  std::vector<PublicValueCertificate> delegations;  // leaf-issuer first
+};
+
+/// Verify a chain against the trusted root: every delegation must be a
+/// valid signature by its parent (root last), and the leaf must verify
+/// under the innermost delegated key. Returns the first failure.
+CertStatus verify_chain(const crypto::RsaPublicKey& root,
+                        const CertificateChain& chain, util::TimeUs now);
+
+/// Verifier for hierarchical deployments: trusts `root` and carries the
+/// delegation certificates for the organizational CA path that issues the
+/// principal certificates this verifier will see. A leaf is valid iff
+/// {leaf, delegations...} verifies back to the root.
+class ChainVerifier final : public Verifier {
+ public:
+  ChainVerifier(crypto::RsaPublicKey root,
+                std::vector<PublicValueCertificate> delegations)
+      : root_(std::move(root)), delegations_(std::move(delegations)) {}
+
+  CertStatus verify(const PublicValueCertificate& cert,
+                    util::TimeUs now) const override {
+    CertificateChain chain;
+    chain.leaf = cert;
+    chain.delegations = delegations_;
+    return verify_chain(root_, chain, now);
+  }
+
+ private:
+  crypto::RsaPublicKey root_;
+  std::vector<PublicValueCertificate> delegations_;
+};
+
+}  // namespace fbs::cert

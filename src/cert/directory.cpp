@@ -1,0 +1,22 @@
+#include "cert/directory.hpp"
+
+namespace fbs::cert {
+
+void DirectoryService::publish(const PublicValueCertificate& cert) {
+  certs_[cert.subject] = cert;
+}
+
+void DirectoryService::revoke(util::BytesView subject) {
+  certs_.erase(util::Bytes(subject.begin(), subject.end()));
+}
+
+std::optional<PublicValueCertificate> DirectoryService::fetch(
+    util::BytesView subject) {
+  ++fetch_count_;
+  if (clock_) clock_->advance(rtt_);
+  const auto it = certs_.find(util::Bytes(subject.begin(), subject.end()));
+  if (it == certs_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace fbs::cert

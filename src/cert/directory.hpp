@@ -1,0 +1,47 @@
+// Directory service for public-value certificates.
+//
+// Models the network-resident certificate authority / secure-DNS lookup of
+// Section 5.3: a PVC miss "incurs at the minimum a round trip communication
+// delay" and the fetch travels over the *secure flow bypass* (it must not
+// itself be secured, or fetching would recurse). The simulated round trip is
+// charged to a VirtualClock when one is attached, so trace-driven
+// experiments see realistic stalls on cold PVC misses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "cert/certificate.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::cert {
+
+class DirectoryService {
+ public:
+  /// `rtt` is charged per fetch; `clock` (optional) is advanced by it to
+  /// simulate the blocking round trip.
+  explicit DirectoryService(util::TimeUs rtt = util::seconds(0),
+                            util::VirtualClock* clock = nullptr)
+      : rtt_(rtt), clock_(clock) {}
+
+  /// Register/replace the certificate for a subject.
+  void publish(const PublicValueCertificate& cert);
+  void revoke(util::BytesView subject);
+
+  /// Unauthenticated fetch over the secure-flow bypass. The caller verifies
+  /// the returned certificate against the CA ("it need not be secure because
+  /// the certificates are to be verified on receipt").
+  std::optional<PublicValueCertificate> fetch(util::BytesView subject);
+
+  std::uint64_t fetch_count() const { return fetch_count_; }
+  util::TimeUs total_fetch_delay() const { return fetch_count_ * rtt_; }
+
+ private:
+  util::TimeUs rtt_;
+  util::VirtualClock* clock_;
+  std::map<util::Bytes, PublicValueCertificate> certs_;
+  std::uint64_t fetch_count_ = 0;
+};
+
+}  // namespace fbs::cert

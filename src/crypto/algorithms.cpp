@@ -1,0 +1,85 @@
+#include "crypto/algorithms.hpp"
+
+#include "crypto/md5.hpp"
+#include "crypto/sha1.hpp"
+
+namespace fbs::crypto {
+
+std::uint8_t encode_suite(AlgorithmSuite suite) {
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(suite.mac) << 4 |
+                                   static_cast<std::uint8_t>(suite.cipher));
+}
+
+std::optional<AlgorithmSuite> decode_suite(std::uint8_t wire) {
+  const auto mac = static_cast<MacAlgorithm>(wire >> 4);
+  const auto cipher = static_cast<CipherAlgorithm>(wire & 0xF);
+  switch (mac) {
+    case MacAlgorithm::kKeyedMd5:
+    case MacAlgorithm::kHmacMd5:
+    case MacAlgorithm::kKeyedSha1:
+    case MacAlgorithm::kHmacSha1:
+    case MacAlgorithm::kNull:
+      break;
+    default:
+      return std::nullopt;
+  }
+  switch (cipher) {
+    case CipherAlgorithm::kNone:
+    case CipherAlgorithm::kDesCbc:
+    case CipherAlgorithm::kDesEcb:
+    case CipherAlgorithm::kDesCfb:
+    case CipherAlgorithm::kDesOfb:
+      break;
+    default:
+      return std::nullopt;
+  }
+  return AlgorithmSuite{mac, cipher};
+}
+
+std::unique_ptr<Mac> make_mac(MacAlgorithm alg) {
+  switch (alg) {
+    case MacAlgorithm::kKeyedMd5:
+      return std::make_unique<KeyedPrefixMac>(std::make_unique<Md5>());
+    case MacAlgorithm::kHmacMd5:
+      return std::make_unique<HmacMac>(std::make_unique<Md5>());
+    case MacAlgorithm::kKeyedSha1:
+      return std::make_unique<KeyedPrefixMac>(std::make_unique<Sha1>());
+    case MacAlgorithm::kHmacSha1:
+      return std::make_unique<HmacMac>(std::make_unique<Sha1>());
+    case MacAlgorithm::kNull:
+      return std::make_unique<NullMac>();
+  }
+  return nullptr;
+}
+
+std::size_t mac_size(MacAlgorithm alg) {
+  switch (alg) {
+    case MacAlgorithm::kKeyedMd5:
+    case MacAlgorithm::kHmacMd5:
+      return Md5::kDigestSize;
+    case MacAlgorithm::kKeyedSha1:
+    case MacAlgorithm::kHmacSha1:
+      return Sha1::kDigestSize;
+    case MacAlgorithm::kNull:
+      return 16;  // keeps the header layout identical to the MD5 suites
+  }
+  return 0;
+}
+
+std::optional<CipherMode> cipher_mode(CipherAlgorithm alg) {
+  switch (alg) {
+    case CipherAlgorithm::kNone:
+      return std::nullopt;
+    case CipherAlgorithm::kDesCbc:
+      return CipherMode::kCbc;
+    case CipherAlgorithm::kDesEcb:
+      return CipherMode::kEcb;
+    case CipherAlgorithm::kDesCfb:
+      return CipherMode::kCfb;
+    case CipherAlgorithm::kDesOfb:
+      return CipherMode::kOfb;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fbs::crypto

@@ -1,0 +1,59 @@
+// Algorithm registry backing the security flow header's algorithm
+// identification field ("For generality, the security flow header should
+// also include an algorithm identification field", Section 5.2 -- the paper
+// omits its description; this is our realization).
+//
+// A suite names the MAC construction and the optional cipher. The default
+// suite matches the paper's implementation: keyed MD5 + DES-CBC (Sec 7.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "crypto/block_modes.hpp"
+#include "crypto/mac.hpp"
+
+namespace fbs::crypto {
+
+enum class MacAlgorithm : std::uint8_t {
+  kKeyedMd5 = 1,   // H(K | ...) with MD5: the paper's MAC
+  kHmacMd5 = 2,    // RFC 2104
+  kKeyedSha1 = 3,  // H(K | ...) with SHS
+  kHmacSha1 = 4,
+  /// "Nullified" MAC for the FBS NOP configuration of Figure 8: returns a
+  /// constant 128-bit tag immediately, so protocol overhead can be measured
+  /// with cryptography out of the picture. NOT a security mode.
+  kNull = 5,
+};
+
+enum class CipherAlgorithm : std::uint8_t {
+  kNone = 0,  // authentication-only datagrams
+  kDesCbc = 1,
+  kDesEcb = 2,
+  kDesCfb = 3,
+  kDesOfb = 4,
+};
+
+struct AlgorithmSuite {
+  MacAlgorithm mac = MacAlgorithm::kKeyedMd5;
+  CipherAlgorithm cipher = CipherAlgorithm::kDesCbc;
+
+  bool operator==(const AlgorithmSuite&) const = default;
+};
+
+/// The 1997 implementation's suite: keyed MD5 MAC, DES-CBC encryption.
+inline AlgorithmSuite default_suite() { return {}; }
+
+/// Pack/unpack the one-byte wire encoding (high nibble MAC, low cipher).
+std::uint8_t encode_suite(AlgorithmSuite suite);
+std::optional<AlgorithmSuite> decode_suite(std::uint8_t wire);
+
+/// Instantiate the MAC for a suite. Never null for a valid enum value.
+std::unique_ptr<Mac> make_mac(MacAlgorithm alg);
+std::size_t mac_size(MacAlgorithm alg);
+
+/// Block-cipher mode for a cipher algorithm; nullopt for kNone.
+std::optional<CipherMode> cipher_mode(CipherAlgorithm alg);
+
+}  // namespace fbs::crypto

@@ -1,0 +1,43 @@
+#include "crypto/bbs.hpp"
+
+#include <cassert>
+
+#include "bignum/prime.hpp"
+
+namespace fbs::crypto {
+
+BlumBlumShub::BlumBlumShub(bignum::Uint n, const bignum::Uint& seed)
+    : n_(std::move(n)) {
+  assert(!n_.is_zero());
+  // x0 = seed^2 mod n guarantees a quadratic residue start state.
+  state_ = bignum::Uint::mulmod(seed % n_, seed % n_, n_);
+  if (state_.is_zero() || state_ == bignum::Uint(1))
+    state_ = bignum::Uint::mulmod(bignum::Uint(7), bignum::Uint(7), n_);
+}
+
+BlumBlumShub BlumBlumShub::generate(std::size_t bits,
+                                    util::RandomSource& seed_rng) {
+  const bignum::Uint p = bignum::generate_blum_prime(bits / 2, seed_rng);
+  bignum::Uint q;
+  do {
+    q = bignum::generate_blum_prime(bits - bits / 2, seed_rng);
+  } while (q == p);
+  const bignum::Uint n = p * q;
+  const bignum::Uint seed =
+      bignum::Uint::random_below(seed_rng, n - bignum::Uint(3)) +
+      bignum::Uint(2);
+  return BlumBlumShub(n, seed);
+}
+
+bool BlumBlumShub::next_bit() {
+  state_ = bignum::Uint::mulmod(state_, state_, n_);
+  return state_.is_odd();
+}
+
+std::uint64_t BlumBlumShub::next_u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 64; ++i) v = v << 1 | static_cast<std::uint64_t>(next_bit());
+  return v;
+}
+
+}  // namespace fbs::crypto

@@ -1,0 +1,33 @@
+// Blum-Blum-Shub quadratic-residue generator (SIAM J. Comput. 1986).
+//
+// Section 2.2 of the paper names this as the cryptographically secure random
+// generator a per-datagram-key scheme would need -- and as the reason such
+// schemes bottleneck: each output bit costs a modular squaring. We implement
+// it both as the baseline's key generator and to measure that bottleneck in
+// bench/fbs_bench_crypto (vs. the statistically-random LCG confounder).
+#pragma once
+
+#include "bignum/uint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::crypto {
+
+class BlumBlumShub final : public util::RandomSource {
+ public:
+  /// n = p*q for Blum primes p, q (both ≡ 3 mod 4); seed coprime to n.
+  BlumBlumShub(bignum::Uint n, const bignum::Uint& seed);
+
+  /// Generate p, q of `bits/2` each and seed from `seed_rng`.
+  static BlumBlumShub generate(std::size_t bits, util::RandomSource& seed_rng);
+
+  /// Extract one cryptographically secure bit (one modular squaring).
+  bool next_bit();
+  std::uint64_t next_u64() override;
+
+ private:
+  bignum::Uint n_;
+  bignum::Uint state_;
+};
+
+}  // namespace fbs::crypto

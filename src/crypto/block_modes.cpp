@@ -1,0 +1,113 @@
+#include "crypto/block_modes.hpp"
+
+namespace fbs::crypto {
+
+namespace {
+
+constexpr std::size_t kBlock = Des::kBlockSize;
+
+util::Bytes pkcs7_pad(util::BytesView data) {
+  const std::size_t pad = kBlock - data.size() % kBlock;  // 1..8
+  util::Bytes out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<std::uint8_t>(pad));
+  return out;
+}
+
+std::optional<util::Bytes> pkcs7_unpad(util::Bytes data) {
+  if (data.empty() || data.size() % kBlock != 0) return std::nullopt;
+  const std::uint8_t pad = data.back();
+  if (pad == 0 || pad > kBlock || pad > data.size()) return std::nullopt;
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i)
+    if (data[i] != pad) return std::nullopt;
+  data.resize(data.size() - pad);
+  return data;
+}
+
+/// Shared keystream generator for the two stream modes. CFB feeds the
+/// previous ciphertext block back through the cipher; OFB feeds the cipher
+/// output back, independent of the data.
+util::Bytes stream_crypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                         util::BytesView in, bool decrypting) {
+  util::Bytes out(in.size());
+  std::uint64_t feedback = iv;
+  for (std::size_t off = 0; off < in.size(); off += kBlock) {
+    const std::uint64_t keystream = cipher.encrypt_block(feedback);
+    const std::size_t n = std::min(kBlock, in.size() - off);
+    std::uint64_t in_block = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      in_block |= static_cast<std::uint64_t>(in[off + i]) << (56 - 8 * i);
+    const std::uint64_t out_block = in_block ^ keystream;
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + i] = static_cast<std::uint8_t>(out_block >> (56 - 8 * i));
+    if (mode == CipherMode::kOfb) {
+      feedback = keystream;
+    } else {  // CFB: feedback is the ciphertext block
+      feedback = decrypting ? in_block : out_block;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Bytes encrypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                    util::BytesView plaintext) {
+  switch (mode) {
+    case CipherMode::kEcb: {
+      util::Bytes padded = pkcs7_pad(plaintext);
+      for (std::size_t off = 0; off < padded.size(); off += kBlock) {
+        // Confounder-XOR ECB per Section 5.2.
+        const std::uint64_t pt = Des::load_be64(&padded[off]) ^ iv;
+        Des::store_be64(cipher.encrypt_block(pt), &padded[off]);
+      }
+      return padded;
+    }
+    case CipherMode::kCbc: {
+      util::Bytes padded = pkcs7_pad(plaintext);
+      std::uint64_t chain = iv;
+      for (std::size_t off = 0; off < padded.size(); off += kBlock) {
+        chain = cipher.encrypt_block(Des::load_be64(&padded[off]) ^ chain);
+        Des::store_be64(chain, &padded[off]);
+      }
+      return padded;
+    }
+    case CipherMode::kCfb:
+    case CipherMode::kOfb:
+      return stream_crypt(cipher, mode, iv, plaintext, /*decrypting=*/false);
+  }
+  return {};
+}
+
+std::optional<util::Bytes> decrypt(const Des& cipher, CipherMode mode,
+                                   std::uint64_t iv,
+                                   util::BytesView ciphertext) {
+  switch (mode) {
+    case CipherMode::kEcb: {
+      if (ciphertext.size() % kBlock != 0) return std::nullopt;
+      util::Bytes out(ciphertext.begin(), ciphertext.end());
+      for (std::size_t off = 0; off < out.size(); off += kBlock) {
+        const std::uint64_t pt =
+            cipher.decrypt_block(Des::load_be64(&out[off])) ^ iv;
+        Des::store_be64(pt, &out[off]);
+      }
+      return pkcs7_unpad(std::move(out));
+    }
+    case CipherMode::kCbc: {
+      if (ciphertext.size() % kBlock != 0) return std::nullopt;
+      util::Bytes out(ciphertext.begin(), ciphertext.end());
+      std::uint64_t chain = iv;
+      for (std::size_t off = 0; off < out.size(); off += kBlock) {
+        const std::uint64_t ct = Des::load_be64(&out[off]);
+        Des::store_be64(cipher.decrypt_block(ct) ^ chain, &out[off]);
+        chain = ct;
+      }
+      return pkcs7_unpad(std::move(out));
+    }
+    case CipherMode::kCfb:
+    case CipherMode::kOfb:
+      return stream_crypt(cipher, mode, iv, ciphertext, /*decrypting=*/true);
+  }
+  return std::nullopt;
+}
+
+}  // namespace fbs::crypto

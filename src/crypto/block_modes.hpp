@@ -1,0 +1,32 @@
+// DES modes of operation (FIPS PUB 81): ECB, CBC, CFB-64, OFB-64.
+//
+// Section 5.2 of the paper specifies how the per-datagram confounder drives
+// the cipher: it is the IV in CBC/CFB/OFB modes, and in ECB mode it is
+// XOR'ed with every plaintext block prior to encryption. The IP mapping
+// (Section 7.2) duplicates the 32-bit confounder into a 64-bit quantity for
+// DES; the caller does that expansion and passes the 64-bit IV here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/des.hpp"
+#include "util/bytes.hpp"
+
+namespace fbs::crypto {
+
+enum class CipherMode : std::uint8_t { kEcb, kCbc, kCfb, kOfb };
+
+/// Encrypt `plaintext` under the given mode with `iv` (the confounder).
+/// ECB and CBC apply PKCS#7 padding (output grows by 1..8 bytes); CFB and
+/// OFB are stream modes and preserve length.
+util::Bytes encrypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                    util::BytesView plaintext);
+
+/// Inverse of encrypt. Returns nullopt on malformed input (bad length for
+/// block modes, bad PKCS#7 padding).
+std::optional<util::Bytes> decrypt(const Des& cipher, CipherMode mode,
+                                   std::uint64_t iv,
+                                   util::BytesView ciphertext);
+
+}  // namespace fbs::crypto

@@ -1,0 +1,37 @@
+// DES block cipher (FIPS PUB 46), implemented from the standard's
+// permutation tables. The paper's IP mapping encrypts datagram bodies with
+// DES and uses the 32-bit confounder (duplicated to 64 bits) as the IV
+// (Section 7.2). Modes of operation (FIPS 81) live in block_modes.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::crypto {
+
+class Des {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  static constexpr std::size_t kKeySize = 8;  // 64 bits incl. parity
+
+  /// Key is 8 bytes; the 8 parity bits are ignored, per the standard.
+  explicit Des(util::BytesView key);
+
+  /// Encrypt/decrypt exactly one 8-byte block, in-place variants included.
+  std::uint64_t encrypt_block(std::uint64_t block) const;
+  std::uint64_t decrypt_block(std::uint64_t block) const;
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+  static std::uint64_t load_be64(const std::uint8_t* p);
+  static void store_be64(std::uint64_t v, std::uint8_t* p);
+
+ private:
+  std::uint64_t crypt(std::uint64_t block, bool decrypt) const;
+
+  std::array<std::uint64_t, 16> subkeys_{};  // 48-bit round keys
+};
+
+}  // namespace fbs::crypto

@@ -1,0 +1,62 @@
+#include "crypto/dh.hpp"
+
+namespace fbs::crypto {
+
+namespace {
+
+DhGroup make_group(std::string name, const char* p_hex, std::uint64_t g) {
+  return DhGroup{std::move(name), *bignum::Uint::from_hex(p_hex),
+                 bignum::Uint(g)};
+}
+
+}  // namespace
+
+const DhGroup& oakley_group1() {
+  static const DhGroup group = make_group(
+      "oakley-group-1 (768-bit MODP)",
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+      "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+      "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF",
+      2);
+  return group;
+}
+
+const DhGroup& oakley_group2() {
+  static const DhGroup group = make_group(
+      "oakley-group-2 (1024-bit MODP)",
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+      "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+      "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+      "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+      2);
+  return group;
+}
+
+const DhGroup& test_group() {
+  // p = 2^31 - 1 (Mersenne prime M31); 7 generates a large subgroup.
+  static const DhGroup group{"test-group-m31 (INSECURE)",
+                             bignum::Uint(0x7FFFFFFFull), bignum::Uint(7)};
+  return group;
+}
+
+DhKeyPair dh_generate(const DhGroup& group, util::RandomSource& rng) {
+  // Private value uniform in [2, p-2].
+  const bignum::Uint span = group.p - bignum::Uint(3);
+  const bignum::Uint x = bignum::Uint::random_below(rng, span) + bignum::Uint(2);
+  return DhKeyPair{x, bignum::Uint::powmod(group.g, x, group.p)};
+}
+
+bignum::Uint dh_shared_secret(const DhGroup& group,
+                              const bignum::Uint& own_private,
+                              const bignum::Uint& peer_public) {
+  return bignum::Uint::powmod(peer_public, own_private, group.p);
+}
+
+util::Bytes dh_shared_secret_bytes(const DhGroup& group,
+                                   const bignum::Uint& own_private,
+                                   const bignum::Uint& peer_public) {
+  return dh_shared_secret(group, own_private, peer_public)
+      .to_bytes_be(group.element_size());
+}
+
+}  // namespace fbs::crypto

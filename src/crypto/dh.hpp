@@ -1,0 +1,54 @@
+// Diffie-Hellman key exchange (New Directions in Cryptography, 1976).
+//
+// This is the foundation of FBS zero-message keying (Section 5.1): each
+// principal P holds a private value p; the implicit pair-based master key is
+//     K_{S,D} = g^{sd} mod p
+// computable by S from (s, g^d) and by D from (d, g^s) -- and by nobody
+// else. Public values travel inside certificates (src/cert); no message
+// exchange between S and D is ever needed.
+#pragma once
+
+#include <string>
+
+#include "bignum/uint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::crypto {
+
+struct DhGroup {
+  std::string name;
+  bignum::Uint p;  // prime modulus
+  bignum::Uint g;  // generator
+
+  /// Width in bytes used when serializing group elements.
+  std::size_t element_size() const { return (p.bit_length() + 7) / 8; }
+};
+
+/// RFC 2409 Oakley Group 1 (768-bit MODP, generator 2).
+const DhGroup& oakley_group1();
+/// RFC 2409 Oakley Group 2 (1024-bit MODP, generator 2).
+const DhGroup& oakley_group2();
+/// A tiny 31-bit group for fast unit tests. NOT secure.
+const DhGroup& test_group();
+
+struct DhKeyPair {
+  bignum::Uint private_value;  // x in [2, p-2]
+  bignum::Uint public_value;   // g^x mod p
+};
+
+/// Draw a fresh private value and derive its public value.
+DhKeyPair dh_generate(const DhGroup& group, util::RandomSource& rng);
+
+/// K = peer_public ^ own_private mod p.
+bignum::Uint dh_shared_secret(const DhGroup& group,
+                              const bignum::Uint& own_private,
+                              const bignum::Uint& peer_public);
+
+/// Fixed-width big-endian encoding of the shared secret, as fed into the
+/// flow-key hash.
+util::Bytes dh_shared_secret_bytes(const DhGroup& group,
+                                   const bignum::Uint& own_private,
+                                   const bignum::Uint& peer_public);
+
+}  // namespace fbs::crypto

@@ -1,0 +1,67 @@
+#include "crypto/mac.hpp"
+
+#include "crypto/md5.hpp"
+#include "crypto/sha1.hpp"
+
+namespace fbs::crypto {
+
+util::Bytes KeyedPrefixMac::compute(
+    util::BytesView key,
+    std::initializer_list<util::BytesView> chunks) const {
+  auto ctx = hash_->clone();
+  ctx->reset();
+  ctx->update(key);
+  for (auto c : chunks) ctx->update(c);
+  return ctx->finish();
+}
+
+util::Bytes HmacMac::compute(
+    util::BytesView key,
+    std::initializer_list<util::BytesView> chunks) const {
+  const std::size_t block = hash_->block_size();
+
+  // Keys longer than a block are hashed first (RFC 2104).
+  util::Bytes k(key.begin(), key.end());
+  if (k.size() > block) {
+    auto ctx = hash_->clone();
+    ctx->reset();
+    ctx->update(k);
+    k = ctx->finish();
+  }
+  k.resize(block, 0);
+
+  util::Bytes ipad(block), opad(block);
+  for (std::size_t i = 0; i < block; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  auto inner = hash_->clone();
+  inner->reset();
+  inner->update(ipad);
+  for (auto c : chunks) inner->update(c);
+  const util::Bytes inner_digest = inner->finish();
+
+  auto outer = hash_->clone();
+  outer->reset();
+  outer->update(opad);
+  outer->update(inner_digest);
+  return outer->finish();
+}
+
+util::Bytes hmac(Hash& hash, util::BytesView key, util::BytesView message) {
+  HmacMac mac(hash.clone());
+  return mac.compute(key, {message});
+}
+
+util::Bytes hmac_md5(util::BytesView key, util::BytesView message) {
+  Md5 h;
+  return hmac(h, key, message);
+}
+
+util::Bytes hmac_sha1(util::BytesView key, util::BytesView message) {
+  Sha1 h;
+  return hmac(h, key, message);
+}
+
+}  // namespace fbs::crypto

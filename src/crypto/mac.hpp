@@ -1,0 +1,82 @@
+// Message authentication codes.
+//
+// The paper's header MAC (Section 5.2) is the keyed-prefix construction
+//     HMAC(Kf | confounder | timestamp | payload)
+// with "HMAC" meaning "some one-way cryptographic hash function" -- i.e.
+// keyed MD5 in the 1997 implementation (Section 7.2). We provide that
+// construction (KeyedPrefixMac) plus the modern RFC 2104 HMAC as an
+// alternative algorithm selectable through the header's algorithm field.
+#pragma once
+
+#include <memory>
+
+#include "crypto/hash.hpp"
+#include "util/bytes.hpp"
+
+namespace fbs::crypto {
+
+/// Common interface: a MAC over (key, message chunks).
+class Mac {
+ public:
+  virtual ~Mac() = default;
+  virtual std::size_t mac_size() const = 0;
+  /// Compute the tag over the concatenation of `chunks`.
+  virtual util::Bytes compute(
+      util::BytesView key,
+      std::initializer_list<util::BytesView> chunks) const = 0;
+};
+
+/// The paper's construction: tag = H(key | chunk_0 | chunk_1 | ...).
+/// Vulnerable to length extension in general; acceptable here because the
+/// protocol never exposes intermediate hashes and the message layout is
+/// fixed -- but see HmacMac for the robust choice.
+class KeyedPrefixMac final : public Mac {
+ public:
+  explicit KeyedPrefixMac(std::unique_ptr<Hash> hash)
+      : hash_(std::move(hash)) {}
+
+  std::size_t mac_size() const override { return hash_->digest_size(); }
+  util::Bytes compute(
+      util::BytesView key,
+      std::initializer_list<util::BytesView> chunks) const override;
+
+ private:
+  std::unique_ptr<Hash> hash_;
+};
+
+/// RFC 2104 HMAC over any Hash.
+class HmacMac final : public Mac {
+ public:
+  explicit HmacMac(std::unique_ptr<Hash> hash) : hash_(std::move(hash)) {}
+
+  std::size_t mac_size() const override { return hash_->digest_size(); }
+  util::Bytes compute(
+      util::BytesView key,
+      std::initializer_list<util::BytesView> chunks) const override;
+
+ private:
+  std::unique_ptr<Hash> hash_;
+};
+
+/// The "nullified" MAC of the paper's FBS NOP measurement configuration
+/// (Section 7.3): returns immediately with a constant tag. Exists so the
+/// Figure 8 bench can separate protocol overhead from cryptography cost.
+class NullMac final : public Mac {
+ public:
+  explicit NullMac(std::size_t size = 16) : size_(size) {}
+  std::size_t mac_size() const override { return size_; }
+  util::Bytes compute(util::BytesView,
+                      std::initializer_list<util::BytesView>) const override {
+    return util::Bytes(size_, 0);
+  }
+
+ private:
+  std::size_t size_;
+};
+
+/// Convenience one-shots.
+util::Bytes hmac(Hash& hash, util::BytesView key, util::BytesView message);
+util::Bytes hmac_md5(util::BytesView key, util::BytesView message);
+util::Bytes hmac_sha1(util::BytesView key, util::BytesView message);
+
+}  // namespace fbs::crypto

@@ -1,0 +1,55 @@
+#include "crypto/rsa.hpp"
+
+#include "bignum/prime.hpp"
+#include "crypto/md5.hpp"
+
+namespace fbs::crypto {
+
+namespace {
+
+/// PKCS#1 v1.5-style deterministic encoding of an MD5 digest into a
+/// modulus-sized integer: 00 01 FF..FF 00 <digest>.
+bignum::Uint encode_digest(util::BytesView digest, std::size_t mod_size) {
+  util::Bytes em(mod_size, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[mod_size - digest.size() - 1] = 0x00;
+  std::copy(digest.begin(), digest.end(),
+            em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return bignum::Uint::from_bytes_be(em);
+}
+
+}  // namespace
+
+RsaPrivateKey rsa_generate(std::size_t bits, util::RandomSource& rng) {
+  const bignum::Uint e(65537);
+  for (;;) {
+    const bignum::Uint p = bignum::generate_prime(bits / 2, rng);
+    const bignum::Uint q = bignum::generate_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+    const bignum::Uint n = p * q;
+    const bignum::Uint phi = (p - bignum::Uint(1)) * (q - bignum::Uint(1));
+    const auto d = bignum::Uint::modinv(e, phi);
+    if (!d) continue;  // e not coprime to phi; redraw primes
+    return RsaPrivateKey{RsaPublicKey{n, e}, *d};
+  }
+}
+
+util::Bytes rsa_sign_md5(const RsaPrivateKey& key, util::BytesView message) {
+  const auto digest = md5(message);
+  const bignum::Uint m = encode_digest(digest, key.pub.modulus_size());
+  return bignum::Uint::powmod(m, key.d, key.pub.n)
+      .to_bytes_be(key.pub.modulus_size());
+}
+
+bool rsa_verify_md5(const RsaPublicKey& key, util::BytesView message,
+                    util::BytesView signature) {
+  if (signature.size() != key.modulus_size()) return false;
+  const bignum::Uint s = bignum::Uint::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const bignum::Uint m = bignum::Uint::powmod(s, key.e, key.n);
+  const auto digest = md5(message);
+  return m == encode_digest(digest, key.modulus_size());
+}
+
+}  // namespace fbs::crypto

@@ -1,0 +1,42 @@
+// Minimal RSA signatures for the public-value certificate hierarchy.
+//
+// The paper assumes public values are "authenticated via a distributed
+// certification hierarchy (e.g., X.509 certificates)" (Section 5.2) and its
+// CryptoLib substrate included RSA. We implement textbook RSA with a
+// deterministic PKCS#1-v1.5-style digest encoding: enough to give the toy
+// certificate authority in src/cert real, forgeable-only-by-breaking-RSA
+// signatures. Not hardened against side channels; simulation use only.
+#pragma once
+
+#include <optional>
+
+#include "bignum/uint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::crypto {
+
+struct RsaPublicKey {
+  bignum::Uint n;  // modulus
+  bignum::Uint e;  // public exponent
+
+  std::size_t modulus_size() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  bignum::Uint d;  // private exponent
+};
+
+/// Generate an RSA keypair with a `bits`-bit modulus (two bits/2 primes),
+/// e = 65537. Intended sizes here are 512-1024 bits.
+RsaPrivateKey rsa_generate(std::size_t bits, util::RandomSource& rng);
+
+/// Sign the MD5 digest of `message` (digest is recomputed internally).
+util::Bytes rsa_sign_md5(const RsaPrivateKey& key, util::BytesView message);
+
+/// Verify a signature produced by rsa_sign_md5.
+bool rsa_verify_md5(const RsaPublicKey& key, util::BytesView message,
+                    util::BytesView signature);
+
+}  // namespace fbs::crypto

@@ -1,0 +1,76 @@
+#include "fbs/caches.hpp"
+
+namespace fbs::core {
+
+std::size_t cache_index(CacheHashKind kind, util::BytesView key,
+                        std::size_t nsets) {
+  if (nsets <= 1) return 0;
+  switch (kind) {
+    case CacheHashKind::kCrc32:
+      return util::crc32(key) % nsets;
+    case CacheHashKind::kModulo: {
+      // Interpret the trailing 8 bytes as an integer -- the "simple modulo"
+      // hash Section 5.3 warns provides little randomness on correlated
+      // inputs.
+      std::uint64_t v = 0;
+      const std::size_t start = key.size() > 8 ? key.size() - 8 : 0;
+      for (std::size_t i = start; i < key.size(); ++i) v = v << 8 | key[i];
+      return v % nsets;
+    }
+    case CacheHashKind::kXorFold: {
+      std::uint32_t v = 0;
+      std::uint32_t word = 0;
+      int n = 0;
+      for (std::uint8_t b : key) {
+        word = word << 8 | b;
+        if (++n == 4) {
+          v ^= word;
+          word = 0;
+          n = 0;
+        }
+      }
+      if (n) v ^= word;
+      return v % nsets;
+    }
+  }
+  return 0;
+}
+
+std::size_t MissClassifier::stack_distance(const util::Bytes& key,
+                                           std::size_t limit) const {
+  // Bounded walk: callers only need to know whether the reuse distance is
+  // below the cache capacity, so stop once `limit` entries are passed.
+  std::size_t d = 0;
+  for (const auto& k : lru_) {
+    if (k == key) return d;
+    if (++d >= limit) break;
+  }
+  return SIZE_MAX;
+}
+
+void MissClassifier::touch(const util::Bytes& key) {
+  const auto it = pos_.find(key);
+  if (it != pos_.end()) lru_.erase(it->second);
+  lru_.push_front(key);
+  pos_[key] = lru_.begin();
+}
+
+MissClassifier::MissKind MissClassifier::classify_miss(const util::Bytes& key,
+                                                       std::size_t capacity) {
+  MissKind kind;
+  if (pos_.find(key) == pos_.end()) {
+    kind = MissKind::kCold;
+  } else if (stack_distance(key, capacity) < capacity) {
+    // A fully-associative cache of the same size would have hit: the miss is
+    // due to set conflicts only.
+    kind = MissKind::kCollision;
+  } else {
+    kind = MissKind::kCapacity;
+  }
+  touch(key);
+  return kind;
+}
+
+void MissClassifier::record_hit(const util::Bytes& key) { touch(key); }
+
+}  // namespace fbs::core

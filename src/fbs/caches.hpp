@@ -1,0 +1,176 @@
+// Software key caches (Section 5.3, Figure 5).
+//
+// FBS performance rests on four caches -- PVC (public-value certificates),
+// MKC (pair-based master keys), TFKC and RFKC (transmit/receive flow keys).
+// The paper requires them to be fast software caches: low associativity,
+// and an index hash that *randomizes correlated inputs* (local addresses,
+// sequential sfls) -- it names CRC-32; we also provide the naive modulo and
+// XOR-fold hashes it warns against, for the ablation bench.
+//
+// Misses are classified into the paper's three kinds -- compulsory (cold),
+// capacity, and collision (conflict) -- using an unbounded LRU-stack
+// simulator: a non-cold miss whose reuse distance fits within the cache's
+// total capacity would have hit in a fully-associative cache, so it is a
+// collision miss; otherwise it is a capacity miss.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+
+namespace fbs::core {
+
+enum class CacheHashKind : std::uint8_t {
+  kCrc32,    // the paper's recommendation
+  kModulo,   // low bytes of the raw key, mod nsets
+  kXorFold,  // XOR of 32-bit words, mod nsets
+};
+
+/// Map a key to a set index in [0, nsets).
+std::size_t cache_index(CacheHashKind kind, util::BytesView key,
+                        std::size_t nsets);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t capacity_misses = 0;
+  std::uint64_t collision_misses = 0;
+
+  std::uint64_t misses() const {
+    return cold_misses + capacity_misses + collision_misses;
+  }
+  std::uint64_t accesses() const { return hits + misses(); }
+  double miss_rate() const {
+    return accesses() ? static_cast<double>(misses()) /
+                            static_cast<double>(accesses())
+                      : 0.0;
+  }
+};
+
+/// LRU-stack miss classifier (infinite cache simulator).
+class MissClassifier {
+ public:
+  enum class MissKind { kCold, kCapacity, kCollision };
+
+  /// Classify a miss on `key` for a cache holding `capacity` entries total,
+  /// then push the reference onto the stack.
+  MissKind classify_miss(const util::Bytes& key, std::size_t capacity);
+  /// Record a hit (moves the key to the top of the stack).
+  void record_hit(const util::Bytes& key);
+
+ private:
+  std::size_t stack_distance(const util::Bytes& key, std::size_t limit) const;
+  void touch(const util::Bytes& key);
+
+  std::list<util::Bytes> lru_;
+  std::map<util::Bytes, std::list<util::Bytes>::iterator> pos_;
+};
+
+/// Set-associative software cache with LRU replacement within each set.
+/// ways == 1 gives the direct-mapped organization of Figure 7 / Section 5.3.
+template <typename Value>
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(std::size_t capacity, std::size_t ways = 1,
+                      CacheHashKind hash = CacheHashKind::kCrc32)
+      : ways_(ways ? ways : 1),
+        nsets_(capacity / (ways ? ways : 1) ? capacity / (ways ? ways : 1)
+                                            : 1),
+        hash_(hash),
+        sets_(nsets_ * ways_) {}
+
+  std::size_t capacity() const { return nsets_ * ways_; }
+
+  /// nullptr on miss (recorded in stats with its 3C classification).
+  Value* lookup(const util::Bytes& key) {
+    Entry* e = find(key);
+    if (e) {
+      e->lru_tick = ++tick_;
+      ++stats_.hits;
+      classifier_.record_hit(key);
+      return &e->value;
+    }
+    switch (classifier_.classify_miss(key, capacity())) {
+      case MissClassifier::MissKind::kCold: ++stats_.cold_misses; break;
+      case MissClassifier::MissKind::kCapacity: ++stats_.capacity_misses; break;
+      case MissClassifier::MissKind::kCollision: ++stats_.collision_misses; break;
+    }
+    return nullptr;
+  }
+
+  /// Peek without touching stats or LRU state.
+  const Value* peek(const util::Bytes& key) const {
+    const Entry* e = const_cast<SetAssociativeCache*>(this)->find(key);
+    return e ? &e->value : nullptr;
+  }
+
+  /// Insert/overwrite; evicts the LRU way of the set if full.
+  void insert(const util::Bytes& key, Value value) {
+    const std::size_t set = cache_index(hash_, key, nsets_);
+    Entry* slot = nullptr;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Entry& e = sets_[set * ways_ + w];
+      if (e.valid && e.key == key) {
+        slot = &e;
+        break;
+      }
+      if (!slot && !e.valid) slot = &e;
+    }
+    if (!slot) {  // evict LRU way
+      slot = &sets_[set * ways_];
+      for (std::size_t w = 1; w < ways_; ++w) {
+        Entry& e = sets_[set * ways_ + w];
+        if (e.lru_tick < slot->lru_tick) slot = &e;
+      }
+      ++evictions_;
+    }
+    slot->valid = true;
+    slot->key = key;
+    slot->value = std::move(value);
+    slot->lru_tick = ++tick_;
+  }
+
+  void erase(const util::Bytes& key) {
+    if (Entry* e = find(key)) e->valid = false;
+  }
+
+  void clear() {
+    for (Entry& e : sets_) e.valid = false;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    util::Bytes key;
+    Value value{};
+    std::uint64_t lru_tick = 0;
+  };
+
+  Entry* find(const util::Bytes& key) {
+    const std::size_t set = cache_index(hash_, key, nsets_);
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Entry& e = sets_[set * ways_ + w];
+      if (e.valid && e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  std::size_t ways_;
+  std::size_t nsets_;
+  CacheHashKind hash_;
+  std::vector<Entry> sets_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
+  CacheStats stats_;
+  MissClassifier classifier_;
+};
+
+}  // namespace fbs::core

@@ -1,0 +1,287 @@
+#include "fbs/engine.hpp"
+
+#include "crypto/fused.hpp"
+
+namespace fbs::core {
+
+namespace {
+
+/// 4-byte confounder + 4-byte timestamp, the MAC's non-payload input
+/// (Section 5.2: MAC is keyed on Kf and covers confounder, timestamp and
+/// payload).
+util::Bytes mac_prefix(std::uint32_t confounder, std::uint32_t timestamp) {
+  util::ByteWriter w(8);
+  w.u32(confounder);
+  w.u32(timestamp);
+  return w.take();
+}
+
+/// Section 7.2: the 32-bit confounder is duplicated into the 64-bit DES IV.
+std::uint64_t confounder_iv(std::uint32_t confounder) {
+  return static_cast<std::uint64_t>(confounder) << 32 | confounder;
+}
+
+}  // namespace
+
+const char* to_string(ReceiveError e) {
+  switch (e) {
+    case ReceiveError::kMalformed: return "malformed";
+    case ReceiveError::kStale: return "stale";
+    case ReceiveError::kReplay: return "replay";
+    case ReceiveError::kUnknownPeer: return "unknown-peer";
+    case ReceiveError::kBadMac: return "bad-mac";
+    case ReceiveError::kDecryptFailed: return "decrypt-failed";
+  }
+  return "?";
+}
+
+FbsEndpoint::FbsEndpoint(Principal self, const FbsConfig& config,
+                         KeyManager& keys, const util::Clock& clock,
+                         util::RandomSource& rng)
+    : self_(std::move(self)),
+      config_(config),
+      keys_(keys),
+      clock_(clock),
+      confounder_gen_(rng.next_u64()),
+      sfl_alloc_(rng),
+      policy_(std::make_unique<FiveTuplePolicy>(
+          config.fst_size, config.flow_threshold, sfl_alloc_,
+          /*expire_in_mapper=*/true, config.cache_hash)),
+      combined_(config.combined_fst_tfkc ? config.fst_size : 0),
+      tfkc_(config.tfkc_size, config.cache_ways, config.cache_hash),
+      rfkc_(config.rfkc_size, config.cache_ways, config.cache_hash),
+      freshness_(clock, config.freshness_window_minutes,
+                 config.strict_replay),
+      mac_(crypto::make_mac(config.suite.mac)) {}
+
+util::Bytes FbsEndpoint::cache_key(Sfl sfl, const Principal& a,
+                                   const Principal& b) {
+  // TFKC index is (sfl, D, S); RFKC is (sfl, S, D). Including the local
+  // principal covers multi-homed hosts (footnote 7).
+  util::ByteWriter w(8 + a.address.size() + b.address.size());
+  w.u64(sfl);
+  w.bytes(a.address);
+  w.bytes(b.address);
+  return w.take();
+}
+
+bool FbsEndpoint::key_worn_out(const CombinedEntry& e,
+                               util::TimeUs now) const {
+  if (config_.rekey_after_datagrams &&
+      e.datagrams >= config_.rekey_after_datagrams)
+    return true;
+  if (config_.rekey_after_bytes && e.bytes >= config_.rekey_after_bytes)
+    return true;
+  if (config_.rekey_after_age && now - e.created >= config_.rekey_after_age)
+    return true;
+  return false;
+}
+
+std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
+    const Datagram& d) {
+  const util::TimeUs now = clock_.now();
+
+  if (config_.combined_fst_tfkc) {
+    // Section 7.2 fast path: one CRC-32 probe resolves both the flow
+    // mapping and the flow key; the sweeper is absorbed into the mapper.
+    const std::size_t idx =
+        cache_index(config_.cache_hash, d.attrs.encode(), combined_.size());
+    CombinedEntry& e = combined_[idx];
+    if (e.valid && e.attrs == d.attrs &&
+        now - e.last <= config_.flow_threshold) {
+      if (key_worn_out(e, now)) {
+        ++send_stats_.lifetime_rekeys;
+        e.valid = false;  // retire the worn key; fall through to a new flow
+      } else {
+        e.last = now;
+        ++e.datagrams;
+        e.bytes += d.body.size();
+        return std::make_pair(e.sfl, e.key);
+      }
+    }
+    const auto master = keys_.master_key(d.destination);
+    if (!master) return std::nullopt;
+    const Sfl sfl = sfl_alloc_.allocate();
+    ++send_stats_.flow_keys_derived;
+    util::Bytes key =
+        derive_flow_key(kdf_hash_, sfl, *master, self_, d.destination);
+    e = CombinedEntry{true, d.attrs, sfl, key, now, now, 1, d.body.size()};
+    return std::make_pair(sfl, std::move(key));
+  }
+
+  // Split path (Figures 4 and 6): FAM classification, then TFKC. The
+  // lifetime policy module consults the FAM's entry and retires worn flows.
+  if (const FlowStateEntry* entry = policy_->find(d.attrs)) {
+    const bool worn =
+        (config_.rekey_after_datagrams &&
+         entry->datagrams >= config_.rekey_after_datagrams) ||
+        (config_.rekey_after_age &&
+         now - entry->created >= config_.rekey_after_age);
+    if (worn) {
+      ++send_stats_.lifetime_rekeys;
+      policy_->expire_flow(d.attrs);
+    }
+  }
+  const MapResult mapping = policy_->map(d, now);
+  const util::Bytes ck = cache_key(mapping.sfl, d.destination, self_);
+  if (auto* cached = tfkc_.lookup(ck)) return std::make_pair(mapping.sfl, *cached);
+  const auto master = keys_.master_key(d.destination);
+  if (!master) return std::nullopt;
+  ++send_stats_.flow_keys_derived;
+  util::Bytes key =
+      derive_flow_key(kdf_hash_, mapping.sfl, *master, self_, d.destination);
+  tfkc_.insert(ck, key);
+  return std::make_pair(mapping.sfl, std::move(key));
+}
+
+std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
+                                                bool secret) {
+  const auto flow = outgoing_flow(d);
+  if (!flow) {
+    ++send_stats_.key_unavailable;
+    return std::nullopt;
+  }
+  const auto& [sfl, key] = *flow;
+
+  FbsHeader header;
+  header.suite = config_.suite;
+  header.sfl = sfl;
+  header.confounder = confounder_gen_.step32();
+  header.timestamp_minutes = util::to_header_minutes(clock_.now());
+  header.secret = secret && config_.suite.cipher != crypto::CipherAlgorithm::kNone;
+
+  const util::Bytes prefix =
+      mac_prefix(header.confounder, header.timestamp_minutes);
+
+  util::Bytes body;
+  if (header.secret &&
+      config_.suite.mac == crypto::MacAlgorithm::kKeyedMd5 &&
+      config_.suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
+    // Section 5.3 single-pass optimization: MAC and encryption in one loop
+    // over the payload (bit-identical to the two-pass path).
+    const crypto::Des des(
+        util::BytesView(key).subspan(0, crypto::Des::kKeySize));
+    auto fused = crypto::fused_keyed_md5_des_cbc(
+        des, confounder_iv(header.confounder), key, prefix, d.body);
+    header.mac = std::move(fused.mac);
+    body = std::move(fused.ciphertext);
+    ++send_stats_.encrypted;
+  } else {
+    header.mac = mac_->compute(key, {prefix, d.body});
+    if (header.secret) {
+      const crypto::Des des(
+          util::BytesView(key).subspan(0, crypto::Des::kKeySize));
+      body = crypto::encrypt(des, *crypto::cipher_mode(config_.suite.cipher),
+                             confounder_iv(header.confounder), d.body);
+      ++send_stats_.encrypted;
+    } else {
+      body = d.body;
+    }
+  }
+
+  ++send_stats_.datagrams;
+  util::Bytes wire = header.serialize();
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+std::optional<util::Bytes> FbsEndpoint::incoming_flow_key(
+    const Principal& source, Sfl sfl) {
+  const util::Bytes ck = cache_key(sfl, source, self_);
+  if (auto* cached = rfkc_.lookup(ck)) return *cached;
+  const auto master = keys_.master_key(source);
+  if (!master) return std::nullopt;
+  ++receive_stats_.flow_keys_derived;
+  util::Bytes key = derive_flow_key(kdf_hash_, sfl, *master, source, self_);
+  rfkc_.insert(ck, key);
+  return key;
+}
+
+ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
+                                      util::BytesView wire) {
+  auto parsed = FbsHeader::parse(wire);
+  if (!parsed) {
+    ++receive_stats_.rejected_malformed;
+    return ReceiveError::kMalformed;
+  }
+  FbsHeader& header = parsed->header;
+
+  // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
+  switch (freshness_.check(header.timestamp_minutes, header.mac)) {
+    case FreshnessChecker::Verdict::kFresh:
+      break;
+    case FreshnessChecker::Verdict::kStale:
+      ++receive_stats_.rejected_stale;
+      return ReceiveError::kStale;
+    case FreshnessChecker::Verdict::kReplay:
+      ++receive_stats_.rejected_replay;
+      return ReceiveError::kReplay;
+  }
+
+  // (R5-6) recover the flow key from the sfl (RFKC-cached).
+  const auto key = incoming_flow_key(source, header.sfl);
+  if (!key) {
+    ++receive_stats_.rejected_unknown_peer;
+    return ReceiveError::kUnknownPeer;
+  }
+
+  // (R10-11 first for secret datagrams -- see the header-comment deviation
+  // note): recover the plaintext the MAC was computed over.
+  util::Bytes body;
+  if (header.secret) {
+    const auto mode = crypto::cipher_mode(header.suite.cipher);
+    if (!mode) {
+      ++receive_stats_.rejected_malformed;
+      return ReceiveError::kMalformed;
+    }
+    const crypto::Des des(
+        util::BytesView(*key).subspan(0, crypto::Des::kKeySize));
+    auto plain =
+        crypto::decrypt(des, *mode, confounder_iv(header.confounder),
+                        parsed->body);
+    if (!plain) {
+      ++receive_stats_.rejected_decrypt;
+      return ReceiveError::kDecryptFailed;
+    }
+    body = std::move(*plain);
+  } else {
+    body = std::move(parsed->body);
+  }
+
+  // (R7-9) verify the MAC over confounder | timestamp | plaintext body.
+  const util::Bytes prefix =
+      mac_prefix(header.confounder, header.timestamp_minutes);
+  const auto suite_mac = crypto::make_mac(header.suite.mac);
+  const util::Bytes expected = suite_mac->compute(*key, {prefix, body});
+  if (!util::ct_equal(expected, header.mac)) {
+    ++receive_stats_.rejected_bad_mac;
+    return ReceiveError::kBadMac;
+  }
+
+  ++receive_stats_.accepted;
+  ReceivedDatagram out;
+  out.datagram.source = source;
+  out.datagram.destination = self_;
+  out.datagram.body = std::move(body);
+  out.sfl = header.sfl;
+  out.was_secret = header.secret;
+  out.suite = header.suite;
+  return out;
+}
+
+void FbsEndpoint::rekey(const FlowAttributes& attrs) {
+  if (config_.combined_fst_tfkc) {
+    const std::size_t idx =
+        cache_index(config_.cache_hash, attrs.encode(), combined_.size());
+    CombinedEntry& e = combined_[idx];
+    if (e.valid && e.attrs == attrs) e.valid = false;
+    return;
+  }
+  // Split mode: terminate the flow in the FAM; the next datagram maps to a
+  // fresh sfl, whose key misses in the TFKC and is derived anew.
+  policy_->expire_flow(attrs);
+}
+
+std::size_t FbsEndpoint::sweep() { return policy_->sweep(clock_.now()); }
+
+}  // namespace fbs::core

@@ -1,0 +1,201 @@
+// The FBS protocol engine: FBSSend() / FBSReceive() of Figure 4, with the
+// cache-accelerated send path of Figure 6 and the combined FST+TFKC fast
+// path of Section 7.2.
+//
+// One FbsEndpoint is the protocol half living in one principal. It holds
+// only soft state (flow tables and key caches); clearing every cache at any
+// moment is safe and merely costs re-derivation, which is what preserves
+// datagram semantics.
+//
+// One deliberate deviation from Figure 4's pseudo-code: the paper computes
+// the MAC over the plaintext body on send (S6, before encrypting at S8-9)
+// but verifies at R7 *before* decrypting at R10-11, which cannot match for
+// secret datagrams. We keep the send order and decrypt before verifying on
+// receive; the MAC therefore authenticates the plaintext, as S6 intends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+
+#include "crypto/algorithms.hpp"
+#include "crypto/md5.hpp"
+#include "fbs/caches.hpp"
+#include "fbs/fam.hpp"
+#include "fbs/header.hpp"
+#include "fbs/keying.hpp"
+#include "fbs/principal.hpp"
+#include "fbs/replay.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::core {
+
+struct FbsConfig {
+  crypto::AlgorithmSuite suite{};  // keyed MD5 + DES-CBC by default
+
+  /// Flow state table (Figure 7): size and conversation gap threshold.
+  std::size_t fst_size = 256;
+  util::TimeUs flow_threshold = util::seconds(600);
+
+  /// Flow key caches.
+  std::size_t tfkc_size = 256;
+  std::size_t rfkc_size = 256;
+  CacheHashKind cache_hash = CacheHashKind::kCrc32;
+  std::size_t cache_ways = 1;
+
+  /// Section 7.2's optimization: merge the FST and the TFKC so mapper and
+  /// key lookup are one probe. false exercises the split Figure 4/6 path.
+  bool combined_fst_tfkc = true;
+
+  /// Replay window half-width (Section 6.2) and the optional strict
+  /// within-window replay cache extension.
+  std::uint32_t freshness_window_minutes = 5;
+  bool strict_replay = false;
+
+  /// Key-lifetime policy (Section 5.2: "With use, an encryption key will
+  /// 'wear out' and should be changed... rekeying can be easily
+  /// accomplished via the FAM by changing the sfl. Rekeying decisions are
+  /// made by policy modules."). Zero disables a limit. When a flow exceeds
+  /// any limit, the next datagram transparently starts a fresh flow
+  /// (fresh sfl, fresh key); the receiver needs no coordination.
+  std::uint64_t rekey_after_datagrams = 0;
+  std::uint64_t rekey_after_bytes = 0;
+  util::TimeUs rekey_after_age = 0;
+};
+
+enum class ReceiveError : std::uint8_t {
+  kMalformed,     // header does not parse / unknown suite
+  kStale,         // timestamp outside the freshness window
+  kReplay,        // strict replay cache rejection
+  kUnknownPeer,   // no master key obtainable for the claimed source
+  kBadMac,        // MAC mismatch (tampering or wrong flow key)
+  kDecryptFailed, // ciphertext malformed
+};
+
+const char* to_string(ReceiveError e);
+
+/// A successfully received datagram plus its flow demultiplexing info.
+struct ReceivedDatagram {
+  Datagram datagram;
+  Sfl sfl = 0;
+  bool was_secret = false;
+  crypto::AlgorithmSuite suite;
+};
+
+using ReceiveOutcome = std::variant<ReceivedDatagram, ReceiveError>;
+
+struct SendStats {
+  std::uint64_t datagrams = 0;
+  std::uint64_t encrypted = 0;
+  std::uint64_t flow_keys_derived = 0;  // TFKC / combined-table misses
+  std::uint64_t key_unavailable = 0;    // master key could not be obtained
+  std::uint64_t lifetime_rekeys = 0;    // flows retired by lifetime policy
+};
+
+struct ReceiveStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_stale = 0;
+  std::uint64_t rejected_replay = 0;
+  std::uint64_t rejected_unknown_peer = 0;
+  std::uint64_t rejected_bad_mac = 0;
+  std::uint64_t rejected_decrypt = 0;
+  std::uint64_t flow_keys_derived = 0;  // RFKC misses
+
+  std::uint64_t rejected() const {
+    return rejected_malformed + rejected_stale + rejected_replay +
+           rejected_unknown_peer + rejected_bad_mac + rejected_decrypt;
+  }
+};
+
+class FbsEndpoint {
+ public:
+  /// `keys` resolves pair-based master keys (KeyManager -> MKD -> PVC).
+  /// `rng` seeds the confounder LCG and the sfl counter.
+  FbsEndpoint(Principal self, const FbsConfig& config, KeyManager& keys,
+              const util::Clock& clock, util::RandomSource& rng);
+
+  /// FBSSend: protect `d` (whose source must be this principal) and return
+  /// the wire bytes `FBSheader || body`. nullopt if no master key for the
+  /// destination can be obtained.
+  std::optional<util::Bytes> protect(const Datagram& d, bool secret);
+
+  /// FBSReceive: validate wire bytes claimed to be from `source`.
+  ReceiveOutcome unprotect(const Principal& source, util::BytesView wire);
+
+  /// Force the next datagram matching `attrs` onto a fresh flow (and hence
+  /// a fresh key): rekeying "via the FAM by changing the sfl" (Section 5.2).
+  void rekey(const FlowAttributes& attrs);
+
+  /// Run the sweeper (split mode; combined mode expires lazily).
+  std::size_t sweep();
+
+  /// Wire overhead of the security flow header itself.
+  std::size_t header_overhead() const {
+    return FbsHeader::overhead(config_.suite);
+  }
+
+  /// Worst-case wire growth of protect(): header plus block-cipher padding
+  /// (PKCS#7 adds 1..8 bytes under DES ECB/CBC). This is what MTU budgeting
+  /// -- the tcp_output.c fix -- must subtract.
+  std::size_t max_wire_overhead() const {
+    const bool pads =
+        config_.suite.cipher == crypto::CipherAlgorithm::kDesCbc ||
+        config_.suite.cipher == crypto::CipherAlgorithm::kDesEcb;
+    return header_overhead() + (pads ? crypto::Des::kBlockSize : 0);
+  }
+
+  const Principal& self() const { return self_; }
+  const FbsConfig& config() const { return config_; }
+  FlowPolicy& policy() { return *policy_; }
+  const SendStats& send_stats() const { return send_stats_; }
+  const ReceiveStats& receive_stats() const { return receive_stats_; }
+  const CacheStats& tfkc_stats() const { return tfkc_.stats(); }
+  const CacheStats& rfkc_stats() const { return rfkc_.stats(); }
+  const FreshnessChecker::Stats& freshness_stats() const {
+    return freshness_.stats();
+  }
+
+ private:
+  struct CombinedEntry {
+    bool valid = false;
+    FlowAttributes attrs;
+    Sfl sfl = 0;
+    util::Bytes key;
+    util::TimeUs created = 0;
+    util::TimeUs last = 0;
+    std::uint64_t datagrams = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Lifetime policy check (combined path tracks usage in the entry; the
+  /// split path tracks it on the FlowStateEntry via the policy).
+  bool key_worn_out(const CombinedEntry& e, util::TimeUs now) const;
+
+  /// Resolve (sfl, flow key) for an outgoing datagram; combined or split.
+  std::optional<std::pair<Sfl, util::Bytes>> outgoing_flow(const Datagram& d);
+  std::optional<util::Bytes> incoming_flow_key(const Principal& source,
+                                               Sfl sfl);
+  static util::Bytes cache_key(Sfl sfl, const Principal& a,
+                               const Principal& b);
+
+  Principal self_;
+  FbsConfig config_;
+  KeyManager& keys_;
+  const util::Clock& clock_;
+  util::Lcg48 confounder_gen_;
+  SflAllocator sfl_alloc_;
+  std::unique_ptr<FlowPolicy> policy_;
+  std::vector<CombinedEntry> combined_;  // FST+TFKC merged (Section 7.2)
+  SetAssociativeCache<util::Bytes> tfkc_;
+  SetAssociativeCache<util::Bytes> rfkc_;
+  FreshnessChecker freshness_;
+  crypto::Md5 kdf_hash_;  // H of Section 5.2 (need not equal the MAC hash)
+  std::unique_ptr<crypto::Mac> mac_;
+  SendStats send_stats_;
+  ReceiveStats receive_stats_;
+};
+
+}  // namespace fbs::core

@@ -1,0 +1,53 @@
+#include "fbs/header.hpp"
+
+namespace fbs::core {
+
+namespace {
+constexpr std::uint8_t kFlagSecret = 0x01;
+constexpr std::uint8_t kVersionShift = 4;
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+util::Bytes FbsHeader::serialize() const {
+  util::ByteWriter w(wire_size());
+  std::uint8_t flags = static_cast<std::uint8_t>(kVersion << kVersionShift);
+  if (secret) flags |= kFlagSecret;
+  w.u8(flags);
+  w.u8(crypto::encode_suite(suite));
+  w.u64(sfl);
+  w.u32(confounder);
+  w.u32(timestamp_minutes);
+  w.bytes(mac);
+  return w.take();
+}
+
+std::optional<FbsHeader::ParsedOut> FbsHeader::parse(util::BytesView wire) {
+  util::ByteReader r(wire);
+  const auto flags = r.u8();
+  const auto suite_wire = r.u8();
+  if (!flags || !suite_wire) return std::nullopt;
+  if ((*flags >> kVersionShift) != kVersion) return std::nullopt;
+  const auto suite = crypto::decode_suite(*suite_wire);
+  if (!suite) return std::nullopt;
+
+  ParsedOut out;
+  out.header.suite = *suite;
+  out.header.secret = *flags & kFlagSecret;
+  const auto sfl = r.u64();
+  const auto confounder = r.u32();
+  const auto timestamp = r.u32();
+  const auto mac = r.bytes(crypto::mac_size(suite->mac));
+  if (!sfl || !confounder || !timestamp || !mac) return std::nullopt;
+  out.header.sfl = *sfl;
+  out.header.confounder = *confounder;
+  out.header.timestamp_minutes = *timestamp;
+  out.header.mac = *mac;
+  out.body = r.rest();
+  return out;
+}
+
+std::size_t FbsHeader::overhead(crypto::AlgorithmSuite suite) {
+  return kFixedSize + crypto::mac_size(suite.mac);
+}
+
+}  // namespace fbs::core

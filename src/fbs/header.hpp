@@ -1,0 +1,49 @@
+// The security flow header (Figure 2), with the field sizes of the paper's
+// IP implementation (Section 7.2): sfl 64 bits, confounder 32 bits,
+// timestamp 32 bits (minutes since 00:00 GMT 1996-01-01), MAC 128 bits for
+// MD5 suites (160 for SHS suites). We additionally carry the one-byte
+// algorithm identification field Section 5.2 calls for but leaves out, plus
+// a flags byte recording whether the body is encrypted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/algorithms.hpp"
+#include "fbs/principal.hpp"
+#include "util/bytes.hpp"
+
+namespace fbs::core {
+
+struct FbsHeader {
+  /// Fixed part: flags(1) + suite(1) + sfl(8) + confounder(4) + timestamp(4).
+  static constexpr std::size_t kFixedSize = 18;
+
+  Sfl sfl = 0;
+  std::uint32_t confounder = 0;
+  std::uint32_t timestamp_minutes = 0;
+  util::Bytes mac;  // size determined by the suite's MAC algorithm
+  crypto::AlgorithmSuite suite;
+  bool secret = false;  // body is encrypted
+
+  std::size_t wire_size() const { return kFixedSize + mac.size(); }
+
+  /// Serialize the header (MAC field included verbatim).
+  util::Bytes serialize() const;
+
+  /// Parse the header off the front of `wire`; the remainder is the
+  /// (possibly encrypted) datagram body. nullopt on truncation or an
+  /// unknown algorithm suite.
+  struct ParsedOut;
+  static std::optional<ParsedOut> parse(util::BytesView wire);
+
+  /// Wire overhead of a header using `suite` (for tcp_output-style sizing).
+  static std::size_t overhead(crypto::AlgorithmSuite suite);
+};
+
+struct FbsHeader::ParsedOut {
+  FbsHeader header;
+  util::Bytes body;
+};
+
+}  // namespace fbs::core

@@ -1,0 +1,106 @@
+#include "fbs/ip_map.hpp"
+
+#include "net/headers.hpp"
+
+namespace fbs::core {
+
+namespace {
+
+bool is_transport(std::uint8_t proto) {
+  return proto == static_cast<std::uint8_t>(net::IpProto::kTcp) ||
+         proto == static_cast<std::uint8_t>(net::IpProto::kUdp);
+}
+
+}  // namespace
+
+FbsIpMapping::FbsIpMapping(net::IpStack& stack, const IpMappingConfig& config,
+                           KeyManager& keys, const util::Clock& clock,
+                           util::RandomSource& rng)
+    : config_(config),
+      endpoint_(Principal::from_ipv4(stack.address()), config.fbs, keys,
+                clock, rng) {
+  net::IpStack::SecurityHooks hooks;
+  hooks.output = [this](net::Ipv4Header& h, util::Bytes& p) {
+    return on_output(h, p);
+  };
+  hooks.input = [this](const net::Ipv4Header& h, util::Bytes& p) {
+    return on_input(h, p);
+  };
+  hooks.header_overhead = endpoint_.max_wire_overhead();
+  stack.set_security_hooks(std::move(hooks));
+}
+
+FlowAttributes FbsIpMapping::attributes_of(const net::Ipv4Header& header,
+                                           util::BytesView payload) {
+  FlowAttributes attrs;
+  attrs.source_address = header.source.value;
+  attrs.destination_address = header.destination.value;
+  if (is_transport(header.protocol)) {
+    attrs.protocol = header.protocol;
+    if (const auto ports = net::peek_ports(payload)) {
+      attrs.source_port = ports->source;
+      attrs.destination_port = ports->destination;
+    }
+  } else {
+    // Raw IP as a host-level flow (footnote 10): all non-transport traffic
+    // between the pair shares one flow. aux marks the class so it can never
+    // alias a real five-tuple.
+    attrs.aux = 0x7261772D6970ull;  // "raw-ip"
+  }
+  return attrs;
+}
+
+bool FbsIpMapping::on_output(net::Ipv4Header& header, util::Bytes& payload) {
+  if (!is_transport(header.protocol) && !config_.protect_raw_ip) {
+    ++counters_.out_raw_ip;
+    return true;
+  }
+  if (config_.bypass_hosts.contains(header.destination)) {
+    ++counters_.out_bypassed;
+    return true;
+  }
+
+  Datagram d;
+  d.source = Principal::from_ipv4(header.source);
+  d.destination = Principal::from_ipv4(header.destination);
+  d.attrs = attributes_of(header, payload);
+  d.body = std::move(payload);
+
+  const bool secret =
+      config_.secret_policy ? config_.secret_policy(d.attrs) : true;
+  auto wire = endpoint_.protect(d, secret);
+  if (!wire) {
+    // Fail closed: traffic must not leave unprotected when keying fails.
+    ++counters_.out_dropped;
+    payload = std::move(d.body);
+    return false;
+  }
+  ++counters_.out_protected;
+  payload = std::move(*wire);
+  return true;
+}
+
+bool FbsIpMapping::on_input(const net::Ipv4Header& header,
+                            util::Bytes& payload) {
+  if (!is_transport(header.protocol) && !config_.protect_raw_ip) {
+    ++counters_.in_raw_ip;
+    return true;
+  }
+  if (config_.bypass_hosts.contains(header.source)) {
+    ++counters_.in_bypassed;
+    return true;
+  }
+
+  auto outcome = endpoint_.unprotect(Principal::from_ipv4(header.source),
+                                     payload);
+  if (auto* err = std::get_if<ReceiveError>(&outcome)) {
+    ++counters_.in_rejected[static_cast<std::size_t>(*err)];
+    return false;
+  }
+  auto& received = std::get<ReceivedDatagram>(outcome);
+  ++counters_.in_accepted;
+  payload = std::move(received.datagram.body);
+  return true;
+}
+
+}  // namespace fbs::core

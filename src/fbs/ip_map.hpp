@@ -1,0 +1,80 @@
+// The mapping of FBS to IP (Section 7).
+//
+// Installs FBSSend()/FBSReceive() as the IpStack security hooks, exactly
+// where the paper patched 4.4BSD: output between route selection and
+// fragmentation, input between reassembly and protocol dispatch. The FBS
+// header is inserted between the IP header and the transport payload ("a
+// short-cut form of IP encapsulation"); forwarding routers see nothing
+// strange, and `header_overhead` feeds the tcp_output.c segment-size fix.
+//
+// Raw IP (ICMP/IGMP) is out of scope as in the paper (footnote 10); only
+// TCP and UDP packets are protected, others pass unmodified. Traffic
+// to/from "bypass hosts" (the certificate directory) travels the secure
+// flow bypass of Figure 5 and is never FBS-processed -- otherwise fetching
+// a certificate would itself require a certificate.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <set>
+
+#include "fbs/engine.hpp"
+#include "net/stack.hpp"
+
+namespace fbs::core {
+
+struct IpMappingConfig {
+  FbsConfig fbs;
+
+  /// Decides per-datagram confidentiality (the `secret` flag of Figure 4,
+  /// "determined by the security flow policy"). Null means encrypt all.
+  std::function<bool(const FlowAttributes&)> secret_policy;
+
+  /// Peers exempt from FBS (the secure flow bypass).
+  std::set<net::Ipv4Address> bypass_hosts;
+
+  /// Raw IP handling (footnote 10). false = the paper's implementation:
+  /// non-TCP/UDP packets pass unprotected. true = "raw IP can be considered
+  /// as host-level flows": ICMP/IGMP/etc. are protected under one flow per
+  /// host pair.
+  bool protect_raw_ip = false;
+};
+
+class FbsIpMapping {
+ public:
+  struct Counters {
+    std::uint64_t out_protected = 0;
+    std::uint64_t out_bypassed = 0;
+    std::uint64_t out_raw_ip = 0;  // non-TCP/UDP, passed through
+    std::uint64_t out_dropped = 0;  // master key unavailable
+    std::uint64_t in_accepted = 0;
+    std::uint64_t in_bypassed = 0;
+    std::uint64_t in_raw_ip = 0;
+    std::array<std::uint64_t, 6> in_rejected{};  // indexed by ReceiveError
+  };
+
+  FbsIpMapping(net::IpStack& stack, const IpMappingConfig& config,
+               KeyManager& keys, const util::Clock& clock,
+               util::RandomSource& rng);
+
+  FbsEndpoint& endpoint() { return endpoint_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Total worst-case wire overhead per packet (for MTU budgeting):
+  /// security flow header plus block-cipher padding.
+  std::size_t header_overhead() const {
+    return endpoint_.max_wire_overhead();
+  }
+
+ private:
+  bool on_output(net::Ipv4Header& header, util::Bytes& payload);
+  bool on_input(const net::Ipv4Header& header, util::Bytes& payload);
+  static FlowAttributes attributes_of(const net::Ipv4Header& header,
+                                      util::BytesView payload);
+
+  IpMappingConfig config_;
+  FbsEndpoint endpoint_;
+  Counters counters_;
+};
+
+}  // namespace fbs::core

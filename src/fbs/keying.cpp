@@ -1,0 +1,83 @@
+#include "fbs/keying.hpp"
+
+namespace fbs::core {
+
+util::Bytes derive_flow_key(crypto::Hash& hash, Sfl sfl,
+                            util::BytesView master_key, const Principal& S,
+                            const Principal& D) {
+  util::ByteWriter sfl_bytes(8);
+  sfl_bytes.u64(sfl);
+  hash.reset();
+  hash.update(sfl_bytes.view());
+  hash.update(master_key);
+  hash.update(S.address);
+  hash.update(D.address);
+  return hash.finish();
+}
+
+MasterKeyDaemon::MasterKeyDaemon(Principal self, bignum::Uint private_value,
+                                 const crypto::DhGroup& group,
+                                 const cert::Verifier& verifier,
+                                 cert::DirectoryService& directory,
+                                 const util::Clock& clock,
+                                 std::size_t pvc_size, CacheHashKind hash,
+                                 std::size_t pvc_ways)
+    : self_(std::move(self)),
+      private_value_(std::move(private_value)),
+      group_(group),
+      verifier_(verifier),
+      directory_(directory),
+      clock_(clock),
+      pvc_(pvc_size, pvc_ways, hash) {}
+
+void MasterKeyDaemon::pin_certificate(
+    const cert::PublicValueCertificate& cert) {
+  pvc_.insert(cert.subject, cert);
+}
+
+std::optional<cert::PublicValueCertificate>
+MasterKeyDaemon::obtain_certificate(const Principal& peer) {
+  if (const auto* cached = pvc_.lookup(peer.address)) {
+    // Verify on every use; a stale or forged cache entry must not yield a
+    // master key.
+    if (verifier_.verify(*cached, clock_.now()) == cert::CertStatus::kValid)
+      return *cached;
+    ++stats_.verify_failures;
+    pvc_.erase(peer.address);
+  }
+
+  // PVC miss: fetch over the secure flow bypass (unauthenticated; the
+  // signature check below is what makes the result trustworthy).
+  ++stats_.directory_fetches;
+  auto fetched = directory_.fetch(peer.address);
+  if (!fetched) {
+    ++stats_.directory_failures;
+    return std::nullopt;
+  }
+  if (verifier_.verify(*fetched, clock_.now()) != cert::CertStatus::kValid) {
+    ++stats_.verify_failures;
+    return std::nullopt;
+  }
+  pvc_.insert(peer.address, *fetched);
+  return fetched;
+}
+
+std::optional<util::Bytes> MasterKeyDaemon::upcall(const Principal& peer) {
+  ++stats_.upcalls;
+  const auto cert = obtain_certificate(peer);
+  if (!cert) return std::nullopt;
+  ++stats_.master_keys_computed;
+  const bignum::Uint peer_public =
+      bignum::Uint::from_bytes_be(cert->public_value);
+  return crypto::dh_shared_secret_bytes(group_, private_value_, peer_public);
+}
+
+std::optional<util::Bytes> KeyManager::master_key(const Principal& peer) {
+  if (const auto* cached = mkc_.lookup(peer.address)) return *cached;
+  ++upcalls_;
+  auto key = daemon_.upcall(peer);
+  if (key) mkc_.insert(peer.address, *key);
+  return key;
+}
+
+}  // namespace fbs::core

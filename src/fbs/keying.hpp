@@ -1,0 +1,112 @@
+// Zero-message keying (Section 5.1) and the key-management plumbing of
+// Figure 5.
+//
+// The pair-based master key K_{S,D} = g^{sd} mod p is implicit: either end
+// computes it from its own private value and the peer's certified public
+// value, with no end-to-end message. Flow keys are derived as
+//     K_f = H(sfl | K_{S,D} | S | D)
+// so compromising one flow key reveals neither the master key nor any
+// sibling flow key (Section 6.1).
+//
+// Figure 5's split is preserved: the MasterKeyDaemon is the user-space MKD
+// owning the PVC and the expensive work (directory fetches over the secure
+// flow bypass, certificate verification, modular exponentiation); the
+// KeyManager is the in-kernel half owning the MKC and upcalling into the
+// daemon on a miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "bignum/uint.hpp"
+#include "cert/certificate.hpp"
+#include "cert/directory.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/hash.hpp"
+#include "fbs/caches.hpp"
+#include "fbs/principal.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::core {
+
+/// K_f = H(sfl | K_{S,D} | S | D). S and D are the principal addresses;
+/// their inclusion ties the flow key to this ordered pair (Section 5.2).
+util::Bytes derive_flow_key(crypto::Hash& hash, Sfl sfl,
+                            util::BytesView master_key, const Principal& S,
+                            const Principal& D);
+
+struct MkdStats {
+  std::uint64_t upcalls = 0;
+  std::uint64_t directory_fetches = 0;
+  std::uint64_t directory_failures = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t master_keys_computed = 0;
+};
+
+/// User-space master key daemon: PVC + certificate fetch/verify + DH.
+class MasterKeyDaemon {
+ public:
+  /// `verifier` judges fetched certificates: a CertificateAuthority for
+  /// flat deployments, a cert::ChainVerifier for hierarchical ones.
+  MasterKeyDaemon(Principal self, bignum::Uint private_value,
+                  const crypto::DhGroup& group,
+                  const cert::Verifier& verifier,
+                  cert::DirectoryService& directory, const util::Clock& clock,
+                  std::size_t pvc_size = 64,
+                  CacheHashKind hash = CacheHashKind::kCrc32,
+                  std::size_t pvc_ways = 2);
+
+  /// The Upcall() of Figure 6: produce the pair-based master key for `peer`
+  /// (fixed-width big-endian), or nullopt if no valid certificate can be
+  /// obtained. Each PVC hit is re-verified before use ("a certificate can
+  /// be verified each time it is used").
+  std::optional<util::Bytes> upcall(const Principal& peer);
+
+  /// Pre-load a certificate ("pin certain certificates in the cache upon
+  /// initialization", Section 5.3).
+  void pin_certificate(const cert::PublicValueCertificate& cert);
+
+  const Principal& self() const { return self_; }
+  const crypto::DhGroup& group() const { return group_; }
+  const MkdStats& stats() const { return stats_; }
+  const CacheStats& pvc_stats() const { return pvc_.stats(); }
+
+ private:
+  std::optional<cert::PublicValueCertificate> obtain_certificate(
+      const Principal& peer);
+
+  Principal self_;
+  bignum::Uint private_value_;
+  const crypto::DhGroup& group_;
+  const cert::Verifier& verifier_;
+  cert::DirectoryService& directory_;
+  const util::Clock& clock_;
+  SetAssociativeCache<cert::PublicValueCertificate> pvc_;
+  MkdStats stats_;
+};
+
+/// Kernel-side key manager: the MKC, with upcalls to the daemon on miss.
+class KeyManager {
+ public:
+  KeyManager(MasterKeyDaemon& daemon, std::size_t mkc_size = 64,
+             CacheHashKind hash = CacheHashKind::kCrc32,
+             std::size_t mkc_ways = 2)
+      : daemon_(daemon), mkc_(mkc_size, mkc_ways, hash) {}
+
+  /// K_{S,D} for self<->peer; cached in the MKC.
+  std::optional<util::Bytes> master_key(const Principal& peer);
+
+  /// Drop a cached master key (e.g. after peer key rollover).
+  void invalidate(const Principal& peer) { mkc_.erase(peer.address); }
+
+  const CacheStats& mkc_stats() const { return mkc_.stats(); }
+  std::uint64_t upcalls() const { return upcalls_; }
+
+ private:
+  MasterKeyDaemon& daemon_;
+  SetAssociativeCache<util::Bytes> mkc_;
+  std::uint64_t upcalls_ = 0;
+};
+
+}  // namespace fbs::core

@@ -1,0 +1,27 @@
+#include "fbs/principal.hpp"
+
+namespace fbs::core {
+
+Principal Principal::from_ipv4(net::Ipv4Address ip) {
+  return Principal{ip.to_bytes(), ip.to_string()};
+}
+
+net::Ipv4Address Principal::ipv4() const {
+  net::Ipv4Address ip;
+  for (std::size_t i = 0; i < 4 && i < address.size(); ++i)
+    ip.value = ip.value << 8 | address[i];
+  return ip;
+}
+
+util::Bytes FlowAttributes::encode() const {
+  util::ByteWriter w(19);
+  w.u8(protocol);
+  w.u32(source_address);
+  w.u16(source_port);
+  w.u32(destination_address);
+  w.u16(destination_port);
+  w.u64(aux);
+  return w.take();
+}
+
+}  // namespace fbs::core

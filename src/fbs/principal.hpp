@@ -1,0 +1,59 @@
+// Principals and datagrams, the two layer-neutral nouns of the abstract FBS
+// protocol (Section 5.2): "the principals could be network interfaces on
+// hosts, the hosts themselves, network protocol layers, applications, or end
+// users" -- the only requirement is unique addressability. A Principal is
+// therefore an opaque address (plus a display name); the IP mapping in
+// ip_map.hpp uses 4-byte IPv4 addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ip.hpp"
+#include "util/bytes.hpp"
+
+namespace fbs::core {
+
+struct Principal {
+  util::Bytes address;  // unique within the datagram service
+  std::string name;     // display only; not part of identity
+
+  static Principal from_ipv4(net::Ipv4Address ip);
+  net::Ipv4Address ipv4() const;  // valid only for 4-byte addresses
+
+  bool operator==(const Principal& o) const { return address == o.address; }
+  auto operator<=>(const Principal& o) const { return address <=> o.address; }
+};
+
+/// Security flow label: the opaque per-flow identifier produced by the FAM
+/// and carried in every datagram's security flow header (Section 5.1).
+using Sfl = std::uint64_t;
+
+/// Attributes the flow association mechanism may classify on. The five-tuple
+/// fields mirror Figure 7's FSTEntry; `aux` carries layer-specific extras
+/// (process id, application conversation id, ...) for non-IP mappings.
+struct FlowAttributes {
+  std::uint8_t protocol = 0;
+  std::uint32_t source_address = 0;
+  std::uint16_t source_port = 0;
+  std::uint32_t destination_address = 0;
+  std::uint16_t destination_port = 0;
+  std::uint64_t aux = 0;
+
+  bool operator==(const FlowAttributes&) const = default;
+
+  /// Canonical encoding, used as cache/table hash input.
+  util::Bytes encode() const;
+};
+
+/// The uniform datagram structure entering the FBS layer (Section 5.2):
+/// source and destination principals, and a body carrying the higher-layer
+/// payload. `attrs` is what the policy modules are allowed to inspect.
+struct Datagram {
+  Principal source;
+  Principal destination;
+  FlowAttributes attrs;
+  util::Bytes body;
+};
+
+}  // namespace fbs::core

@@ -1,0 +1,34 @@
+#include "fbs/replay.hpp"
+
+namespace fbs::core {
+
+void FreshnessChecker::prune(std::uint32_t now_minutes) {
+  const std::uint32_t floor =
+      now_minutes > window_ ? now_minutes - window_ : 0;
+  while (!seen_.empty() && seen_.begin()->first < floor)
+    seen_.erase(seen_.begin());
+}
+
+FreshnessChecker::Verdict FreshnessChecker::check(
+    std::uint32_t timestamp_minutes, util::BytesView mac) {
+  const std::uint32_t now_minutes = util::to_header_minutes(clock_.now());
+  const std::uint32_t lo = now_minutes > window_ ? now_minutes - window_ : 0;
+  const std::uint32_t hi = now_minutes + window_;
+  if (timestamp_minutes < lo || timestamp_minutes > hi) {
+    ++stats_.stale;
+    return Verdict::kStale;
+  }
+  if (strict_replay_) {
+    prune(now_minutes);
+    auto& bucket = seen_[timestamp_minutes];
+    util::Bytes key(mac.begin(), mac.end());
+    if (!bucket.insert(std::move(key)).second) {
+      ++stats_.replays;
+      return Verdict::kReplay;
+    }
+  }
+  ++stats_.fresh;
+  return Verdict::kFresh;
+}
+
+}  // namespace fbs::core

@@ -1,0 +1,57 @@
+// Replay protection (Section 6.2): a window-based timestamp scheme.
+//
+// Freshness is a sliding window centered on the receiver's current time; no
+// hard state and no nonce agreement, at the cost of loose time
+// synchronization. The paper concedes that replays *within* the window
+// succeed and leaves tighter protection to higher layers; as an optional
+// extension we add a bounded soft-state cache of recently accepted MACs
+// that also rejects within-window replays (off by default -- it is soft
+// state, so losing it degrades to the paper's behaviour, never worse).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::core {
+
+class FreshnessChecker {
+ public:
+  enum class Verdict { kFresh, kStale, kReplay };
+
+  struct Stats {
+    std::uint64_t fresh = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t replays = 0;
+  };
+
+  /// `window_minutes` is the half-width: a timestamp within +/- window of
+  /// the local clock is fresh. `strict_replay` enables the seen-MAC cache.
+  FreshnessChecker(const util::Clock& clock, std::uint32_t window_minutes,
+                   bool strict_replay = false)
+      : clock_(clock),
+        window_(window_minutes),
+        strict_replay_(strict_replay) {}
+
+  /// Check a header timestamp; `mac` identifies the datagram for the
+  /// optional within-window replay cache.
+  Verdict check(std::uint32_t timestamp_minutes, util::BytesView mac);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void prune(std::uint32_t now_minutes);
+
+  const util::Clock& clock_;
+  std::uint32_t window_;
+  bool strict_replay_;
+  Stats stats_;
+  // minute bucket -> MACs accepted in that minute (soft state, pruned as
+  // the window slides).
+  std::map<std::uint32_t, std::set<util::Bytes>> seen_;
+};
+
+}  // namespace fbs::core

@@ -1,0 +1,22 @@
+#include "net/checksum.hpp"
+
+namespace fbs::net {
+
+std::uint32_t checksum_partial(std::uint32_t acc, util::BytesView data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(util::BytesView data) {
+  return checksum_finish(checksum_partial(0, data));
+}
+
+}  // namespace fbs::net

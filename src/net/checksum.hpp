@@ -1,0 +1,19 @@
+// RFC 1071 Internet checksum, used by the IPv4 and UDP codecs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::net {
+
+/// One's-complement sum folded to 16 bits; returns the checksum value to
+/// place in a header whose checksum field is currently zero.
+std::uint16_t internet_checksum(util::BytesView data);
+
+/// Incremental interface for checksumming several non-contiguous pieces
+/// (e.g. a pseudo-header plus payload).
+std::uint32_t checksum_partial(std::uint32_t acc, util::BytesView data);
+std::uint16_t checksum_finish(std::uint32_t acc);
+
+}  // namespace fbs::net

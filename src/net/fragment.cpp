@@ -1,0 +1,99 @@
+#include "net/fragment.hpp"
+
+#include <algorithm>
+
+namespace fbs::net {
+
+std::vector<util::Bytes> fragment(const Ipv4Header& header,
+                                  util::BytesView payload, std::size_t mtu) {
+  std::vector<util::Bytes> out;
+  if (Ipv4Header::kSize + payload.size() <= mtu) {
+    out.push_back(header.serialize(payload));
+    return out;
+  }
+  if (header.dont_fragment) return out;  // needs fragmenting but DF set
+
+  // Per-fragment payload must be a multiple of 8 bytes (offset unit).
+  const std::size_t max_data = (mtu - Ipv4Header::kSize) / 8 * 8;
+  if (max_data == 0) return out;
+
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t n = std::min(max_data, payload.size() - off);
+    Ipv4Header fh = header;
+    fh.fragment_offset = static_cast<std::uint16_t>(off / 8);
+    fh.more_fragments = off + n < payload.size();
+    out.push_back(fh.serialize(payload.subspan(off, n)));
+    off += n;
+  }
+  return out;
+}
+
+std::optional<Ipv4Packet> Reassembler::push(const Ipv4Header& header,
+                                                    util::Bytes payload) {
+  if (!header.more_fragments && header.fragment_offset == 0) {
+    // Unfragmented datagram: pass straight through.
+    return Ipv4Packet{header, std::move(payload)};
+  }
+
+  const Key key{header.source.value, header.destination.value, header.id,
+                header.protocol};
+  Partial& p = partial_[key];
+  if (p.pieces.empty()) {
+    p.arrival = clock_.now();
+    p.first_header = header;
+  }
+  if (header.fragment_offset == 0) p.first_header = header;
+
+  const std::uint16_t offset_bytes = header.fragment_offset * 8;
+  // Duplicate fragments (datagram services may duplicate) are ignored.
+  const bool dup = std::any_of(
+      p.pieces.begin(), p.pieces.end(),
+      [&](const Piece& piece) { return piece.offset_bytes == offset_bytes; });
+  if (!dup) {
+    if (!header.more_fragments)
+      p.total_size = offset_bytes + payload.size();
+    p.pieces.push_back(Piece{offset_bytes, std::move(payload)});
+  }
+
+  if (!p.total_size) return std::nullopt;
+
+  // Complete iff contiguous coverage of [0, total_size).
+  std::sort(p.pieces.begin(), p.pieces.end(),
+            [](const Piece& a, const Piece& b) {
+              return a.offset_bytes < b.offset_bytes;
+            });
+  std::size_t covered = 0;
+  for (const Piece& piece : p.pieces) {
+    if (piece.offset_bytes != covered) return std::nullopt;  // hole
+    covered += piece.data.size();
+  }
+  if (covered != *p.total_size) return std::nullopt;
+
+  Ipv4Packet done;
+  done.header = p.first_header;
+  done.header.more_fragments = false;
+  done.header.fragment_offset = 0;
+  done.payload.reserve(covered);
+  for (const Piece& piece : p.pieces)
+    done.payload.insert(done.payload.end(), piece.data.begin(),
+                        piece.data.end());
+  partial_.erase(key);
+  return done;
+}
+
+std::size_t Reassembler::expire() {
+  const util::TimeUs now = clock_.now();
+  std::size_t dropped = 0;
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (now - it->second.arrival > timeout_) {
+      it = partial_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace fbs::net

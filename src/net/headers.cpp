@@ -1,0 +1,128 @@
+#include "net/headers.hpp"
+
+#include "net/checksum.hpp"
+
+namespace fbs::net {
+
+namespace {
+
+/// RFC 768/793 pseudo-header for transport checksums.
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                std::uint8_t proto, std::size_t length) {
+  util::ByteWriter w(12);
+  w.u32(src.value);
+  w.u32(dst.value);
+  w.u8(0);
+  w.u8(proto);
+  w.u16(static_cast<std::uint16_t>(length));
+  return checksum_partial(0, w.view());
+}
+
+}  // namespace
+
+util::Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
+                                 util::BytesView payload) const {
+  const std::size_t total = kSize + payload.size();
+  util::ByteWriter w(total);
+  w.u16(source_port);
+  w.u16(destination_port);
+  w.u16(static_cast<std::uint16_t>(total));
+  w.u16(0);  // checksum placeholder
+  w.bytes(payload);
+
+  util::Bytes out = w.take();
+  std::uint32_t acc = pseudo_header_sum(
+      src, dst, static_cast<std::uint8_t>(IpProto::kUdp), total);
+  acc = checksum_partial(acc, out);
+  std::uint16_t csum = checksum_finish(acc);
+  if (csum == 0) csum = 0xFFFF;  // RFC 768: zero means "no checksum"
+  out[6] = static_cast<std::uint8_t>(csum >> 8);
+  out[7] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+std::optional<UdpDatagram> UdpHeader::parse(Ipv4Address src, Ipv4Address dst,
+                                            util::BytesView wire) {
+  if (wire.size() < kSize) return std::nullopt;
+  util::ByteReader r(wire);
+  UdpDatagram out;
+  out.header.source_port = *r.u16();
+  out.header.destination_port = *r.u16();
+  const std::uint16_t length = *r.u16();
+  const std::uint16_t csum = *r.u16();
+  if (length < kSize || length > wire.size()) return std::nullopt;
+  if (csum != 0) {
+    std::uint32_t acc = pseudo_header_sum(
+        src, dst, static_cast<std::uint8_t>(IpProto::kUdp), length);
+    acc = checksum_partial(acc, wire.subspan(0, length));
+    if (checksum_finish(acc) != 0) return std::nullopt;
+  }
+  out.payload.assign(wire.begin() + kSize, wire.begin() + length);
+  return out;
+}
+
+util::Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
+                                 util::BytesView payload) const {
+  util::ByteWriter w(kSize + payload.size());
+  w.u16(source_port);
+  w.u16(destination_port);
+  w.u32(seq);
+  w.u32(ack);
+  std::uint16_t flags = 5u << 12;  // data offset = 5 words
+  if (fin) flags |= 0x001;
+  if (syn) flags |= 0x002;
+  if (rst) flags |= 0x004;
+  if (ack_flag) flags |= 0x010;
+  w.u16(flags);
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.bytes(payload);
+
+  util::Bytes out = w.take();
+  std::uint32_t acc = pseudo_header_sum(
+      src, dst, static_cast<std::uint8_t>(IpProto::kTcp), out.size());
+  acc = checksum_partial(acc, out);
+  const std::uint16_t csum = checksum_finish(acc);
+  out[16] = static_cast<std::uint8_t>(csum >> 8);
+  out[17] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+std::optional<TcpSegment> TcpHeader::parse(Ipv4Address src, Ipv4Address dst,
+                                           util::BytesView wire) {
+  if (wire.size() < kSize) return std::nullopt;
+  std::uint32_t acc = pseudo_header_sum(
+      src, dst, static_cast<std::uint8_t>(IpProto::kTcp), wire.size());
+  acc = checksum_partial(acc, wire);
+  if (checksum_finish(acc) != 0) return std::nullopt;
+
+  util::ByteReader r(wire);
+  TcpSegment out;
+  out.header.source_port = *r.u16();
+  out.header.destination_port = *r.u16();
+  out.header.seq = *r.u32();
+  out.header.ack = *r.u32();
+  const std::uint16_t flags = *r.u16();
+  const std::size_t data_offset = (flags >> 12) * 4u;
+  if (data_offset < kSize || data_offset > wire.size()) return std::nullopt;
+  out.header.fin = flags & 0x001;
+  out.header.syn = flags & 0x002;
+  out.header.rst = flags & 0x004;
+  out.header.ack_flag = flags & 0x010;
+  out.header.window = *r.u16();
+  out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(data_offset),
+                     wire.end());
+  return out;
+}
+
+std::optional<PortPair> peek_ports(util::BytesView transport_payload) {
+  if (transport_payload.size() < 4) return std::nullopt;
+  return PortPair{
+      static_cast<std::uint16_t>(transport_payload[0] << 8 |
+                                 transport_payload[1]),
+      static_cast<std::uint16_t>(transport_payload[2] << 8 |
+                                 transport_payload[3])};
+}
+
+}  // namespace fbs::net

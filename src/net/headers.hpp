@@ -1,0 +1,72 @@
+// UDP (RFC 768) and minimal TCP (RFC 793) header codecs. The FBS five-tuple
+// policy (Section 7.1) classifies on <proto, saddr, sport, daddr, dport>, so
+// the stack needs to read transport ports; the TCP codec carries just enough
+// state for the ttcp-style bulk-transfer benchmark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ip.hpp"
+#include "util/bytes.hpp"
+
+namespace fbs::net {
+
+struct UdpDatagram;
+struct TcpSegment;
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+
+  /// Serialize with length and a checksum over the RFC 768 pseudo-header.
+  util::Bytes serialize(Ipv4Address src, Ipv4Address dst,
+                        util::BytesView payload) const;
+
+  /// Parse and verify the checksum (src/dst needed for the pseudo-header).
+  static std::optional<UdpDatagram> parse(Ipv4Address src, Ipv4Address dst,
+                                          util::BytesView wire);
+};
+
+struct UdpDatagram {
+  UdpHeader header;
+  util::Bytes payload;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool syn = false;
+  bool fin = false;
+  bool ack_flag = false;
+  bool rst = false;
+  std::uint16_t window = 65535;
+
+  util::Bytes serialize(Ipv4Address src, Ipv4Address dst,
+                        util::BytesView payload) const;
+
+  static std::optional<TcpSegment> parse(Ipv4Address src, Ipv4Address dst,
+                                         util::BytesView wire);
+};
+
+struct TcpSegment {
+  TcpHeader header;
+  util::Bytes payload;
+};
+
+/// Read just the ports off a transport payload (first 4 bytes for both TCP
+/// and UDP); used by the five-tuple flow mapper, which must classify without
+/// fully parsing the transport layer. nullopt if truncated.
+struct PortPair {
+  std::uint16_t source = 0;
+  std::uint16_t destination = 0;
+};
+std::optional<PortPair> peek_ports(util::BytesView transport_payload);
+
+}  // namespace fbs::net

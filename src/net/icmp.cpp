@@ -1,0 +1,82 @@
+#include "net/icmp.hpp"
+
+#include "net/checksum.hpp"
+
+namespace fbs::net {
+
+util::Bytes IcmpMessage::serialize() const {
+  util::ByteWriter w(8 + payload.size());
+  w.u8(type);
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.u16(identifier);
+  w.u16(sequence);
+  w.bytes(payload);
+  util::Bytes out = w.take();
+  const std::uint16_t csum = internet_checksum(out);
+  out[2] = static_cast<std::uint8_t>(csum >> 8);
+  out[3] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+std::optional<IcmpMessage> IcmpMessage::parse(util::BytesView wire) {
+  if (wire.size() < 8) return std::nullopt;
+  if (internet_checksum(wire) != 0) return std::nullopt;
+  util::ByteReader r(wire);
+  IcmpMessage m;
+  m.type = *r.u8();
+  m.code = *r.u8();
+  (void)r.u16();  // checksum (verified)
+  m.identifier = *r.u16();
+  m.sequence = *r.u16();
+  m.payload = r.rest();
+  return m;
+}
+
+IcmpService::IcmpService(IpStack& stack, const util::Clock& clock)
+    : stack_(stack), clock_(clock), identifier_(0x4642) {  // 'FB'
+  stack_.register_protocol(
+      IpProto::kIcmp, [this](const Ipv4Header& ip, util::Bytes payload) {
+        on_message(ip, std::move(payload));
+      });
+}
+
+bool IcmpService::ping(Ipv4Address destination, std::uint16_t sequence,
+                       util::BytesView payload) {
+  IcmpMessage m;
+  m.type = IcmpMessage::kEchoRequest;
+  m.identifier = identifier_;
+  m.sequence = sequence;
+  m.payload.assign(payload.begin(), payload.end());
+  outstanding_[sequence] = clock_.now();
+  return stack_.output(destination, IpProto::kIcmp, m.serialize());
+}
+
+void IcmpService::on_message(const Ipv4Header& ip, util::Bytes payload) {
+  const auto m = IcmpMessage::parse(payload);
+  if (!m) return;
+  switch (m->type) {
+    case IcmpMessage::kEchoRequest: {
+      ++counters_.echo_requests_received;
+      IcmpMessage reply = *m;
+      reply.type = IcmpMessage::kEchoReply;
+      if (stack_.output(ip.source, IpProto::kIcmp, reply.serialize()))
+        ++counters_.echo_replies_sent;
+      break;
+    }
+    case IcmpMessage::kEchoReply: {
+      if (m->identifier != identifier_) break;
+      ++counters_.echo_replies_received;
+      const auto it = outstanding_.find(m->sequence);
+      if (it != outstanding_.end()) {
+        if (on_reply_) on_reply_(ip.source, m->sequence, clock_.now() - it->second);
+        outstanding_.erase(it);
+      }
+      break;
+    }
+    default:
+      ++counters_.unknown_messages;
+  }
+}
+
+}  // namespace fbs::net

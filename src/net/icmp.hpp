@@ -1,0 +1,63 @@
+// Minimal ICMP (RFC 792): echo request/reply, plus destination-unreachable
+// generation. Completes the "raw IP" traffic class that the paper's
+// five-tuple policy cannot classify (footnote 10) -- FBS treats it as
+// host-level flows when raw-IP protection is enabled in the IP mapping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "net/stack.hpp"
+
+namespace fbs::net {
+
+struct IcmpMessage {
+  static constexpr std::uint8_t kEchoReply = 0;
+  static constexpr std::uint8_t kDestinationUnreachable = 3;
+  static constexpr std::uint8_t kEchoRequest = 8;
+
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;  // echo only
+  std::uint16_t sequence = 0;    // echo only
+  util::Bytes payload;
+
+  util::Bytes serialize() const;
+  static std::optional<IcmpMessage> parse(util::BytesView wire);
+};
+
+/// Ping responder + client. Echo requests are answered automatically.
+class IcmpService {
+ public:
+  using EchoReplyFn = std::function<void(Ipv4Address from,
+                                         std::uint16_t sequence,
+                                         util::TimeUs rtt)>;
+
+  IcmpService(IpStack& stack, const util::Clock& clock);
+
+  /// Send an echo request; the reply (if any) invokes `on_reply`.
+  bool ping(Ipv4Address destination, std::uint16_t sequence,
+            util::BytesView payload = {});
+  void on_echo_reply(EchoReplyFn fn) { on_reply_ = std::move(fn); }
+
+  struct Counters {
+    std::uint64_t echo_requests_received = 0;
+    std::uint64_t echo_replies_sent = 0;
+    std::uint64_t echo_replies_received = 0;
+    std::uint64_t unknown_messages = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void on_message(const Ipv4Header& ip, util::Bytes payload);
+
+  IpStack& stack_;
+  const util::Clock& clock_;
+  EchoReplyFn on_reply_;
+  std::uint16_t identifier_;
+  std::map<std::uint16_t, util::TimeUs> outstanding_;  // seq -> send time
+  Counters counters_;
+};
+
+}  // namespace fbs::net

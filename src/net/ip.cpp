@@ -1,0 +1,98 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+
+#include "net/checksum.hpp"
+
+namespace fbs::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view dotted) {
+  std::uint32_t value = 0;
+  int parts = 0;
+  const char* p = dotted.data();
+  const char* end = p + dotted.size();
+  while (parts < 4) {
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc() || octet > 255) return std::nullopt;
+    value = value << 8 | octet;
+    ++parts;
+    p = next;
+    if (parts < 4) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out.push_back('.');
+    out += std::to_string(value >> shift & 0xFF);
+  }
+  return out;
+}
+
+util::Bytes Ipv4Address::to_bytes() const {
+  return {static_cast<std::uint8_t>(value >> 24),
+          static_cast<std::uint8_t>(value >> 16),
+          static_cast<std::uint8_t>(value >> 8),
+          static_cast<std::uint8_t>(value)};
+}
+
+util::Bytes Ipv4Header::serialize(util::BytesView payload) const {
+  util::ByteWriter w(kSize + payload.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16(id);
+  std::uint16_t frag = fragment_offset & 0x1FFF;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  w.u16(frag);
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(source.value);
+  w.u32(destination.value);
+
+  util::Bytes out = w.take();
+  const std::uint16_t csum = internet_checksum({out.data(), kSize});
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Ipv4Packet> Ipv4Header::parse(util::BytesView wire) {
+  if (wire.size() < kSize) return std::nullopt;
+  if (wire[0] != 0x45) return std::nullopt;  // options unsupported
+  if (internet_checksum({wire.data(), kSize}) != 0) return std::nullopt;
+
+  util::ByteReader r(wire);
+  Ipv4Packet out;
+  (void)r.u8();  // version/ihl
+  out.header.tos = *r.u8();
+  out.header.total_length = *r.u16();
+  out.header.id = *r.u16();
+  const std::uint16_t frag = *r.u16();
+  out.header.dont_fragment = frag & 0x4000;
+  out.header.more_fragments = frag & 0x2000;
+  out.header.fragment_offset = frag & 0x1FFF;
+  out.header.ttl = *r.u8();
+  out.header.protocol = *r.u8();
+  (void)r.u16();  // checksum (already verified)
+  out.header.source.value = *r.u32();
+  out.header.destination.value = *r.u32();
+
+  if (out.header.total_length < kSize || out.header.total_length > wire.size())
+    return std::nullopt;
+  out.payload.assign(wire.begin() + kSize,
+                     wire.begin() + out.header.total_length);
+  return out;
+}
+
+}  // namespace fbs::net

@@ -1,0 +1,65 @@
+// IPv4 header codec (RFC 791). This is the datagram substrate the paper's
+// Section 7 mapping targets; the FBS header is inserted between this header
+// and the transport payload ("a short-cut form of IP encapsulation").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace fbs::net {
+
+/// IPv4 address in host byte order with dotted-quad helpers.
+struct Ipv4Address {
+  std::uint32_t value = 0;
+
+  static std::optional<Ipv4Address> parse(std::string_view dotted);
+  std::string to_string() const;
+  util::Bytes to_bytes() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+};
+
+/// Protocol numbers used in this library.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  /// FBS gateway-to-gateway encapsulation (from the experimental range).
+  kFbsTunnel = 253,
+};
+
+struct Ipv4Packet;  // defined after Ipv4Header
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // we do not emit IP options
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // header + payload, filled by serialize
+  std::uint16_t id = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Address source;
+  Ipv4Address destination;
+
+  /// Serialize header followed by payload; computes total_length and the
+  /// header checksum.
+  util::Bytes serialize(util::BytesView payload) const;
+
+  /// Parse and checksum-verify a wire packet. nullopt on truncation, bad
+  /// version/IHL, or checksum mismatch.
+  static std::optional<Ipv4Packet> parse(util::BytesView wire);
+};
+
+/// A parsed (header, payload) pair.
+struct Ipv4Packet {
+  Ipv4Header header;
+  util::Bytes payload;
+};
+
+}  // namespace fbs::net

@@ -1,0 +1,42 @@
+#include "net/ports.hpp"
+
+namespace fbs::net {
+
+bool PortAllocator::cooling_down(std::uint16_t port) const {
+  const auto it = released_.find(port);
+  return it != released_.end() &&
+         clock_.now() - it->second < cooldown_;
+}
+
+std::size_t PortAllocator::cooling_count() const {
+  std::size_t n = 0;
+  for (const auto& [port, when] : released_)
+    if (clock_.now() - when < cooldown_) ++n;
+  return n;
+}
+
+bool PortAllocator::acquire(std::uint16_t port) {
+  if (port < first_ || port > last_) return false;
+  if (used_.contains(port)) return false;
+  if (cooling_down(port)) return false;
+  released_.erase(port);
+  used_.insert(port);
+  return true;
+}
+
+std::optional<std::uint16_t> PortAllocator::acquire_any() {
+  const std::uint32_t span =
+      static_cast<std::uint32_t>(last_) - first_ + 1;
+  for (std::uint32_t tried = 0; tried < span; ++tried) {
+    const std::uint16_t candidate = next_;
+    next_ = (next_ == last_) ? first_ : static_cast<std::uint16_t>(next_ + 1);
+    if (acquire(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+void PortAllocator::release(std::uint16_t port) {
+  if (used_.erase(port)) released_[port] = clock_.now();
+}
+
+}  // namespace fbs::net

@@ -1,0 +1,52 @@
+// Ephemeral port allocation with a reallocation cooldown.
+//
+// Section 7.1's port-reuse attack: an attacker that grabs a just-freed port
+// within THRESHOLD inherits the old conversation's flow (same five-tuple,
+// same sfl, same key) and can have recorded traffic decrypted to itself.
+// The paper's countermeasure -- "impose a wait of THRESHOLD on port
+// reallocation", a change to in_pcballoc() in 4.4BSD -- is this allocator:
+// released ports become allocatable again only after the cooldown, so a new
+// owner can never land inside a live flow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "util/clock.hpp"
+
+namespace fbs::net {
+
+class PortAllocator {
+ public:
+  /// `cooldown` should equal (or exceed) the FBS flow THRESHOLD.
+  PortAllocator(const util::Clock& clock, util::TimeUs cooldown,
+                std::uint16_t first = 1024, std::uint16_t last = 65535)
+      : clock_(clock), cooldown_(cooldown), first_(first), last_(last),
+        next_(first) {}
+
+  /// Allocate a specific port; fails if in use or cooling down.
+  bool acquire(std::uint16_t port);
+
+  /// Allocate any free port (round-robin scan); nullopt if exhausted.
+  std::optional<std::uint16_t> acquire_any();
+
+  /// Release a port; it re-enters the pool after the cooldown.
+  void release(std::uint16_t port);
+
+  bool in_use(std::uint16_t port) const { return used_.contains(port); }
+  bool cooling_down(std::uint16_t port) const;
+  std::size_t cooling_count() const;
+
+ private:
+  const util::Clock& clock_;
+  util::TimeUs cooldown_;
+  std::uint16_t first_;
+  std::uint16_t last_;
+  std::uint16_t next_;
+  std::set<std::uint16_t> used_;
+  std::map<std::uint16_t, util::TimeUs> released_;  // port -> release time
+};
+
+}  // namespace fbs::net

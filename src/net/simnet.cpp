@@ -1,0 +1,109 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+
+namespace fbs::net {
+
+void SimNetwork::attach(Ipv4Address addr, ReceiveFn receive) {
+  hosts_[addr] = std::move(receive);
+}
+
+void SimNetwork::detach(Ipv4Address addr) { hosts_.erase(addr); }
+
+void SimNetwork::set_link(Ipv4Address a, Ipv4Address b,
+                          const LinkParams& params) {
+  links_[{std::min(a, b), std::max(a, b)}] = params;
+}
+
+const LinkParams& SimNetwork::link_for(Ipv4Address a, Ipv4Address b) const {
+  const auto it = links_.find({std::min(a, b), std::max(a, b)});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::schedule(Ipv4Address to, util::Bytes frame,
+                          util::TimeUs delay) {
+  Event ev;
+  ev.time = clock_.now() + delay;
+  ev.seq = next_seq_++;
+  ev.to = to;
+  ev.frame = std::move(frame);
+  queue_.push(std::move(ev));
+}
+
+void SimNetwork::send(Ipv4Address from, Ipv4Address to, util::Bytes frame) {
+  ++counters_.sent;
+  if (tap_) {
+    if (tap_(from, to, frame) == TapVerdict::kDrop) {
+      ++counters_.tap_dropped;
+      return;
+    }
+  }
+  const LinkParams& link = link_for(from, to);
+  if (link.loss > 0 && rng_.next_double() < link.loss) {
+    ++counters_.lost;
+    return;
+  }
+
+  // Serialization: a finite-rate link sends one frame at a time.
+  util::TimeUs tx_done_offset = 0;
+  if (link.bandwidth_bps > 0) {
+    const auto key = std::make_pair(std::min(from, to), std::max(from, to));
+    const util::TimeUs tx_time = static_cast<util::TimeUs>(
+        static_cast<double>(frame.size()) * 8.0 / link.bandwidth_bps * 1e6);
+    util::TimeUs& busy_until = link_busy_until_[key];
+    const util::TimeUs start = std::max(clock_.now(), busy_until);
+    busy_until = start + tx_time;
+    tx_done_offset = busy_until - clock_.now();
+  }
+
+  auto delay_draw = [&] {
+    return tx_done_offset + link.delay +
+           (link.jitter > 0
+                ? static_cast<util::TimeUs>(rng_.next_below(
+                      static_cast<std::uint64_t>(link.jitter)))
+                : util::TimeUs{0});
+  };
+  if (link.duplicate > 0 && rng_.next_double() < link.duplicate) {
+    ++counters_.duplicated;
+    schedule(to, frame, delay_draw());
+  }
+  schedule(to, std::move(frame), delay_draw());
+}
+
+void SimNetwork::inject(Ipv4Address to, util::Bytes frame, util::TimeUs delay) {
+  schedule(to, std::move(frame), delay);
+}
+
+void SimNetwork::call_later(util::TimeUs delay, std::function<void()> fn) {
+  Event ev;
+  ev.time = clock_.now() + delay;
+  ev.seq = next_seq_++;
+  ev.callback = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+bool SimNetwork::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  if (ev.time > clock_.now()) clock_.set(ev.time);
+  if (ev.callback) {
+    ev.callback();
+    return true;
+  }
+  const auto it = hosts_.find(ev.to);
+  if (it == hosts_.end()) {
+    ++counters_.no_such_host;
+    return true;
+  }
+  ++counters_.delivered;
+  it->second(std::move(ev.frame));
+  return true;
+}
+
+void SimNetwork::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace fbs::net

@@ -1,0 +1,117 @@
+// Discrete-event simulated network.
+//
+// Stands in for the paper's dedicated 10 Mb/s Ethernet segment (Section 7.3
+// setup): hosts attach with an address and a receive callback; frames are
+// delivered through per-pair links with configurable delay, jitter
+// (reordering), loss, and duplication -- the "standard features of datagram
+// communication" Section 3 says a security protocol must not change. A wire
+// tap lets attack tests observe, drop, modify, and inject frames.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::net {
+
+struct LinkParams {
+  util::TimeUs delay = util::TimeUs{200};   // one-way propagation
+  util::TimeUs jitter = util::TimeUs{0};    // uniform extra delay; >0 reorders
+  double loss = 0.0;                        // P(frame dropped)
+  double duplicate = 0.0;                   // P(frame delivered twice)
+  /// Serialization rate in bits/second; 0 = infinite. With a finite rate
+  /// the link transmits one frame at a time (store-and-forward), so e.g.
+  /// 10e6 models the paper's dedicated 10 Mb/s Ethernet in virtual time.
+  double bandwidth_bps = 0.0;
+};
+
+class SimNetwork {
+ public:
+  using ReceiveFn = std::function<void(util::Bytes frame)>;
+
+  /// Verdict from the attacker tap for each frame entering the wire.
+  enum class TapVerdict { kPass, kDrop };
+  using Tap = std::function<TapVerdict(Ipv4Address from, Ipv4Address to,
+                                       util::Bytes& frame)>;
+
+  SimNetwork(util::VirtualClock& clock, std::uint64_t seed)
+      : clock_(clock), rng_(seed) {}
+
+  /// Attach a host. Frames addressed (at the simnet layer) to `addr` are
+  /// handed to `receive`.
+  void attach(Ipv4Address addr, ReceiveFn receive);
+  void detach(Ipv4Address addr);
+
+  /// Link characteristics between a specific pair (symmetric), else default.
+  void set_default_link(const LinkParams& params) { default_link_ = params; }
+  void set_link(Ipv4Address a, Ipv4Address b, const LinkParams& params);
+
+  /// Install/remove the wire tap (sees every frame before link effects).
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+  void clear_tap() { tap_ = nullptr; }
+
+  /// Transmit a frame. Link effects (tap, loss, duplication, delay) apply.
+  void send(Ipv4Address from, Ipv4Address to, util::Bytes frame);
+
+  /// Inject a frame directly to a destination after `delay` -- bypasses the
+  /// tap and link effects; this is the attacker's transmitter.
+  void inject(Ipv4Address to, util::Bytes frame,
+              util::TimeUs delay = util::TimeUs{0});
+
+  /// Schedule an arbitrary callback on the simulation clock (protocol
+  /// timers: TCP retransmission, sweepers, ...). Runs in event order with
+  /// frame deliveries.
+  void call_later(util::TimeUs delay, std::function<void()> fn);
+
+  /// Deliver the earliest pending frame (advancing the clock to its time).
+  /// Returns false when idle.
+  bool step();
+  /// Run until no events remain.
+  void run();
+
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t tap_dropped = 0;
+    std::uint64_t no_such_host = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Event {
+    util::TimeUs time;
+    std::uint64_t seq;  // tie-break for determinism
+    Ipv4Address to;
+    util::Bytes frame;
+    std::function<void()> callback;  // if set, a timer event
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  const LinkParams& link_for(Ipv4Address a, Ipv4Address b) const;
+  void schedule(Ipv4Address to, util::Bytes frame, util::TimeUs delay);
+
+  util::VirtualClock& clock_;
+  util::SplitMix64 rng_;
+  std::map<Ipv4Address, ReceiveFn> hosts_;
+  std::map<std::pair<Ipv4Address, Ipv4Address>, LinkParams> links_;
+  std::map<std::pair<Ipv4Address, Ipv4Address>, util::TimeUs> link_busy_until_;
+  LinkParams default_link_;
+  Tap tap_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_seq_ = 0;
+  Counters counters_;
+};
+
+}  // namespace fbs::net

@@ -1,0 +1,130 @@
+// Host IP stack mirroring the three-part 4.4BSD structure the paper hooks
+// into (Section 7.2):
+//
+//   output: [1] options/route  -> FBS output hook -> [2] fragment -> [3] tx
+//   input:  [1] validate/recv  -> [2] reassemble  -> FBS input hook -> [3]
+//           dispatch to the higher-layer protocol
+//
+// The security hooks are exactly the two-line ip_output.c / ip_input.c
+// changes of the paper; `header_overhead` is the tcp_output.c fix (the
+// segment-size calculation must account for the inserted FBS header or DF
+// packets would need fragmenting).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/fragment.hpp"
+#include "net/ip.hpp"
+#include "net/simnet.hpp"
+
+namespace fbs::net {
+
+class IpStack {
+ public:
+  using ProtocolHandler =
+      std::function<void(const Ipv4Header&, util::Bytes payload)>;
+
+  struct SecurityHooks {
+    /// Called between output parts [1] and [2]; may grow the payload
+    /// (inserting the FBS header) and must keep the header's protocol field
+    /// meaningful. Return false to drop (counted).
+    std::function<bool(Ipv4Header&, util::Bytes&)> output;
+    /// Called between input parts [2] and [3]; strips/validates the FBS
+    /// header. Return false to drop (counted).
+    std::function<bool(const Ipv4Header&, util::Bytes&)> input;
+    /// Wire bytes the output hook adds; reduces the payload budget that
+    /// upper layers (tcp_output-style senders) may use per packet.
+    std::size_t header_overhead = 0;
+  };
+
+  struct Counters {
+    std::uint64_t packets_out = 0;
+    std::uint64_t fragments_out = 0;
+    std::uint64_t df_drops = 0;
+    std::uint64_t packets_in = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t not_for_us = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t ttl_expired = 0;
+    std::uint64_t reassembly_expired = 0;
+    std::uint64_t hook_drops_out = 0;
+    std::uint64_t hook_drops_in = 0;
+    std::uint64_t no_protocol = 0;
+    std::uint64_t delivered = 0;
+  };
+
+  IpStack(SimNetwork& network, const util::Clock& clock, Ipv4Address address,
+          std::size_t mtu = 1500);
+  ~IpStack();
+
+  IpStack(const IpStack&) = delete;
+  IpStack& operator=(const IpStack&) = delete;
+
+  Ipv4Address address() const { return address_; }
+  std::size_t mtu() const { return mtu_; }
+  /// Payload budget per unfragmented packet once IP and security-header
+  /// overhead are paid; what a tcp_output-style sender should use with DF.
+  std::size_t effective_payload_size() const;
+
+  void register_protocol(IpProto proto, ProtocolHandler handler);
+  void set_security_hooks(SecurityHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Send a transport payload. Returns false if dropped before the wire
+  /// (DF conflict or output-hook rejection).
+  bool output(Ipv4Address destination, IpProto proto, util::BytesView payload,
+              bool dont_fragment = false);
+
+  // --- Routing and forwarding (gateway role) ---
+
+  /// Off-link destinations matching network/prefix_len go via `next_hop`.
+  /// Longest prefix wins; absent a route, delivery is direct (our segment
+  /// is fully connected).
+  void add_route(Ipv4Address network, int prefix_len, Ipv4Address next_hop);
+  /// Route for everything without a more specific entry.
+  void set_default_route(Ipv4Address next_hop) { add_route({}, 0, next_hop); }
+  /// Act as a router: packets not addressed to us are forwarded (TTL
+  /// decremented; expired packets dropped).
+  void enable_forwarding(bool on) { forwarding_ = on; }
+
+  /// Inspect/steal packets about to be forwarded. Return true if consumed
+  /// (e.g. a tunnel re-emitted it); false to forward normally. This is the
+  /// hook a gateway-to-gateway FBS tunnel attaches to.
+  using ForwardFilter =
+      std::function<bool(const Ipv4Header&, const util::Bytes& payload)>;
+  void set_forward_filter(ForwardFilter filter) {
+    forward_filter_ = std::move(filter);
+  }
+
+  /// Transmit an already-formed IP packet (header+payload) on behalf of
+  /// another host -- the forwarding transmit path (no output hooks; those
+  /// are for locally originated traffic).
+  bool forward_packet(Ipv4Header header, util::BytesView payload);
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void on_frame(util::Bytes frame);
+  Ipv4Address next_hop_for(Ipv4Address destination) const;
+
+  struct Route {
+    std::uint32_t network;
+    int prefix_len;
+    Ipv4Address next_hop;
+  };
+
+  SimNetwork& network_;
+  Ipv4Address address_;
+  std::size_t mtu_;
+  Reassembler reassembler_;
+  std::map<std::uint8_t, ProtocolHandler> handlers_;
+  SecurityHooks hooks_;
+  std::vector<Route> routes_;
+  bool forwarding_ = false;
+  ForwardFilter forward_filter_;
+  Counters counters_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace fbs::net

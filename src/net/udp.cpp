@@ -1,0 +1,45 @@
+#include "net/udp.hpp"
+
+namespace fbs::net {
+
+UdpService::UdpService(IpStack& stack) : stack_(stack) {
+  stack_.register_protocol(
+      IpProto::kUdp, [this](const Ipv4Header& ip, util::Bytes payload) {
+        on_datagram(ip, std::move(payload));
+      });
+}
+
+void UdpService::bind(std::uint16_t port, Handler handler) {
+  bindings_[port] = std::move(handler);
+}
+
+void UdpService::unbind(std::uint16_t port) { bindings_.erase(port); }
+
+bool UdpService::send(Ipv4Address destination, std::uint16_t source_port,
+                      std::uint16_t destination_port, util::BytesView payload,
+                      bool dont_fragment) {
+  UdpHeader header;
+  header.source_port = source_port;
+  header.destination_port = destination_port;
+  const util::Bytes wire =
+      header.serialize(stack_.address(), destination, payload);
+  return stack_.output(destination, IpProto::kUdp, wire, dont_fragment);
+}
+
+void UdpService::on_datagram(const Ipv4Header& ip, util::Bytes payload) {
+  auto parsed = UdpHeader::parse(ip.source, ip.destination, payload);
+  if (!parsed) {
+    ++counters_.malformed;
+    return;
+  }
+  const auto it = bindings_.find(parsed->header.destination_port);
+  if (it == bindings_.end()) {
+    ++counters_.no_listener;
+    return;
+  }
+  ++counters_.delivered;
+  it->second(ip.source, parsed->header.source_port,
+             std::move(parsed->payload));
+}
+
+}  // namespace fbs::net

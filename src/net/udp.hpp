@@ -1,0 +1,47 @@
+// Minimal UDP service on top of IpStack: port binding and datagram
+// send/receive. This is the "client of the datagram service" role in the
+// examples and benches (the ttcp-style tools of Section 7.3 ran over
+// TCP/UDP; our bulk sender uses this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/headers.hpp"
+#include "net/stack.hpp"
+
+namespace fbs::net {
+
+class UdpService {
+ public:
+  using Handler = std::function<void(Ipv4Address source,
+                                     std::uint16_t source_port,
+                                     util::Bytes payload)>;
+
+  explicit UdpService(IpStack& stack);
+
+  /// Register a handler for datagrams addressed to `port`.
+  void bind(std::uint16_t port, Handler handler);
+  void unbind(std::uint16_t port);
+
+  bool send(Ipv4Address destination, std::uint16_t source_port,
+            std::uint16_t destination_port, util::BytesView payload,
+            bool dont_fragment = false);
+
+  struct Counters {
+    std::uint64_t delivered = 0;
+    std::uint64_t no_listener = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void on_datagram(const Ipv4Header& ip, util::Bytes payload);
+
+  IpStack& stack_;
+  std::map<std::uint16_t, Handler> bindings_;
+  Counters counters_;
+};
+
+}  // namespace fbs::net

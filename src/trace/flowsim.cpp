@@ -1,0 +1,168 @@
+#include "trace/flowsim.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fbs::trace {
+
+namespace {
+
+/// Assign each packet to a flow with the Section 7.1 policy: same
+/// five-tuple, inter-arrival gap <= threshold. Uses an exact table (the
+/// paper notes hash collisions are "almost no[ne]" at reasonable FSTSIZE, so
+/// the characteristics study can ignore them). Returns per-packet sfls and
+/// the completed flow list.
+struct Assignment {
+  std::vector<core::Sfl> packet_sfl;
+  std::vector<FlowRecord> flows;
+  std::uint64_t repeated_flows = 0;
+};
+
+Assignment assign_flows(const Trace& trace, util::TimeUs threshold) {
+  Assignment out;
+  out.packet_sfl.reserve(trace.size());
+
+  struct Open {
+    std::size_t flow_index;  // into out.flows
+  };
+  std::map<util::Bytes, Open> open;
+  std::map<util::Bytes, std::uint64_t> flows_per_tuple;
+  core::Sfl next_sfl = 1;
+
+  for (const PacketRecord& r : trace) {
+    const util::Bytes key = r.tuple.encode();
+    auto it = open.find(key);
+    if (it != open.end()) {
+      FlowRecord& f = out.flows[it->second.flow_index];
+      if (r.time - f.last <= threshold) {
+        f.last = r.time;
+        ++f.packets;
+        f.bytes += r.size;
+        out.packet_sfl.push_back(f.sfl);
+        continue;
+      }
+      open.erase(it);  // conversation gap exceeded: flow expired
+    }
+    // Start a new flow.
+    auto& count = flows_per_tuple[key];
+    if (count > 0) ++out.repeated_flows;
+    ++count;
+    FlowRecord f;
+    f.sfl = next_sfl++;
+    f.tuple = r.tuple;
+    f.first = r.time;
+    f.last = r.time;
+    f.packets = 1;
+    f.bytes = r.size;
+    out.packet_sfl.push_back(f.sfl);
+    open[key] = Open{out.flows.size()};
+    out.flows.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowSimResult simulate_flows(const Trace& trace, const FlowSimConfig& config) {
+  FlowSimResult result;
+  Assignment assignment = assign_flows(trace, config.threshold);
+  result.flows = std::move(assignment.flows);
+  result.repeated_flows = assignment.repeated_flows;
+
+  for (const PacketRecord& r : trace) {
+    ++result.total_packets;
+    result.total_bytes += r.size;
+  }
+
+  if (trace.empty()) return result;
+
+  // Active-flow time series by event sweep: +1 at flow start, -1 when the
+  // sweeper would expire it (last + threshold).
+  std::vector<std::pair<util::TimeUs, int>> events;
+  events.reserve(result.flows.size() * 2);
+  for (const FlowRecord& f : result.flows) {
+    events.push_back({f.first, +1});
+    events.push_back({f.last + config.threshold, -1});
+  }
+  std::sort(events.begin(), events.end());
+
+  const util::TimeUs start = trace.front().time;
+  const util::TimeUs end = trace.back().time + config.threshold;
+  std::size_t active = 0;
+  std::size_t event_index = 0;
+  double active_sum = 0;
+  std::size_t samples = 0;
+  for (util::TimeUs t = start; t <= end; t += config.sample_interval) {
+    while (event_index < events.size() && events[event_index].first <= t) {
+      active += events[event_index].second;
+      ++event_index;
+    }
+    result.active_series.push_back({t, active});
+    result.peak_active = std::max(result.peak_active, active);
+    active_sum += static_cast<double>(active);
+    ++samples;
+  }
+  result.mean_active = samples ? active_sum / static_cast<double>(samples) : 0;
+  return result;
+}
+
+std::vector<CacheMissPoint> simulate_cache_misses(
+    const Trace& trace, util::TimeUs threshold,
+    const std::vector<std::size_t>& cache_sizes, std::size_t ways,
+    core::CacheHashKind hash) {
+  const Assignment assignment = assign_flows(trace, threshold);
+
+  std::vector<CacheMissPoint> out;
+  for (const std::size_t size : cache_sizes) {
+    CacheMissPoint point;
+    point.cache_size = size;
+
+    // Per-host caches, as deployed: each sender has a TFKC, each receiver
+    // an RFKC.
+    std::map<std::uint32_t, core::SetAssociativeCache<char>> tfkc, rfkc;
+    auto cache_for = [&](auto& caches, std::uint32_t host)
+        -> core::SetAssociativeCache<char>& {
+      auto it = caches.find(host);
+      if (it == caches.end())
+        it = caches.emplace(host, core::SetAssociativeCache<char>(size, ways,
+                                                                  hash))
+                 .first;
+      return it->second;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const PacketRecord& r = trace[i];
+      const core::Sfl sfl = assignment.packet_sfl[i];
+
+      util::ByteWriter send_key(16);
+      send_key.u64(sfl);
+      send_key.u32(r.tuple.destination_address);
+      send_key.u32(r.tuple.source_address);
+      auto& t = cache_for(tfkc, r.tuple.source_address);
+      if (!t.lookup(send_key.view())) t.insert(send_key.view(), 1);
+
+      util::ByteWriter recv_key(16);
+      recv_key.u64(sfl);
+      recv_key.u32(r.tuple.source_address);
+      recv_key.u32(r.tuple.destination_address);
+      auto& c = cache_for(rfkc, r.tuple.destination_address);
+      if (!c.lookup(recv_key.view())) c.insert(recv_key.view(), 1);
+    }
+
+    auto accumulate = [](auto& caches, core::CacheStats& total) {
+      for (auto& [host, cache] : caches) {
+        const core::CacheStats& s = cache.stats();
+        total.hits += s.hits;
+        total.cold_misses += s.cold_misses;
+        total.capacity_misses += s.capacity_misses;
+        total.collision_misses += s.collision_misses;
+      }
+    };
+    accumulate(tfkc, point.send);
+    accumulate(rfkc, point.receive);
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace fbs::trace

@@ -1,0 +1,68 @@
+// Flow simulation programs (Section 7.3): apply the Section 7.1 security
+// flow policy to a packet trace and compute the flow characteristics behind
+// Figures 9-14, plus the key-cache miss behaviour behind Figure 11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fbs/caches.hpp"
+#include "fbs/principal.hpp"
+#include "trace/record.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::trace {
+
+/// One completed flow under the five-tuple+THRESHOLD policy.
+struct FlowRecord {
+  core::Sfl sfl = 0;
+  core::FlowAttributes tuple;
+  util::TimeUs first = 0;
+  util::TimeUs last = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+
+  util::TimeUs duration() const { return last - first; }
+};
+
+struct FlowSimConfig {
+  util::TimeUs threshold = util::seconds(600);
+  util::TimeUs sample_interval = util::seconds(10);
+};
+
+struct FlowSimResult {
+  std::vector<FlowRecord> flows;
+
+  /// Active flows (table entries not yet expired: a flow is active from its
+  /// first datagram until THRESHOLD after its last) sampled over time --
+  /// the Figure 12/13 series.
+  std::vector<std::pair<util::TimeUs, std::size_t>> active_series;
+
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+
+  /// Flows whose five-tuple already produced an earlier flow (Figure 14).
+  std::uint64_t repeated_flows = 0;
+
+  std::size_t peak_active = 0;
+  double mean_active = 0;
+};
+
+FlowSimResult simulate_flows(const Trace& trace, const FlowSimConfig& config);
+
+/// Figure 11: replay the trace through per-host flow key caches of several
+/// sizes. Every packet makes one TFKC access at its source host (key
+/// sfl|D|S) and one RFKC access at its destination host (key sfl|S|D);
+/// stats aggregate across hosts.
+struct CacheMissPoint {
+  std::size_t cache_size = 0;
+  core::CacheStats send;     // TFKC view
+  core::CacheStats receive;  // RFKC view
+};
+
+std::vector<CacheMissPoint> simulate_cache_misses(
+    const Trace& trace, util::TimeUs threshold,
+    const std::vector<std::size_t>& cache_sizes, std::size_t ways = 1,
+    core::CacheHashKind hash = core::CacheHashKind::kCrc32);
+
+}  // namespace fbs::trace

@@ -1,0 +1,79 @@
+#include "trace/record.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace fbs::trace {
+
+void sort_trace(Trace& trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  out << "# time_us proto saddr sport daddr dport size\n";
+  for (const PacketRecord& r : trace) {
+    out << r.time << ' ' << static_cast<unsigned>(r.tuple.protocol) << ' '
+        << net::Ipv4Address{r.tuple.source_address}.to_string() << ' '
+        << r.tuple.source_port << ' '
+        << net::Ipv4Address{r.tuple.destination_address}.to_string() << ' '
+        << r.tuple.destination_port << ' ' << r.size << '\n';
+  }
+}
+
+std::optional<Trace> load_trace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    PacketRecord r;
+    long long time;
+    unsigned proto, sport, dport, size;
+    std::string saddr, daddr;
+    if (!(ls >> time >> proto >> saddr >> sport >> daddr >> dport >> size))
+      return std::nullopt;
+    const auto sa = net::Ipv4Address::parse(saddr);
+    const auto da = net::Ipv4Address::parse(daddr);
+    if (!sa || !da || proto > 255 || sport > 65535 || dport > 65535)
+      return std::nullopt;
+    r.time = time;
+    r.tuple.protocol = static_cast<std::uint8_t>(proto);
+    r.tuple.source_address = sa->value;
+    r.tuple.source_port = static_cast<std::uint16_t>(sport);
+    r.tuple.destination_address = da->value;
+    r.tuple.destination_port = static_cast<std::uint16_t>(dport);
+    r.size = size;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  std::set<util::Bytes> tuples;
+  std::set<std::uint32_t> hosts;
+  for (const PacketRecord& r : trace) {
+    ++s.packets;
+    s.bytes += r.size;
+    if (s.packets == 1) {
+      s.first = r.time;
+      s.last = r.time;
+    }
+    s.first = std::min(s.first, r.time);
+    s.last = std::max(s.last, r.time);
+    tuples.insert(r.tuple.encode());
+    hosts.insert(r.tuple.source_address);
+    hosts.insert(r.tuple.destination_address);
+  }
+  s.distinct_tuples = tuples.size();
+  s.distinct_hosts = hosts.size();
+  return s;
+}
+
+}  // namespace fbs::trace

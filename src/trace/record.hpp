@@ -1,0 +1,47 @@
+// Packet-trace records: the tcpdump-equivalent input to the flow
+// characteristics study (Section 7.3: "The collected traces are fed into a
+// number of flow simulation programs to generate the final flow
+// characteristics").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fbs/principal.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::trace {
+
+struct PacketRecord {
+  util::TimeUs time = 0;
+  core::FlowAttributes tuple;  // <proto, saddr, sport, daddr, dport>
+  std::uint32_t size = 0;      // transport payload bytes
+};
+
+using Trace = std::vector<PacketRecord>;
+
+/// Sort by time (stable on equal timestamps) -- generators emit per-session
+/// streams that need interleaving.
+void sort_trace(Trace& trace);
+
+/// Text format, one record per line:
+///   <time_us> <proto> <saddr> <sport> <daddr> <dport> <size>
+/// (addresses dotted-quad), '#' comments allowed.
+void save_trace(const Trace& trace, std::ostream& out);
+std::optional<Trace> load_trace(std::istream& in);
+
+/// Aggregate sanity numbers, used by tests and the figure benches' headers.
+struct TraceSummary {
+  std::size_t packets = 0;
+  std::uint64_t bytes = 0;
+  util::TimeUs first = 0;
+  util::TimeUs last = 0;
+  std::size_t distinct_tuples = 0;
+  std::size_t distinct_hosts = 0;
+};
+TraceSummary summarize(const Trace& trace);
+
+}  // namespace fbs::trace

@@ -1,0 +1,291 @@
+#include "trace/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fbs::trace {
+
+namespace {
+
+constexpr std::uint8_t kTcp = 6;
+constexpr std::uint8_t kUdp = 17;
+constexpr std::uint16_t kTelnetPort = 23;
+constexpr std::uint16_t kFtpDataPort = 20;
+constexpr std::uint16_t kFtpCtrlPort = 21;
+constexpr std::uint16_t kDnsPort = 53;
+constexpr std::uint16_t kHttpPort = 80;
+constexpr std::uint16_t kX11Port = 6000;
+constexpr std::uint16_t kNfsPort = 2049;
+
+/// Exponential inter-arrival with the given mean.
+util::TimeUs exp_gap(util::RandomSource& rng, double mean_us) {
+  double u = rng.next_double();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<util::TimeUs>(-mean_us * std::log(u)) + 1;
+}
+
+/// Pareto sample (heavy tail): xm * U^{-1/alpha}, capped for sanity.
+double pareto(util::RandomSource& rng, double xm, double alpha, double cap) {
+  double u = rng.next_double();
+  if (u < 1e-12) u = 1e-12;
+  return std::min(cap, xm * std::pow(u, -1.0 / alpha));
+}
+
+/// Packet emission helper around a shared Trace.
+class Emitter {
+ public:
+  Emitter(Trace& trace, util::TimeUs horizon) : trace_(trace),
+                                                horizon_(horizon) {}
+
+  /// Emit one packet; silently discards past-horizon packets.
+  void packet(util::TimeUs t, std::uint8_t proto, std::uint32_t saddr,
+              std::uint16_t sport, std::uint32_t daddr, std::uint16_t dport,
+              std::uint32_t size) {
+    if (t >= horizon_) return;
+    PacketRecord r;
+    r.time = t;
+    r.tuple.protocol = proto;
+    r.tuple.source_address = saddr;
+    r.tuple.source_port = sport;
+    r.tuple.destination_address = daddr;
+    r.tuple.destination_port = dport;
+    r.size = size;
+    trace_.push_back(r);
+  }
+
+  util::TimeUs horizon() const { return horizon_; }
+
+ private:
+  Trace& trace_;
+  util::TimeUs horizon_;
+};
+
+/// Per-host small ephemeral port pool (drives five-tuple reuse).
+class PortPool {
+ public:
+  PortPool(util::RandomSource& rng, int size) {
+    for (int i = 0; i < size; ++i)
+      ports_.push_back(static_cast<std::uint16_t>(
+          1024 + rng.next_below(30000)));
+  }
+  std::uint16_t draw(util::RandomSource& rng) const {
+    return ports_[rng.next_below(ports_.size())];
+  }
+
+ private:
+  std::vector<std::uint16_t> ports_;
+};
+
+std::uint32_t lan_desktop(int i) { return 0x0A010000u + 10 + i; }   // 10.1.0.x
+std::uint32_t lan_server(int i) { return 0x0A010100u + 1 + i; }     // 10.1.1.x
+constexpr std::uint32_t kWwwServer = 0x0A020001u;                   // 10.2.0.1
+std::uint32_t www_client(int i) {
+  return 0xAC100000u + 2 + static_cast<std::uint32_t>(i);           // 172.16.x
+}
+
+/// Interactive TELNET session: small keystroke packets with heavy-tailed
+/// think times (occasionally minutes -- the "long TELNET session with large
+/// quiet periods" of Section 7.1 that legitimately splits into flows).
+void telnet_session(Emitter& em, util::RandomSource& rng, util::TimeUs start,
+                    std::uint32_t client, std::uint16_t cport,
+                    std::uint32_t server) {
+  const double dur_us = pareto(rng, 120e6, 1.1, 3.6e9);  // median ~2 min
+  util::TimeUs t = start;
+  const util::TimeUs end = start + static_cast<util::TimeUs>(dur_us);
+  while (t < end && t < em.horizon()) {
+    const auto key_size = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    em.packet(t, kTcp, client, cport, server, kTelnetPort, key_size);
+    // Echo + screen update back.
+    em.packet(t + util::TimeUs{15'000}, kTcp, server, kTelnetPort, client,
+              cport, static_cast<std::uint32_t>(16 + rng.next_below(112)));
+    // Think time: mostly sub-second, occasionally a long quiet period.
+    t += static_cast<util::TimeUs>(pareto(rng, 0.4e6, 1.15, 1.2e9));
+  }
+}
+
+/// FTP: a short control conversation plus a heavy-tailed bulk data transfer
+/// from server to client at 10 Mb/s pacing.
+void ftp_session(Emitter& em, util::RandomSource& rng, util::TimeUs start,
+                 std::uint32_t client, std::uint16_t ctrl_port,
+                 std::uint16_t data_port, std::uint32_t server) {
+  util::TimeUs t = start;
+  for (int i = 0; i < 4; ++i) {  // USER/PASS/RETR/226 chit-chat
+    em.packet(t, kTcp, client, ctrl_port, server, kFtpCtrlPort,
+              static_cast<std::uint32_t>(16 + rng.next_below(48)));
+    em.packet(t + util::TimeUs{20'000}, kTcp, server, kFtpCtrlPort, client,
+              ctrl_port, static_cast<std::uint32_t>(32 + rng.next_below(64)));
+    t += util::TimeUs{300'000};
+  }
+  const double file_bytes = pareto(rng, 8e3, 1.1, 50e6);  // heavy tail
+  const auto packets = static_cast<std::uint64_t>(file_bytes / 1460) + 1;
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    em.packet(t, kTcp, server, kFtpDataPort, client, data_port, 1460);
+    t += util::TimeUs{1'200};  // ~10 Mb/s
+  }
+}
+
+/// X11: bursts of small messages in both directions.
+void x11_session(Emitter& em, util::RandomSource& rng, util::TimeUs start,
+                 std::uint32_t client, std::uint16_t cport,
+                 std::uint32_t server) {
+  util::TimeUs t = start;
+  const int bursts = static_cast<int>(3 + rng.next_below(20));
+  for (int b = 0; b < bursts; ++b) {
+    const int n = static_cast<int>(4 + rng.next_below(40));
+    for (int i = 0; i < n; ++i) {
+      em.packet(t, kTcp, client, cport, server, kX11Port,
+                static_cast<std::uint32_t>(32 + rng.next_below(224)));
+      if (rng.next_below(3) == 0)
+        em.packet(t + util::TimeUs{5'000}, kTcp, server, kX11Port, client,
+                  cport, static_cast<std::uint32_t>(32 + rng.next_below(992)));
+      t += util::TimeUs{10'000};
+    }
+    t += exp_gap(rng, 5e6);  // inter-burst think time
+  }
+}
+
+/// NFS: the long-lived periodic flow that carries the bulk of LAN bytes
+/// (Figure 9's tail). Runs for the whole trace.
+void nfs_pair(Emitter& em, util::RandomSource& rng, std::uint32_t client,
+              std::uint16_t cport, std::uint32_t server) {
+  util::TimeUs t = exp_gap(rng, 1e6);
+  while (t < em.horizon()) {
+    em.packet(t, kUdp, client, cport, server, kNfsPort,
+              static_cast<std::uint32_t>(96 + rng.next_below(64)));
+    // Read reply, up to 8KB.
+    const auto reply = static_cast<std::uint32_t>(
+        512 + rng.next_below(7680));
+    em.packet(t + util::TimeUs{3'000}, kUdp, server, kNfsPort, client, cport,
+              reply);
+    t += exp_gap(rng, 0.4e6);
+  }
+}
+
+void dns_exchange(Emitter& em, util::RandomSource& rng, util::TimeUs t,
+                  std::uint32_t client, std::uint16_t cport,
+                  std::uint32_t server) {
+  em.packet(t, kUdp, client, cport, server, kDnsPort,
+            static_cast<std::uint32_t>(30 + rng.next_below(34)));
+  em.packet(t + util::TimeUs{2'000}, kUdp, server, kDnsPort, client, cport,
+            static_cast<std::uint32_t>(80 + rng.next_below(240)));
+}
+
+/// One WWW hit: request up, heavy-tailed response down.
+void www_hit(Emitter& em, util::RandomSource& rng, util::TimeUs t,
+             std::uint32_t client, std::uint16_t cport) {
+  em.packet(t, kTcp, client, cport, kWwwServer, kHttpPort,
+            static_cast<std::uint32_t>(180 + rng.next_below(240)));
+  const double response = pareto(rng, 2e3, 1.3, 5e6);
+  auto remaining = static_cast<std::int64_t>(response);
+  util::TimeUs rt = t + util::TimeUs{8'000};
+  while (remaining > 0) {
+    const auto n = static_cast<std::uint32_t>(std::min<std::int64_t>(
+        remaining, 1460));
+    em.packet(rt, kTcp, kWwwServer, kHttpPort, client, cport, n);
+    remaining -= n;
+    rt += util::TimeUs{1'200};
+  }
+}
+
+}  // namespace
+
+Trace generate_lan_trace(const LanWorkloadConfig& config) {
+  Trace trace;
+  Emitter em(trace, config.duration);
+  util::SplitMix64 rng(config.seed);
+
+  std::vector<PortPool> pools;
+  pools.reserve(config.desktops);
+  for (int i = 0; i < config.desktops; ++i)
+    pools.emplace_back(rng, config.ephemeral_pool);
+
+  auto server_of = [&](util::RandomSource& r) {
+    return lan_server(static_cast<int>(
+        r.next_below(config.file_servers + config.compute_servers)));
+  };
+
+  const double hour_us = 3600e6;
+  for (int d = 0; d < config.desktops; ++d) {
+    const std::uint32_t host = lan_desktop(d);
+
+    // Poisson session arrivals over the trace for each application.
+    for (util::TimeUs t = exp_gap(rng, hour_us / config.telnet_per_hour);
+         t < config.duration;
+         t += exp_gap(rng, hour_us / config.telnet_per_hour))
+      telnet_session(em, rng, t, host, pools[d].draw(rng), server_of(rng));
+
+    for (util::TimeUs t = exp_gap(rng, hour_us / config.ftp_per_hour);
+         t < config.duration;
+         t += exp_gap(rng, hour_us / config.ftp_per_hour))
+      ftp_session(em, rng, t, host, pools[d].draw(rng), pools[d].draw(rng),
+                  lan_server(static_cast<int>(
+                      rng.next_below(config.file_servers))));
+
+    for (util::TimeUs t = exp_gap(rng, hour_us / config.x11_per_hour);
+         t < config.duration;
+         t += exp_gap(rng, hour_us / config.x11_per_hour))
+      x11_session(em, rng, t, host, pools[d].draw(rng),
+                  lan_server(config.file_servers +
+                             static_cast<int>(rng.next_below(
+                                 config.compute_servers))));
+
+    for (util::TimeUs t = exp_gap(rng, hour_us / config.dns_per_hour);
+         t < config.duration;
+         t += exp_gap(rng, hour_us / config.dns_per_hour))
+      dns_exchange(em, rng, t, host, pools[d].draw(rng), lan_server(0));
+
+    if (config.nfs_background && d % 3 == 0)  // a third of desktops mount NFS
+      nfs_pair(em, rng, host, pools[d].draw(rng),
+               lan_server(static_cast<int>(
+                   rng.next_below(config.file_servers))));
+  }
+
+  sort_trace(trace);
+  return trace;
+}
+
+Trace generate_www_trace(const WwwWorkloadConfig& config) {
+  Trace trace;
+  Emitter em(trace, config.duration);
+  util::SplitMix64 rng(config.seed);
+
+  std::vector<PortPool> pools;
+  pools.reserve(config.client_population);
+  for (int i = 0; i < config.client_population; ++i)
+    pools.emplace_back(rng, config.ephemeral_pool);
+
+  const double day_us = 86400e6;
+  const double mean_gap = day_us / config.hits_per_day;
+  for (util::TimeUs t = exp_gap(rng, mean_gap); t < config.duration;
+       t += exp_gap(rng, mean_gap)) {
+    const int c = static_cast<int>(rng.next_below(config.client_population));
+    www_hit(em, rng, t, www_client(c), pools[c].draw(rng));
+  }
+
+  sort_trace(trace);
+  return trace;
+}
+
+Trace merge_traces(std::initializer_list<const Trace*> traces) {
+  Trace merged;
+  for (const Trace* t : traces)
+    merged.insert(merged.end(), t->begin(), t->end());
+  sort_trace(merged);
+  return merged;
+}
+
+Trace generate_campus_trace(std::uint64_t seed, util::TimeUs duration) {
+  LanWorkloadConfig lan;
+  lan.seed = seed;
+  lan.duration = duration;
+  WwwWorkloadConfig www;
+  www.seed = seed ^ 0x5741424Bu;  // decorrelate the two generators
+  www.duration = duration;
+  const Trace a = generate_lan_trace(lan);
+  const Trace b = generate_www_trace(www);
+  return merge_traces({&a, &b});
+}
+
+}  // namespace fbs::trace

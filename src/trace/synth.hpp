@@ -1,0 +1,60 @@
+// Synthetic workload generators.
+//
+// The paper sniffed (a) a server-based campus workgroup LAN -- file and
+// compute servers plus user desktops running interactive (TELNET, X) and
+// sustained/periodic (FTP, NFS) conversations -- and (b) a lightly hit WWW
+// server (~10,000 hits/day). Those tcpdump traces are unavailable, so these
+// generators synthesize traffic with the same structure: many short
+// interactive flows, heavy-tailed transfer sizes, a few long-lived periodic
+// flows (NFS) carrying the bulk of the bytes, and ephemeral-port reuse that
+// produces the "repeated flows" of Figure 14.
+//
+// Generators are deterministic in their seed, so figures regenerate
+// identically run to run.
+#pragma once
+
+#include "trace/record.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::trace {
+
+struct LanWorkloadConfig {
+  std::uint64_t seed = 1997;
+  util::TimeUs duration = util::minutes(60);
+  int desktops = 24;
+  int file_servers = 2;
+  int compute_servers = 2;
+
+  // Mean session arrivals per desktop per hour.
+  double telnet_per_hour = 1.5;
+  double ftp_per_hour = 1.0;
+  double x11_per_hour = 0.8;
+  double dns_per_hour = 30.0;
+  bool nfs_background = true;  // long-lived periodic flows to file servers
+
+  /// Ephemeral source ports are drawn from a small per-host pool, so the
+  /// same five-tuple recurs across sessions (repeated flows, Figure 14).
+  int ephemeral_pool = 6;
+};
+
+/// Campus workgroup LAN (the Figure 9-14 input).
+Trace generate_lan_trace(const LanWorkloadConfig& config);
+
+struct WwwWorkloadConfig {
+  std::uint64_t seed = 2026;
+  util::TimeUs duration = util::minutes(60);
+  double hits_per_day = 10000;
+  int client_population = 200;
+  int ephemeral_pool = 4;
+};
+
+/// Lightly hit WWW server trace.
+Trace generate_www_trace(const WwwWorkloadConfig& config);
+
+/// Interleave several traces into one time-sorted trace.
+Trace merge_traces(std::initializer_list<const Trace*> traces);
+
+/// The combined workload used by the figure benches: LAN + WWW.
+Trace generate_campus_trace(std::uint64_t seed, util::TimeUs duration);
+
+}  // namespace fbs::trace

@@ -1,0 +1,122 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+
+namespace fbs::util {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string to_hex(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_val(hex[i]);
+    const int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (!need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<Bytes> ByteReader::bytes(std::size_t n) {
+  if (!need(n)) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::rest() {
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+  pos_ = data_.size();
+  return out;
+}
+
+}  // namespace fbs::util

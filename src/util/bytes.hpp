@@ -1,0 +1,88 @@
+// Byte-buffer utilities: big-endian codecs, hex conversion, constant-time
+// comparison. All wire formats in this library are serialized through
+// ByteWriter/ByteReader so that byte order is decided in exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbs::util {
+
+/// Owning byte buffer used throughout the library for wire data and keys.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes; the library-wide parameter type for payloads.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Build a Bytes from a string literal / std::string (no trailing NUL).
+Bytes to_bytes(std::string_view s);
+
+/// Interpret bytes as text (for tests and examples; not NUL-safe display).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding, e.g. {0xde,0xad} -> "dead".
+std::string to_hex(BytesView b);
+
+/// Decode hex (upper or lower case). Returns nullopt on bad length/characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Constant-time equality for MACs and keys: does not early-exit on the first
+/// differing byte, so timing does not leak the mismatch position.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Append-only big-endian serializer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  /// Number of bytes written so far.
+  std::size_t size() const { return buf_.size(); }
+
+  /// Take the accumulated buffer; the writer is left empty.
+  Bytes take() { return std::move(buf_); }
+  const Bytes& view() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked big-endian deserializer over a non-owning view.
+/// All accessors return nullopt once the view is exhausted; ok() stays false
+/// afterwards so a parse can be validated with a single check at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  /// Copy out exactly n bytes, or nullopt if fewer remain.
+  std::optional<Bytes> bytes(std::size_t n);
+  /// Everything not yet consumed.
+  Bytes rest();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace fbs::util

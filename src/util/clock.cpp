@@ -1,0 +1,15 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace fbs::util {
+
+TimeUs SystemClock::now() const {
+  using namespace std::chrono;
+  const auto unix_us =
+      duration_cast<microseconds>(system_clock::now().time_since_epoch())
+          .count();
+  return unix_us - kFbsEpochUnixSeconds * kMicrosPerSecond;
+}
+
+}  // namespace fbs::util

@@ -1,0 +1,56 @@
+// Time abstraction.
+//
+// All protocol and simulation time is expressed as microseconds since the
+// FBS epoch, 00:00 GMT January 1 1996 -- the epoch the paper chooses for the
+// 32-bit minute-resolution timestamp in the security flow header (Sec 7.2).
+// Components take a Clock& so tests and the trace simulator can run on
+// virtual time while examples run on the system clock.
+#pragma once
+
+#include <cstdint>
+
+namespace fbs::util {
+
+/// Microseconds since 00:00 GMT 1996-01-01.
+using TimeUs = std::int64_t;
+
+constexpr TimeUs kMicrosPerSecond = 1'000'000;
+constexpr TimeUs kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+/// Unix time of the FBS epoch (1996-01-01T00:00:00Z).
+constexpr std::int64_t kFbsEpochUnixSeconds = 820'454'400;
+
+constexpr TimeUs seconds(std::int64_t s) { return s * kMicrosPerSecond; }
+constexpr TimeUs minutes(std::int64_t m) { return m * kMicrosPerMinute; }
+
+/// The header timestamp: whole minutes since the FBS epoch (Sec 5.3 uses
+/// minute resolution as "a coarse protection against replays").
+constexpr std::uint32_t to_header_minutes(TimeUs t) {
+  return static_cast<std::uint32_t>(t / kMicrosPerMinute);
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeUs now() const = 0;
+};
+
+/// Manually driven clock for tests and discrete-event simulation.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimeUs start = 0) : now_(start) {}
+  TimeUs now() const override { return now_; }
+  void advance(TimeUs delta) { now_ += delta; }
+  void set(TimeUs t) { now_ = t; }
+
+ private:
+  TimeUs now_;
+};
+
+/// Wall-clock time converted to the FBS epoch.
+class SystemClock final : public Clock {
+ public:
+  TimeUs now() const override;
+};
+
+}  // namespace fbs::util

@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace fbs::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, BytesView data) {
+  for (std::uint8_t b : data) state = kTable[(state ^ b) & 0xFF] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(BytesView data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace fbs::util

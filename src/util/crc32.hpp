@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Section 5.3 of the paper calls
+// for CRC-32 as the cache-index hash because cache inputs (local network
+// addresses, sequential sfl values) are highly correlated and simple
+// modulo/XOR hashing clusters them.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::util {
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(BytesView data);
+
+/// Incremental form: feed the previous return value back in as `state`.
+/// Start from crc32_init() and finish with crc32_final().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, BytesView data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace fbs::util

@@ -1,0 +1,103 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fbs::util {
+
+LogHistogram::LogHistogram(double base)
+    : base_(base),
+      log_base_(std::log(base)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+int LogHistogram::bucket_index(double value) const {
+  if (value < 1.0) return -1;
+  return static_cast<int>(std::floor(std::log(value) / log_base_ + 1e-12));
+}
+
+void LogHistogram::add(double value, std::uint64_t count) {
+  if (count == 0) return;
+  const int idx = bucket_index(value);
+  if (idx < 0) {
+    zero_or_less_ += count;
+  } else {
+    if (static_cast<std::size_t>(idx) >= pos_.size()) pos_.resize(idx + 1, 0);
+    pos_[idx] += count;
+  }
+  total_ += count;
+  sum_ += value * static_cast<double>(count);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double LogHistogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::buckets() const {
+  std::vector<Bucket> out;
+  std::uint64_t cum = 0;
+  auto push = [&](double lo, double hi, std::uint64_t c) {
+    if (c == 0) return;
+    cum += c;
+    out.push_back({lo, hi, c,
+                   total_ ? static_cast<double>(cum) / static_cast<double>(total_)
+                          : 0.0});
+  };
+  push(0.0, 1.0, zero_or_less_);
+  for (std::size_t k = 0; k < pos_.size(); ++k) {
+    push(std::pow(base_, static_cast<double>(k)),
+         std::pow(base_, static_cast<double>(k + 1)), pos_[k]);
+  }
+  return out;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<double>(total_) * q;
+  double seen = 0;
+  for (const auto& b : buckets()) {
+    const auto c = static_cast<double>(b.count);
+    if (seen + c >= target) {
+      const double frac = c == 0 ? 0 : (target - seen) / c;
+      double lo = std::max(b.lo, min_);
+      double hi = std::min(b.hi, max_);
+      if (hi < lo) hi = lo;
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+std::string LogHistogram::render(const std::string& value_label,
+                                 int width) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%-24s  %10s  %8s  %7s  %s\n", value_label.c_str(), "count",
+                "frac", "cdf", "");
+  out += line;
+  std::uint64_t peak = 1;
+  for (const auto& b : buckets()) peak = std::max(peak, b.count);
+  for (const auto& b : buckets()) {
+    const double frac =
+        total_ ? static_cast<double>(b.count) / static_cast<double>(total_) : 0;
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(b.count) / static_cast<double>(peak) *
+                    width));
+    std::snprintf(line, sizeof line, "[%9.5g, %9.5g)  %10llu  %7.2f%%  %6.2f%%  ",
+                  b.lo, b.hi, static_cast<unsigned long long>(b.count),
+                  frac * 100.0, b.cum_fraction * 100.0);
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fbs::util

@@ -1,0 +1,53 @@
+// Logarithmically bucketed histogram used by the flow-characteristics
+// experiments (Figures 9 and 10 plot distributions of flow sizes and
+// durations, which span several orders of magnitude).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbs::util {
+
+class LogHistogram {
+ public:
+  /// Buckets are [base^k, base^(k+1)); base must be > 1.
+  explicit LogHistogram(double base = 2.0);
+
+  void add(double value, std::uint64_t count = 1);
+
+  std::uint64_t total() const { return total_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const;
+
+  /// Value below which `q` (0..1) of the mass lies, interpolated within the
+  /// containing bucket. Exact for the recorded extremes.
+  double quantile(double q) const;
+
+  struct Bucket {
+    double lo = 0;
+    double hi = 0;
+    std::uint64_t count = 0;
+    double cum_fraction = 0;  // CDF at hi
+  };
+  /// Non-empty buckets in increasing order with cumulative fractions.
+  std::vector<Bucket> buckets() const;
+
+  /// Render an ASCII table + bar chart (used by the figure benches).
+  std::string render(const std::string& value_label, int width = 40) const;
+
+ private:
+  int bucket_index(double value) const;
+
+  double base_;
+  double log_base_;
+  std::vector<std::uint64_t> pos_;  // index k: [base^k, base^{k+1}), k>=0
+  std::uint64_t zero_or_less_ = 0;  // values <= 1 fall here ([0, 1))
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace fbs::util

@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+#include <chrono>
+#include <random>
+
+namespace fbs::util {
+
+std::uint64_t RandomSource::next_below(std::uint64_t bound) {
+  return bound == 0 ? 0 : next_u64() % bound;
+}
+
+double RandomSource::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Bytes RandomSource::next_bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t v = next_u64();
+    for (int k = 0; k < 8 && i < n; ++k, ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+std::uint64_t SplitMix64::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t kLcgA = 0x5DEECE66Dull;
+constexpr std::uint64_t kLcgC = 0xBull;
+constexpr std::uint64_t kLcgMask = (1ull << 48) - 1;
+}  // namespace
+
+Lcg48::Lcg48(std::uint64_t seed) : state_((seed ^ kLcgA) & kLcgMask) {}
+
+std::uint32_t Lcg48::step32() {
+  // Two 24-bit draws (top bits of the 48-bit state) per 32-bit value.
+  state_ = (state_ * kLcgA + kLcgC) & kLcgMask;
+  const std::uint32_t hi = static_cast<std::uint32_t>(state_ >> 24);
+  state_ = (state_ * kLcgA + kLcgC) & kLcgMask;
+  const std::uint32_t lo = static_cast<std::uint32_t>(state_ >> 24);
+  return hi << 16 ^ lo;  // hi contributes 24 bits shifted; mix, don't truncate
+}
+
+std::uint64_t Lcg48::next_u64() {
+  return static_cast<std::uint64_t>(step32()) << 32 | step32();
+}
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  std::uint64_t s = (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  s ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return s;
+}
+
+}  // namespace fbs::util

@@ -1,0 +1,67 @@
+// Random number generation.
+//
+// The paper distinguishes two grades of randomness (Sections 2.2 and 5.3):
+//   - *statistical* randomness, enough for the per-datagram confounder; it
+//     recommends the "highly efficient linear congruential generators"
+//     (Knuth vol. 2) reseeded at every FBS initialization, and
+//   - *cryptographic* randomness, needed for per-datagram keys in the
+//     host-pair baseline; the quadratic-residue (Blum-Blum-Shub) generator is
+//     named as the canonically secure but slow choice. BBS lives in
+//     src/crypto (it needs bignum); the LCG lives here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::util {
+
+/// Abstract random source so protocol components can be driven
+/// deterministically in tests and benches.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual std::uint64_t next_u64() = 0;
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+  /// Uniform in [0, bound) for bound >= 1 (modulo bias is acceptable for the
+  /// simulation uses this serves; cryptographic draws go through next_u64).
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Fill a fresh buffer with n random bytes.
+  Bytes next_bytes(std::size_t n);
+};
+
+/// SplitMix64: the library's general-purpose deterministic PRNG, used to seed
+/// everything else and to drive simulations.
+class SplitMix64 final : public RandomSource {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next_u64() override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// 48-bit linear congruential generator with the classic drand48 constants
+/// (Knuth, The Art of Computer Programming vol. 2). This is the paper's
+/// confounder generator: statistically random, extremely cheap, and reseeded
+/// at each protocol initialization.
+class Lcg48 final : public RandomSource {
+ public:
+  explicit Lcg48(std::uint64_t seed);
+  /// Two 24-bit steps are combined into each 32-bit half (the high bits of an
+  /// LCG are the strong ones), four steps per 64-bit output.
+  std::uint64_t next_u64() override;
+  std::uint32_t step32();
+
+ private:
+  std::uint64_t state_;  // 48 significant bits
+};
+
+/// Non-deterministic seed material for production use (std::random_device,
+/// mixed with the clock). Tests should not call this.
+std::uint64_t entropy_seed();
+
+}  // namespace fbs::util

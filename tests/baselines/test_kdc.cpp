@@ -1,0 +1,123 @@
+#include "baselines/kdc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ip.hpp"
+
+namespace fbs::baselines {
+namespace {
+
+core::Principal principal(const char* ip) {
+  return core::Principal::from_ipv4(*net::Ipv4Address::parse(ip));
+}
+
+class KdcTest : public ::testing::Test {
+ protected:
+  KdcTest()
+      : clock_(util::minutes(100)),
+        rng_(909),
+        kdc_(rng_, util::seconds(1), &clock_),
+        a_(principal("10.0.0.1")),
+        b_(principal("10.0.0.2")) {
+    alice_ = std::make_unique<KdcSessionProtocol>(a_, kdc_.enroll(a_), kdc_,
+                                                  rng_);
+    bob_ = std::make_unique<KdcSessionProtocol>(b_, kdc_.enroll(b_), kdc_,
+                                                rng_);
+  }
+
+  core::Datagram dgram(const std::string& body) {
+    core::Datagram d;
+    d.source = a_;
+    d.destination = b_;
+    d.body = util::to_bytes(body);
+    return d;
+  }
+
+  util::VirtualClock clock_;
+  util::SplitMix64 rng_;
+  KeyDistributionCenter kdc_;
+  core::Principal a_, b_;
+  std::unique_ptr<KdcSessionProtocol> alice_;
+  std::unique_ptr<KdcSessionProtocol> bob_;
+};
+
+TEST_F(KdcTest, RoundTrip) {
+  const auto wire = alice_->protect(dgram("ticketed"));
+  ASSERT_TRUE(wire.has_value());
+  const auto back = bob_->unprotect(a_, *wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, util::to_bytes("ticketed"));
+}
+
+TEST_F(KdcTest, FirstDatagramPaysKdcRoundTrip) {
+  // The setup cost FBS avoids: the first datagram to a new peer blocks on a
+  // KDC round trip.
+  const util::TimeUs before = clock_.now();
+  (void)alice_->protect(dgram("one"));
+  EXPECT_EQ(clock_.now() - before, util::seconds(1));
+  EXPECT_EQ(alice_->setup_round_trips(), 1u);
+  // Subsequent datagrams reuse the hard session state: no more trips.
+  (void)alice_->protect(dgram("two"));
+  (void)alice_->protect(dgram("three"));
+  EXPECT_EQ(alice_->setup_round_trips(), 1u);
+  EXPECT_EQ(kdc_.requests(), 1u);
+}
+
+TEST_F(KdcTest, HardStateAccumulatesPerPeer) {
+  const auto c = principal("10.0.0.3");
+  (void)kdc_.enroll(c);
+  core::Datagram d = dgram("x");
+  (void)alice_->protect(d);
+  d.destination = c;
+  (void)alice_->protect(d);
+  EXPECT_EQ(alice_->send_sessions(), 2u);  // hard state, one entry per peer
+}
+
+TEST_F(KdcTest, ReceiverBuildsHardStateFromTicket) {
+  const auto wire = alice_->protect(dgram("x"));
+  EXPECT_EQ(bob_->receive_sessions(), 0u);
+  (void)bob_->unprotect(a_, *wire);
+  EXPECT_EQ(bob_->receive_sessions(), 1u);
+}
+
+TEST_F(KdcTest, TeardownLosesSessionUnlikeSoftState) {
+  // The contrast with FBS soft state: after teardown the receiver cannot
+  // process an old-session datagram without the ticket path re-running, and
+  // the sender must set up again.
+  const auto wire = alice_->protect(dgram("pre-teardown"));
+  (void)bob_->unprotect(a_, *wire);
+  alice_->teardown(b_);
+  EXPECT_EQ(alice_->send_sessions(), 0u);
+  (void)alice_->protect(dgram("post-teardown"));
+  EXPECT_EQ(alice_->setup_round_trips(), 2u);  // had to set up again
+}
+
+TEST_F(KdcTest, UnenrolledPeerFails) {
+  core::Datagram d = dgram("x");
+  d.destination = principal("10.0.0.99");
+  EXPECT_FALSE(alice_->protect(d).has_value());
+}
+
+TEST_F(KdcTest, TamperedDatagramRejected) {
+  const auto wire = alice_->protect(dgram("integrity"));
+  util::Bytes bad = *wire;
+  bad.back() ^= 0x01;
+  EXPECT_FALSE(bob_->unprotect(a_, bad).has_value());
+}
+
+TEST_F(KdcTest, StolenTicketWrongSourceRejected) {
+  // A ticket names its owner; replaying it from another principal fails.
+  const auto wire = alice_->protect(dgram("mine"));
+  const auto c = principal("10.0.0.3");
+  EXPECT_FALSE(bob_->unprotect(c, *wire).has_value());
+}
+
+TEST_F(KdcTest, TamperedTicketRejected) {
+  const auto wire = alice_->protect(dgram("ticket check"));
+  util::Bytes bad = *wire;
+  bad[3] ^= 0x40;  // inside the ticket
+  EXPECT_FALSE(bob_->unprotect(a_, bad).has_value());
+}
+
+}  // namespace
+}  // namespace fbs::baselines

@@ -1,0 +1,62 @@
+#include "bignum/prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/dh.hpp"
+
+namespace fbs::bignum {
+namespace {
+
+TEST(Prime, SmallPrimesAccepted) {
+  util::SplitMix64 rng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 97ull, 251ull, 257ull,
+                          65537ull, 1000000007ull})
+    EXPECT_TRUE(is_probable_prime(Uint(p), rng)) << p;
+}
+
+TEST(Prime, SmallCompositesRejected) {
+  util::SplitMix64 rng(2);
+  for (std::uint64_t n : {0ull, 1ull, 4ull, 6ull, 9ull, 15ull, 91ull,
+                          561ull /*Carmichael*/, 1000000008ull})
+    EXPECT_FALSE(is_probable_prime(Uint(n), rng)) << n;
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Classic Fermat pseudoprimes that trip weak tests.
+  util::SplitMix64 rng(3);
+  for (std::uint64_t n : {561ull, 1105ull, 1729ull, 2465ull, 2821ull,
+                          6601ull, 8911ull})
+    EXPECT_FALSE(is_probable_prime(Uint(n), rng)) << n;
+}
+
+TEST(Prime, MersennePrimeM61) {
+  util::SplitMix64 rng(4);
+  EXPECT_TRUE(is_probable_prime(Uint((1ull << 61) - 1), rng));
+  EXPECT_FALSE(is_probable_prime(Uint((1ull << 62) - 1), rng));
+}
+
+TEST(Prime, OakleyGroupPrimesAreProbablePrime) {
+  // The RFC 2409 MODP primes used for zero-message keying.
+  util::SplitMix64 rng(5);
+  EXPECT_TRUE(is_probable_prime(crypto::oakley_group1().p, rng, 4));
+}
+
+TEST(Prime, GeneratedPrimeHasRequestedSizeAndPassesMr) {
+  util::SplitMix64 rng(6);
+  const Uint p = generate_prime(96, rng);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(p.is_odd());
+  util::SplitMix64 check_rng(7);
+  EXPECT_TRUE(is_probable_prime(p, check_rng));
+}
+
+TEST(Prime, GeneratedBlumPrimeIs3Mod4) {
+  util::SplitMix64 rng(8);
+  const Uint p = generate_blum_prime(64, rng);
+  EXPECT_EQ(p % Uint(4), Uint(3));
+  util::SplitMix64 check_rng(9);
+  EXPECT_TRUE(is_probable_prime(p, check_rng));
+}
+
+}  // namespace
+}  // namespace fbs::bignum

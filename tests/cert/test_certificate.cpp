@@ -1,0 +1,95 @@
+#include "cert/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fbs::cert {
+namespace {
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::SplitMix64 rng(11);
+    ca_ = new CertificateAuthority(512, rng);
+  }
+  static void TearDownTestSuite() {
+    delete ca_;
+    ca_ = nullptr;
+  }
+
+  PublicValueCertificate issue_default() {
+    return ca_->issue(util::to_bytes("\x0a\x01\x00\x01"), "group-x",
+                      util::to_bytes("public-value-bytes"), util::minutes(0),
+                      util::minutes(1000));
+  }
+
+  static CertificateAuthority* ca_;
+};
+
+CertificateAuthority* CertificateTest::ca_ = nullptr;
+
+TEST_F(CertificateTest, IssueAndVerify) {
+  const auto cert = issue_default();
+  EXPECT_EQ(ca_->verify(cert, util::minutes(500)), CertStatus::kValid);
+}
+
+TEST_F(CertificateTest, SerialNumbersIncrease) {
+  const auto a = issue_default();
+  const auto b = issue_default();
+  EXPECT_LT(a.serial, b.serial);
+}
+
+TEST_F(CertificateTest, NotYetValid) {
+  const auto cert = issue_default();
+  EXPECT_EQ(ca_->verify(cert, util::minutes(0) - util::seconds(1)),
+            CertStatus::kNotYetValid);
+}
+
+TEST_F(CertificateTest, Expired) {
+  const auto cert = issue_default();
+  EXPECT_EQ(ca_->verify(cert, util::minutes(1001)), CertStatus::kExpired);
+}
+
+TEST_F(CertificateTest, TamperedSubjectRejected) {
+  auto cert = issue_default();
+  cert.subject[0] ^= 1;
+  EXPECT_EQ(ca_->verify(cert, util::minutes(500)), CertStatus::kBadSignature);
+}
+
+TEST_F(CertificateTest, TamperedPublicValueRejected) {
+  auto cert = issue_default();
+  cert.public_value[3] ^= 0x80;
+  EXPECT_EQ(ca_->verify(cert, util::minutes(500)), CertStatus::kBadSignature);
+}
+
+TEST_F(CertificateTest, TamperedValidityRejected) {
+  auto cert = issue_default();
+  cert.not_after += util::minutes(100000);  // extend lifetime
+  EXPECT_EQ(ca_->verify(cert, util::minutes(500)), CertStatus::kBadSignature);
+}
+
+TEST_F(CertificateTest, TamperedSignatureRejected) {
+  auto cert = issue_default();
+  cert.signature[10] ^= 0xFF;
+  EXPECT_EQ(ca_->verify(cert, util::minutes(500)), CertStatus::kBadSignature);
+}
+
+TEST_F(CertificateTest, ForeignCaRejected) {
+  util::SplitMix64 rng(12);
+  CertificateAuthority other(512, rng);
+  const auto cert = issue_default();
+  EXPECT_EQ(other.verify(cert, util::minutes(500)),
+            CertStatus::kBadSignature);
+}
+
+TEST_F(CertificateTest, TbsBytesIsCanonical) {
+  const auto a = issue_default();
+  auto b = a;
+  EXPECT_EQ(a.tbs_bytes(), b.tbs_bytes());
+  b.group_name = "other";
+  EXPECT_NE(a.tbs_bytes(), b.tbs_bytes());
+}
+
+}  // namespace
+}  // namespace fbs::cert

@@ -1,0 +1,121 @@
+// Certificate chains: the "distributed certification hierarchy" of Section
+// 5.2 -- a root certifies organizational CAs, which certify principals.
+#include <gtest/gtest.h>
+
+#include "cert/certificate.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::cert {
+namespace {
+
+class ChainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::SplitMix64 rng(31);
+    root_ = new CertificateAuthority(512, rng);
+    org_ = new CertificateAuthority(512, rng);
+    dept_ = new CertificateAuthority(512, rng);
+  }
+  static void TearDownTestSuite() {
+    delete root_;
+    delete org_;
+    delete dept_;
+    root_ = org_ = dept_ = nullptr;
+  }
+
+  static PublicValueCertificate leaf_from(CertificateAuthority& issuer) {
+    return issuer.issue(util::to_bytes("\x0a\x00\x00\x01"), "dh-group",
+                        util::to_bytes("public-value"), util::minutes(0),
+                        util::minutes(1000));
+  }
+
+  static CertificateAuthority* root_;
+  static CertificateAuthority* org_;
+  static CertificateAuthority* dept_;
+};
+
+CertificateAuthority* ChainTest::root_ = nullptr;
+CertificateAuthority* ChainTest::org_ = nullptr;
+CertificateAuthority* ChainTest::dept_ = nullptr;
+
+TEST_F(ChainTest, DepthOneChainIsJustDirectVerification) {
+  CertificateChain chain;
+  chain.leaf = leaf_from(*root_);
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kValid);
+}
+
+TEST_F(ChainTest, DepthTwoChainVerifies) {
+  CertificateChain chain;
+  chain.leaf = leaf_from(*org_);
+  chain.delegations.push_back(root_->delegate(
+      *org_, util::to_bytes("org-ca"), util::minutes(0), util::minutes(1000)));
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kValid);
+}
+
+TEST_F(ChainTest, DepthThreeChainVerifies) {
+  CertificateChain chain;
+  chain.leaf = leaf_from(*dept_);
+  chain.delegations.push_back(org_->delegate(
+      *dept_, util::to_bytes("dept-ca"), util::minutes(0),
+      util::minutes(1000)));
+  chain.delegations.push_back(root_->delegate(
+      *org_, util::to_bytes("org-ca"), util::minutes(0), util::minutes(1000)));
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kValid);
+}
+
+TEST_F(ChainTest, MissingDelegationBreaksChain) {
+  // Leaf issued by org, but no delegation presented: root cannot verify it.
+  CertificateChain chain;
+  chain.leaf = leaf_from(*org_);
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kBadSignature);
+}
+
+TEST_F(ChainTest, WrongIntermediateRejected) {
+  // Delegation names dept but leaf was issued by org.
+  CertificateChain chain;
+  chain.leaf = leaf_from(*org_);
+  chain.delegations.push_back(root_->delegate(
+      *dept_, util::to_bytes("dept-ca"), util::minutes(0),
+      util::minutes(1000)));
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kBadSignature);
+}
+
+TEST_F(ChainTest, ExpiredDelegationPoisonsWholeChain) {
+  CertificateChain chain;
+  chain.leaf = leaf_from(*org_);
+  chain.delegations.push_back(root_->delegate(
+      *org_, util::to_bytes("org-ca"), util::minutes(0), util::minutes(5)));
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kExpired);
+}
+
+TEST_F(ChainTest, TamperedDelegationKeyRejected) {
+  CertificateChain chain;
+  chain.leaf = leaf_from(*org_);
+  auto delegation = root_->delegate(*org_, util::to_bytes("org-ca"),
+                                    util::minutes(0), util::minutes(1000));
+  delegation.public_value[5] ^= 0x01;  // swap in a corrupted CA key
+  chain.delegations.push_back(delegation);
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kBadSignature);
+}
+
+TEST_F(ChainTest, SelfSignedImposterRootRejected) {
+  util::SplitMix64 rng(32);
+  CertificateAuthority mallory(512, rng);
+  CertificateChain chain;
+  chain.leaf = leaf_from(mallory);
+  chain.delegations.push_back(mallory.delegate(
+      mallory, util::to_bytes("fake-root"), util::minutes(0),
+      util::minutes(1000)));
+  EXPECT_EQ(verify_chain(root_->public_key(), chain, util::minutes(10)),
+            CertStatus::kBadSignature);
+}
+
+}  // namespace
+}  // namespace fbs::cert

@@ -1,0 +1,82 @@
+#include "cert/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/world.hpp"
+
+namespace fbs::cert {
+namespace {
+
+PublicValueCertificate make_cert(CertificateAuthority& ca,
+                                 const std::string& subject) {
+  return ca.issue(util::to_bytes(subject), "g", util::to_bytes("pv"),
+                  util::minutes(0), util::minutes(1000));
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::SplitMix64 rng(21);
+    ca_ = new CertificateAuthority(512, rng);
+  }
+  static void TearDownTestSuite() {
+    delete ca_;
+    ca_ = nullptr;
+  }
+  static CertificateAuthority* ca_;
+};
+
+CertificateAuthority* DirectoryTest::ca_ = nullptr;
+
+TEST_F(DirectoryTest, PublishThenFetch) {
+  DirectoryService dir;
+  dir.publish(make_cert(*ca_, "host-a"));
+  const auto cert = dir.fetch(util::to_bytes("host-a"));
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->subject, util::to_bytes("host-a"));
+}
+
+TEST_F(DirectoryTest, FetchUnknownSubjectFails) {
+  DirectoryService dir;
+  EXPECT_FALSE(dir.fetch(util::to_bytes("nobody")).has_value());
+  EXPECT_EQ(dir.fetch_count(), 1u);
+}
+
+TEST_F(DirectoryTest, RepublishReplaces) {
+  DirectoryService dir;
+  dir.publish(make_cert(*ca_, "host-a"));
+  const auto first = dir.fetch(util::to_bytes("host-a"));
+  dir.publish(make_cert(*ca_, "host-a"));
+  const auto second = dir.fetch(util::to_bytes("host-a"));
+  EXPECT_NE(first->serial, second->serial);
+}
+
+TEST_F(DirectoryTest, RevokeRemoves) {
+  DirectoryService dir;
+  dir.publish(make_cert(*ca_, "host-a"));
+  dir.revoke(util::to_bytes("host-a"));
+  EXPECT_FALSE(dir.fetch(util::to_bytes("host-a")).has_value());
+}
+
+TEST_F(DirectoryTest, FetchChargesRoundTripToClock) {
+  // Section 5.3: a PVC miss "incurs at the minimum a round trip
+  // communication delay".
+  util::VirtualClock clock(util::minutes(5));
+  DirectoryService dir(util::seconds(1), &clock);
+  dir.publish(make_cert(*ca_, "host-a"));
+  const util::TimeUs before = clock.now();
+  (void)dir.fetch(util::to_bytes("host-a"));
+  EXPECT_EQ(clock.now() - before, util::seconds(1));
+  (void)dir.fetch(util::to_bytes("host-a"));
+  EXPECT_EQ(dir.total_fetch_delay(), util::seconds(2));
+}
+
+TEST_F(DirectoryTest, FetchCountsAccumulate) {
+  DirectoryService dir;
+  dir.publish(make_cert(*ca_, "a"));
+  for (int i = 0; i < 5; ++i) (void)dir.fetch(util::to_bytes("a"));
+  EXPECT_EQ(dir.fetch_count(), 5u);
+}
+
+}  // namespace
+}  // namespace fbs::cert

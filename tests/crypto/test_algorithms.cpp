@@ -1,0 +1,70 @@
+#include "crypto/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::crypto {
+namespace {
+
+TEST(Algorithms, DefaultSuiteIsPaperSuite) {
+  const AlgorithmSuite s = default_suite();
+  EXPECT_EQ(s.mac, MacAlgorithm::kKeyedMd5);
+  EXPECT_EQ(s.cipher, CipherAlgorithm::kDesCbc);
+}
+
+TEST(Algorithms, EncodeDecodeRoundTripAllSuites) {
+  for (auto mac : {MacAlgorithm::kKeyedMd5, MacAlgorithm::kHmacMd5,
+                   MacAlgorithm::kKeyedSha1, MacAlgorithm::kHmacSha1}) {
+    for (auto cipher :
+         {CipherAlgorithm::kNone, CipherAlgorithm::kDesCbc,
+          CipherAlgorithm::kDesEcb, CipherAlgorithm::kDesCfb,
+          CipherAlgorithm::kDesOfb}) {
+      const AlgorithmSuite suite{mac, cipher};
+      const auto decoded = decode_suite(encode_suite(suite));
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, suite);
+    }
+  }
+}
+
+TEST(Algorithms, DecodeRejectsUnknownValues) {
+  EXPECT_FALSE(decode_suite(0x00).has_value());  // MAC 0 invalid
+  EXPECT_FALSE(decode_suite(0xF1).has_value());  // MAC 15 invalid
+  EXPECT_FALSE(decode_suite(0x1F).has_value());  // cipher 15 invalid
+}
+
+TEST(Algorithms, MacFactoryProducesWorkingMacs) {
+  const util::Bytes key = util::to_bytes("k");
+  const util::Bytes msg = util::to_bytes("m");
+  for (auto alg : {MacAlgorithm::kKeyedMd5, MacAlgorithm::kHmacMd5,
+                   MacAlgorithm::kKeyedSha1, MacAlgorithm::kHmacSha1}) {
+    const auto mac = make_mac(alg);
+    ASSERT_NE(mac, nullptr);
+    const auto tag = mac->compute(key, {msg});
+    EXPECT_EQ(tag.size(), mac_size(alg));
+    EXPECT_EQ(tag.size(), mac->mac_size());
+  }
+}
+
+TEST(Algorithms, MacSizes) {
+  EXPECT_EQ(mac_size(MacAlgorithm::kKeyedMd5), 16u);
+  EXPECT_EQ(mac_size(MacAlgorithm::kHmacMd5), 16u);
+  EXPECT_EQ(mac_size(MacAlgorithm::kKeyedSha1), 20u);
+  EXPECT_EQ(mac_size(MacAlgorithm::kHmacSha1), 20u);
+}
+
+TEST(Algorithms, CipherModeMapping) {
+  EXPECT_FALSE(cipher_mode(CipherAlgorithm::kNone).has_value());
+  EXPECT_EQ(*cipher_mode(CipherAlgorithm::kDesCbc), CipherMode::kCbc);
+  EXPECT_EQ(*cipher_mode(CipherAlgorithm::kDesEcb), CipherMode::kEcb);
+  EXPECT_EQ(*cipher_mode(CipherAlgorithm::kDesCfb), CipherMode::kCfb);
+  EXPECT_EQ(*cipher_mode(CipherAlgorithm::kDesOfb), CipherMode::kOfb);
+}
+
+TEST(Algorithms, DistinctSuitesDistinctWireBytes) {
+  const AlgorithmSuite a{MacAlgorithm::kKeyedMd5, CipherAlgorithm::kDesCbc};
+  const AlgorithmSuite b{MacAlgorithm::kHmacSha1, CipherAlgorithm::kNone};
+  EXPECT_NE(encode_suite(a), encode_suite(b));
+}
+
+}  // namespace
+}  // namespace fbs::crypto

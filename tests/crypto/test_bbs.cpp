@@ -1,0 +1,69 @@
+#include "crypto/bbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+
+namespace fbs::crypto {
+namespace {
+
+bignum::Uint blum_modulus_small() {
+  // 7 and 11 are Blum primes (both = 3 mod 4); n = 77.
+  return bignum::Uint(7) * bignum::Uint(11);
+}
+
+TEST(BlumBlumShub, KnownSequenceSmallModulus) {
+  // Seed 3: x0 = 9; squares mod 77: 9 -> 81%77=4 -> 16 -> 256%77=25 -> ...
+  BlumBlumShub bbs(blum_modulus_small(), bignum::Uint(3));
+  // Parity of 4, 16, 25, 9, 4, ...
+  EXPECT_EQ(bbs.next_bit(), false);  // 4
+  EXPECT_EQ(bbs.next_bit(), false);  // 16
+  EXPECT_EQ(bbs.next_bit(), true);   // 25
+  EXPECT_EQ(bbs.next_bit(), true);   // 25^2=625 % 77 = 9
+}
+
+TEST(BlumBlumShub, DeterministicForSeed) {
+  util::SplitMix64 seeder(55);
+  BlumBlumShub a = BlumBlumShub::generate(128, seeder);
+  util::SplitMix64 seeder2(55);
+  BlumBlumShub b = BlumBlumShub::generate(128, seeder2);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(BlumBlumShub, GeneratedModulusIsBlum) {
+  util::SplitMix64 seeder(56);
+  const bignum::Uint p = bignum::generate_blum_prime(64, seeder);
+  const bignum::Uint q = bignum::generate_blum_prime(64, seeder);
+  EXPECT_EQ(p % bignum::Uint(4), bignum::Uint(3));
+  EXPECT_EQ(q % bignum::Uint(4), bignum::Uint(3));
+}
+
+TEST(BlumBlumShub, BitsRoughlyBalanced) {
+  util::SplitMix64 seeder(57);
+  BlumBlumShub bbs = BlumBlumShub::generate(128, seeder);
+  int ones = 0;
+  constexpr int kBits = 2048;
+  for (int i = 0; i < kBits; ++i) ones += bbs.next_bit();
+  EXPECT_GT(ones, kBits * 2 / 5);
+  EXPECT_LT(ones, kBits * 3 / 5);
+}
+
+TEST(BlumBlumShub, DegenerateSeedRecovers) {
+  // Seeds collapsing to 0/1 are replaced with a safe start state.
+  BlumBlumShub bbs(blum_modulus_small(), bignum::Uint(77));  // 77 % 77 = 0
+  // Must still produce bits (not get stuck at 0).
+  bool any = false;
+  for (int i = 0; i < 16; ++i) any = any || bbs.next_bit();
+  EXPECT_TRUE(any);
+}
+
+TEST(BlumBlumShub, ActsAsRandomSource) {
+  util::SplitMix64 seeder(58);
+  BlumBlumShub bbs = BlumBlumShub::generate(128, seeder);
+  util::RandomSource& rng = bbs;
+  const util::Bytes key = rng.next_bytes(8);
+  EXPECT_EQ(key.size(), 8u);
+}
+
+}  // namespace
+}  // namespace fbs::crypto

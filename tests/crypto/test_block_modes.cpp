@@ -1,0 +1,148 @@
+#include "crypto/block_modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace fbs::crypto {
+namespace {
+
+class BlockModesRoundTrip
+    : public ::testing::TestWithParam<std::tuple<CipherMode, std::size_t>> {};
+
+TEST_P(BlockModesRoundTrip, EncryptThenDecryptIsIdentity) {
+  const auto [mode, length] = GetParam();
+  util::SplitMix64 rng(static_cast<std::uint64_t>(length) * 31 +
+                       static_cast<std::uint64_t>(mode));
+  const Des des(rng.next_bytes(8));
+  const util::Bytes plain = rng.next_bytes(length);
+  const std::uint64_t iv = rng.next_u64();
+
+  const util::Bytes ct = encrypt(des, mode, iv, plain);
+  const auto back = decrypt(des, mode, iv, ct);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, plain);
+
+  if (mode == CipherMode::kEcb || mode == CipherMode::kCbc) {
+    EXPECT_EQ(ct.size() % 8, 0u);
+    EXPECT_GT(ct.size(), plain.size());  // PKCS#7 always pads
+  } else {
+    EXPECT_EQ(ct.size(), plain.size());  // stream modes preserve length
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesManyLengths, BlockModesRoundTrip,
+    ::testing::Combine(::testing::Values(CipherMode::kEcb, CipherMode::kCbc,
+                                         CipherMode::kCfb, CipherMode::kOfb),
+                       ::testing::Values(0u, 1u, 7u, 8u, 9u, 15u, 16u, 63u,
+                                         64u, 100u, 1460u)));
+
+TEST(BlockModes, Fips81CbcKnownVector) {
+  // FIPS PUB 81 appendix CBC example: key 0123456789abcdef,
+  // IV 1234567890abcdef, plaintext "Now is the time for all ".
+  const Des des(*util::from_hex("0123456789abcdef"));
+  const util::Bytes pt = util::to_bytes("Now is the time for all ");
+  const util::Bytes ct = encrypt(des, CipherMode::kCbc,
+                                 0x1234567890abcdefull, pt);
+  // Our CBC appends a PKCS#7 block; the first 24 bytes must match the
+  // published ciphertext.
+  EXPECT_EQ(util::to_hex(util::Bytes(ct.begin(), ct.begin() + 24)),
+            "e5c7cdde872bf27c43e934008c389c0f683788499a7c05f6");
+}
+
+TEST(BlockModes, CbcDiffersFromEcbOnRepeatedBlocks) {
+  util::SplitMix64 rng(1);
+  const Des des(rng.next_bytes(8));
+  util::Bytes plain(32, 0x42);  // four identical blocks
+  const util::Bytes ecb = encrypt(des, CipherMode::kEcb, 0, plain);
+  const util::Bytes cbc = encrypt(des, CipherMode::kCbc, 0, plain);
+  // ECB with zero confounder leaks block equality; CBC must not.
+  EXPECT_EQ(util::Bytes(ecb.begin(), ecb.begin() + 8),
+            util::Bytes(ecb.begin() + 8, ecb.begin() + 16));
+  EXPECT_NE(util::Bytes(cbc.begin(), cbc.begin() + 8),
+            util::Bytes(cbc.begin() + 8, cbc.begin() + 16));
+}
+
+TEST(BlockModes, ConfounderHidesIdenticalDatagrams) {
+  // Section 5.2: the confounder's purpose -- equal plaintexts in the same
+  // flow must not produce equal ciphertexts, in every mode.
+  util::SplitMix64 rng(2);
+  const Des des(rng.next_bytes(8));
+  const util::Bytes plain = util::to_bytes("GET /index.html HTTP/1.0");
+  for (auto mode : {CipherMode::kEcb, CipherMode::kCbc, CipherMode::kCfb,
+                    CipherMode::kOfb}) {
+    const util::Bytes a = encrypt(des, mode, 0x1111111111111111ull, plain);
+    const util::Bytes b = encrypt(des, mode, 0x2222222222222222ull, plain);
+    EXPECT_NE(a, b) << static_cast<int>(mode);
+  }
+}
+
+TEST(BlockModes, WrongIvFailsToDecrypt) {
+  util::SplitMix64 rng(3);
+  const Des des(rng.next_bytes(8));
+  const util::Bytes plain = util::to_bytes("confidential payload here");
+  for (auto mode : {CipherMode::kCbc, CipherMode::kCfb, CipherMode::kOfb}) {
+    const util::Bytes ct = encrypt(des, mode, 42, plain);
+    const auto wrong = decrypt(des, mode, 43, ct);
+    // Stream modes and CBC either fail padding or produce different bytes.
+    if (wrong.has_value()) {
+      EXPECT_NE(*wrong, plain);
+    }
+  }
+}
+
+TEST(BlockModes, WrongKeyFailsToDecrypt) {
+  util::SplitMix64 rng(4);
+  const Des good(rng.next_bytes(8));
+  const Des bad(rng.next_bytes(8));
+  const util::Bytes plain = util::to_bytes("per-flow key separation");
+  const util::Bytes ct = encrypt(good, CipherMode::kCbc, 7, plain);
+  const auto out = decrypt(bad, CipherMode::kCbc, 7, ct);
+  if (out.has_value()) {
+    EXPECT_NE(*out, plain);
+  }
+}
+
+TEST(BlockModes, DecryptRejectsNonBlockSizedInput) {
+  util::SplitMix64 rng(5);
+  const Des des(rng.next_bytes(8));
+  const util::Bytes junk(13, 0xAA);
+  EXPECT_FALSE(decrypt(des, CipherMode::kEcb, 0, junk).has_value());
+  EXPECT_FALSE(decrypt(des, CipherMode::kCbc, 0, junk).has_value());
+}
+
+TEST(BlockModes, DecryptRejectsEmptyBlockModeInput) {
+  util::SplitMix64 rng(6);
+  const Des des(rng.next_bytes(8));
+  EXPECT_FALSE(decrypt(des, CipherMode::kCbc, 0, util::Bytes{}).has_value());
+  // Stream modes: empty in, empty out.
+  EXPECT_TRUE(decrypt(des, CipherMode::kOfb, 0, util::Bytes{})->empty());
+}
+
+TEST(BlockModes, CorruptedPaddingDetected) {
+  util::SplitMix64 rng(7);
+  const Des des(rng.next_bytes(8));
+  util::Bytes ct = encrypt(des, CipherMode::kCbc, 9, util::to_bytes("xyz"));
+  // Flipping bits in the last block corrupts padding with high probability.
+  ct.back() ^= 0xFF;
+  ct[ct.size() - 2] ^= 0xFF;
+  const auto out = decrypt(des, CipherMode::kCbc, 9, ct);
+  if (out.has_value()) {
+    EXPECT_NE(*out, util::to_bytes("xyz"));
+  }
+}
+
+TEST(BlockModes, EcbConfounderXorChangesCiphertext) {
+  // Section 5.2: in ECB the confounder is XOR'ed with every plaintext block.
+  util::SplitMix64 rng(8);
+  const Des des(rng.next_bytes(8));
+  const util::Bytes plain(16, 0x00);
+  EXPECT_NE(encrypt(des, CipherMode::kEcb, 1, plain),
+            encrypt(des, CipherMode::kEcb, 2, plain));
+}
+
+}  // namespace
+}  // namespace fbs::crypto

@@ -1,0 +1,86 @@
+#include "crypto/dh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::crypto {
+namespace {
+
+TEST(Dh, TestGroupAgreement) {
+  util::SplitMix64 rng(100);
+  const DhGroup& g = test_group();
+  const DhKeyPair s = dh_generate(g, rng);
+  const DhKeyPair d = dh_generate(g, rng);
+  // The whole point of zero-message keying: both sides compute the same
+  // K_{S,D} with no exchange.
+  EXPECT_EQ(dh_shared_secret(g, s.private_value, d.public_value),
+            dh_shared_secret(g, d.private_value, s.public_value));
+}
+
+TEST(Dh, ThirdPartyGetsDifferentSecret) {
+  util::SplitMix64 rng(101);
+  const DhGroup& g = test_group();
+  const DhKeyPair s = dh_generate(g, rng);
+  const DhKeyPair d = dh_generate(g, rng);
+  const DhKeyPair eve = dh_generate(g, rng);
+  EXPECT_NE(dh_shared_secret(g, eve.private_value, d.public_value),
+            dh_shared_secret(g, s.private_value, d.public_value));
+}
+
+TEST(Dh, KnownSmallExample) {
+  // p=23, g=5, s=6, d=15: classic textbook numbers.
+  const DhGroup g{"toy", bignum::Uint(23), bignum::Uint(5)};
+  const bignum::Uint s(6), d(15);
+  const bignum::Uint s_pub = bignum::Uint::powmod(g.g, s, g.p);  // 8
+  const bignum::Uint d_pub = bignum::Uint::powmod(g.g, d, g.p);  // 19
+  EXPECT_EQ(s_pub, bignum::Uint(8));
+  EXPECT_EQ(d_pub, bignum::Uint(19));
+  EXPECT_EQ(dh_shared_secret(g, s, d_pub), bignum::Uint(2));
+  EXPECT_EQ(dh_shared_secret(g, d, s_pub), bignum::Uint(2));
+}
+
+TEST(Dh, Oakley768Agreement) {
+  util::SplitMix64 rng(102);
+  const DhGroup& g = oakley_group1();
+  EXPECT_EQ(g.p.bit_length(), 768u);
+  EXPECT_EQ(g.element_size(), 96u);
+  const DhKeyPair s = dh_generate(g, rng);
+  const DhKeyPair d = dh_generate(g, rng);
+  const auto k1 = dh_shared_secret_bytes(g, s.private_value, d.public_value);
+  const auto k2 = dh_shared_secret_bytes(g, d.private_value, s.public_value);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 96u);  // fixed-width encoding
+}
+
+TEST(Dh, Oakley1024GroupShape) {
+  const DhGroup& g = oakley_group2();
+  EXPECT_EQ(g.p.bit_length(), 1024u);
+  EXPECT_EQ(g.g, bignum::Uint(2));
+  EXPECT_TRUE(g.p.is_odd());
+}
+
+TEST(Dh, PrivateValuesInRange) {
+  util::SplitMix64 rng(103);
+  const DhGroup& g = test_group();
+  for (int i = 0; i < 50; ++i) {
+    const DhKeyPair kp = dh_generate(g, rng);
+    EXPECT_GE(kp.private_value, bignum::Uint(2));
+    EXPECT_LT(kp.private_value, g.p - bignum::Uint(1));
+    EXPECT_EQ(kp.public_value,
+              bignum::Uint::powmod(g.g, kp.private_value, g.p));
+  }
+}
+
+TEST(Dh, DistinctPrincipalsDistinctKeys) {
+  util::SplitMix64 rng(104);
+  const DhGroup& g = test_group();
+  const DhKeyPair a = dh_generate(g, rng);
+  const DhKeyPair b = dh_generate(g, rng);
+  const DhKeyPair c = dh_generate(g, rng);
+  // K_{A,B} != K_{A,C}: compromise of one pair key says nothing about
+  // another pair.
+  EXPECT_NE(dh_shared_secret(g, a.private_value, b.public_value),
+            dh_shared_secret(g, a.private_value, c.public_value));
+}
+
+}  // namespace
+}  // namespace fbs::crypto

@@ -1,0 +1,82 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // Key generation is the slow part; share one key across the fixture.
+  static void SetUpTestSuite() {
+    util::SplitMix64 rng(1997);
+    key_ = new RsaPrivateKey(rsa_generate(512, rng));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+  static RsaPrivateKey* key_;
+};
+
+RsaPrivateKey* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, KeyShape) {
+  EXPECT_EQ(key_->pub.e, bignum::Uint(65537));
+  EXPECT_GE(key_->pub.n.bit_length(), 508u);
+  EXPECT_LE(key_->pub.n.bit_length(), 512u);
+  EXPECT_FALSE(key_->d.is_zero());
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const util::Bytes msg = util::to_bytes("public value certificate");
+  const util::Bytes sig = rsa_sign_md5(*key_, msg);
+  EXPECT_EQ(sig.size(), key_->pub.modulus_size());
+  EXPECT_TRUE(rsa_verify_md5(key_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, TamperedMessageRejected) {
+  const util::Bytes msg = util::to_bytes("genuine");
+  const util::Bytes sig = rsa_sign_md5(*key_, msg);
+  EXPECT_FALSE(rsa_verify_md5(key_->pub, util::to_bytes("forged"), sig));
+}
+
+TEST_F(RsaTest, TamperedSignatureRejected) {
+  const util::Bytes msg = util::to_bytes("genuine");
+  util::Bytes sig = rsa_sign_md5(*key_, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify_md5(key_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, WrongLengthSignatureRejected) {
+  const util::Bytes msg = util::to_bytes("genuine");
+  util::Bytes sig = rsa_sign_md5(*key_, msg);
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify_md5(key_->pub, msg, sig));
+  sig.push_back(0);
+  sig.push_back(0);
+  EXPECT_FALSE(rsa_verify_md5(key_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, WrongKeyRejected) {
+  util::SplitMix64 rng(2001);
+  const RsaPrivateKey other = rsa_generate(512, rng);
+  const util::Bytes msg = util::to_bytes("genuine");
+  const util::Bytes sig = rsa_sign_md5(*key_, msg);
+  EXPECT_FALSE(rsa_verify_md5(other.pub, msg, sig));
+}
+
+TEST_F(RsaTest, SignatureDeterministic) {
+  const util::Bytes msg = util::to_bytes("idempotent");
+  EXPECT_EQ(rsa_sign_md5(*key_, msg), rsa_sign_md5(*key_, msg));
+}
+
+TEST_F(RsaTest, RawExponentiationIdentity) {
+  // (m^d)^e = m mod n for m < n.
+  const bignum::Uint m(123456789);
+  const bignum::Uint s = bignum::Uint::powmod(m, key_->d, key_->pub.n);
+  EXPECT_EQ(bignum::Uint::powmod(s, key_->pub.e, key_->pub.n), m);
+}
+
+}  // namespace
+}  // namespace fbs::crypto

@@ -1,0 +1,220 @@
+// Property-style sweeps over the protocol engine: payload sizes, suite/key
+// independence across peers, clock skew, confounder uniqueness, and
+// recovery behaviour around certificate-directory failures.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fbs/engine.hpp"
+#include "support/world.hpp"
+
+namespace fbs::core {
+namespace {
+
+using testing::TestWorld;
+
+Datagram datagram(const Principal& src, const Principal& dst,
+                  util::Bytes body, std::uint16_t sport = 7,
+                  std::uint16_t dport = 9) {
+  Datagram d;
+  d.source = src;
+  d.destination = dst;
+  d.attrs.protocol = 17;
+  d.attrs.source_address = src.ipv4().value;
+  d.attrs.source_port = sport;
+  d.attrs.destination_address = dst.ipv4().value;
+  d.attrs.destination_port = dport;
+  d.body = std::move(body);
+  return d;
+}
+
+class PayloadSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(PayloadSweep, RoundTripAtEverySize) {
+  const auto [size, secret] = GetParam();
+  TestWorld world(size * 2 + secret);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  FbsEndpoint receiver(b.principal, FbsConfig{}, *b.keys, world.clock,
+                       world.rng);
+
+  const util::Bytes body = world.rng.next_bytes(size);
+  const auto wire = sender.protect(
+      datagram(a.principal, b.principal, body), secret);
+  ASSERT_TRUE(wire.has_value());
+  auto outcome = receiver.unprotect(a.principal, *wire);
+  ASSERT_TRUE(std::holds_alternative<ReceivedDatagram>(outcome));
+  EXPECT_EQ(std::get<ReceivedDatagram>(outcome).datagram.body, body);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PayloadSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u,
+                                         1408u, 8192u, 65536u),
+                       ::testing::Bool()));
+
+TEST(EngineProperties, OakleyGroup2KeyingAgrees) {
+  // Full-strength 1024-bit group end to end (slow; one test only).
+  TestWorld world(51, crypto::oakley_group2());
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  FbsEndpoint receiver(b.principal, FbsConfig{}, *b.keys, world.clock,
+                       world.rng);
+  const auto wire = sender.protect(
+      datagram(a.principal, b.principal, util::to_bytes("1024-bit modp")),
+      true);
+  ASSERT_TRUE(wire.has_value());
+  auto outcome = receiver.unprotect(a.principal, *wire);
+  ASSERT_TRUE(std::holds_alternative<ReceivedDatagram>(outcome));
+}
+
+TEST(EngineProperties, ManyPeersIndependentKeys) {
+  TestWorld world(52);
+  auto& hub = world.add_node("hub", "10.0.0.1");
+  FbsEndpoint sender(hub.principal, FbsConfig{}, *hub.keys, world.clock,
+                     world.rng);
+  std::vector<FbsEndpoint> receivers;
+  std::vector<Principal> peers;
+  for (int i = 0; i < 8; ++i) {
+    auto& node = world.add_node("peer" + std::to_string(i),
+                                "10.0.1." + std::to_string(i + 1));
+    receivers.emplace_back(node.principal, FbsConfig{}, *node.keys,
+                           world.clock, world.rng);
+    peers.push_back(node.principal);
+  }
+  // One datagram to each peer; each receiver accepts its own and its own
+  // only (cross-delivery must fail on the wrong pair key).
+  std::vector<util::Bytes> wires;
+  for (int i = 0; i < 8; ++i) {
+    const auto wire = sender.protect(
+        datagram(hub.principal, peers[i],
+                 util::to_bytes("for peer " + std::to_string(i))),
+        true);
+    ASSERT_TRUE(wire.has_value());
+    wires.push_back(*wire);
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto own = receivers[i].unprotect(hub.principal, wires[i]);
+    EXPECT_TRUE(std::holds_alternative<ReceivedDatagram>(own)) << i;
+    auto crossed =
+        receivers[(i + 1) % 8].unprotect(hub.principal, wires[i]);
+    EXPECT_TRUE(std::holds_alternative<ReceiveError>(crossed)) << i;
+  }
+}
+
+TEST(EngineProperties, ConfounderNeverRepeatsOverManyDatagrams) {
+  TestWorld world(53);
+  auto& a = world.add_node("a", "10.0.0.1");
+  world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  const Datagram d =
+      datagram(a.principal, world["b"].principal, util::to_bytes("x"));
+  std::set<std::uint32_t> confounders;
+  constexpr int kDatagrams = 5000;
+  for (int i = 0; i < kDatagrams; ++i) {
+    const auto wire = sender.protect(d, false);
+    confounders.insert(FbsHeader::parse(*wire)->header.confounder);
+  }
+  // Statistically random 32-bit values: collisions in 5000 draws are
+  // possible but should be at most a couple (birthday bound ~0.3%).
+  EXPECT_GE(confounders.size(), static_cast<std::size_t>(kDatagrams - 2));
+}
+
+TEST(EngineProperties, SenderClockSkewWithinWindowTolerated) {
+  TestWorld world(54);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  // Sender's clock runs 4 minutes ahead of the receiver's.
+  util::VirtualClock sender_clock(world.clock.now() + util::minutes(4));
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, sender_clock,
+                     world.rng);
+  FbsEndpoint receiver(b.principal, FbsConfig{}, *b.keys, world.clock,
+                       world.rng);
+  const auto wire = sender.protect(
+      datagram(a.principal, b.principal, util::to_bytes("skewed")), false);
+  auto outcome = receiver.unprotect(a.principal, *wire);
+  EXPECT_TRUE(std::holds_alternative<ReceivedDatagram>(outcome));
+}
+
+TEST(EngineProperties, SenderClockSkewBeyondWindowRejected) {
+  TestWorld world(55);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  util::VirtualClock sender_clock(world.clock.now() + util::minutes(7));
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, sender_clock,
+                     world.rng);
+  FbsEndpoint receiver(b.principal, FbsConfig{}, *b.keys, world.clock,
+                       world.rng);
+  const auto wire = sender.protect(
+      datagram(a.principal, b.principal, util::to_bytes("too skewed")),
+      false);
+  auto outcome = receiver.unprotect(a.principal, *wire);
+  ASSERT_TRUE(std::holds_alternative<ReceiveError>(outcome));
+  EXPECT_EQ(std::get<ReceiveError>(outcome), ReceiveError::kStale);
+}
+
+TEST(EngineProperties, DirectoryOutageFailsClosedThenRecovers) {
+  TestWorld world(56);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  const Datagram d =
+      datagram(a.principal, b.principal, util::to_bytes("x"));
+
+  // Outage before first contact: no certificate -> fail closed.
+  const auto cert = *world.directory.fetch(b.principal.address);
+  world.directory.revoke(b.principal.address);
+  EXPECT_FALSE(sender.protect(d, true).has_value());
+  EXPECT_EQ(sender.send_stats().key_unavailable, 1u);
+
+  // Directory comes back: the very next datagram succeeds, no restart.
+  world.directory.publish(cert);
+  EXPECT_TRUE(sender.protect(d, true).has_value());
+}
+
+TEST(EngineProperties, MasterKeyCachedAcrossDirectoryOutage) {
+  // Once the pair key is cached, a directory outage is invisible (soft
+  // state degrades gracefully, it does not fail).
+  TestWorld world(57);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  const Datagram d =
+      datagram(a.principal, b.principal, util::to_bytes("x"));
+  ASSERT_TRUE(sender.protect(d, true).has_value());  // primes MKC
+  world.directory.revoke(b.principal.address);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(sender.protect(d, true).has_value());
+}
+
+TEST(EngineProperties, WireSizeIsDeterministicPerSuite) {
+  TestWorld world(58);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  // Plain mode: overhead exactly header size, independent of content.
+  for (std::size_t n : {0u, 13u, 100u}) {
+    const auto wire = sender.protect(
+        datagram(a.principal, b.principal, world.rng.next_bytes(n)), false);
+    EXPECT_EQ(wire->size(), n + sender.header_overhead());
+  }
+  // Secret mode: header + padded body, never more than max_wire_overhead.
+  for (std::size_t n : {0u, 13u, 100u}) {
+    const auto wire = sender.protect(
+        datagram(a.principal, b.principal, world.rng.next_bytes(n)), true);
+    EXPECT_GT(wire->size(), n + sender.header_overhead());
+    EXPECT_LE(wire->size(), n + sender.max_wire_overhead());
+  }
+}
+
+}  // namespace
+}  // namespace fbs::core

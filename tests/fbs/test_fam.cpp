@@ -1,0 +1,204 @@
+#include "fbs/fam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fbs::core {
+namespace {
+
+Datagram datagram_for(std::uint16_t sport, std::uint16_t dport,
+                      std::uint8_t proto = 6, std::uint32_t saddr = 0x0A000001,
+                      std::uint32_t daddr = 0x0A000002) {
+  Datagram d;
+  d.attrs.protocol = proto;
+  d.attrs.source_address = saddr;
+  d.attrs.source_port = sport;
+  d.attrs.destination_address = daddr;
+  d.attrs.destination_port = dport;
+  return d;
+}
+
+class FiveTupleTest : public ::testing::Test {
+ protected:
+  util::SplitMix64 rng_{42};
+  SflAllocator alloc_{rng_};
+  FiveTuplePolicy policy_{64, util::seconds(600), alloc_};
+};
+
+TEST_F(FiveTupleTest, SameTupleSameFlow) {
+  const auto a = policy_.map(datagram_for(1000, 23), util::seconds(0));
+  const auto b = policy_.map(datagram_for(1000, 23), util::seconds(1));
+  EXPECT_TRUE(a.new_flow);
+  EXPECT_FALSE(b.new_flow);
+  EXPECT_EQ(a.sfl, b.sfl);
+}
+
+TEST_F(FiveTupleTest, DifferentPortDifferentFlow) {
+  const auto a = policy_.map(datagram_for(1000, 23), util::seconds(0));
+  const auto b = policy_.map(datagram_for(1001, 23), util::seconds(0));
+  EXPECT_NE(a.sfl, b.sfl);
+}
+
+TEST_F(FiveTupleTest, DifferentProtocolDifferentFlow) {
+  const auto a = policy_.map(datagram_for(1000, 53, 6), util::seconds(0));
+  const auto b = policy_.map(datagram_for(1000, 53, 17), util::seconds(0));
+  EXPECT_NE(a.sfl, b.sfl);
+}
+
+TEST_F(FiveTupleTest, GapBeyondThresholdStartsNewFlow) {
+  const auto a = policy_.map(datagram_for(1000, 23), util::seconds(0));
+  const auto b =
+      policy_.map(datagram_for(1000, 23), util::seconds(601));
+  EXPECT_TRUE(b.new_flow);
+  EXPECT_NE(a.sfl, b.sfl);
+  EXPECT_EQ(policy_.stats().mapper_expirations, 1u);
+}
+
+TEST_F(FiveTupleTest, GapExactlyAtThresholdContinuesFlow) {
+  const auto a = policy_.map(datagram_for(1000, 23), util::seconds(0));
+  const auto b = policy_.map(datagram_for(1000, 23), util::seconds(600));
+  EXPECT_EQ(a.sfl, b.sfl);
+}
+
+TEST_F(FiveTupleTest, ActivityExtendsFlowLifetime) {
+  // Packets every 500s for 2500s: one flow despite total age > threshold.
+  Sfl first = 0;
+  for (int i = 0; i <= 5; ++i) {
+    const auto m = policy_.map(datagram_for(1000, 23), util::seconds(500 * i));
+    if (i == 0) first = m.sfl;
+    EXPECT_EQ(m.sfl, first) << i;
+  }
+  EXPECT_EQ(policy_.stats().flows_created, 1u);
+}
+
+TEST_F(FiveTupleTest, SweeperExpiresIdleFlows) {
+  (void)policy_.map(datagram_for(1000, 23), util::seconds(0));
+  (void)policy_.map(datagram_for(2000, 23), util::seconds(500));
+  EXPECT_EQ(policy_.sweep(util::seconds(700)), 1u);  // only the first is idle
+  EXPECT_EQ(policy_.stats().sweeper_expirations, 1u);
+  EXPECT_EQ(policy_.active_flows(util::seconds(700)), 1u);
+}
+
+TEST_F(FiveTupleTest, ActiveFlowsCountsOnlyFresh) {
+  (void)policy_.map(datagram_for(1000, 23), util::seconds(0));
+  (void)policy_.map(datagram_for(2000, 23), util::seconds(0));
+  EXPECT_EQ(policy_.active_flows(util::seconds(0)), 2u);
+  EXPECT_EQ(policy_.active_flows(util::seconds(601)), 0u);
+}
+
+TEST_F(FiveTupleTest, ExpireFlowForcesRekey) {
+  const auto a = policy_.map(datagram_for(1000, 23), util::seconds(0));
+  policy_.expire_flow(datagram_for(1000, 23).attrs);
+  const auto b = policy_.map(datagram_for(1000, 23), util::seconds(1));
+  EXPECT_TRUE(b.new_flow);
+  EXPECT_NE(a.sfl, b.sfl);
+}
+
+TEST_F(FiveTupleTest, HashCollisionPrematurelyTerminatesFlow) {
+  // Footnote 11: a colliding tuple displaces the entry; the displaced flow
+  // gets a fresh sfl on its next datagram. Force collisions with table=1.
+  util::SplitMix64 rng(1);
+  SflAllocator alloc(rng);
+  FiveTuplePolicy tiny(1, util::seconds(600), alloc);
+  const auto a = tiny.map(datagram_for(1000, 23), util::seconds(0));
+  (void)tiny.map(datagram_for(2000, 23), util::seconds(1));
+  EXPECT_EQ(tiny.stats().hash_evictions, 1u);
+  const auto a2 = tiny.map(datagram_for(1000, 23), util::seconds(2));
+  EXPECT_TRUE(a2.new_flow);
+  EXPECT_NE(a2.sfl, a.sfl);
+}
+
+TEST_F(FiveTupleTest, StatsCountDatagramsAndFlows) {
+  for (int i = 0; i < 10; ++i)
+    (void)policy_.map(datagram_for(1000, 23), util::seconds(i));
+  (void)policy_.map(datagram_for(9999, 23), util::seconds(0));
+  EXPECT_EQ(policy_.stats().datagrams, 11u);
+  EXPECT_EQ(policy_.stats().flows_created, 2u);
+  EXPECT_EQ(policy_.stats().mapper_hits, 9u);
+}
+
+TEST_F(FiveTupleTest, NameIncludesThreshold) {
+  EXPECT_NE(policy_.name().find("600"), std::string::npos);
+}
+
+TEST(SflAllocator, MonotoneAndUnique) {
+  util::SplitMix64 rng(7);
+  SflAllocator alloc(rng);
+  Sfl prev = alloc.allocate();
+  for (int i = 0; i < 1000; ++i) {
+    const Sfl next = alloc.allocate();
+    EXPECT_EQ(next, prev + 1);
+    prev = next;
+  }
+}
+
+TEST(SflAllocator, RandomizedInitialValue) {
+  // Section 5.3: the initial counter value must be randomized so a reboot
+  // does not reuse labels.
+  util::SplitMix64 r1(1), r2(2);
+  SflAllocator a(r1), b(r2);
+  EXPECT_NE(a.peek_next(), b.peek_next());
+}
+
+TEST(HostPairPolicy, IgnoresPortsAndProtocol) {
+  util::SplitMix64 rng(3);
+  SflAllocator alloc(rng);
+  HostPairPolicy policy(16, util::seconds(600), alloc);
+  const auto a = policy.map(datagram_for(1000, 23, 6), util::seconds(0));
+  const auto b = policy.map(datagram_for(2000, 80, 17), util::seconds(1));
+  EXPECT_EQ(a.sfl, b.sfl);  // same host pair -> same flow
+}
+
+TEST(HostPairPolicy, DistinctHostPairsDistinctFlows) {
+  util::SplitMix64 rng(4);
+  SflAllocator alloc(rng);
+  HostPairPolicy policy(16, util::seconds(600), alloc);
+  const auto a = policy.map(datagram_for(1, 2, 6, 0x0A000001, 0x0A000002),
+                            util::seconds(0));
+  const auto b = policy.map(datagram_for(1, 2, 6, 0x0A000001, 0x0A000003),
+                            util::seconds(0));
+  EXPECT_NE(a.sfl, b.sfl);
+}
+
+TEST(HostPairPolicy, SweepAndActive) {
+  util::SplitMix64 rng(5);
+  SflAllocator alloc(rng);
+  HostPairPolicy policy(16, util::seconds(10), alloc);
+  (void)policy.map(datagram_for(1, 2), util::seconds(0));
+  EXPECT_EQ(policy.active_flows(util::seconds(5)), 1u);
+  EXPECT_EQ(policy.sweep(util::seconds(11)), 1u);
+}
+
+TEST(PerDatagramPolicy, EveryDatagramNewFlow) {
+  util::SplitMix64 rng(6);
+  SflAllocator alloc(rng);
+  PerDatagramPolicy policy(alloc);
+  const auto a = policy.map(datagram_for(1, 2), util::seconds(0));
+  const auto b = policy.map(datagram_for(1, 2), util::seconds(0));
+  EXPECT_TRUE(a.new_flow);
+  EXPECT_TRUE(b.new_flow);
+  EXPECT_NE(a.sfl, b.sfl);
+  EXPECT_EQ(policy.stats().flows_created, 2u);
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweep, FlowSplitCountMatchesGapsAboveThreshold) {
+  // Datagrams at t = 0, 100, 200, ..., 900 seconds with gaps of 100s.
+  // threshold < 100s => every datagram its own flow; >= 100s => one flow.
+  const int threshold_s = GetParam();
+  util::SplitMix64 rng(GetParam());
+  SflAllocator alloc(rng);
+  FiveTuplePolicy policy(64, util::seconds(threshold_s), alloc);
+  for (int i = 0; i < 10; ++i)
+    (void)policy.map(datagram_for(5, 5), util::seconds(100 * i));
+  const std::uint64_t expected = threshold_s >= 100 ? 1u : 10u;
+  EXPECT_EQ(policy.stats().flows_created, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(10, 50, 99, 100, 300, 600, 1200));
+
+}  // namespace
+}  // namespace fbs::core

@@ -1,0 +1,99 @@
+#include "fbs/header.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::core {
+namespace {
+
+FbsHeader sample_header() {
+  FbsHeader h;
+  h.sfl = 0xDEADBEEFCAFEBABEull;
+  h.confounder = 0x12345678;
+  h.timestamp_minutes = 987654;
+  h.mac = util::Bytes(16, 0xAB);
+  h.secret = true;
+  return h;
+}
+
+TEST(FbsHeader, WireSizeMatchesPaperLayout) {
+  // Section 7.2: sfl 64 bits + confounder 32 + timestamp 32 + MAC 128,
+  // plus our 2 bytes of flags/algorithm-id.
+  const FbsHeader h = sample_header();
+  EXPECT_EQ(h.wire_size(), 2u + 8u + 4u + 4u + 16u);
+  EXPECT_EQ(h.serialize().size(), h.wire_size());
+}
+
+TEST(FbsHeader, SerializeParseRoundTrip) {
+  const FbsHeader h = sample_header();
+  util::Bytes wire = h.serialize();
+  wire.insert(wire.end(), {'b', 'o', 'd', 'y'});
+  const auto parsed = FbsHeader::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.sfl, h.sfl);
+  EXPECT_EQ(parsed->header.confounder, h.confounder);
+  EXPECT_EQ(parsed->header.timestamp_minutes, h.timestamp_minutes);
+  EXPECT_EQ(parsed->header.mac, h.mac);
+  EXPECT_EQ(parsed->header.suite, h.suite);
+  EXPECT_TRUE(parsed->header.secret);
+  EXPECT_EQ(parsed->body, util::to_bytes("body"));
+}
+
+TEST(FbsHeader, SecretFlagRoundTrip) {
+  FbsHeader h = sample_header();
+  h.secret = false;
+  const auto parsed = FbsHeader::parse(h.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->header.secret);
+}
+
+TEST(FbsHeader, Sha1SuiteCarriesLongerMac) {
+  FbsHeader h = sample_header();
+  h.suite.mac = crypto::MacAlgorithm::kHmacSha1;
+  h.mac = util::Bytes(20, 0xCD);
+  const auto parsed = FbsHeader::parse(h.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.mac.size(), 20u);
+  EXPECT_EQ(parsed->header.mac, h.mac);
+}
+
+TEST(FbsHeader, EmptyBodyAllowed) {
+  const auto parsed = FbsHeader::parse(sample_header().serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(FbsHeader, TruncatedRejected) {
+  const util::Bytes wire = sample_header().serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const util::Bytes partial(wire.begin(),
+                              wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(FbsHeader::parse(partial).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(FbsHeader, UnknownSuiteRejected) {
+  util::Bytes wire = sample_header().serialize();
+  wire[1] = 0xFF;  // invalid algorithm byte
+  EXPECT_FALSE(FbsHeader::parse(wire).has_value());
+}
+
+TEST(FbsHeader, WrongVersionRejected) {
+  util::Bytes wire = sample_header().serialize();
+  wire[0] = (wire[0] & 0x0F) | 0x20;  // version 2
+  EXPECT_FALSE(FbsHeader::parse(wire).has_value());
+}
+
+TEST(FbsHeader, OverheadMatchesSerializedSize) {
+  for (auto mac : {crypto::MacAlgorithm::kKeyedMd5,
+                   crypto::MacAlgorithm::kHmacSha1}) {
+    crypto::AlgorithmSuite suite;
+    suite.mac = mac;
+    FbsHeader h;
+    h.suite = suite;
+    h.mac.resize(crypto::mac_size(mac));
+    EXPECT_EQ(FbsHeader::overhead(suite), h.serialize().size());
+  }
+}
+
+}  // namespace
+}  // namespace fbs::core

@@ -1,0 +1,265 @@
+#include "fbs/ip_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/udp.hpp"
+#include "support/world.hpp"
+
+namespace fbs::core {
+namespace {
+
+using testing::TestWorld;
+
+/// Two FBS-enabled hosts on a simulated segment, with UDP apps on top.
+class IpMapTest : public ::testing::Test {
+ protected:
+  IpMapTest()
+      : world_(505),
+        net_(world_.clock, 99),
+        a_node_(world_.add_node("a", "10.0.0.1")),
+        b_node_(world_.add_node("b", "10.0.0.2")),
+        a_stack_(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.1")),
+        b_stack_(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.2")),
+        a_fbs_(a_stack_, config_, *a_node_.keys, world_.clock, world_.rng),
+        b_fbs_(b_stack_, config_, *b_node_.keys, world_.clock, world_.rng),
+        a_udp_(a_stack_),
+        b_udp_(b_stack_) {}
+
+  static IpMappingConfig default_config() { return IpMappingConfig{}; }
+
+  IpMappingConfig config_ = default_config();
+  TestWorld world_;
+  net::SimNetwork net_;
+  TestWorld::Node& a_node_;
+  TestWorld::Node& b_node_;
+  net::IpStack a_stack_;
+  net::IpStack b_stack_;
+  FbsIpMapping a_fbs_;
+  FbsIpMapping b_fbs_;
+  net::UdpService a_udp_;
+  net::UdpService b_udp_;
+};
+
+TEST_F(IpMapTest, UdpDatagramProtectedEndToEnd) {
+  util::Bytes got;
+  b_udp_.bind(7, [&](net::Ipv4Address, std::uint16_t, util::Bytes payload) {
+    got = std::move(payload);
+  });
+  a_udp_.send(b_stack_.address(), 5000, 7, util::to_bytes("secure hello"));
+  net_.run();
+  EXPECT_EQ(got, util::to_bytes("secure hello"));
+  EXPECT_EQ(a_fbs_.counters().out_protected, 1u);
+  EXPECT_EQ(b_fbs_.counters().in_accepted, 1u);
+}
+
+TEST_F(IpMapTest, WireCarriesNoPlaintext) {
+  util::Bytes wire_capture;
+  net_.set_tap([&](net::Ipv4Address, net::Ipv4Address, util::Bytes& frame) {
+    wire_capture = frame;
+    return net::SimNetwork::TapVerdict::kPass;
+  });
+  b_udp_.bind(7, [](net::Ipv4Address, std::uint16_t, util::Bytes) {});
+  const util::Bytes secret = util::to_bytes("credit card 1234-5678");
+  a_udp_.send(b_stack_.address(), 5000, 7, secret);
+  net_.run();
+  ASSERT_FALSE(wire_capture.empty());
+  EXPECT_EQ(std::search(wire_capture.begin(), wire_capture.end(),
+                        secret.begin(), secret.end()),
+            wire_capture.end());
+}
+
+TEST_F(IpMapTest, OnWireTamperingDropped) {
+  int delivered = 0;
+  b_udp_.bind(7, [&](net::Ipv4Address, std::uint16_t, util::Bytes) {
+    ++delivered;
+  });
+  net_.set_tap([&](net::Ipv4Address, net::Ipv4Address, util::Bytes& frame) {
+    if (frame.size() > 40) frame[40] ^= 0x80;  // flip a bit past the headers
+    return net::SimNetwork::TapVerdict::kPass;
+  });
+  a_udp_.send(b_stack_.address(), 5000, 7, util::to_bytes("payload"));
+  net_.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(b_stack_.counters().hook_drops_in, 1u);
+}
+
+TEST_F(IpMapTest, SecretPolicySelectsPerFlow) {
+  // Encrypt only port 443 traffic; port 7 goes authenticated-plaintext.
+  IpMappingConfig cfg;
+  cfg.secret_policy = [](const FlowAttributes& attrs) {
+    return attrs.destination_port == 443;
+  };
+  net::IpStack stack(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.3"));
+  auto& c_node = world_.add_node("c", "10.0.0.3");
+  FbsIpMapping c_fbs(stack, cfg, *c_node.keys, world_.clock, world_.rng);
+  net::UdpService c_udp(stack);
+
+  util::Bytes plain_frame, secret_frame;
+  net_.set_tap([&](net::Ipv4Address, net::Ipv4Address to, util::Bytes& f) {
+    if (to == b_stack_.address()) {
+      if (plain_frame.empty()) plain_frame = f;
+      else secret_frame = f;
+    }
+    return net::SimNetwork::TapVerdict::kPass;
+  });
+  const util::Bytes body = util::to_bytes("policy driven confidentiality");
+  c_udp.send(b_stack_.address(), 1, 7, body);
+  c_udp.send(b_stack_.address(), 1, 443, body);
+  net_.run();
+  ASSERT_FALSE(plain_frame.empty());
+  ASSERT_FALSE(secret_frame.empty());
+  EXPECT_NE(std::search(plain_frame.begin(), plain_frame.end(), body.begin(),
+                        body.end()),
+            plain_frame.end());
+  EXPECT_EQ(std::search(secret_frame.begin(), secret_frame.end(),
+                        body.begin(), body.end()),
+            secret_frame.end());
+}
+
+TEST_F(IpMapTest, BypassHostSkipsFbs) {
+  // Traffic to the directory host must travel the secure flow bypass.
+  const auto dir_host = *net::Ipv4Address::parse("10.0.0.100");
+  IpMappingConfig cfg;
+  cfg.bypass_hosts = {dir_host};
+  net::IpStack stack(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.4"));
+  auto& d_node = world_.add_node("d", "10.0.0.4");
+  FbsIpMapping d_fbs(stack, cfg, *d_node.keys, world_.clock, world_.rng);
+  net::UdpService d_udp(stack);
+
+  net::IpStack dir_stack(net_, world_.clock, dir_host);
+  net::UdpService dir_udp(dir_stack);
+  util::Bytes got;
+  dir_udp.bind(389, [&](net::Ipv4Address, std::uint16_t, util::Bytes p) {
+    got = std::move(p);
+  });
+  d_udp.send(dir_host, 1, 389, util::to_bytes("cert fetch"));
+  net_.run();
+  EXPECT_EQ(got, util::to_bytes("cert fetch"));  // no FBS header in the way
+  EXPECT_EQ(d_fbs.counters().out_bypassed, 1u);
+  EXPECT_EQ(d_fbs.counters().out_protected, 0u);
+}
+
+TEST_F(IpMapTest, KeyUnavailableFailsClosed) {
+  // 10.0.0.5 has no published certificate: output must drop, not leak.
+  net::IpStack stack(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.6"));
+  auto& e_node = world_.add_node("e", "10.0.0.6");
+  FbsIpMapping e_fbs(stack, IpMappingConfig{}, *e_node.keys, world_.clock,
+                     world_.rng);
+  net::UdpService e_udp(stack);
+
+  const auto unknown = *net::Ipv4Address::parse("10.0.0.5");
+  net::IpStack unknown_stack(net_, world_.clock, unknown);
+  net::UdpService unknown_udp(unknown_stack);
+  int delivered = 0;
+  unknown_udp.bind(7, [&](net::Ipv4Address, std::uint16_t, util::Bytes) {
+    ++delivered;
+  });
+
+  EXPECT_FALSE(e_udp.send(unknown, 1, 7, util::to_bytes("must not leak")));
+  net_.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(e_fbs.counters().out_dropped, 1u);
+}
+
+TEST_F(IpMapTest, FragmentationBelowFbsIsTransparent) {
+  // FBS sits above fragmentation: a 5KB datagram fragments on the wire and
+  // reassembles before FBSReceive.
+  util::Bytes got;
+  b_udp_.bind(7, [&](net::Ipv4Address, std::uint16_t, util::Bytes p) {
+    got = std::move(p);
+  });
+  const util::Bytes big(5000, 'F');
+  a_udp_.send(b_stack_.address(), 1, 7, big);
+  net_.run();
+  EXPECT_EQ(got, big);
+  EXPECT_GT(a_stack_.counters().fragments_out, 1u);
+  EXPECT_EQ(b_fbs_.counters().in_accepted, 1u);
+}
+
+TEST_F(IpMapTest, EffectivePayloadAccountsForFbsHeader) {
+  // The tcp_output fix: effective payload budget shrinks by the FBS header.
+  EXPECT_EQ(a_stack_.effective_payload_size(),
+            1500u - net::Ipv4Header::kSize - a_fbs_.header_overhead());
+  // A DF datagram sized to the budget must go through unfragmented.
+  util::Bytes got;
+  b_udp_.bind(9, [&](net::Ipv4Address, std::uint16_t, util::Bytes p) {
+    got = std::move(p);
+  });
+  const std::size_t budget =
+      a_stack_.effective_payload_size() - net::UdpHeader::kSize;
+  EXPECT_TRUE(a_udp_.send(b_stack_.address(), 1, 9, util::Bytes(budget, 'd'),
+                          /*dont_fragment=*/true));
+  net_.run();
+  EXPECT_EQ(got.size(), budget);
+  EXPECT_EQ(a_stack_.counters().df_drops, 0u);
+}
+
+TEST_F(IpMapTest, OversizedDfDatagramDropsWithoutFix) {
+  // A full cipher block over the budget with DF set: even minimal PKCS#7
+  // padding cannot squeeze it under the MTU, fragmentation is forbidden, so
+  // the packet is dropped -- exactly the tcp_output.c bug the paper fixed.
+  const std::size_t budget =
+      a_stack_.effective_payload_size() - net::UdpHeader::kSize;
+  EXPECT_FALSE(a_udp_.send(b_stack_.address(), 1, 9,
+                           util::Bytes(budget + 9, 'd'), true));
+  EXPECT_EQ(a_stack_.counters().df_drops, 1u);
+}
+
+TEST_F(IpMapTest, ReplayedFrameAcceptedWithinWindowByDefault) {
+  // Record a frame and re-inject it: the paper's window scheme accepts it.
+  util::Bytes recorded;
+  net_.set_tap([&](net::Ipv4Address, net::Ipv4Address, util::Bytes& f) {
+    recorded = f;
+    return net::SimNetwork::TapVerdict::kPass;
+  });
+  int delivered = 0;
+  b_udp_.bind(7, [&](net::Ipv4Address, std::uint16_t, util::Bytes) {
+    ++delivered;
+  });
+  a_udp_.send(b_stack_.address(), 1, 7, util::to_bytes("replay me"));
+  net_.run();
+  ASSERT_FALSE(recorded.empty());
+  net_.inject(b_stack_.address(), recorded);
+  net_.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(IpMapTest, ReplayedFrameRejectedAfterWindow) {
+  util::Bytes recorded;
+  net_.set_tap([&](net::Ipv4Address, net::Ipv4Address, util::Bytes& f) {
+    recorded = f;
+    return net::SimNetwork::TapVerdict::kPass;
+  });
+  int delivered = 0;
+  b_udp_.bind(7, [&](net::Ipv4Address, std::uint16_t, util::Bytes) {
+    ++delivered;
+  });
+  a_udp_.send(b_stack_.address(), 1, 7, util::to_bytes("replay me"));
+  net_.run();
+  world_.clock.advance(util::minutes(10));  // beyond the default window
+  net_.inject(b_stack_.address(), recorded);
+  net_.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(
+      b_fbs_.counters()
+          .in_rejected[static_cast<std::size_t>(ReceiveError::kStale)],
+      1u);
+}
+
+TEST_F(IpMapTest, NonTransportProtocolPassesUnmodified) {
+  // Raw IP (e.g. ICMP) is out of FBS scope (footnote 10).
+  util::Bytes got;
+  b_stack_.register_protocol(net::IpProto::kIcmp,
+                             [&](const net::Ipv4Header&, util::Bytes p) {
+                               got = std::move(p);
+                             });
+  a_stack_.output(b_stack_.address(), net::IpProto::kIcmp,
+                  util::to_bytes("echo request"));
+  net_.run();
+  EXPECT_EQ(got, util::to_bytes("echo request"));
+  EXPECT_EQ(a_fbs_.counters().out_raw_ip, 1u);
+  EXPECT_EQ(b_fbs_.counters().in_raw_ip, 1u);
+}
+
+}  // namespace
+}  // namespace fbs::core

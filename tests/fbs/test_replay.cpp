@@ -1,0 +1,129 @@
+#include "fbs/replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::core {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  util::VirtualClock clock_{util::minutes(1000)};
+};
+
+TEST_F(ReplayTest, CurrentTimestampIsFresh) {
+  FreshnessChecker f(clock_, 5);
+  EXPECT_EQ(f.check(1000, util::to_bytes("m")),
+            FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.stats().fresh, 1u);
+}
+
+TEST_F(ReplayTest, WindowEdgesInclusive) {
+  FreshnessChecker f(clock_, 5);
+  EXPECT_EQ(f.check(995, util::to_bytes("a")),
+            FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(1005, util::to_bytes("b")),
+            FreshnessChecker::Verdict::kFresh);
+}
+
+TEST_F(ReplayTest, OutsideWindowStale) {
+  FreshnessChecker f(clock_, 5);
+  EXPECT_EQ(f.check(994, util::to_bytes("a")),
+            FreshnessChecker::Verdict::kStale);
+  EXPECT_EQ(f.check(1006, util::to_bytes("b")),
+            FreshnessChecker::Verdict::kStale);
+  EXPECT_EQ(f.stats().stale, 2u);
+}
+
+TEST_F(ReplayTest, ClockSkewToleratedWithinWindow) {
+  // A sender 3 minutes ahead of the receiver still passes with window 5 --
+  // the "loose time synchronization" requirement.
+  FreshnessChecker f(clock_, 5);
+  EXPECT_EQ(f.check(1003, util::to_bytes("a")),
+            FreshnessChecker::Verdict::kFresh);
+}
+
+TEST_F(ReplayTest, WindowSlidesWithClock) {
+  FreshnessChecker f(clock_, 5);
+  EXPECT_EQ(f.check(1000, util::to_bytes("a")),
+            FreshnessChecker::Verdict::kFresh);
+  clock_.advance(util::minutes(10));
+  EXPECT_EQ(f.check(1000, util::to_bytes("b")),
+            FreshnessChecker::Verdict::kStale);
+}
+
+TEST_F(ReplayTest, DefaultModeAcceptsWithinWindowReplay) {
+  // The paper's scheme: a replay *inside* the window succeeds (Section 6.2
+  // concedes this).
+  FreshnessChecker f(clock_, 5, /*strict_replay=*/false);
+  const util::Bytes mac = util::to_bytes("same-mac");
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+}
+
+TEST_F(ReplayTest, StrictModeRejectsWithinWindowReplay) {
+  FreshnessChecker f(clock_, 5, /*strict_replay=*/true);
+  const util::Bytes mac = util::to_bytes("same-mac");
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kReplay);
+  EXPECT_EQ(f.stats().replays, 1u);
+}
+
+TEST_F(ReplayTest, StrictModeDistinctMacsBothAccepted) {
+  FreshnessChecker f(clock_, 5, true);
+  EXPECT_EQ(f.check(1000, util::to_bytes("mac-1")),
+            FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(1000, util::to_bytes("mac-2")),
+            FreshnessChecker::Verdict::kFresh);
+}
+
+TEST_F(ReplayTest, StrictModeStateIsSoftAndPruned) {
+  FreshnessChecker f(clock_, 5, true);
+  const util::Bytes mac = util::to_bytes("m");
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  // Slide far enough that minute 1000 leaves the window; the record of the
+  // MAC is pruned -- and the timestamp itself is now stale anyway.
+  clock_.advance(util::minutes(20));
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kStale);
+  // Same MAC at a fresh timestamp is accepted: soft state pruned, not hard.
+  EXPECT_EQ(f.check(1020, mac), FreshnessChecker::Verdict::kFresh);
+}
+
+TEST_F(ReplayTest, ZeroWindowAcceptsOnlyCurrentMinute) {
+  FreshnessChecker f(clock_, 0);
+  EXPECT_EQ(f.check(1000, util::to_bytes("a")),
+            FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(999, util::to_bytes("b")),
+            FreshnessChecker::Verdict::kStale);
+  EXPECT_EQ(f.check(1001, util::to_bytes("c")),
+            FreshnessChecker::Verdict::kStale);
+}
+
+TEST_F(ReplayTest, EarlyClockNoUnderflow) {
+  util::VirtualClock early(util::minutes(2));
+  FreshnessChecker f(early, 10);
+  EXPECT_EQ(f.check(0, util::to_bytes("a")),
+            FreshnessChecker::Verdict::kFresh);
+}
+
+class WindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WindowSweep, ExactBoundaryBehaviour) {
+  const std::uint32_t window = GetParam();
+  util::VirtualClock clock(util::minutes(100000));
+  FreshnessChecker f(clock, window);
+  const std::uint32_t now = 100000;
+  EXPECT_EQ(f.check(now - window, util::to_bytes("lo")),
+            FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(now + window, util::to_bytes("hi")),
+            FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(now - window - 1, util::to_bytes("lo2")),
+            FreshnessChecker::Verdict::kStale);
+  EXPECT_EQ(f.check(now + window + 1, util::to_bytes("hi2")),
+            FreshnessChecker::Verdict::kStale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1, 2, 5, 10, 60));
+
+}  // namespace
+}  // namespace fbs::core

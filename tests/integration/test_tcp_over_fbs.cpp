@@ -1,0 +1,162 @@
+// The paper's actual measurement scenario: TCP bulk transfer (ttcp/rcp)
+// running over FBS-protected IP. Exercises the tcp_output.c fix -- TCP
+// sizes DF segments from the security-hook-adjusted payload budget -- and
+// end-to-end reliability with cryptography underneath.
+#include <gtest/gtest.h>
+
+#include "fbs/ip_map.hpp"
+#include "net/tcp.hpp"
+#include "support/world.hpp"
+
+namespace fbs {
+namespace {
+
+using testing::TestWorld;
+
+const net::Ipv4Address kA = *net::Ipv4Address::parse("10.0.0.1");
+const net::Ipv4Address kB = *net::Ipv4Address::parse("10.0.0.2");
+
+class TcpOverFbsTest : public ::testing::Test {
+ protected:
+  TcpOverFbsTest()
+      : world_(777),
+        net_(world_.clock, 55),
+        a_node_(world_.add_node("a", "10.0.0.1")),
+        b_node_(world_.add_node("b", "10.0.0.2")),
+        a_stack_(net_, world_.clock, kA),
+        b_stack_(net_, world_.clock, kB),
+        a_fbs_(a_stack_, core::IpMappingConfig{}, *a_node_.keys, world_.clock,
+               world_.rng),
+        b_fbs_(b_stack_, core::IpMappingConfig{}, *b_node_.keys, world_.clock,
+               world_.rng),
+        a_tcp_(a_stack_, net_, world_.rng),
+        b_tcp_(b_stack_, net_, world_.rng) {}
+
+  TestWorld world_;
+  net::SimNetwork net_;
+  TestWorld::Node& a_node_;
+  TestWorld::Node& b_node_;
+  net::IpStack a_stack_;
+  net::IpStack b_stack_;
+  core::FbsIpMapping a_fbs_;
+  core::FbsIpMapping b_fbs_;
+  net::TcpService a_tcp_;
+  net::TcpService b_tcp_;
+};
+
+TEST_F(TcpOverFbsTest, HandshakeCompletesThroughFbs) {
+  std::shared_ptr<net::TcpConnection> server;
+  b_tcp_.listen(80, [&](std::shared_ptr<net::TcpConnection> c) { server = c; });
+  auto client = a_tcp_.connect(kB, 80);
+  net_.run();
+  EXPECT_EQ(client->state(), net::TcpConnection::State::kEstablished);
+  ASSERT_NE(server, nullptr);
+  // Handshake segments were FBS-protected too.
+  EXPECT_GE(a_fbs_.counters().out_protected, 2u);
+  EXPECT_GE(b_fbs_.counters().in_accepted, 2u);
+}
+
+TEST_F(TcpOverFbsTest, TtcpStyleBulkTransfer) {
+  util::Bytes received;
+  b_tcp_.listen(5001, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_receive([&, conn](util::BytesView d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  auto client = a_tcp_.connect(kB, 5001);
+  const util::Bytes data = world_.rng.next_bytes(256 * 1024);
+  client->send(data);
+  net_.run();
+  EXPECT_EQ(received, data);
+  // Every segment was encrypted and MAC'ed -- zero integrity rejects.
+  const auto& rej = b_fbs_.counters().in_rejected;
+  for (std::size_t i = 0; i < rej.size(); ++i) EXPECT_EQ(rej[i], 0u) << i;
+  // The whole transfer rode one FBS flow in each direction.
+  EXPECT_EQ(a_fbs_.endpoint().send_stats().flow_keys_derived, 1u);
+}
+
+TEST_F(TcpOverFbsTest, MssHonorsFbsOverheadNoDfDrops) {
+  // The tcp_output fix: MSS shrinks by the FBS header (+ padding) so DF
+  // segments pass untouched. Without the fix segments would exceed the MTU
+  // after header insertion and be dropped (DF forbids fragmenting).
+  util::Bytes received;
+  b_tcp_.listen(5001, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_receive([&, conn](util::BytesView d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  auto client = a_tcp_.connect(kB, 5001);
+  // MSS visibly smaller than the no-FBS value.
+  EXPECT_EQ(client->mss(), 1500u - net::Ipv4Header::kSize -
+                               a_fbs_.header_overhead() -
+                               net::TcpHeader::kSize);
+  client->send(util::Bytes(100'000, 't'));
+  net_.run();
+  EXPECT_EQ(received.size(), 100'000u);
+  EXPECT_EQ(a_stack_.counters().df_drops, 0u);
+}
+
+TEST_F(TcpOverFbsTest, UnpatchedMssStallsExactlyLikeTheBsdBug) {
+  // Simulate the pre-fix behaviour: a sender that sizes segments from the
+  // raw MTU (ignoring the FBS header) and sets DF. Every full-size packet
+  // must be dropped at the output hook boundary -- the bug the paper had to
+  // patch tcp_output.c for.
+  const std::size_t naive_payload = 1500 - net::Ipv4Header::kSize;  // no FBS
+  const util::Bytes segment(naive_payload, 'x');
+  EXPECT_FALSE(a_stack_.output(kB, net::IpProto::kTcp, segment,
+                               /*dont_fragment=*/true));
+  EXPECT_EQ(a_stack_.counters().df_drops, 1u);
+}
+
+TEST_F(TcpOverFbsTest, BulkTransferOverLossyProtectedLink) {
+  net::LinkParams rough;
+  rough.loss = 0.08;
+  rough.jitter = util::TimeUs{10'000};
+  net_.set_default_link(rough);
+  util::Bytes received;
+  b_tcp_.listen(5001, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_receive([&, conn](util::BytesView d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  auto client = a_tcp_.connect(kB, 5001);
+  const util::Bytes data = world_.rng.next_bytes(64 * 1024);
+  client->send(data);
+  net_.run();
+  EXPECT_EQ(received, data);
+  EXPECT_GT(client->counters().retransmissions, 0u);
+  // TCP retransmissions are fresh FBS datagrams (new confounder, same
+  // flow); none were rejected as replays.
+  EXPECT_EQ(b_fbs_.counters().in_rejected[static_cast<std::size_t>(
+                core::ReceiveError::kReplay)],
+            0u);
+}
+
+TEST_F(TcpOverFbsTest, LongLivedConnectionSpansMultipleFlows) {
+  // Section 7.1: "a connection may be broken up into multiple flows" -- a
+  // TELNET-like connection with a quiet period longer than THRESHOLD
+  // resumes on a fresh flow, transparently to TCP.
+  util::Bytes received;
+  std::shared_ptr<net::TcpConnection> server;
+  b_tcp_.listen(23, [&](std::shared_ptr<net::TcpConnection> conn) {
+    server = conn;
+    conn->on_receive([&, conn](util::BytesView d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  auto client = a_tcp_.connect(kB, 23);
+  client->send(util::to_bytes("before the quiet period\n"));
+  net_.run();
+
+  world_.clock.advance(util::seconds(601));  // beyond THRESHOLD
+
+  client->send(util::to_bytes("after the quiet period\n"));
+  net_.run();
+  EXPECT_EQ(util::to_string(received),
+            "before the quiet period\nafter the quiet period\n");
+  // Two (or more) flow keys derived for the one connection's direction.
+  EXPECT_GE(a_fbs_.endpoint().send_stats().flow_keys_derived, 2u);
+}
+
+}  // namespace
+}  // namespace fbs

@@ -1,0 +1,53 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::net {
+namespace {
+
+TEST(Checksum, Rfc1071WorkedExample) {
+  // Classic example: 0001 f203 f4f5 f6f7 -> checksum 220d (ones complement
+  // of ddf2).
+  const util::Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220Du);
+}
+
+TEST(Checksum, EmptyBufferChecksum) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFFu);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const util::Bytes even{0x12, 0x34, 0xAB, 0x00};
+  const util::Bytes odd{0x12, 0x34, 0xAB};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, VerifiesToZeroWhenEmbedded) {
+  // A buffer with its own checksum embedded sums to zero -- the receiver's
+  // validation rule.
+  util::Bytes data{0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00,
+                   0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                   0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(csum >> 8);
+  data[11] = static_cast<std::uint8_t>(csum);
+  EXPECT_EQ(internet_checksum(data), 0u);
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  const util::Bytes data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::uint32_t acc = 0;
+  acc = checksum_partial(acc, util::BytesView(data).subspan(0, 4));
+  acc = checksum_partial(acc, util::BytesView(data).subspan(4));
+  EXPECT_EQ(checksum_finish(acc), internet_checksum(data));
+}
+
+TEST(Checksum, DetectsSingleBitError) {
+  util::Bytes data(64, 0x5A);
+  const std::uint16_t base = internet_checksum(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(internet_checksum(data), base);
+}
+
+}  // namespace
+}  // namespace fbs::net

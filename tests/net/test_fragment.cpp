@@ -1,0 +1,180 @@
+#include "net/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace fbs::net {
+namespace {
+
+Ipv4Header header_for(std::uint16_t id) {
+  Ipv4Header h;
+  h.id = id;
+  h.protocol = 17;
+  h.source = *Ipv4Address::parse("10.0.0.1");
+  h.destination = *Ipv4Address::parse("10.0.0.2");
+  return h;
+}
+
+TEST(Fragment, SmallPayloadSinglePacket) {
+  const auto packets = fragment(header_for(1), util::Bytes(100, 'a'), 1500);
+  ASSERT_EQ(packets.size(), 1u);
+  const auto parsed = Ipv4Header::parse(packets[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->header.more_fragments);
+  EXPECT_EQ(parsed->header.fragment_offset, 0);
+}
+
+TEST(Fragment, LargePayloadSplitsWithCorrectOffsets) {
+  const util::Bytes payload(4000, 'b');
+  const auto packets = fragment(header_for(2), payload, 1500);
+  ASSERT_EQ(packets.size(), 3u);  // 1480+1480+1040
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto parsed = Ipv4Header::parse(packets[i]);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.fragment_offset * 8u, covered);
+    EXPECT_EQ(parsed->header.more_fragments, i + 1 < packets.size());
+    if (i + 1 < packets.size()) {
+      EXPECT_EQ(parsed->payload.size() % 8, 0u);
+    }
+    covered += parsed->payload.size();
+  }
+  EXPECT_EQ(covered, payload.size());
+}
+
+TEST(Fragment, DontFragmentBlocksOversizedPayload) {
+  Ipv4Header h = header_for(3);
+  h.dont_fragment = true;
+  EXPECT_TRUE(fragment(h, util::Bytes(4000, 'c'), 1500).empty());
+  EXPECT_EQ(fragment(h, util::Bytes(100, 'c'), 1500).size(), 1u);
+}
+
+class ReassemblerTest : public ::testing::Test {
+ protected:
+  util::VirtualClock clock_{util::minutes(1)};
+  Reassembler reasm_{clock_};
+};
+
+TEST_F(ReassemblerTest, UnfragmentedPassesThrough) {
+  const auto out = reasm_.push(header_for(4), util::to_bytes("whole"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, util::to_bytes("whole"));
+  EXPECT_EQ(reasm_.pending(), 0u);
+}
+
+TEST_F(ReassemblerTest, InOrderFragmentsReassemble) {
+  const util::Bytes payload(3000, 'd');
+  const auto packets = fragment(header_for(5), payload, 1500);
+  std::optional<Ipv4Packet> done;
+  for (const auto& p : packets) {
+    const auto parsed = Ipv4Header::parse(p);
+    ASSERT_TRUE(parsed.has_value());
+    done = reasm_.push(parsed->header, parsed->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, payload);
+  EXPECT_FALSE(done->header.more_fragments);
+  EXPECT_EQ(reasm_.pending(), 0u);
+}
+
+TEST_F(ReassemblerTest, OutOfOrderFragmentsReassemble) {
+  util::Bytes payload(5000, 0);
+  util::SplitMix64 rng(9);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  auto packets = fragment(header_for(6), payload, 1500);
+  std::reverse(packets.begin(), packets.end());
+  std::optional<Ipv4Packet> done;
+  for (const auto& p : packets) {
+    const auto parsed = Ipv4Header::parse(p);
+    done = reasm_.push(parsed->header, parsed->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, payload);
+}
+
+TEST_F(ReassemblerTest, DuplicateFragmentsIgnored) {
+  const util::Bytes payload(3000, 'e');
+  const auto packets = fragment(header_for(7), payload, 1500);
+  ASSERT_GE(packets.size(), 2u);
+  // Deliver the first fragment twice, then the rest once each.
+  const auto first = Ipv4Header::parse(packets[0]);
+  EXPECT_FALSE(reasm_.push(first->header, first->payload).has_value());
+  EXPECT_FALSE(reasm_.push(first->header, first->payload).has_value());
+  std::optional<Ipv4Packet> done;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    const auto p = Ipv4Header::parse(packets[i]);
+    done = reasm_.push(p->header, p->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, payload);
+}
+
+TEST_F(ReassemblerTest, MissingFragmentNeverCompletes) {
+  const auto packets = fragment(header_for(8), util::Bytes(3000, 'f'), 1500);
+  const auto first = Ipv4Header::parse(packets[0]);
+  const auto last = Ipv4Header::parse(packets.back());
+  EXPECT_FALSE(reasm_.push(first->header, first->payload).has_value());
+  EXPECT_FALSE(reasm_.push(last->header, last->payload).has_value());
+  EXPECT_EQ(reasm_.pending(), 1u);
+}
+
+TEST_F(ReassemblerTest, DistinctIdsKeptSeparate) {
+  const auto a = fragment(header_for(10), util::Bytes(3000, 'g'), 1500);
+  const auto b = fragment(header_for(11), util::Bytes(3000, 'h'), 1500);
+  const auto b0 = Ipv4Header::parse(b[0]);
+  EXPECT_FALSE(reasm_.push(b0->header, b0->payload).has_value());
+  // Interleave: complete datagram a while b stays pending.
+  std::optional<Ipv4Packet> done;
+  for (const auto& pkt : a) {
+    const auto p = Ipv4Header::parse(pkt);
+    done = reasm_.push(p->header, p->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, util::Bytes(3000, 'g'));
+  EXPECT_EQ(reasm_.pending(), 1u);  // b still incomplete
+}
+
+TEST_F(ReassemblerTest, ExpireDropsStalePartials) {
+  const auto packets = fragment(header_for(12), util::Bytes(3000, 'i'), 1500);
+  const auto first = Ipv4Header::parse(packets[0]);
+  (void)reasm_.push(first->header, first->payload);
+  EXPECT_EQ(reasm_.expire(), 0u);  // not yet stale
+  clock_.advance(util::seconds(31));
+  EXPECT_EQ(reasm_.expire(), 1u);
+  EXPECT_EQ(reasm_.pending(), 0u);
+  // Late fragment restarts a fresh partial rather than completing.
+  const auto last = Ipv4Header::parse(packets.back());
+  EXPECT_FALSE(reasm_.push(last->header, last->payload).has_value());
+}
+
+class FragmentSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FragmentSweep, RoundTripAtManyMtus) {
+  const std::size_t mtu = GetParam();
+  util::VirtualClock clock(util::minutes(1));
+  Reassembler reasm(clock);
+  util::Bytes payload(2900, 0);
+  util::SplitMix64 rng(GetParam());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  const auto packets = fragment(header_for(42), payload, mtu);
+  ASSERT_FALSE(packets.empty());
+  for (const auto& p : packets) EXPECT_LE(p.size(), mtu);
+  std::optional<Ipv4Packet> done;
+  for (const auto& p : packets) {
+    const auto parsed = Ipv4Header::parse(p);
+    ASSERT_TRUE(parsed.has_value());
+    done = reasm.push(parsed->header, parsed->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtus, FragmentSweep,
+                         ::testing::Values(68, 100, 576, 1006, 1500, 4096));
+
+}  // namespace
+}  // namespace fbs::net

@@ -1,0 +1,140 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::net {
+namespace {
+
+const Ipv4Address kSrc = *Ipv4Address::parse("10.0.0.1");
+const Ipv4Address kDst = *Ipv4Address::parse("10.0.0.2");
+
+TEST(UdpHeader, SerializeParseRoundTrip) {
+  UdpHeader h;
+  h.source_port = 5000;
+  h.destination_port = 53;
+  const util::Bytes payload = util::to_bytes("dns query");
+  const util::Bytes wire = h.serialize(kSrc, kDst, payload);
+  EXPECT_EQ(wire.size(), UdpHeader::kSize + payload.size());
+
+  const auto parsed = UdpHeader::parse(kSrc, kDst, wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.source_port, 5000);
+  EXPECT_EQ(parsed->header.destination_port, 53);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(UdpHeader, ChecksumCoversPseudoHeader) {
+  UdpHeader h;
+  h.source_port = 1;
+  h.destination_port = 2;
+  const util::Bytes wire = h.serialize(kSrc, kDst, util::to_bytes("x"));
+  // Same wire bytes, different claimed addresses: checksum must fail.
+  // (Swapping src/dst would NOT change the one's-complement sum -- use a
+  // genuinely different address.)
+  const Ipv4Address other = *Ipv4Address::parse("10.0.0.77");
+  EXPECT_FALSE(UdpHeader::parse(kSrc, other, wire).has_value());
+}
+
+TEST(UdpHeader, CorruptedPayloadRejected) {
+  UdpHeader h;
+  util::Bytes wire = h.serialize(kSrc, kDst, util::to_bytes("payload"));
+  wire.back() ^= 0x01;
+  EXPECT_FALSE(UdpHeader::parse(kSrc, kDst, wire).has_value());
+}
+
+TEST(UdpHeader, TruncatedRejected) {
+  const util::Bytes wire{0x01, 0x02, 0x03};
+  EXPECT_FALSE(UdpHeader::parse(kSrc, kDst, wire).has_value());
+}
+
+TEST(UdpHeader, ZeroChecksumMeansUnchecked) {
+  // RFC 768: an all-zero checksum field means "no checksum computed"; the
+  // receiver must accept the datagram without verification.
+  UdpHeader h;
+  h.source_port = 5;
+  h.destination_port = 6;
+  util::Bytes wire = h.serialize(kSrc, kDst, util::to_bytes("lazy sender"));
+  wire[6] = wire[7] = 0;  // clear the checksum
+  wire.back() ^= 0xFF;    // even corrupted payload passes (by design)
+  const auto parsed = UdpHeader::parse(kSrc, kDst, wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.source_port, 5);
+}
+
+TEST(UdpHeader, EmptyPayloadOk) {
+  UdpHeader h;
+  h.source_port = 7;
+  h.destination_port = 7;
+  const auto parsed = UdpHeader::parse(kSrc, kDst, h.serialize(kSrc, kDst, {}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(TcpHeader, SerializeParseRoundTrip) {
+  TcpHeader h;
+  h.source_port = 33000;
+  h.destination_port = 23;
+  h.seq = 0xDEADBEEF;
+  h.ack = 0x12345678;
+  h.syn = true;
+  h.ack_flag = true;
+  h.window = 4096;
+  const util::Bytes payload = util::to_bytes("telnet keystrokes");
+  const auto parsed = TcpHeader::parse(kSrc, kDst,
+                                       h.serialize(kSrc, kDst, payload));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.source_port, 33000);
+  EXPECT_EQ(parsed->header.destination_port, 23);
+  EXPECT_EQ(parsed->header.seq, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->header.ack, 0x12345678u);
+  EXPECT_TRUE(parsed->header.syn);
+  EXPECT_TRUE(parsed->header.ack_flag);
+  EXPECT_FALSE(parsed->header.fin);
+  EXPECT_FALSE(parsed->header.rst);
+  EXPECT_EQ(parsed->header.window, 4096);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(TcpHeader, AllFlagsRoundTrip) {
+  TcpHeader h;
+  h.fin = h.syn = h.rst = h.ack_flag = true;
+  const auto parsed = TcpHeader::parse(kSrc, kDst, h.serialize(kSrc, kDst, {}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->header.fin);
+  EXPECT_TRUE(parsed->header.syn);
+  EXPECT_TRUE(parsed->header.rst);
+  EXPECT_TRUE(parsed->header.ack_flag);
+}
+
+TEST(TcpHeader, ChecksumRejectsCorruption) {
+  TcpHeader h;
+  util::Bytes wire = h.serialize(kSrc, kDst, util::to_bytes("data"));
+  wire[4] ^= 0x10;  // corrupt seq
+  EXPECT_FALSE(TcpHeader::parse(kSrc, kDst, wire).has_value());
+}
+
+TEST(PeekPorts, ReadsPortsFromEitherTransport) {
+  UdpHeader u;
+  u.source_port = 1111;
+  u.destination_port = 2222;
+  const auto up = peek_ports(u.serialize(kSrc, kDst, {}));
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->source, 1111);
+  EXPECT_EQ(up->destination, 2222);
+
+  TcpHeader t;
+  t.source_port = 3333;
+  t.destination_port = 4444;
+  const auto tp = peek_ports(t.serialize(kSrc, kDst, {}));
+  ASSERT_TRUE(tp.has_value());
+  EXPECT_EQ(tp->source, 3333);
+  EXPECT_EQ(tp->destination, 4444);
+}
+
+TEST(PeekPorts, TruncatedReturnsNothing) {
+  EXPECT_FALSE(peek_ports(util::Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(peek_ports(util::Bytes{}).has_value());
+}
+
+}  // namespace
+}  // namespace fbs::net

@@ -1,0 +1,76 @@
+#include "net/ports.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::net {
+namespace {
+
+class PortAllocatorTest : public ::testing::Test {
+ protected:
+  util::VirtualClock clock_{util::minutes(1)};
+  PortAllocator ports_{clock_, util::seconds(600), 1024, 1031};  // 8 ports
+};
+
+TEST_F(PortAllocatorTest, AcquireSpecificPort) {
+  EXPECT_TRUE(ports_.acquire(1024));
+  EXPECT_TRUE(ports_.in_use(1024));
+  EXPECT_FALSE(ports_.acquire(1024));  // already taken
+}
+
+TEST_F(PortAllocatorTest, OutOfRangeRefused) {
+  EXPECT_FALSE(ports_.acquire(80));
+  EXPECT_FALSE(ports_.acquire(40000));
+}
+
+TEST_F(PortAllocatorTest, AcquireAnyCyclesThroughRange) {
+  std::set<std::uint16_t> got;
+  for (int i = 0; i < 8; ++i) {
+    const auto p = ports_.acquire_any();
+    ASSERT_TRUE(p.has_value());
+    got.insert(*p);
+  }
+  EXPECT_EQ(got.size(), 8u);  // all distinct
+  EXPECT_FALSE(ports_.acquire_any().has_value());  // exhausted
+}
+
+TEST_F(PortAllocatorTest, ReleasedPortCoolsDownForThreshold) {
+  // THE Section 7.1 countermeasure: a freed port is unallocatable until the
+  // flow that used it must have expired.
+  ASSERT_TRUE(ports_.acquire(1025));
+  ports_.release(1025);
+  EXPECT_TRUE(ports_.cooling_down(1025));
+  EXPECT_FALSE(ports_.acquire(1025));  // attacker cannot grab it
+  clock_.advance(util::seconds(599));
+  EXPECT_FALSE(ports_.acquire(1025));  // still inside THRESHOLD
+  clock_.advance(util::seconds(2));
+  EXPECT_FALSE(ports_.cooling_down(1025));
+  EXPECT_TRUE(ports_.acquire(1025));  // safe now: the flow has expired
+}
+
+TEST_F(PortAllocatorTest, AcquireAnySkipsCoolingPorts) {
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ports_.acquire_any().has_value());
+  ports_.release(1027);
+  EXPECT_EQ(ports_.cooling_count(), 1u);
+  // 1027 is free but cooling: acquire_any must not hand it out.
+  EXPECT_FALSE(ports_.acquire_any().has_value());
+  clock_.advance(util::seconds(601));
+  const auto p = ports_.acquire_any();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 1027);
+}
+
+TEST_F(PortAllocatorTest, ReleaseUnownedPortIsNoop) {
+  ports_.release(1030);  // never acquired
+  EXPECT_FALSE(ports_.cooling_down(1030));
+  EXPECT_TRUE(ports_.acquire(1030));
+}
+
+TEST_F(PortAllocatorTest, ZeroCooldownBehavesLikeClassicAllocator) {
+  PortAllocator classic(clock_, 0, 2000, 2001);
+  ASSERT_TRUE(classic.acquire(2000));
+  classic.release(2000);
+  EXPECT_TRUE(classic.acquire(2000));  // immediate reuse: the unsafe default
+}
+
+}  // namespace
+}  // namespace fbs::net

@@ -1,0 +1,206 @@
+#include "net/simnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::net {
+namespace {
+
+const Ipv4Address kA = *Ipv4Address::parse("10.0.0.1");
+const Ipv4Address kB = *Ipv4Address::parse("10.0.0.2");
+const Ipv4Address kC = *Ipv4Address::parse("10.0.0.3");
+
+class SimNetTest : public ::testing::Test {
+ protected:
+  util::VirtualClock clock_{0};
+  SimNetwork net_{clock_, 7};
+  std::vector<util::Bytes> at_a_, at_b_;
+
+  void SetUp() override {
+    net_.attach(kA, [this](util::Bytes f) { at_a_.push_back(std::move(f)); });
+    net_.attach(kB, [this](util::Bytes f) { at_b_.push_back(std::move(f)); });
+  }
+};
+
+TEST_F(SimNetTest, DeliversFrameAfterDelay) {
+  net_.send(kA, kB, util::to_bytes("hello"));
+  EXPECT_TRUE(at_b_.empty());  // nothing until the event is processed
+  net_.run();
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(at_b_[0], util::to_bytes("hello"));
+  EXPECT_EQ(clock_.now(), util::TimeUs{200});  // default link delay
+}
+
+TEST_F(SimNetTest, PerPairLinkParametersApply) {
+  LinkParams slow;
+  slow.delay = util::seconds(2);
+  net_.set_link(kA, kB, slow);
+  net_.send(kA, kB, util::to_bytes("x"));
+  net_.run();
+  EXPECT_EQ(clock_.now(), util::seconds(2));
+}
+
+TEST_F(SimNetTest, UnknownDestinationCounted) {
+  net_.send(kA, kC, util::to_bytes("void"));
+  net_.run();
+  EXPECT_EQ(net_.counters().no_such_host, 1u);
+  EXPECT_TRUE(at_a_.empty());
+  EXPECT_TRUE(at_b_.empty());
+}
+
+TEST_F(SimNetTest, LossDropsFraction) {
+  LinkParams lossy;
+  lossy.loss = 0.5;
+  net_.set_default_link(lossy);
+  constexpr int kFrames = 2000;
+  for (int i = 0; i < kFrames; ++i) net_.send(kA, kB, util::to_bytes("p"));
+  net_.run();
+  EXPECT_GT(net_.counters().lost, kFrames / 3u);
+  EXPECT_LT(net_.counters().lost, kFrames * 2u / 3);
+  EXPECT_EQ(at_b_.size() + net_.counters().lost,
+            static_cast<std::size_t>(kFrames));
+}
+
+TEST_F(SimNetTest, DuplicationDeliversTwice) {
+  LinkParams dupy;
+  dupy.duplicate = 1.0;  // always duplicate
+  net_.set_default_link(dupy);
+  net_.send(kA, kB, util::to_bytes("p"));
+  net_.run();
+  EXPECT_EQ(at_b_.size(), 2u);
+  EXPECT_EQ(net_.counters().duplicated, 1u);
+}
+
+TEST_F(SimNetTest, JitterReordersFrames) {
+  LinkParams jittery;
+  jittery.delay = util::TimeUs{100};
+  jittery.jitter = util::seconds(1);
+  net_.set_default_link(jittery);
+  for (int i = 0; i < 50; ++i) {
+    util::Bytes frame{static_cast<std::uint8_t>(i)};
+    net_.send(kA, kB, frame);
+  }
+  net_.run();
+  ASSERT_EQ(at_b_.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < at_b_.size(); ++i)
+    if (at_b_[i][0] < at_b_[i - 1][0]) reordered = true;
+  EXPECT_TRUE(reordered);
+}
+
+TEST_F(SimNetTest, DeterministicForSeed) {
+  util::VirtualClock clock2{0};
+  SimNetwork net2{clock2, 7};
+  std::vector<util::Bytes> at_b2;
+  net2.attach(kA, [](util::Bytes) {});
+  net2.attach(kB, [&](util::Bytes f) { at_b2.push_back(std::move(f)); });
+  LinkParams p;
+  p.loss = 0.3;
+  p.jitter = util::seconds(1);
+  net_.set_default_link(p);
+  net2.set_default_link(p);
+  for (int i = 0; i < 100; ++i) {
+    util::Bytes frame{static_cast<std::uint8_t>(i)};
+    net_.send(kA, kB, frame);
+    net2.send(kA, kB, frame);
+  }
+  net_.run();
+  net2.run();
+  EXPECT_EQ(at_b_, at_b2);
+}
+
+TEST_F(SimNetTest, TapObservesAndCanDrop) {
+  std::vector<util::Bytes> captured;
+  net_.set_tap([&](Ipv4Address, Ipv4Address, util::Bytes& frame) {
+    captured.push_back(frame);
+    return frame.size() > 2 ? SimNetwork::TapVerdict::kDrop
+                            : SimNetwork::TapVerdict::kPass;
+  });
+  net_.send(kA, kB, util::to_bytes("ok"));
+  net_.send(kA, kB, util::to_bytes("blocked"));
+  net_.run();
+  EXPECT_EQ(captured.size(), 2u);
+  EXPECT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(net_.counters().tap_dropped, 1u);
+}
+
+TEST_F(SimNetTest, TapCanModifyInFlight) {
+  net_.set_tap([](Ipv4Address, Ipv4Address, util::Bytes& frame) {
+    frame[0] ^= 0xFF;  // man-in-the-middle bit flip
+    return SimNetwork::TapVerdict::kPass;
+  });
+  net_.send(kA, kB, util::Bytes{0x00, 0x01});
+  net_.run();
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(at_b_[0][0], 0xFF);
+}
+
+TEST_F(SimNetTest, InjectBypassesTapAndLink) {
+  LinkParams total_loss;
+  total_loss.loss = 1.0;
+  net_.set_default_link(total_loss);
+  net_.set_tap([](Ipv4Address, Ipv4Address, util::Bytes&) {
+    return SimNetwork::TapVerdict::kDrop;
+  });
+  net_.inject(kB, util::to_bytes("attacker frame"));
+  net_.run();
+  ASSERT_EQ(at_b_.size(), 1u);  // delivered despite loss=1.0 and tap drop
+}
+
+TEST_F(SimNetTest, BandwidthSerializesBackToBackFrames) {
+  LinkParams ethernet;
+  ethernet.delay = 0;
+  ethernet.bandwidth_bps = 1e6;  // 1 Mb/s: a 1000B frame takes 8 ms
+  net_.set_default_link(ethernet);
+  std::vector<util::TimeUs> arrivals;
+  net_.attach(kC, [&](util::Bytes) { arrivals.push_back(clock_.now()); });
+  net_.send(kA, kC, util::Bytes(1000, 'x'));
+  net_.send(kA, kC, util::Bytes(1000, 'x'));  // queued behind the first
+  net_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], util::TimeUs{8'000});
+  EXPECT_EQ(arrivals[1], util::TimeUs{16'000});  // serialized, not parallel
+}
+
+TEST_F(SimNetTest, BandwidthZeroMeansInfinite) {
+  LinkParams instant;
+  instant.delay = util::TimeUs{10};
+  net_.set_default_link(instant);
+  net_.send(kA, kB, util::Bytes(100000, 'x'));
+  net_.run();
+  EXPECT_EQ(clock_.now(), util::TimeUs{10});  // no serialization time
+}
+
+TEST_F(SimNetTest, TenMegabitEthernetThroughput) {
+  // The paper's wire: ~1.2ms per 1500B frame => ~820 frames/sec.
+  LinkParams tenmb;
+  tenmb.delay = 0;
+  tenmb.bandwidth_bps = 10e6;
+  net_.set_default_link(tenmb);
+  constexpr int kFrames = 100;
+  int delivered = 0;
+  net_.attach(kC, [&](util::Bytes) { ++delivered; });
+  for (int i = 0; i < kFrames; ++i) net_.send(kA, kC, util::Bytes(1500, 'x'));
+  net_.run();
+  EXPECT_EQ(delivered, kFrames);
+  const double seconds = static_cast<double>(clock_.now()) / 1e6;
+  const double bps = kFrames * 1500 * 8 / seconds;
+  EXPECT_NEAR(bps, 10e6, 0.05e6);
+}
+
+TEST_F(SimNetTest, StepReturnsFalseWhenIdle) {
+  EXPECT_FALSE(net_.step());
+  net_.send(kA, kB, util::to_bytes("x"));
+  EXPECT_TRUE(net_.step());
+  EXPECT_FALSE(net_.step());
+}
+
+TEST_F(SimNetTest, DetachStopsDelivery) {
+  net_.detach(kB);
+  net_.send(kA, kB, util::to_bytes("x"));
+  net_.run();
+  EXPECT_TRUE(at_b_.empty());
+  EXPECT_EQ(net_.counters().no_such_host, 1u);
+}
+
+}  // namespace
+}  // namespace fbs::net

@@ -1,0 +1,82 @@
+#include "net/udp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::net {
+namespace {
+
+const Ipv4Address kA = *Ipv4Address::parse("10.0.0.1");
+const Ipv4Address kB = *Ipv4Address::parse("10.0.0.2");
+
+class UdpTest : public ::testing::Test {
+ protected:
+  util::VirtualClock clock_{util::minutes(1)};
+  SimNetwork net_{clock_, 5};
+  IpStack a_stack_{net_, clock_, kA};
+  IpStack b_stack_{net_, clock_, kB};
+  UdpService a_{a_stack_};
+  UdpService b_{b_stack_};
+};
+
+TEST_F(UdpTest, BoundPortReceives) {
+  util::Bytes got;
+  Ipv4Address from;
+  std::uint16_t from_port = 0;
+  b_.bind(7, [&](Ipv4Address src, std::uint16_t sport, util::Bytes payload) {
+    from = src;
+    from_port = sport;
+    got = std::move(payload);
+  });
+  EXPECT_TRUE(a_.send(kB, 5555, 7, util::to_bytes("echo me")));
+  net_.run();
+  EXPECT_EQ(got, util::to_bytes("echo me"));
+  EXPECT_EQ(from, kA);
+  EXPECT_EQ(from_port, 5555);
+  EXPECT_EQ(b_.counters().delivered, 1u);
+}
+
+TEST_F(UdpTest, UnboundPortCounted) {
+  a_.send(kB, 5555, 9999, util::to_bytes("nobody home"));
+  net_.run();
+  EXPECT_EQ(b_.counters().no_listener, 1u);
+}
+
+TEST_F(UdpTest, UnbindStopsDelivery) {
+  int hits = 0;
+  b_.bind(7, [&](Ipv4Address, std::uint16_t, util::Bytes) { ++hits; });
+  a_.send(kB, 1, 7, util::to_bytes("one"));
+  net_.run();
+  b_.unbind(7);
+  a_.send(kB, 1, 7, util::to_bytes("two"));
+  net_.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(b_.counters().no_listener, 1u);
+}
+
+TEST_F(UdpTest, BidirectionalExchange) {
+  b_.bind(7, [&](Ipv4Address src, std::uint16_t sport, util::Bytes payload) {
+    payload.push_back('!');
+    b_.send(src, 7, sport, payload);
+  });
+  util::Bytes reply;
+  a_.bind(5555, [&](Ipv4Address, std::uint16_t, util::Bytes payload) {
+    reply = std::move(payload);
+  });
+  a_.send(kB, 5555, 7, util::to_bytes("ping"));
+  net_.run();
+  EXPECT_EQ(reply, util::to_bytes("ping!"));
+}
+
+TEST_F(UdpTest, LargeDatagramSurvivesFragmentation) {
+  util::Bytes big(9000, 'u');
+  util::Bytes got;
+  b_.bind(7, [&](Ipv4Address, std::uint16_t, util::Bytes payload) {
+    got = std::move(payload);
+  });
+  a_.send(kB, 1, 7, big);
+  net_.run();
+  EXPECT_EQ(got, big);
+}
+
+}  // namespace
+}  // namespace fbs::net

@@ -1,0 +1,72 @@
+// Shared test universe: a certificate authority, a directory service, and a
+// set of principals each holding a Diffie-Hellman keypair, a published
+// public-value certificate, a master key daemon and a kernel key manager.
+// Uses the fast insecure test DH group by default so fixtures stay cheap;
+// individual tests can opt into an Oakley group.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cert/certificate.hpp"
+#include "cert/directory.hpp"
+#include "crypto/dh.hpp"
+#include "fbs/keying.hpp"
+#include "fbs/principal.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::testing {
+
+class TestWorld {
+ public:
+  struct Node {
+    core::Principal principal;
+    crypto::DhKeyPair dh;
+    std::unique_ptr<core::MasterKeyDaemon> mkd;
+    std::unique_ptr<core::KeyManager> keys;
+  };
+
+  explicit TestWorld(std::uint64_t seed = 1997,
+                     const crypto::DhGroup& group = crypto::test_group(),
+                     util::TimeUs directory_rtt = util::TimeUs{0})
+      : rng(seed),
+        clock(util::minutes(1000)),
+        ca(512, rng),
+        directory(directory_rtt, &clock),
+        group_(group) {}
+
+  /// Create a principal at `ip`, publish its certificate, wire up MKD/MKC.
+  Node& add_node(const std::string& name, const std::string& ip,
+                 std::size_t pvc_size = 16, std::size_t mkc_size = 16) {
+    Node node;
+    node.principal =
+        core::Principal::from_ipv4(*net::Ipv4Address::parse(ip));
+    node.principal.name = name;
+    node.dh = crypto::dh_generate(group_, rng);
+    directory.publish(ca.issue(
+        node.principal.address, group_.name,
+        node.dh.public_value.to_bytes_be(group_.element_size()),
+        clock.now() - util::minutes(10), clock.now() + util::minutes(100000)));
+    node.mkd = std::make_unique<core::MasterKeyDaemon>(
+        node.principal, node.dh.private_value, group_, ca, directory, clock,
+        pvc_size);
+    node.keys = std::make_unique<core::KeyManager>(*node.mkd, mkc_size);
+    auto [it, inserted] = nodes.emplace(name, std::move(node));
+    return it->second;
+  }
+
+  Node& operator[](const std::string& name) { return nodes.at(name); }
+
+  util::SplitMix64 rng;
+  util::VirtualClock clock;
+  cert::CertificateAuthority ca;
+  cert::DirectoryService directory;
+  std::map<std::string, Node> nodes;
+
+ private:
+  const crypto::DhGroup& group_;
+};
+
+}  // namespace fbs::testing

@@ -1,0 +1,147 @@
+#include "trace/flowsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synth.hpp"
+
+namespace fbs::trace {
+namespace {
+
+PacketRecord rec(util::TimeUs t, std::uint16_t sport, std::uint32_t size) {
+  PacketRecord r;
+  r.time = t;
+  r.tuple.protocol = 6;
+  r.tuple.source_address = 0x0A000001;
+  r.tuple.source_port = sport;
+  r.tuple.destination_address = 0x0A000002;
+  r.tuple.destination_port = 23;
+  r.size = size;
+  return r;
+}
+
+FlowSimConfig config_with_threshold(util::TimeUs threshold) {
+  FlowSimConfig cfg;
+  cfg.threshold = threshold;
+  cfg.sample_interval = util::seconds(1);
+  return cfg;
+}
+
+TEST(FlowSim, SingleFlowAggregates) {
+  Trace t{rec(util::seconds(0), 1000, 10), rec(util::seconds(1), 1000, 20),
+          rec(util::seconds(2), 1000, 30)};
+  const auto r = simulate_flows(t, config_with_threshold(util::seconds(600)));
+  ASSERT_EQ(r.flows.size(), 1u);
+  EXPECT_EQ(r.flows[0].packets, 3u);
+  EXPECT_EQ(r.flows[0].bytes, 60u);
+  EXPECT_EQ(r.flows[0].duration(), util::seconds(2));
+  EXPECT_EQ(r.total_packets, 3u);
+  EXPECT_EQ(r.total_bytes, 60u);
+  EXPECT_EQ(r.repeated_flows, 0u);
+}
+
+TEST(FlowSim, GapSplitsFlowAndCountsRepeat) {
+  Trace t{rec(util::seconds(0), 1000, 10),
+          rec(util::seconds(700), 1000, 20)};  // gap > 600s
+  const auto r = simulate_flows(t, config_with_threshold(util::seconds(600)));
+  ASSERT_EQ(r.flows.size(), 2u);
+  EXPECT_EQ(r.repeated_flows, 1u);
+  EXPECT_NE(r.flows[0].sfl, r.flows[1].sfl);
+  EXPECT_EQ(r.flows[0].tuple, r.flows[1].tuple);
+}
+
+TEST(FlowSim, DistinctTuplesDistinctFlowsNoRepeats) {
+  Trace t{rec(util::seconds(0), 1000, 10), rec(util::seconds(0), 2000, 10),
+          rec(util::seconds(0), 3000, 10)};
+  const auto r = simulate_flows(t, config_with_threshold(util::seconds(600)));
+  EXPECT_EQ(r.flows.size(), 3u);
+  EXPECT_EQ(r.repeated_flows, 0u);
+}
+
+TEST(FlowSim, PacketConservation) {
+  const Trace t = generate_campus_trace(11, util::minutes(10));
+  const auto r = simulate_flows(t, config_with_threshold(util::seconds(600)));
+  std::uint64_t flow_packets = 0, flow_bytes = 0;
+  for (const auto& f : r.flows) {
+    flow_packets += f.packets;
+    flow_bytes += f.bytes;
+  }
+  EXPECT_EQ(flow_packets, r.total_packets);
+  EXPECT_EQ(flow_bytes, r.total_bytes);
+  EXPECT_EQ(r.total_packets, t.size());
+}
+
+TEST(FlowSim, ActiveSeriesPeaksAndMeans) {
+  Trace t{rec(util::seconds(0), 1000, 10), rec(util::seconds(0), 2000, 10)};
+  const auto r = simulate_flows(t, config_with_threshold(util::seconds(10)));
+  EXPECT_EQ(r.peak_active, 2u);
+  EXPECT_GT(r.mean_active, 0.0);
+  EXPECT_LE(r.mean_active, 2.0);
+  // Flow is active from first packet until last + threshold.
+  ASSERT_FALSE(r.active_series.empty());
+  EXPECT_EQ(r.active_series.front().second, 2u);
+  EXPECT_EQ(r.active_series.back().second, 0u);
+}
+
+TEST(FlowSim, HigherThresholdNeverMoreFlows) {
+  const Trace t = generate_campus_trace(13, util::minutes(15));
+  std::size_t prev = SIZE_MAX;
+  for (int ts : {60, 300, 600, 900, 1200}) {
+    const auto r = simulate_flows(t, config_with_threshold(util::seconds(ts)));
+    EXPECT_LE(r.flows.size(), prev) << ts;
+    prev = r.flows.size();
+  }
+}
+
+TEST(FlowSim, HigherThresholdNeverMoreRepeats) {
+  const Trace t = generate_campus_trace(17, util::minutes(15));
+  std::uint64_t prev = UINT64_MAX;
+  for (int ts : {60, 300, 600, 900, 1200}) {
+    const auto r = simulate_flows(t, config_with_threshold(util::seconds(ts)));
+    EXPECT_LE(r.repeated_flows, prev) << ts;
+    prev = r.repeated_flows;
+  }
+}
+
+TEST(FlowSim, EmptyTrace) {
+  const auto r = simulate_flows({}, config_with_threshold(util::seconds(1)));
+  EXPECT_TRUE(r.flows.empty());
+  EXPECT_TRUE(r.active_series.empty());
+  EXPECT_EQ(r.total_packets, 0u);
+}
+
+TEST(FlowSim, CacheMissRateDecreasesWithSize) {
+  const Trace t = generate_campus_trace(19, util::minutes(15));
+  const auto points = simulate_cache_misses(t, util::seconds(600),
+                                            {2, 8, 32, 128, 512});
+  ASSERT_EQ(points.size(), 5u);
+  double prev_send = 1.1, prev_recv = 1.1;
+  for (const auto& p : points) {
+    EXPECT_LE(p.send.miss_rate(), prev_send + 0.02) << p.cache_size;
+    EXPECT_LE(p.receive.miss_rate(), prev_recv + 0.02) << p.cache_size;
+    prev_send = p.send.miss_rate();
+    prev_recv = p.receive.miss_rate();
+  }
+  // Figure 11's claim: the miss rate drops off sharply even for small sizes.
+  EXPECT_LT(points.back().send.miss_rate(), 0.2);
+}
+
+TEST(FlowSim, LargeCacheOnlyColdMisses) {
+  const Trace t = generate_campus_trace(23, util::minutes(10));
+  const auto points =
+      simulate_cache_misses(t, util::seconds(600), {8192}, 4);
+  ASSERT_EQ(points.size(), 1u);
+  // With a huge cache, essentially every miss is compulsory.
+  EXPECT_EQ(points[0].send.capacity_misses, 0u);
+  EXPECT_LE(points[0].send.collision_misses,
+            points[0].send.cold_misses / 5 + 1);
+}
+
+TEST(FlowSim, CacheAccessCountsMatchTrace) {
+  const Trace t = generate_campus_trace(29, util::minutes(5));
+  const auto points = simulate_cache_misses(t, util::seconds(600), {64});
+  EXPECT_EQ(points[0].send.accesses(), t.size());
+  EXPECT_EQ(points[0].receive.accesses(), t.size());
+}
+
+}  // namespace
+}  // namespace fbs::trace

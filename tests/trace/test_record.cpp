@@ -1,0 +1,84 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fbs::trace {
+namespace {
+
+PacketRecord rec(util::TimeUs t, const char* saddr, std::uint16_t sport,
+                 const char* daddr, std::uint16_t dport, std::uint32_t size,
+                 std::uint8_t proto = 6) {
+  PacketRecord r;
+  r.time = t;
+  r.tuple.protocol = proto;
+  r.tuple.source_address = net::Ipv4Address::parse(saddr)->value;
+  r.tuple.source_port = sport;
+  r.tuple.destination_address = net::Ipv4Address::parse(daddr)->value;
+  r.tuple.destination_port = dport;
+  r.size = size;
+  return r;
+}
+
+TEST(TraceRecord, SortTraceOrdersByTimeStably) {
+  Trace t{rec(300, "1.1.1.1", 1, "2.2.2.2", 2, 10),
+          rec(100, "1.1.1.1", 1, "2.2.2.2", 2, 20),
+          rec(100, "3.3.3.3", 3, "4.4.4.4", 4, 30)};
+  sort_trace(t);
+  EXPECT_EQ(t[0].size, 20u);
+  EXPECT_EQ(t[1].size, 30u);  // stable: keeps insertion order at t=100
+  EXPECT_EQ(t[2].size, 10u);
+}
+
+TEST(TraceRecord, SaveLoadRoundTrip) {
+  Trace t{rec(123456, "10.1.0.11", 1024, "10.1.1.1", 23, 64),
+          rec(234567, "172.16.0.2", 33000, "10.2.0.1", 80, 1460, 17)};
+  std::stringstream ss;
+  save_trace(t, ss);
+  const auto loaded = load_trace(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].time, 123456);
+  EXPECT_EQ((*loaded)[0].tuple, t[0].tuple);
+  EXPECT_EQ((*loaded)[1].size, 1460u);
+  EXPECT_EQ((*loaded)[1].tuple.protocol, 17);
+}
+
+TEST(TraceRecord, LoadSkipsComments) {
+  std::stringstream ss("# header\n100 6 1.1.1.1 1 2.2.2.2 2 10\n\n# x\n");
+  const auto loaded = load_trace(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(TraceRecord, LoadRejectsMalformedLines) {
+  std::stringstream bad_addr("100 6 999.1.1.1 1 2.2.2.2 2 10\n");
+  EXPECT_FALSE(load_trace(bad_addr).has_value());
+  std::stringstream short_line("100 6 1.1.1.1\n");
+  EXPECT_FALSE(load_trace(short_line).has_value());
+  std::stringstream bad_port("100 6 1.1.1.1 99999 2.2.2.2 2 10\n");
+  EXPECT_FALSE(load_trace(bad_port).has_value());
+}
+
+TEST(TraceRecord, SummarizeCountsDistinctTuplesAndHosts) {
+  Trace t{rec(100, "1.1.1.1", 1, "2.2.2.2", 2, 10),
+          rec(200, "1.1.1.1", 1, "2.2.2.2", 2, 20),
+          rec(300, "1.1.1.1", 9, "3.3.3.3", 2, 30)};
+  const TraceSummary s = summarize(t);
+  EXPECT_EQ(s.packets, 3u);
+  EXPECT_EQ(s.bytes, 60u);
+  EXPECT_EQ(s.first, 100);
+  EXPECT_EQ(s.last, 300);
+  EXPECT_EQ(s.distinct_tuples, 2u);
+  EXPECT_EQ(s.distinct_hosts, 3u);
+}
+
+TEST(TraceRecord, SummarizeEmptyTrace) {
+  const TraceSummary s = summarize({});
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace fbs::trace

@@ -1,0 +1,142 @@
+#include "trace/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fbs::trace {
+namespace {
+
+LanWorkloadConfig small_lan() {
+  LanWorkloadConfig cfg;
+  cfg.duration = util::minutes(10);
+  cfg.desktops = 8;
+  return cfg;
+}
+
+TEST(Synth, LanTraceIsSortedAndWithinHorizon) {
+  const Trace t = generate_lan_trace(small_lan());
+  ASSERT_FALSE(t.empty());
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_LE(t[i - 1].time, t[i].time);
+  EXPECT_LT(t.back().time, util::minutes(10));
+  EXPECT_GE(t.front().time, 0);
+}
+
+TEST(Synth, DeterministicForSeed) {
+  const Trace a = generate_lan_trace(small_lan());
+  const Trace b = generate_lan_trace(small_lan());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].tuple, b[i].tuple);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  LanWorkloadConfig c1 = small_lan(), c2 = small_lan();
+  c2.seed = 31337;
+  const Trace a = generate_lan_trace(c1);
+  const Trace b = generate_lan_trace(c2);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Synth, LanContainsExpectedApplicationPorts) {
+  const Trace t = generate_lan_trace(small_lan());
+  std::set<std::uint16_t> dports;
+  for (const auto& r : t) dports.insert(r.tuple.destination_port);
+  EXPECT_TRUE(dports.contains(23));    // telnet
+  EXPECT_TRUE(dports.contains(2049));  // nfs
+  EXPECT_TRUE(dports.contains(53));    // dns
+}
+
+TEST(Synth, LanMixesTcpAndUdp) {
+  const Trace t = generate_lan_trace(small_lan());
+  bool tcp = false, udp = false;
+  for (const auto& r : t) {
+    if (r.tuple.protocol == 6) tcp = true;
+    if (r.tuple.protocol == 17) udp = true;
+  }
+  EXPECT_TRUE(tcp);
+  EXPECT_TRUE(udp);
+}
+
+TEST(Synth, LanIsBidirectional) {
+  const Trace t = generate_lan_trace(small_lan());
+  std::set<std::uint32_t> sources, destinations;
+  for (const auto& r : t) {
+    sources.insert(r.tuple.source_address);
+    destinations.insert(r.tuple.destination_address);
+  }
+  // Servers appear as sources too (replies), not just sinks.
+  int overlap = 0;
+  for (auto s : sources)
+    if (destinations.contains(s)) ++overlap;
+  EXPECT_GT(overlap, 4);
+}
+
+TEST(Synth, WwwTraceTargetsPort80) {
+  WwwWorkloadConfig cfg;
+  cfg.duration = util::minutes(30);
+  cfg.hits_per_day = 40000;  // scale up so a 30-min window has traffic
+  const Trace t = generate_www_trace(cfg);
+  ASSERT_FALSE(t.empty());
+  std::size_t http = 0;
+  for (const auto& r : t)
+    if (r.tuple.destination_port == 80 || r.tuple.source_port == 80) ++http;
+  EXPECT_EQ(http, t.size());
+}
+
+TEST(Synth, WwwHitRateRoughlyMatchesConfig) {
+  WwwWorkloadConfig cfg;
+  cfg.duration = util::minutes(60);
+  cfg.hits_per_day = 24000;  // => ~1000/hour
+  const Trace t = generate_www_trace(cfg);
+  // Count request packets (client->server port 80).
+  std::size_t hits = 0;
+  for (const auto& r : t)
+    if (r.tuple.destination_port == 80) ++hits;
+  EXPECT_GT(hits, 700u);
+  EXPECT_LT(hits, 1400u);
+}
+
+TEST(Synth, MergePreservesAllPacketsSorted) {
+  const Trace a = generate_lan_trace(small_lan());
+  WwwWorkloadConfig wcfg;
+  wcfg.duration = util::minutes(10);
+  const Trace b = generate_www_trace(wcfg);
+  const Trace merged = merge_traces({&a, &b});
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+  for (std::size_t i = 1; i < merged.size(); ++i)
+    EXPECT_LE(merged[i - 1].time, merged[i].time);
+}
+
+TEST(Synth, CampusTraceCombinesBothWorkloads) {
+  const Trace t = generate_campus_trace(7, util::minutes(10));
+  bool lan = false, www = false;
+  for (const auto& r : t) {
+    if (r.tuple.destination_port == 2049 || r.tuple.source_port == 2049)
+      lan = true;
+    if (r.tuple.destination_port == 80 || r.tuple.source_port == 80)
+      www = true;
+  }
+  EXPECT_TRUE(lan);
+  EXPECT_TRUE(www);
+}
+
+TEST(Synth, HeavyTailPresent) {
+  // A few large transfers should dominate bytes: top 10% of packets by
+  // size carry a disproportionate share (bulk FTP/NFS/WWW bodies).
+  const Trace t = generate_lan_trace(small_lan());
+  std::uint64_t total = 0, large = 0;
+  for (const auto& r : t) {
+    total += r.size;
+    if (r.size >= 1024) large += r.size;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(large) / static_cast<double>(total), 0.5);
+}
+
+}  // namespace
+}  // namespace fbs::trace

@@ -1,0 +1,106 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::util {
+namespace {
+
+TEST(Bytes, ToBytesRoundTripsThroughToString) {
+  const Bytes b = to_bytes("hello datagram");
+  EXPECT_EQ(to_string(b), "hello datagram");
+}
+
+TEST(Bytes, ToHexKnownValues) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_hex(Bytes{0x00}), "00");
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+}
+
+TEST(Bytes, FromHexLowerAndUpperCase) {
+  EXPECT_EQ(*from_hex("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(*from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(Bytes, FromHexRejectsNonHexCharacters) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(*from_hex(to_hex(all)), all);
+}
+
+TEST(Bytes, CtEqualMatchesEquality) {
+  EXPECT_TRUE(ct_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0Full);
+  const Bytes out = w.take();
+  EXPECT_EQ(to_hex(out), "0102030405060708090a0b0c0d0e0f");
+}
+
+TEST(ByteWriter, TakeLeavesWriterEmpty) {
+  ByteWriter w;
+  w.u32(42);
+  (void)w.take();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x12345678);
+  w.u64(0x1122334455667788ull);
+  w.bytes(to_bytes("tail"));
+  const Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(*r.u8(), 0xAB);
+  EXPECT_EQ(*r.u16(), 0xCDEF);
+  EXPECT_EQ(*r.u32(), 0x12345678u);
+  EXPECT_EQ(*r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(to_string(r.rest()), "tail");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, TruncationSetsNotOk) {
+  const Bytes buf{0x01, 0x02};
+  ByteReader r(buf);
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay failed even if enough bytes nominally remain.
+  EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(ByteReader, BytesExactCount) {
+  const Bytes buf{1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  EXPECT_EQ(*r.bytes(3), (Bytes{1, 2, 3}));
+  EXPECT_FALSE(r.bytes(3).has_value());  // only 2 left
+}
+
+TEST(ByteReader, EmptyRestIsEmpty) {
+  const Bytes buf{};
+  ByteReader r(buf);
+  EXPECT_TRUE(r.rest().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace fbs::util

@@ -1,0 +1,48 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::util {
+namespace {
+
+TEST(VirtualClock, StartsAtConstructedTime) {
+  VirtualClock c(seconds(100));
+  EXPECT_EQ(c.now(), seconds(100));
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.advance(seconds(5));
+  c.advance(minutes(2));
+  EXPECT_EQ(c.now(), seconds(5) + minutes(2));
+}
+
+TEST(VirtualClock, SetOverrides) {
+  VirtualClock c(seconds(10));
+  c.set(minutes(42));
+  EXPECT_EQ(c.now(), minutes(42));
+}
+
+TEST(HeaderMinutes, MinuteResolutionEncoding) {
+  EXPECT_EQ(to_header_minutes(0), 0u);
+  EXPECT_EQ(to_header_minutes(minutes(1) - 1), 0u);
+  EXPECT_EQ(to_header_minutes(minutes(1)), 1u);
+  EXPECT_EQ(to_header_minutes(minutes(90) + seconds(30)), 90u);
+}
+
+TEST(HeaderMinutes, NoWrapForMillennia) {
+  // Section 7.2: "With 32 bits, the timestamp will not wrap around in the
+  // next 8000 years."
+  const TimeUs y8000 = minutes(static_cast<std::int64_t>(8000) * 365 * 24 * 60);
+  EXPECT_LT(to_header_minutes(y8000),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(SystemClock, IsAfterFbsEpoch) {
+  SystemClock c;
+  // Any machine running this is well past 1996.
+  EXPECT_GT(c.now(), minutes(1));
+}
+
+}  // namespace
+}  // namespace fbs::util

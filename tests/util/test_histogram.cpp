@@ -1,0 +1,93 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbs::util {
+namespace {
+
+TEST(LogHistogram, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(LogHistogram, TotalAndMean) {
+  LogHistogram h;
+  h.add(2);
+  h.add(4);
+  h.add(6);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.min(), 2.0);
+  EXPECT_EQ(h.max(), 6.0);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h;
+  h.add(10, 5);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(LogHistogram, BucketsCoverPowerOfTwoRanges) {
+  LogHistogram h(2.0);
+  h.add(1);    // [1,2)
+  h.add(3);    // [2,4)
+  h.add(5);    // [4,8)
+  h.add(100);  // [64,128)
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].lo, 1.0);
+  EXPECT_EQ(buckets[0].hi, 2.0);
+  EXPECT_EQ(buckets.back().count, 1u);
+  EXPECT_DOUBLE_EQ(buckets.back().cum_fraction, 1.0);
+}
+
+TEST(LogHistogram, SubUnitValuesLandInZeroBucket) {
+  LogHistogram h;
+  h.add(0);
+  h.add(0.5);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].lo, 0.0);
+  EXPECT_EQ(buckets[0].count, 2u);
+}
+
+TEST(LogHistogram, CdfIsMonotonic) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(i);
+  double prev = 0;
+  for (const auto& b : h.buckets()) {
+    EXPECT_GE(b.cum_fraction, prev);
+    prev = b.cum_fraction;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(LogHistogram, QuantileBoundsAndOrder) {
+  LogHistogram h;
+  for (int i = 1; i <= 1024; ++i) h.add(i);
+  const double q10 = h.quantile(0.10);
+  const double q50 = h.quantile(0.50);
+  const double q99 = h.quantile(0.99);
+  EXPECT_LE(q10, q50);
+  EXPECT_LE(q50, q99);
+  EXPECT_GE(q10, 1.0);
+  EXPECT_LE(q99, 1024.0);
+  // The median of 1..1024 sits in the [512,1024) bucket.
+  EXPECT_GE(q50, 256.0);
+  EXPECT_LE(q50, 1024.0);
+}
+
+TEST(LogHistogram, RenderContainsCountsAndBars) {
+  LogHistogram h;
+  h.add(4, 10);
+  const std::string table = h.render("packets");
+  EXPECT_NE(table.find("packets"), std::string::npos);
+  EXPECT_NE(table.find("10"), std::string::npos);
+  EXPECT_NE(table.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbs::util
