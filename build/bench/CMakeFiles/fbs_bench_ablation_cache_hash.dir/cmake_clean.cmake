@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_ablation_cache_hash.dir/bench_ablation_cache_hash.cpp.o"
+  "CMakeFiles/fbs_bench_ablation_cache_hash.dir/bench_ablation_cache_hash.cpp.o.d"
+  "fbs_bench_ablation_cache_hash"
+  "fbs_bench_ablation_cache_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_ablation_cache_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

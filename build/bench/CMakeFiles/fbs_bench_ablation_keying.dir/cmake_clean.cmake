@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_ablation_keying.dir/bench_ablation_keying.cpp.o"
+  "CMakeFiles/fbs_bench_ablation_keying.dir/bench_ablation_keying.cpp.o.d"
+  "fbs_bench_ablation_keying"
+  "fbs_bench_ablation_keying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_ablation_keying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_ablation_policy.dir/bench_ablation_policy.cpp.o"
+  "CMakeFiles/fbs_bench_ablation_policy.dir/bench_ablation_policy.cpp.o.d"
+  "fbs_bench_ablation_policy"
+  "fbs_bench_ablation_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_ablation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_crypto.dir/bench_crypto.cpp.o"
+  "CMakeFiles/fbs_bench_crypto.dir/bench_crypto.cpp.o.d"
+  "fbs_bench_crypto"
+  "fbs_bench_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

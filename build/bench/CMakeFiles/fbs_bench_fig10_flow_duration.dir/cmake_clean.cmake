@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_fig10_flow_duration.dir/bench_fig10_flow_duration.cpp.o"
+  "CMakeFiles/fbs_bench_fig10_flow_duration.dir/bench_fig10_flow_duration.cpp.o.d"
+  "fbs_bench_fig10_flow_duration"
+  "fbs_bench_fig10_flow_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_fig10_flow_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

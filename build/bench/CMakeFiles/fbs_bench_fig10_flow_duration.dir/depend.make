@@ -1,0 +1,2 @@
+# Empty dependencies file for fbs_bench_fig10_flow_duration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_fig11_cache_miss.dir/bench_fig11_cache_miss.cpp.o"
+  "CMakeFiles/fbs_bench_fig11_cache_miss.dir/bench_fig11_cache_miss.cpp.o.d"
+  "fbs_bench_fig11_cache_miss"
+  "fbs_bench_fig11_cache_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_fig11_cache_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fbs_bench_fig11_cache_miss.
+# This may be replaced when dependencies are built.

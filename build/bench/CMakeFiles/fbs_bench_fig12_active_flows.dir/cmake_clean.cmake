@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_fig12_active_flows.dir/bench_fig12_active_flows.cpp.o"
+  "CMakeFiles/fbs_bench_fig12_active_flows.dir/bench_fig12_active_flows.cpp.o.d"
+  "fbs_bench_fig12_active_flows"
+  "fbs_bench_fig12_active_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_fig12_active_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fbs_bench_fig12_active_flows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_fig13_threshold.dir/bench_fig13_threshold.cpp.o"
+  "CMakeFiles/fbs_bench_fig13_threshold.dir/bench_fig13_threshold.cpp.o.d"
+  "fbs_bench_fig13_threshold"
+  "fbs_bench_fig13_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_fig13_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

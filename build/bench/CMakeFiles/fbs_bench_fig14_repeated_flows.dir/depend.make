@@ -1,0 +1,2 @@
+# Empty dependencies file for fbs_bench_fig14_repeated_flows.
+# This may be replaced when dependencies are built.

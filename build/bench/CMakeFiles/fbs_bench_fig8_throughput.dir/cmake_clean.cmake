@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_fig8_throughput.dir/bench_fig8_throughput.cpp.o"
+  "CMakeFiles/fbs_bench_fig8_throughput.dir/bench_fig8_throughput.cpp.o.d"
+  "fbs_bench_fig8_throughput"
+  "fbs_bench_fig8_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_fig8_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bench_fig9_flow_size.dir/bench_fig9_flow_size.cpp.o"
+  "CMakeFiles/fbs_bench_fig9_flow_size.dir/bench_fig9_flow_size.cpp.o.d"
+  "fbs_bench_fig9_flow_size"
+  "fbs_bench_fig9_flow_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bench_fig9_flow_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fbs_bench_fig9_flow_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conferencing_app.dir/conferencing_app.cpp.o"
+  "CMakeFiles/conferencing_app.dir/conferencing_app.cpp.o.d"
+  "conferencing_app"
+  "conferencing_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conferencing_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

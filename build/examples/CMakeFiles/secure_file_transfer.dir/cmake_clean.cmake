@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_file_transfer.dir/secure_file_transfer.cpp.o"
+  "CMakeFiles/secure_file_transfer.dir/secure_file_transfer.cpp.o.d"
+  "secure_file_transfer"
+  "secure_file_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_file_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/secure_telnet.cpp" "examples/CMakeFiles/secure_telnet.dir/secure_telnet.cpp.o" "gcc" "examples/CMakeFiles/secure_telnet.dir/secure_telnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fbs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbs/CMakeFiles/fbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/fbs_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fbs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_telnet.dir/secure_telnet.cpp.o"
+  "CMakeFiles/secure_telnet.dir/secure_telnet.cpp.o.d"
+  "secure_telnet"
+  "secure_telnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_telnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_baselines.dir/hostpair.cpp.o"
+  "CMakeFiles/fbs_baselines.dir/hostpair.cpp.o.d"
+  "CMakeFiles/fbs_baselines.dir/kdc.cpp.o"
+  "CMakeFiles/fbs_baselines.dir/kdc.cpp.o.d"
+  "CMakeFiles/fbs_baselines.dir/perdatagram.cpp.o"
+  "CMakeFiles/fbs_baselines.dir/perdatagram.cpp.o.d"
+  "CMakeFiles/fbs_baselines.dir/skiplike.cpp.o"
+  "CMakeFiles/fbs_baselines.dir/skiplike.cpp.o.d"
+  "libfbs_baselines.a"
+  "libfbs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_bignum.dir/prime.cpp.o"
+  "CMakeFiles/fbs_bignum.dir/prime.cpp.o.d"
+  "CMakeFiles/fbs_bignum.dir/uint.cpp.o"
+  "CMakeFiles/fbs_bignum.dir/uint.cpp.o.d"
+  "libfbs_bignum.a"
+  "libfbs_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_cert.dir/certificate.cpp.o"
+  "CMakeFiles/fbs_cert.dir/certificate.cpp.o.d"
+  "CMakeFiles/fbs_cert.dir/directory.cpp.o"
+  "CMakeFiles/fbs_cert.dir/directory.cpp.o.d"
+  "libfbs_cert.a"
+  "libfbs_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/algorithms.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/algorithms.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/algorithms.cpp.o.d"
+  "/root/repo/src/crypto/bbs.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/bbs.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/bbs.cpp.o.d"
+  "/root/repo/src/crypto/block_modes.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/block_modes.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/block_modes.cpp.o.d"
+  "/root/repo/src/crypto/des.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/des.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/des.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/fused.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/fused.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/fused.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/mac.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/mac.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/md5.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/md5.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/fbs_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/fbs_crypto.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

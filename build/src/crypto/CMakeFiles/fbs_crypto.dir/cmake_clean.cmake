@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_crypto.dir/algorithms.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/bbs.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/bbs.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/block_modes.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/block_modes.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/des.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/des.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/dh.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/fused.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/fused.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/mac.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/mac.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/md5.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/fbs_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/fbs_crypto.dir/sha1.cpp.o.d"
+  "libfbs_crypto.a"
+  "libfbs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fbs/app_map.cpp" "src/fbs/CMakeFiles/fbs_core.dir/app_map.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/app_map.cpp.o.d"
+  "/root/repo/src/fbs/caches.cpp" "src/fbs/CMakeFiles/fbs_core.dir/caches.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/caches.cpp.o.d"
+  "/root/repo/src/fbs/engine.cpp" "src/fbs/CMakeFiles/fbs_core.dir/engine.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/engine.cpp.o.d"
+  "/root/repo/src/fbs/fam.cpp" "src/fbs/CMakeFiles/fbs_core.dir/fam.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/fam.cpp.o.d"
+  "/root/repo/src/fbs/header.cpp" "src/fbs/CMakeFiles/fbs_core.dir/header.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/header.cpp.o.d"
+  "/root/repo/src/fbs/ip_map.cpp" "src/fbs/CMakeFiles/fbs_core.dir/ip_map.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/ip_map.cpp.o.d"
+  "/root/repo/src/fbs/keying.cpp" "src/fbs/CMakeFiles/fbs_core.dir/keying.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/keying.cpp.o.d"
+  "/root/repo/src/fbs/principal.cpp" "src/fbs/CMakeFiles/fbs_core.dir/principal.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/principal.cpp.o.d"
+  "/root/repo/src/fbs/replay.cpp" "src/fbs/CMakeFiles/fbs_core.dir/replay.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/replay.cpp.o.d"
+  "/root/repo/src/fbs/tunnel.cpp" "src/fbs/CMakeFiles/fbs_core.dir/tunnel.cpp.o" "gcc" "src/fbs/CMakeFiles/fbs_core.dir/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/fbs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/fbs_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_core.dir/app_map.cpp.o"
+  "CMakeFiles/fbs_core.dir/app_map.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/caches.cpp.o"
+  "CMakeFiles/fbs_core.dir/caches.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/engine.cpp.o"
+  "CMakeFiles/fbs_core.dir/engine.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/fam.cpp.o"
+  "CMakeFiles/fbs_core.dir/fam.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/header.cpp.o"
+  "CMakeFiles/fbs_core.dir/header.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/ip_map.cpp.o"
+  "CMakeFiles/fbs_core.dir/ip_map.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/keying.cpp.o"
+  "CMakeFiles/fbs_core.dir/keying.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/principal.cpp.o"
+  "CMakeFiles/fbs_core.dir/principal.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/replay.cpp.o"
+  "CMakeFiles/fbs_core.dir/replay.cpp.o.d"
+  "CMakeFiles/fbs_core.dir/tunnel.cpp.o"
+  "CMakeFiles/fbs_core.dir/tunnel.cpp.o.d"
+  "libfbs_core.a"
+  "libfbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

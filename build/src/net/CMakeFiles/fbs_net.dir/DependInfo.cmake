@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/fbs_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/fragment.cpp" "src/net/CMakeFiles/fbs_net.dir/fragment.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/fragment.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/fbs_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/fbs_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/fbs_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/ports.cpp" "src/net/CMakeFiles/fbs_net.dir/ports.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/ports.cpp.o.d"
+  "/root/repo/src/net/simnet.cpp" "src/net/CMakeFiles/fbs_net.dir/simnet.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/simnet.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/fbs_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/stack.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/fbs_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/fbs_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/fbs_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

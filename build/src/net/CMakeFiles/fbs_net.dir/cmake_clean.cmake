@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_net.dir/checksum.cpp.o"
+  "CMakeFiles/fbs_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/fragment.cpp.o"
+  "CMakeFiles/fbs_net.dir/fragment.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/headers.cpp.o"
+  "CMakeFiles/fbs_net.dir/headers.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/icmp.cpp.o"
+  "CMakeFiles/fbs_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/ip.cpp.o"
+  "CMakeFiles/fbs_net.dir/ip.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/ports.cpp.o"
+  "CMakeFiles/fbs_net.dir/ports.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/simnet.cpp.o"
+  "CMakeFiles/fbs_net.dir/simnet.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/stack.cpp.o"
+  "CMakeFiles/fbs_net.dir/stack.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/tcp.cpp.o"
+  "CMakeFiles/fbs_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/fbs_net.dir/udp.cpp.o"
+  "CMakeFiles/fbs_net.dir/udp.cpp.o.d"
+  "libfbs_net.a"
+  "libfbs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

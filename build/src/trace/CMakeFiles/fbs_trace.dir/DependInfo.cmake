@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/flowsim.cpp" "src/trace/CMakeFiles/fbs_trace.dir/flowsim.cpp.o" "gcc" "src/trace/CMakeFiles/fbs_trace.dir/flowsim.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/fbs_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/fbs_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/synth.cpp" "src/trace/CMakeFiles/fbs_trace.dir/synth.cpp.o" "gcc" "src/trace/CMakeFiles/fbs_trace.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fbs/CMakeFiles/fbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/fbs_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fbs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

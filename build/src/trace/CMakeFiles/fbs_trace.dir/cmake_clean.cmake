@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_trace.dir/flowsim.cpp.o"
+  "CMakeFiles/fbs_trace.dir/flowsim.cpp.o.d"
+  "CMakeFiles/fbs_trace.dir/record.cpp.o"
+  "CMakeFiles/fbs_trace.dir/record.cpp.o.d"
+  "CMakeFiles/fbs_trace.dir/synth.cpp.o"
+  "CMakeFiles/fbs_trace.dir/synth.cpp.o.d"
+  "libfbs_trace.a"
+  "libfbs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

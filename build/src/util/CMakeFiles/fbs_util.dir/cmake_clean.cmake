@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbs_util.dir/bytes.cpp.o"
+  "CMakeFiles/fbs_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/fbs_util.dir/clock.cpp.o"
+  "CMakeFiles/fbs_util.dir/clock.cpp.o.d"
+  "CMakeFiles/fbs_util.dir/crc32.cpp.o"
+  "CMakeFiles/fbs_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/fbs_util.dir/histogram.cpp.o"
+  "CMakeFiles/fbs_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/fbs_util.dir/rng.cpp.o"
+  "CMakeFiles/fbs_util.dir/rng.cpp.o.d"
+  "libfbs_util.a"
+  "libfbs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bignum.dir/bignum/test_prime.cpp.o"
+  "CMakeFiles/test_bignum.dir/bignum/test_prime.cpp.o.d"
+  "CMakeFiles/test_bignum.dir/bignum/test_uint.cpp.o"
+  "CMakeFiles/test_bignum.dir/bignum/test_uint.cpp.o.d"
+  "test_bignum"
+  "test_bignum.pdb"
+  "test_bignum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

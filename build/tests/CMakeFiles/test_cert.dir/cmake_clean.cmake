@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cert.dir/cert/test_certificate.cpp.o"
+  "CMakeFiles/test_cert.dir/cert/test_certificate.cpp.o.d"
+  "CMakeFiles/test_cert.dir/cert/test_chain.cpp.o"
+  "CMakeFiles/test_cert.dir/cert/test_chain.cpp.o.d"
+  "CMakeFiles/test_cert.dir/cert/test_directory.cpp.o"
+  "CMakeFiles/test_cert.dir/cert/test_directory.cpp.o.d"
+  "test_cert"
+  "test_cert.pdb"
+  "test_cert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_algorithms.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_algorithms.cpp.o.d"
+  "/root/repo/tests/crypto/test_bbs.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_bbs.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bbs.cpp.o.d"
+  "/root/repo/tests/crypto/test_block_modes.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_block_modes.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_block_modes.cpp.o.d"
+  "/root/repo/tests/crypto/test_des.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_des.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_des.cpp.o.d"
+  "/root/repo/tests/crypto/test_dh.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_dh.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_dh.cpp.o.d"
+  "/root/repo/tests/crypto/test_fused.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_fused.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_fused.cpp.o.d"
+  "/root/repo/tests/crypto/test_mac.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_mac.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_mac.cpp.o.d"
+  "/root/repo/tests/crypto/test_md5.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_md5.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_md5.cpp.o.d"
+  "/root/repo/tests/crypto/test_rsa.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_rsa.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_rsa.cpp.o.d"
+  "/root/repo/tests/crypto/test_sha1.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha1.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fbs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbs/CMakeFiles/fbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/fbs_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fbs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_algorithms.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_algorithms.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_bbs.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bbs.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_block_modes.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_block_modes.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_des.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_des.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_dh.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_dh.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_fused.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_fused.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_mac.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_mac.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_md5.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_md5.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_rsa.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_rsa.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha1.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha1.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

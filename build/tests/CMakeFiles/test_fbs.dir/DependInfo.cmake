@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fbs/test_app_map.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_app_map.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_app_map.cpp.o.d"
+  "/root/repo/tests/fbs/test_attacks.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_attacks.cpp.o.d"
+  "/root/repo/tests/fbs/test_caches.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_caches.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_caches.cpp.o.d"
+  "/root/repo/tests/fbs/test_engine.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_engine.cpp.o.d"
+  "/root/repo/tests/fbs/test_engine_properties.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/fbs/test_error_paths.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_error_paths.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_error_paths.cpp.o.d"
+  "/root/repo/tests/fbs/test_extensions.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_extensions.cpp.o.d"
+  "/root/repo/tests/fbs/test_fam.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_fam.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_fam.cpp.o.d"
+  "/root/repo/tests/fbs/test_fuzz.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_fuzz.cpp.o.d"
+  "/root/repo/tests/fbs/test_header.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_header.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_header.cpp.o.d"
+  "/root/repo/tests/fbs/test_hierarchy.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/fbs/test_interop.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_interop.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_interop.cpp.o.d"
+  "/root/repo/tests/fbs/test_ip_map.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_ip_map.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_ip_map.cpp.o.d"
+  "/root/repo/tests/fbs/test_keying.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_keying.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_keying.cpp.o.d"
+  "/root/repo/tests/fbs/test_replay.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_replay.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_replay.cpp.o.d"
+  "/root/repo/tests/fbs/test_tunnel.cpp" "tests/CMakeFiles/test_fbs.dir/fbs/test_tunnel.cpp.o" "gcc" "tests/CMakeFiles/test_fbs.dir/fbs/test_tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fbs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbs/CMakeFiles/fbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/fbs_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fbs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_checksum.cpp" "tests/CMakeFiles/test_net.dir/net/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_checksum.cpp.o.d"
+  "/root/repo/tests/net/test_fragment.cpp" "tests/CMakeFiles/test_net.dir/net/test_fragment.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_fragment.cpp.o.d"
+  "/root/repo/tests/net/test_headers.cpp" "tests/CMakeFiles/test_net.dir/net/test_headers.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_headers.cpp.o.d"
+  "/root/repo/tests/net/test_icmp.cpp" "tests/CMakeFiles/test_net.dir/net/test_icmp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_icmp.cpp.o.d"
+  "/root/repo/tests/net/test_ip.cpp" "tests/CMakeFiles/test_net.dir/net/test_ip.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ip.cpp.o.d"
+  "/root/repo/tests/net/test_ports.cpp" "tests/CMakeFiles/test_net.dir/net/test_ports.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ports.cpp.o.d"
+  "/root/repo/tests/net/test_routing.cpp" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "/root/repo/tests/net/test_simnet.cpp" "tests/CMakeFiles/test_net.dir/net/test_simnet.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_simnet.cpp.o.d"
+  "/root/repo/tests/net/test_stack.cpp" "tests/CMakeFiles/test_net.dir/net/test_stack.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_stack.cpp.o.d"
+  "/root/repo/tests/net/test_tcp.cpp" "tests/CMakeFiles/test_net.dir/net/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_tcp.cpp.o.d"
+  "/root/repo/tests/net/test_udp.cpp" "tests/CMakeFiles/test_net.dir/net/test_udp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fbs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbs/CMakeFiles/fbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/fbs_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fbs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/fbs_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

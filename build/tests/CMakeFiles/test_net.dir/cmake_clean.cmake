@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_checksum.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_checksum.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_fragment.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_fragment.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_headers.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_headers.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_icmp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_icmp.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ip.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ip.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ports.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ports.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_simnet.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_simnet.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_stack.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_stack.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_tcp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_tcp.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_udp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_udp.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
