@@ -1,5 +1,7 @@
 #include "cert/directory.hpp"
 
+#include <algorithm>
+
 namespace fbs::cert {
 
 void DirectoryService::publish(const PublicValueCertificate& cert) {
@@ -10,13 +12,57 @@ void DirectoryService::revoke(util::BytesView subject) {
   certs_.erase(util::Bytes(subject.begin(), subject.end()));
 }
 
-std::optional<PublicValueCertificate> DirectoryService::fetch(
-    util::BytesView subject) {
+void DirectoryService::set_fault_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  fault_rng_ = util::SplitMix64(plan.seed);
+  burst_remaining_ = 0;
+}
+
+void DirectoryService::add_outage(util::TimeUs from, util::TimeUs until) {
+  outages_.push_back({from, until});
+}
+
+bool DirectoryService::fault_now() {
+  if (clock_) {
+    const util::TimeUs now = clock_->now();
+    bool down = false;
+    std::erase_if(outages_, [&](const Outage& o) {
+      if (now >= o.until) return true;
+      if (now >= o.from) down = true;
+      return false;
+    });
+    if (down) return true;
+  }
+  if (!plan_) return false;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    return true;
+  }
+  if (plan_->fail_probability > 0 &&
+      fault_rng_.next_double() < plan_->fail_probability) {
+    burst_remaining_ = plan_->fail_burst ? plan_->fail_burst - 1 : 0;
+    return true;
+  }
+  return false;
+}
+
+FetchResult DirectoryService::fetch(util::BytesView subject) {
   ++fetch_count_;
-  if (clock_) clock_->advance(rtt_);
+  util::TimeUs delay = rtt_;
+  if (plan_ && plan_->slow_probability > 0 &&
+      fault_rng_.next_double() < plan_->slow_probability) {
+    delay += plan_->extra_latency;
+    ++slow_fetches_;
+  }
+  total_fetch_delay_ += delay;
+  if (clock_) clock_->advance(delay);
+  if (fault_now()) {
+    ++failed_fetches_;
+    return {FetchStatus::kUnavailable, std::nullopt};
+  }
   const auto it = certs_.find(util::Bytes(subject.begin(), subject.end()));
-  if (it == certs_.end()) return std::nullopt;
-  return it->second;
+  if (it == certs_.end()) return {FetchStatus::kNotFound, std::nullopt};
+  return {FetchStatus::kOk, it->second};
 }
 
 }  // namespace fbs::cert

@@ -6,16 +6,54 @@
 // itself be secured, or fetching would recurse). The simulated round trip is
 // charged to a VirtualClock when one is attached, so trace-driven
 // experiments see realistic stalls on cold PVC misses.
+//
+// Because the real directory sits across an unreliable network, fetches can
+// fail transiently or slow down. A pluggable FaultPlan injects seeded
+// failure/latency faults, and scheduled outage windows model a directory
+// that is down for a stretch of virtual time -- the environment the MKD's
+// retry/backoff (fbs/keying) is built to survive. A transient failure
+// (kUnavailable) is distinct from an authoritative kNotFound: only the
+// former is worth retrying.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "cert/certificate.hpp"
 #include "util/clock.hpp"
+#include "util/rng.hpp"
 
 namespace fbs::cert {
+
+enum class FetchStatus : std::uint8_t {
+  kOk,           // certificate returned
+  kNotFound,     // directory answered: no such subject
+  kUnavailable,  // transient failure (timeout, outage); retry may succeed
+};
+
+struct FetchResult {
+  FetchStatus status = FetchStatus::kNotFound;
+  std::optional<PublicValueCertificate> cert;
+
+  bool ok() const { return status == FetchStatus::kOk; }
+  bool transient() const { return status == FetchStatus::kUnavailable; }
+  bool has_value() const { return cert.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const PublicValueCertificate& operator*() const { return *cert; }
+  const PublicValueCertificate* operator->() const { return &*cert; }
+};
+
+/// Seeded fault model for fetches. All draws come from the plan's own RNG so
+/// a given (plan, call sequence) misbehaves identically across runs.
+struct FaultPlan {
+  double fail_probability = 0.0;  // P(transient failure) per fetch
+  std::uint32_t fail_burst = 1;   // consecutive failures once one triggers
+  double slow_probability = 0.0;  // P(extra latency) per fetch
+  util::TimeUs extra_latency = 0; // added to the RTT when a slow draw hits
+  std::uint64_t seed = 1;
+};
 
 class DirectoryService {
  public:
@@ -31,17 +69,43 @@ class DirectoryService {
 
   /// Unauthenticated fetch over the secure-flow bypass. The caller verifies
   /// the returned certificate against the CA ("it need not be secure because
-  /// the certificates are to be verified on receipt").
-  std::optional<PublicValueCertificate> fetch(util::BytesView subject);
+  /// the certificates are to be verified on receipt"). Failed fetches still
+  /// pay the round trip (the timeout is at least as long as the RTT).
+  FetchResult fetch(util::BytesView subject);
+
+  /// Install/remove the probabilistic fault model.
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan() { plan_.reset(); }
+
+  /// Hard outage: every fetch with clock time in [from, until) fails with
+  /// kUnavailable. Requires an attached clock; windows are pruned lazily.
+  void add_outage(util::TimeUs from, util::TimeUs until);
+  void clear_outages() { outages_.clear(); }
 
   std::uint64_t fetch_count() const { return fetch_count_; }
-  util::TimeUs total_fetch_delay() const { return fetch_count_ * rtt_; }
+  std::uint64_t failed_fetches() const { return failed_fetches_; }
+  std::uint64_t slow_fetches() const { return slow_fetches_; }
+  util::TimeUs total_fetch_delay() const { return total_fetch_delay_; }
 
  private:
+  struct Outage {
+    util::TimeUs from;
+    util::TimeUs until;
+  };
+
+  bool fault_now();
+
   util::TimeUs rtt_;
   util::VirtualClock* clock_;
   std::map<util::Bytes, PublicValueCertificate> certs_;
+  std::optional<FaultPlan> plan_;
+  util::SplitMix64 fault_rng_{1};
+  std::uint32_t burst_remaining_ = 0;
+  std::vector<Outage> outages_;
   std::uint64_t fetch_count_ = 0;
+  std::uint64_t failed_fetches_ = 0;
+  std::uint64_t slow_fetches_ = 0;
+  util::TimeUs total_fetch_delay_ = 0;
 };
 
 }  // namespace fbs::cert

@@ -197,13 +197,27 @@ std::optional<util::Bytes> FbsEndpoint::incoming_flow_key(
   return key;
 }
 
+ReceiveError FbsEndpoint::reject(ReceiveError e) {
+  ++receive_stats_.by_kind[static_cast<std::size_t>(e)];
+  switch (e) {
+    case ReceiveError::kMalformed: ++receive_stats_.rejected_malformed; break;
+    case ReceiveError::kStale: ++receive_stats_.rejected_stale; break;
+    case ReceiveError::kReplay: ++receive_stats_.rejected_replay; break;
+    case ReceiveError::kUnknownPeer:
+      ++receive_stats_.rejected_unknown_peer;
+      break;
+    case ReceiveError::kBadMac: ++receive_stats_.rejected_bad_mac; break;
+    case ReceiveError::kDecryptFailed:
+      ++receive_stats_.rejected_decrypt;
+      break;
+  }
+  return e;
+}
+
 ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
                                       util::BytesView wire) {
   auto parsed = FbsHeader::parse(wire);
-  if (!parsed) {
-    ++receive_stats_.rejected_malformed;
-    return ReceiveError::kMalformed;
-  }
+  if (!parsed) return reject(ReceiveError::kMalformed);
   FbsHeader& header = parsed->header;
 
   // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
@@ -211,38 +225,27 @@ ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
     case FreshnessChecker::Verdict::kFresh:
       break;
     case FreshnessChecker::Verdict::kStale:
-      ++receive_stats_.rejected_stale;
-      return ReceiveError::kStale;
+      return reject(ReceiveError::kStale);
     case FreshnessChecker::Verdict::kReplay:
-      ++receive_stats_.rejected_replay;
-      return ReceiveError::kReplay;
+      return reject(ReceiveError::kReplay);
   }
 
   // (R5-6) recover the flow key from the sfl (RFKC-cached).
   const auto key = incoming_flow_key(source, header.sfl);
-  if (!key) {
-    ++receive_stats_.rejected_unknown_peer;
-    return ReceiveError::kUnknownPeer;
-  }
+  if (!key) return reject(ReceiveError::kUnknownPeer);
 
   // (R10-11 first for secret datagrams -- see the header-comment deviation
   // note): recover the plaintext the MAC was computed over.
   util::Bytes body;
   if (header.secret) {
     const auto mode = crypto::cipher_mode(header.suite.cipher);
-    if (!mode) {
-      ++receive_stats_.rejected_malformed;
-      return ReceiveError::kMalformed;
-    }
+    if (!mode) return reject(ReceiveError::kMalformed);
     const crypto::Des des(
         util::BytesView(*key).subspan(0, crypto::Des::kKeySize));
     auto plain =
         crypto::decrypt(des, *mode, confounder_iv(header.confounder),
                         parsed->body);
-    if (!plain) {
-      ++receive_stats_.rejected_decrypt;
-      return ReceiveError::kDecryptFailed;
-    }
+    if (!plain) return reject(ReceiveError::kDecryptFailed);
     body = std::move(*plain);
   } else {
     body = std::move(parsed->body);
@@ -253,10 +256,8 @@ ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
       mac_prefix(header.confounder, header.timestamp_minutes);
   const auto suite_mac = crypto::make_mac(header.suite.mac);
   const util::Bytes expected = suite_mac->compute(*key, {prefix, body});
-  if (!util::ct_equal(expected, header.mac)) {
-    ++receive_stats_.rejected_bad_mac;
-    return ReceiveError::kBadMac;
-  }
+  if (!util::ct_equal(expected, header.mac))
+    return reject(ReceiveError::kBadMac);
 
   ++receive_stats_.accepted;
   ReceivedDatagram out;
@@ -283,5 +284,16 @@ void FbsEndpoint::rekey(const FlowAttributes& attrs) {
 }
 
 std::size_t FbsEndpoint::sweep() { return policy_->sweep(clock_.now()); }
+
+void FbsEndpoint::clear_soft_state() {
+  for (CombinedEntry& e : combined_) e.valid = false;
+  tfkc_.clear();
+  rfkc_.clear();
+  policy_->clear();
+  // A restarted receiver has no memory of recently seen MACs; the strict
+  // replay extension degrades to the paper's window-only check (its design
+  // guarantee: losing the cache is never worse than not having it).
+  freshness_.clear();
+}
 
 }  // namespace fbs::core

@@ -14,6 +14,7 @@
 // receive; the MAC therefore authenticates the plaintext, as S6 intends.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -74,6 +75,8 @@ enum class ReceiveError : std::uint8_t {
   kDecryptFailed, // ciphertext malformed
 };
 
+inline constexpr std::size_t kReceiveErrorKinds = 6;
+
 const char* to_string(ReceiveError e);
 
 /// A successfully received datagram plus its flow demultiplexing info.
@@ -104,6 +107,13 @@ struct ReceiveStats {
   std::uint64_t rejected_decrypt = 0;
   std::uint64_t flow_keys_derived = 0;  // RFKC misses
 
+  /// The same rejections indexed by ReceiveError, so experiments can report
+  /// degraded-mode behaviour generically without naming each field.
+  std::array<std::uint64_t, kReceiveErrorKinds> by_kind{};
+
+  std::uint64_t rejected_by(ReceiveError e) const {
+    return by_kind[static_cast<std::size_t>(e)];
+  }
   std::uint64_t rejected() const {
     return rejected_malformed + rejected_stale + rejected_replay +
            rejected_unknown_peer + rejected_bad_mac + rejected_decrypt;
@@ -131,6 +141,14 @@ class FbsEndpoint {
 
   /// Run the sweeper (split mode; combined mode expires lazily).
   std::size_t sweep();
+
+  /// Crash/restart simulation: drop every piece of soft state this endpoint
+  /// holds -- flow tables, both flow-key caches, and the freshness/replay
+  /// cache. Per the paper's soft-state claim this is safe at any moment and
+  /// merely costs re-derivation on the next datagram. (Master-key state
+  /// lives in the KeyManager/MKD; clear those separately for a full-host
+  /// restart.)
+  void clear_soft_state();
 
   /// Wire overhead of the security flow header itself.
   std::size_t header_overhead() const {
@@ -173,6 +191,9 @@ class FbsEndpoint {
   /// Lifetime policy check (combined path tracks usage in the entry; the
   /// split path tracks it on the FlowStateEntry via the policy).
   bool key_worn_out(const CombinedEntry& e, util::TimeUs now) const;
+
+  /// Record a rejection in both the named field and the by-kind array.
+  ReceiveError reject(ReceiveError e);
 
   /// Resolve (sfl, flow key) for an outgoing datagram; combined or split.
   std::optional<std::pair<Sfl, util::Bytes>> outgoing_flow(const Datagram& d);

@@ -105,6 +105,10 @@ std::size_t FiveTuplePolicy::active_flows(util::TimeUs now) const {
   return table_active(table_, now, threshold_);
 }
 
+void FiveTuplePolicy::clear() {
+  for (FlowStateEntry& e : table_) e.valid = false;
+}
+
 HostPairPolicy::HostPairPolicy(std::size_t table_size, util::TimeUs threshold,
                                SflAllocator& sfl_alloc)
     : table_(table_size ? table_size : 1),
@@ -129,6 +133,10 @@ std::size_t HostPairPolicy::sweep(util::TimeUs now) {
 
 std::size_t HostPairPolicy::active_flows(util::TimeUs now) const {
   return table_active(table_, now, threshold_);
+}
+
+void HostPairPolicy::clear() {
+  for (FlowStateEntry& e : table_) e.valid = false;
 }
 
 MapResult PerDatagramPolicy::map(const Datagram&, util::TimeUs) {

@@ -92,6 +92,10 @@ class FlowPolicy {
   /// Flows currently considered active.
   virtual std::size_t active_flows(util::TimeUs now) const = 0;
 
+  /// Drop the whole flow state table (crash/restart simulation). Soft
+  /// state: subsequent datagrams simply start fresh flows.
+  virtual void clear() {}
+
   virtual const FamStats& stats() const = 0;
 };
 
@@ -114,6 +118,7 @@ class FiveTuplePolicy final : public FlowPolicy {
   void expire_flow(const FlowAttributes& attrs) override;
   const FlowStateEntry* find(const FlowAttributes& attrs) const override;
   std::size_t active_flows(util::TimeUs now) const override;
+  void clear() override;
   const FamStats& stats() const override { return stats_; }
 
   util::TimeUs threshold() const { return threshold_; }
@@ -143,6 +148,7 @@ class HostPairPolicy final : public FlowPolicy {
   MapResult map(const Datagram& d, util::TimeUs now) override;
   std::size_t sweep(util::TimeUs now) override;
   std::size_t active_flows(util::TimeUs now) const override;
+  void clear() override;
   const FamStats& stats() const override { return stats_; }
 
  private:

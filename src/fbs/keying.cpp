@@ -1,5 +1,7 @@
 #include "fbs/keying.hpp"
 
+#include <algorithm>
+
 namespace fbs::core {
 
 util::Bytes derive_flow_key(crypto::Hash& hash, Sfl sfl,
@@ -35,6 +37,38 @@ void MasterKeyDaemon::pin_certificate(
   pvc_.insert(cert.subject, cert);
 }
 
+void MasterKeyDaemon::set_retry_policy(const RetryPolicy& policy) {
+  retry_ = policy;
+  jitter_rng_ = util::SplitMix64(policy.seed);
+}
+
+void MasterKeyDaemon::clear_soft_state() {
+  pvc_.clear();
+  negative_.clear();
+}
+
+cert::FetchResult MasterKeyDaemon::fetch_with_retry(const Principal& peer) {
+  util::TimeUs backoff = retry_.initial_backoff;
+  const std::uint32_t attempts = retry_.max_attempts ? retry_.max_attempts : 1;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    ++stats_.directory_fetches;
+    auto result = directory_.fetch(peer.address);
+    if (!result.transient() || attempt >= attempts) return result;
+    // Transient failure: back off (with jitter, so a population of daemons
+    // retrying the same outage does not stampede) and try again.
+    ++stats_.directory_retries;
+    util::TimeUs wait = backoff;
+    if (retry_.jitter > 0) {
+      const double scale = 1.0 - retry_.jitter * jitter_rng_.next_double();
+      wait = static_cast<util::TimeUs>(static_cast<double>(wait) * scale);
+    }
+    if (waiter_ && wait > 0) waiter_(wait);
+    backoff = static_cast<util::TimeUs>(static_cast<double>(backoff) *
+                                        retry_.multiplier);
+    if (retry_.max_backoff > 0) backoff = std::min(backoff, retry_.max_backoff);
+  }
+}
+
 std::optional<cert::PublicValueCertificate>
 MasterKeyDaemon::obtain_certificate(const Principal& peer) {
   if (const auto* cached = pvc_.lookup(peer.address)) {
@@ -46,20 +80,33 @@ MasterKeyDaemon::obtain_certificate(const Principal& peer) {
     pvc_.erase(peer.address);
   }
 
+  // Negative cache: a peer that recently proved unresolvable is not worth
+  // another fetch until its entry expires (prevents upcall storms when a
+  // busy flow keeps asking for a dead peer).
+  if (const auto neg = negative_.find(peer.address); neg != negative_.end()) {
+    if (clock_.now() < neg->second) {
+      ++stats_.negative_cache_hits;
+      return std::nullopt;
+    }
+    negative_.erase(neg);
+  }
+
   // PVC miss: fetch over the secure flow bypass (unauthenticated; the
-  // signature check below is what makes the result trustworthy).
-  ++stats_.directory_fetches;
-  auto fetched = directory_.fetch(peer.address);
-  if (!fetched) {
+  // signature check below is what makes the result trustworthy), retrying
+  // transient directory failures with backoff.
+  auto fetched = fetch_with_retry(peer);
+  if (!fetched.ok()) {
     ++stats_.directory_failures;
+    negative_[peer.address] = clock_.now() + retry_.negative_ttl;
+    ++stats_.negative_cache_inserts;
     return std::nullopt;
   }
   if (verifier_.verify(*fetched, clock_.now()) != cert::CertStatus::kValid) {
     ++stats_.verify_failures;
     return std::nullopt;
   }
-  pvc_.insert(peer.address, *fetched);
-  return fetched;
+  pvc_.insert(peer.address, *fetched.cert);
+  return std::move(fetched.cert);
 }
 
 std::optional<util::Bytes> MasterKeyDaemon::upcall(const Principal& peer) {

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -38,10 +40,27 @@ util::Bytes derive_flow_key(crypto::Hash& hash, Sfl sfl,
 
 struct MkdStats {
   std::uint64_t upcalls = 0;
-  std::uint64_t directory_fetches = 0;
-  std::uint64_t directory_failures = 0;
+  std::uint64_t directory_fetches = 0;   // attempts, including retries
+  std::uint64_t directory_failures = 0;  // fetch sequences that gave up
+  std::uint64_t directory_retries = 0;   // extra attempts after a transient
   std::uint64_t verify_failures = 0;
   std::uint64_t master_keys_computed = 0;
+  std::uint64_t negative_cache_hits = 0;     // upcalls short-circuited
+  std::uint64_t negative_cache_inserts = 0;  // peers marked unresolvable
+};
+
+/// Bounded retry with exponential backoff + jitter for transient directory
+/// failures (outages, timeouts), plus the TTL of the negative cache that
+/// absorbs upcall storms for peers that stay unresolvable. All state this
+/// produces is soft: wiping it merely costs re-fetching.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;  // total fetch attempts per upcall
+  util::TimeUs initial_backoff = util::TimeUs{50'000};  // before attempt 2
+  double multiplier = 2.0;
+  util::TimeUs max_backoff = util::seconds(2);
+  double jitter = 0.5;  // each wait is scaled by U[1-jitter, 1]
+  util::TimeUs negative_ttl = util::seconds(30);
+  std::uint64_t seed = 42;  // jitter RNG (deterministic per daemon)
 };
 
 /// User-space master key daemon: PVC + certificate fetch/verify + DH.
@@ -67,14 +86,29 @@ class MasterKeyDaemon {
   /// initialization", Section 5.3).
   void pin_certificate(const cert::PublicValueCertificate& cert);
 
+  /// Replace the retry/backoff/negative-cache parameters.
+  void set_retry_policy(const RetryPolicy& policy);
+  /// How backoff waits are served. In simulation this should advance the
+  /// VirtualClock (so directory outages can clear while we wait); unset,
+  /// retries are immediate.
+  void set_backoff_waiter(std::function<void(util::TimeUs)> waiter) {
+    waiter_ = std::move(waiter);
+  }
+
+  /// Crash/restart simulation: drop the PVC and the negative cache. Safe at
+  /// any moment -- both are soft state, rebuilt on demand.
+  void clear_soft_state();
+
   const Principal& self() const { return self_; }
   const crypto::DhGroup& group() const { return group_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
   const MkdStats& stats() const { return stats_; }
   const CacheStats& pvc_stats() const { return pvc_.stats(); }
 
  private:
   std::optional<cert::PublicValueCertificate> obtain_certificate(
       const Principal& peer);
+  cert::FetchResult fetch_with_retry(const Principal& peer);
 
   Principal self_;
   bignum::Uint private_value_;
@@ -83,6 +117,10 @@ class MasterKeyDaemon {
   cert::DirectoryService& directory_;
   const util::Clock& clock_;
   SetAssociativeCache<cert::PublicValueCertificate> pvc_;
+  RetryPolicy retry_;
+  util::SplitMix64 jitter_rng_{42};
+  std::function<void(util::TimeUs)> waiter_;
+  std::map<util::Bytes, util::TimeUs> negative_;  // peer -> entry expiry
   MkdStats stats_;
 };
 
@@ -99,6 +137,10 @@ class KeyManager {
 
   /// Drop a cached master key (e.g. after peer key rollover).
   void invalidate(const Principal& peer) { mkc_.erase(peer.address); }
+
+  /// Crash/restart simulation: wipe the MKC (soft state; re-derived via
+  /// upcalls on the next datagram).
+  void clear_soft_state() { mkc_.clear(); }
 
   const CacheStats& mkc_stats() const { return mkc_.stats(); }
   std::uint64_t upcalls() const { return upcalls_; }

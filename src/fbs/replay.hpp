@@ -40,6 +40,10 @@ class FreshnessChecker {
   /// optional within-window replay cache.
   Verdict check(std::uint32_t timestamp_minutes, util::BytesView mac);
 
+  /// Forget all recently seen MACs (crash/restart simulation). Degrades to
+  /// the paper's window-only freshness check until the cache refills.
+  void clear() { seen_.clear(); }
+
   const Stats& stats() const { return stats_; }
 
  private:

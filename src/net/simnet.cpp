@@ -20,6 +20,53 @@ const LinkParams& SimNetwork::link_for(Ipv4Address a, Ipv4Address b) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
+void SimNetwork::partition(Ipv4Address a, Ipv4Address b, util::TimeUs from,
+                           util::TimeUs until) {
+  partitions_.push_back(
+      {false, std::min(a, b), std::max(a, b), from, until});
+}
+
+void SimNetwork::partition_host(Ipv4Address host, util::TimeUs from,
+                                util::TimeUs until) {
+  partitions_.push_back({true, host, host, from, until});
+}
+
+bool SimNetwork::partitioned(Ipv4Address from, Ipv4Address to) {
+  const util::TimeUs now = clock_.now();
+  const Ipv4Address lo = std::min(from, to);
+  const Ipv4Address hi = std::max(from, to);
+  bool cut = false;
+  std::erase_if(partitions_, [&](const Partition& p) {
+    if (now >= p.until) return true;  // window over; prune
+    if (now >= p.from &&
+        (p.all_links ? (p.a == from || p.a == to)
+                     : (p.a == lo && p.b == hi)))
+      cut = true;
+    return false;
+  });
+  return cut;
+}
+
+bool SimNetwork::burst_drop(Ipv4Address from, Ipv4Address to,
+                            const LinkParams& link) {
+  bool bad = false;
+  if (link.burst_enter > 0) {
+    // Evolve the two-state Gilbert chain one step for this frame, then draw
+    // against the state's loss probability.
+    bool& state = burst_bad_[{std::min(from, to), std::max(from, to)}];
+    if (state) {
+      if (rng_.next_double() < link.burst_exit) state = false;
+    } else {
+      if (rng_.next_double() < link.burst_enter) state = true;
+    }
+    bad = state;
+  }
+  const double p = bad ? link.burst_loss : link.loss;
+  if (!(p > 0) || rng_.next_double() >= p) return false;
+  ++(bad ? counters_.burst_lost : counters_.lost);
+  return true;
+}
+
 void SimNetwork::schedule(Ipv4Address to, util::Bytes frame,
                           util::TimeUs delay) {
   Event ev;
@@ -38,10 +85,19 @@ void SimNetwork::send(Ipv4Address from, Ipv4Address to, util::Bytes frame) {
       return;
     }
   }
-  const LinkParams& link = link_for(from, to);
-  if (link.loss > 0 && rng_.next_double() < link.loss) {
-    ++counters_.lost;
+  if (partitioned(from, to)) {
+    ++counters_.partition_dropped;
     return;
+  }
+  const LinkParams& link = link_for(from, to);
+  if (burst_drop(from, to, link)) return;
+  if (link.corrupt > 0 && rng_.next_double() < link.corrupt &&
+      !frame.empty()) {
+    // One random bit flip; duplicates below carry the same damage, as if
+    // the frame was corrupted before the duplicating segment.
+    frame[rng_.next_below(frame.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.next_below(8));
+    ++counters_.corrupted;
   }
 
   // Serialization: a finite-rate link sends one frame at a time.

@@ -29,6 +29,18 @@ struct LinkParams {
   /// the link transmits one frame at a time (store-and-forward), so e.g.
   /// 10e6 models the paper's dedicated 10 Mb/s Ethernet in virtual time.
   double bandwidth_bps = 0.0;
+
+  /// Gilbert-Elliott burst loss: the link flips between a good state (drop
+  /// probability `loss`, as above) and a bad state (drop probability
+  /// `burst_loss`), transitioning per frame with the two probabilities
+  /// below. `burst_enter` == 0 (the default) keeps the plain i.i.d. model.
+  double burst_enter = 0.0;  // P(good -> bad) per frame
+  double burst_exit = 0.25;  // P(bad -> good) per frame
+  double burst_loss = 1.0;   // P(frame dropped) while in the bad state
+
+  /// P(a random bit of the frame is flipped in flight). Corruption is
+  /// applied after the loss draw; receivers see the damaged frame.
+  double corrupt = 0.0;
 };
 
 class SimNetwork {
@@ -56,6 +68,16 @@ class SimNetwork {
   void set_tap(Tap tap) { tap_ = std::move(tap); }
   void clear_tap() { tap_ = nullptr; }
 
+  /// Sever the a<->b link (both directions) for virtual times
+  /// [from, until): frames entering the wire inside the window are dropped
+  /// and counted. Windows may overlap; expired windows are pruned lazily.
+  void partition(Ipv4Address a, Ipv4Address b, util::TimeUs from,
+                 util::TimeUs until);
+  /// Isolate `host` from every peer for [from, until) -- a crashed NIC or
+  /// an unplugged cable, as opposed to the pairwise cut above.
+  void partition_host(Ipv4Address host, util::TimeUs from, util::TimeUs until);
+  void clear_partitions() { partitions_.clear(); }
+
   /// Transmit a frame. Link effects (tap, loss, duplication, delay) apply.
   void send(Ipv4Address from, Ipv4Address to, util::Bytes frame);
 
@@ -78,7 +100,10 @@ class SimNetwork {
   struct Counters {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
-    std::uint64_t lost = 0;
+    std::uint64_t lost = 0;         // i.i.d. (good-state) loss
+    std::uint64_t burst_lost = 0;   // lost while in the Gilbert bad state
+    std::uint64_t corrupted = 0;    // frames with a bit flipped in flight
+    std::uint64_t partition_dropped = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t tap_dropped = 0;
     std::uint64_t no_such_host = 0;
@@ -99,14 +124,26 @@ class SimNetwork {
     }
   };
 
+  struct Partition {
+    bool all_links = false;  // host isolation: `a` cut off from everyone
+    Ipv4Address a;
+    Ipv4Address b;
+    util::TimeUs from = 0;
+    util::TimeUs until = 0;
+  };
+
   const LinkParams& link_for(Ipv4Address a, Ipv4Address b) const;
   void schedule(Ipv4Address to, util::Bytes frame, util::TimeUs delay);
+  bool partitioned(Ipv4Address from, Ipv4Address to);
+  bool burst_drop(Ipv4Address from, Ipv4Address to, const LinkParams& link);
 
   util::VirtualClock& clock_;
   util::SplitMix64 rng_;
   std::map<Ipv4Address, ReceiveFn> hosts_;
   std::map<std::pair<Ipv4Address, Ipv4Address>, LinkParams> links_;
   std::map<std::pair<Ipv4Address, Ipv4Address>, util::TimeUs> link_busy_until_;
+  std::map<std::pair<Ipv4Address, Ipv4Address>, bool> burst_bad_;
+  std::vector<Partition> partitions_;
   LinkParams default_link_;
   Tap tap_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;

@@ -103,6 +103,9 @@ class IpStack {
   bool forward_packet(Ipv4Header header, util::BytesView payload);
 
   const Counters& counters() const { return counters_; }
+  /// Incomplete datagrams currently held by the reassembly queue (lost
+  /// fragments must eventually expire these, not leak them).
+  std::size_t reassembly_pending() const { return reassembler_.pending(); }
 
  private:
   void on_frame(util::Bytes frame);

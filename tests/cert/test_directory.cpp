@@ -71,6 +71,92 @@ TEST_F(DirectoryTest, FetchChargesRoundTripToClock) {
   EXPECT_EQ(dir.total_fetch_delay(), util::seconds(2));
 }
 
+TEST_F(DirectoryTest, MissingSubjectIsAuthoritativeNotTransient) {
+  DirectoryService dir;
+  const auto result = dir.fetch(util::to_bytes("nobody"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.transient());  // kNotFound: retrying is pointless
+}
+
+TEST_F(DirectoryTest, FaultPlanFailsTransiently) {
+  DirectoryService dir;
+  dir.publish(make_cert(*ca_, "host-a"));
+  FaultPlan plan;
+  plan.fail_probability = 1.0;
+  dir.set_fault_plan(plan);
+  const auto result = dir.fetch(util::to_bytes("host-a"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.transient());
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(dir.failed_fetches(), 1u);
+  dir.clear_fault_plan();
+  EXPECT_TRUE(dir.fetch(util::to_bytes("host-a")).ok());
+}
+
+TEST_F(DirectoryTest, FailureBurstsFailConsecutively) {
+  DirectoryService dir;
+  dir.publish(make_cert(*ca_, "host-a"));
+  FaultPlan plan;
+  plan.fail_probability = 0.2;
+  plan.fail_burst = 3;
+  plan.seed = 5;
+  dir.set_fault_plan(plan);
+  // Every maximal run of failures must span at least fail_burst fetches
+  // (runs can chain if a fresh draw fails right after a burst ends).
+  int run = 0;
+  bool saw_failure = false;
+  for (int i = 0; i < 200; ++i) {
+    if (dir.fetch(util::to_bytes("host-a")).ok()) {
+      if (run > 0) EXPECT_GE(run, 3);
+      run = 0;
+    } else {
+      ++run;
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST_F(DirectoryTest, SlowFetchesChargeExtraLatency) {
+  util::VirtualClock clock(0);
+  DirectoryService dir(util::seconds(1), &clock);
+  dir.publish(make_cert(*ca_, "host-a"));
+  FaultPlan plan;
+  plan.slow_probability = 1.0;
+  plan.extra_latency = util::seconds(2);
+  dir.set_fault_plan(plan);
+  ASSERT_TRUE(dir.fetch(util::to_bytes("host-a")).ok());
+  EXPECT_EQ(clock.now(), util::seconds(3));  // RTT + extra
+  EXPECT_EQ(dir.slow_fetches(), 1u);
+  EXPECT_EQ(dir.total_fetch_delay(), util::seconds(3));
+}
+
+TEST_F(DirectoryTest, FailedFetchesStillPayTheRoundTrip) {
+  // The timeout that declares a fetch failed is at least as long as the
+  // round trip; the caller's clock must not get the time back.
+  util::VirtualClock clock(0);
+  DirectoryService dir(util::seconds(1), &clock);
+  FaultPlan plan;
+  plan.fail_probability = 1.0;
+  dir.set_fault_plan(plan);
+  EXPECT_TRUE(dir.fetch(util::to_bytes("host-a")).transient());
+  EXPECT_EQ(clock.now(), util::seconds(1));
+  EXPECT_EQ(dir.total_fetch_delay(), util::seconds(1));
+}
+
+TEST_F(DirectoryTest, OutageWindowFailsThenClears) {
+  util::VirtualClock clock(0);
+  DirectoryService dir(util::TimeUs{0}, &clock);
+  dir.publish(make_cert(*ca_, "host-a"));
+  dir.add_outage(util::seconds(1), util::seconds(2));
+  EXPECT_TRUE(dir.fetch(util::to_bytes("host-a")).ok());  // before
+  clock.set(util::seconds(1));
+  EXPECT_TRUE(dir.fetch(util::to_bytes("host-a")).transient());  // inside
+  clock.set(util::seconds(2));
+  EXPECT_TRUE(dir.fetch(util::to_bytes("host-a")).ok());  // over, pruned
+  EXPECT_EQ(dir.failed_fetches(), 1u);
+}
+
 TEST_F(DirectoryTest, FetchCountsAccumulate) {
   DirectoryService dir;
   dir.publish(make_cert(*ca_, "a"));

@@ -168,14 +168,24 @@ TEST(EngineProperties, DirectoryOutageFailsClosedThenRecovers) {
   const Datagram d =
       datagram(a.principal, b.principal, util::to_bytes("x"));
 
-  // Outage before first contact: no certificate -> fail closed.
+  // Outage before first contact: no certificate -> fail closed, and the
+  // peer is negative-cached as unresolvable.
   const auto cert = *world.directory.fetch(b.principal.address);
   world.directory.revoke(b.principal.address);
   EXPECT_FALSE(sender.protect(d, true).has_value());
   EXPECT_EQ(sender.send_stats().key_unavailable, 1u);
+  EXPECT_EQ(a.mkd->stats().negative_cache_inserts, 1u);
 
-  // Directory comes back: the very next datagram succeeds, no restart.
+  // Directory comes back: while the negative-cache entry lives, sends still
+  // fail without hammering the directory (upcall-storm protection)...
   world.directory.publish(cert);
+  const auto fetches = a.mkd->stats().directory_fetches;
+  EXPECT_FALSE(sender.protect(d, true).has_value());
+  EXPECT_EQ(a.mkd->stats().directory_fetches, fetches);
+  EXPECT_GE(a.mkd->stats().negative_cache_hits, 1u);
+
+  // ...and once it expires, the next datagram succeeds -- no restart.
+  world.clock.advance(a.mkd->retry_policy().negative_ttl);
   EXPECT_TRUE(sender.protect(d, true).has_value());
 }
 
@@ -193,6 +203,30 @@ TEST(EngineProperties, MasterKeyCachedAcrossDirectoryOutage) {
   world.directory.revoke(b.principal.address);
   for (int i = 0; i < 5; ++i)
     EXPECT_TRUE(sender.protect(d, true).has_value());
+}
+
+TEST(EngineProperties, PerKindRejectionCountersMatchNamedFields) {
+  TestWorld world(59);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsEndpoint sender(a.principal, FbsConfig{}, *a.keys, world.clock,
+                     world.rng);
+  FbsEndpoint receiver(b.principal, FbsConfig{}, *b.keys, world.clock,
+                       world.rng);
+  auto wire = *sender.protect(
+      datagram(a.principal, b.principal, util::to_bytes("payload")), false);
+  wire.back() ^= 0x01;  // tamper with the body
+  const auto outcome = receiver.unprotect(a.principal, wire);
+  ASSERT_TRUE(std::holds_alternative<ReceiveError>(outcome));
+  EXPECT_EQ(std::get<ReceiveError>(outcome), ReceiveError::kBadMac);
+
+  const ReceiveStats& rs = receiver.receive_stats();
+  EXPECT_EQ(rs.rejected_by(ReceiveError::kBadMac), 1u);
+  EXPECT_EQ(rs.rejected_by(ReceiveError::kBadMac), rs.rejected_bad_mac);
+  std::uint64_t by_kind_total = 0;
+  for (std::size_t k = 0; k < kReceiveErrorKinds; ++k)
+    by_kind_total += rs.by_kind[k];
+  EXPECT_EQ(by_kind_total, rs.rejected());
 }
 
 TEST(EngineProperties, WireSizeIsDeterministicPerSuite) {

@@ -139,6 +139,88 @@ TEST_F(KeyingTest, StalePvcEntryReverifiedOnUse) {
   EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
 }
 
+TEST_F(KeyingTest, UpcallRetriesThroughShortOutage) {
+  TestWorld w(301);
+  auto& a = w.add_node("a", "10.1.0.1");
+  auto& b = w.add_node("b", "10.1.0.2");
+  // Jittered waits: w1 in (25,50]ms, w2 in (50,100]ms. A 60ms outage
+  // therefore always eats attempts 1 and 2, and attempt 3 (cumulative
+  // wait > 75ms) always lands after it clears.
+  const util::TimeUs t0 = w.clock.now();
+  w.directory.add_outage(t0, t0 + util::TimeUs{60'000});
+  ASSERT_TRUE(a.mkd->upcall(b.principal).has_value());
+  EXPECT_EQ(a.mkd->stats().directory_fetches, 3u);
+  EXPECT_EQ(a.mkd->stats().directory_retries, 2u);
+  EXPECT_EQ(a.mkd->stats().directory_failures, 0u);
+  EXPECT_EQ(a.mkd->stats().negative_cache_inserts, 0u);
+}
+
+TEST_F(KeyingTest, BackoffWaitsGrowExponentiallyWithJitter) {
+  TestWorld w(302);
+  auto& a = w.add_node("a", "10.1.0.1");
+  auto& b = w.add_node("b", "10.1.0.2");
+  std::vector<util::TimeUs> waits;
+  a.mkd->set_backoff_waiter([&](util::TimeUs wait) {
+    waits.push_back(wait);
+    w.clock.advance(wait);
+  });
+  w.directory.add_outage(w.clock.now(), w.clock.now() + util::minutes(10));
+  EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
+
+  const RetryPolicy& policy = a.mkd->retry_policy();
+  ASSERT_EQ(waits.size(), policy.max_attempts - 1);
+  util::TimeUs nominal = policy.initial_backoff;
+  for (const util::TimeUs wait : waits) {
+    EXPECT_GE(wait, nominal / 2);  // jitter shrinks by at most `jitter`
+    EXPECT_LE(wait, nominal);
+    nominal = std::min(
+        static_cast<util::TimeUs>(static_cast<double>(nominal) *
+                                  policy.multiplier),
+        policy.max_backoff);
+  }
+  EXPECT_EQ(a.mkd->stats().directory_failures, 1u);
+}
+
+TEST_F(KeyingTest, AuthoritativeNotFoundDoesNotRetry) {
+  TestWorld w(303);
+  auto& a = w.add_node("a", "10.1.0.1");
+  const Principal stranger =
+      Principal::from_ipv4(*net::Ipv4Address::parse("192.168.9.9"));
+  EXPECT_FALSE(a.mkd->upcall(stranger).has_value());
+  EXPECT_EQ(a.mkd->stats().directory_fetches, 1u);  // kNotFound: no retry
+  EXPECT_EQ(a.mkd->stats().directory_retries, 0u);
+  EXPECT_EQ(a.mkd->stats().negative_cache_inserts, 1u);
+}
+
+TEST_F(KeyingTest, NegativeCacheAbsorbsUpcallStorm) {
+  TestWorld w(304);
+  auto& a = w.add_node("a", "10.1.0.1");
+  auto& b = w.add_node("b", "10.1.0.2");
+  w.directory.add_outage(w.clock.now(), w.clock.now() + util::seconds(5));
+  EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
+  const auto fetches = a.mkd->stats().directory_fetches;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
+  EXPECT_EQ(a.mkd->stats().directory_fetches, fetches);  // all short-circuited
+  EXPECT_EQ(a.mkd->stats().negative_cache_hits, 100u);
+}
+
+TEST_F(KeyingTest, ClearSoftStateDropsNegativeCache) {
+  TestWorld w(305);
+  auto& a = w.add_node("a", "10.1.0.1");
+  auto& b = w.add_node("b", "10.1.0.2");
+  w.directory.add_outage(w.clock.now(), w.clock.now() + util::seconds(30));
+  EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
+  EXPECT_EQ(a.mkd->stats().negative_cache_inserts, 1u);
+  const auto fetches = a.mkd->stats().directory_fetches;
+  // A wipe forgets the unresolvable marking: the next upcall genuinely
+  // retries against the (still down) directory instead of short-circuiting.
+  a.mkd->clear_soft_state();
+  EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
+  EXPECT_GT(a.mkd->stats().directory_fetches, fetches);
+  EXPECT_EQ(a.mkd->stats().negative_cache_hits, 0u);
+}
+
 TEST(FlowKeyDerivation, DependsOnEveryInput) {
   crypto::Md5 h;
   const util::Bytes master = util::to_bytes("master-key-material");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 namespace fbs::net {
 namespace {
 
@@ -192,6 +194,102 @@ TEST_F(SimNetTest, StepReturnsFalseWhenIdle) {
   net_.send(kA, kB, util::to_bytes("x"));
   EXPECT_TRUE(net_.step());
   EXPECT_FALSE(net_.step());
+}
+
+TEST_F(SimNetTest, BurstLossDropsRunsOfFrames) {
+  // Gilbert-Elliott: stationary bad-state probability is
+  // enter/(enter+exit) = 0.2, and the bad state drops everything while
+  // good-state loss stays zero.
+  LinkParams bursty;
+  bursty.burst_enter = 0.05;
+  bursty.burst_exit = 0.2;
+  bursty.burst_loss = 1.0;
+  net_.set_default_link(bursty);
+  constexpr int kFrames = 2000;
+  for (int i = 0; i < kFrames; ++i) net_.send(kA, kB, util::to_bytes("p"));
+  net_.run();
+  EXPECT_GT(net_.counters().burst_lost, kFrames / 20u);
+  EXPECT_LT(net_.counters().burst_lost, kFrames * 2u / 5);
+  EXPECT_EQ(net_.counters().lost, 0u);  // i.i.d. loss is off
+  EXPECT_EQ(at_b_.size() + net_.counters().burst_lost,
+            static_cast<std::size_t>(kFrames));
+}
+
+TEST_F(SimNetTest, BurstEnterZeroKeepsIidModel) {
+  LinkParams plain;
+  plain.loss = 0.5;
+  plain.burst_loss = 1.0;  // irrelevant: the chain never leaves good state
+  net_.set_default_link(plain);
+  for (int i = 0; i < 500; ++i) net_.send(kA, kB, util::to_bytes("p"));
+  net_.run();
+  EXPECT_GT(net_.counters().lost, 0u);
+  EXPECT_EQ(net_.counters().burst_lost, 0u);
+}
+
+TEST_F(SimNetTest, CorruptionFlipsExactlyOneBit) {
+  LinkParams noisy;
+  noisy.corrupt = 1.0;
+  net_.set_default_link(noisy);
+  net_.send(kA, kB, util::Bytes(64, 0x00));
+  net_.run();
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(net_.counters().corrupted, 1u);
+  int flipped = 0;
+  for (std::uint8_t byte : at_b_[0]) flipped += std::popcount(byte);
+  EXPECT_EQ(flipped, 1);
+}
+
+TEST_F(SimNetTest, TapSeesFrameBeforeCorruption) {
+  // The tap observes the sender's true wire bytes; corruption happens on
+  // the link after it. Leak checks in chaos tests depend on this order.
+  LinkParams noisy;
+  noisy.corrupt = 1.0;
+  net_.set_default_link(noisy);
+  const util::Bytes original(32, 0x55);
+  util::Bytes tapped;
+  net_.set_tap([&](Ipv4Address, Ipv4Address, util::Bytes& frame) {
+    tapped = frame;
+    return SimNetwork::TapVerdict::kPass;
+  });
+  net_.send(kA, kB, original);
+  net_.run();
+  EXPECT_EQ(tapped, original);
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_NE(at_b_[0], original);
+}
+
+TEST_F(SimNetTest, PartitionWindowDropsThenHeals) {
+  net_.partition(kA, kB, util::TimeUs{0}, util::seconds(1));
+  net_.send(kA, kB, util::to_bytes("cut"));
+  net_.run();
+  EXPECT_TRUE(at_b_.empty());
+  EXPECT_EQ(net_.counters().partition_dropped, 1u);
+  clock_.set(util::seconds(1));  // window over (and pruned on next check)
+  net_.send(kA, kB, util::to_bytes("healed"));
+  net_.run();
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(at_b_[0], util::to_bytes("healed"));
+}
+
+TEST_F(SimNetTest, HostPartitionCutsEveryLink) {
+  net_.attach(kC, [](util::Bytes) {});
+  net_.partition_host(kB, util::TimeUs{0}, util::seconds(1));
+  net_.send(kA, kB, util::to_bytes("to the dark host"));
+  net_.send(kB, kA, util::to_bytes("from the dark host"));
+  net_.send(kA, kC, util::to_bytes("unrelated pair"));
+  net_.run();
+  EXPECT_TRUE(at_b_.empty());
+  EXPECT_TRUE(at_a_.empty());
+  EXPECT_EQ(net_.counters().partition_dropped, 2u);
+  EXPECT_EQ(net_.counters().delivered, 1u);  // a -> c unaffected
+}
+
+TEST_F(SimNetTest, ClearPartitionsRestoresImmediately) {
+  net_.partition(kA, kB, util::TimeUs{0}, util::seconds(10));
+  net_.clear_partitions();
+  net_.send(kA, kB, util::to_bytes("x"));
+  net_.run();
+  EXPECT_EQ(at_b_.size(), 1u);
 }
 
 TEST_F(SimNetTest, DetachStopsDelivery) {

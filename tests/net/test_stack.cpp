@@ -130,6 +130,48 @@ TEST_F(StackTest, EffectivePayloadSizeAccountsForOverhead) {
   EXPECT_EQ(a_.effective_payload_size(), 1500u - Ipv4Header::kSize - 34u);
 }
 
+TEST_F(StackTest, LostFragmentExpiresFromReassemblyQueue) {
+  // Drop exactly the second fragment of a three-fragment datagram.
+  int frame_no = 0;
+  net_.set_tap([&](Ipv4Address, Ipv4Address, util::Bytes&) {
+    return ++frame_no == 2 ? SimNetwork::TapVerdict::kDrop
+                           : SimNetwork::TapVerdict::kPass;
+  });
+  EXPECT_TRUE(a_.output(kB, IpProto::kUdp, util::Bytes(4000, 'f')));
+  net_.run();
+  EXPECT_TRUE(received_.empty());          // incomplete, never delivered
+  EXPECT_EQ(b_.reassembly_pending(), 1u);  // partial held for the timeout
+
+  // Past the reassembly timeout the next arriving packet sweeps the
+  // partial out; it is counted, not leaked, and later traffic flows.
+  clock_.advance(util::seconds(31));
+  net_.clear_tap();
+  EXPECT_TRUE(a_.output(kB, IpProto::kUdp, util::to_bytes("later")));
+  net_.run();
+  EXPECT_EQ(b_.counters().reassembly_expired, 1u);
+  EXPECT_EQ(b_.reassembly_pending(), 0u);
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0], util::to_bytes("later"));
+}
+
+TEST_F(StackTest, ReassemblyQueueDrainsAfterLossyBurst) {
+  LinkParams lossy;
+  lossy.loss = 0.3;
+  net_.set_default_link(lossy);
+  for (int i = 0; i < 50; ++i)
+    a_.output(kB, IpProto::kUdp, util::Bytes(4000, 'x'));
+  net_.run();
+  EXPECT_LT(received_.size(), 50u);        // some datagrams lost a fragment
+  EXPECT_GT(b_.reassembly_pending(), 0u);  // their partials are queued
+
+  net_.set_default_link(LinkParams{});
+  clock_.advance(util::seconds(31));
+  EXPECT_TRUE(a_.output(kB, IpProto::kUdp, util::to_bytes("sweep")));
+  net_.run();
+  EXPECT_EQ(b_.reassembly_pending(), 0u);  // every partial expired
+  EXPECT_GT(b_.counters().reassembly_expired, 0u);
+}
+
 TEST_F(StackTest, LossyLinkDeliversSubset) {
   LinkParams lossy;
   lossy.loss = 0.4;

@@ -1,0 +1,235 @@
+// Chaos soak harness: drives FBS-protected traffic through a deliberately
+// hostile environment -- Gilbert-Elliott burst loss, bit corruption,
+// scheduled link partitions, directory outages/faults, and mid-run
+// soft-state wipes -- all derived deterministically from one seed.
+//
+// The invariants it exists to check are the paper's robustness claims:
+//   1. nothing crashes;
+//   2. no forged or corrupted datagram is ever accepted (every delivered
+//      payload is byte-identical to one that was sent);
+//   3. secret payloads never appear in plaintext on the wire;
+//   4. once the faults cease, traffic converges back to 100% delivery --
+//      all protocol state is soft and re-derivable.
+#pragma once
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cert/directory.hpp"
+#include "fbs/ip_map.hpp"
+#include "net/udp.hpp"
+#include "support/world.hpp"
+
+namespace fbs::testing {
+
+/// Tracks every payload handed to the network so deliveries and wire bytes
+/// can be audited against it.
+class PayloadLedger {
+ public:
+  explicit PayloadLedger(std::uint64_t seed) : rng_(seed) {}
+
+  /// A fresh unique payload (random bytes; uniqueness whp at >= 16 bytes).
+  util::Bytes make_payload(std::size_t size) {
+    util::Bytes p = rng_.next_bytes(size);
+    sent_.insert(p);
+    return p;
+  }
+
+  bool was_sent(const util::Bytes& p) const { return sent_.count(p) != 0; }
+  std::size_t distinct_sent() const { return sent_.size(); }
+
+  /// Does any sent payload appear in clear inside `frame`? A 32-byte random
+  /// prefix is searched, which spans fragmented payloads' first fragments
+  /// and makes accidental ciphertext matches astronomically unlikely.
+  bool leaks_into(const util::Bytes& frame) const {
+    for (const auto& p : sent_) {
+      const std::size_t n = std::min<std::size_t>(p.size(), 32);
+      if (std::search(frame.begin(), frame.end(), p.begin(), p.begin() + n) !=
+          frame.end())
+        return true;
+    }
+    return false;
+  }
+
+ private:
+  util::SplitMix64 rng_;
+  std::set<util::Bytes> sent_;
+};
+
+/// Randomized fault schedule parameters, drawn from the chaos seed.
+struct ChaosPlan {
+  net::LinkParams faulty_link;
+  cert::FaultPlan directory_plan;
+  util::TimeUs window = util::seconds(20);  // faults live inside [0, window)
+  int partition_windows = 0;
+  bool directory_outage = false;
+  int soft_state_wipes = 0;
+
+  static ChaosPlan draw(util::RandomSource& rng) {
+    auto uniform = [&](double lo, double hi) {
+      return lo + (hi - lo) * rng.next_double();
+    };
+    ChaosPlan plan;
+    plan.faulty_link.delay = util::TimeUs{500};
+    plan.faulty_link.jitter =
+        static_cast<util::TimeUs>(uniform(0, 2e6));  // reorders
+    plan.faulty_link.loss = uniform(0.0, 0.1);
+    plan.faulty_link.duplicate = uniform(0.0, 0.1);
+    plan.faulty_link.burst_enter = uniform(0.02, 0.15);
+    plan.faulty_link.burst_exit = uniform(0.1, 0.5);
+    plan.faulty_link.burst_loss = uniform(0.6, 1.0);
+    plan.faulty_link.corrupt = uniform(0.02, 0.1);
+    plan.directory_plan.fail_probability = uniform(0.1, 0.4);
+    plan.directory_plan.fail_burst =
+        static_cast<std::uint32_t>(1 + rng.next_below(3));
+    plan.directory_plan.slow_probability = uniform(0.0, 0.5);
+    plan.directory_plan.extra_latency =
+        static_cast<util::TimeUs>(uniform(0, 2e5));
+    plan.directory_plan.seed = rng.next_u64();
+    plan.partition_windows = static_cast<int>(1 + rng.next_below(3));
+    plan.directory_outage = rng.next_below(2) == 0;
+    plan.soft_state_wipes = static_cast<int>(1 + rng.next_below(3));
+    return plan;
+  }
+};
+
+/// Two FBS hosts exchanging UDP datagrams across one chaotic segment.
+class TwoHostChaosRig {
+ public:
+  explicit TwoHostChaosRig(std::uint64_t seed)
+      : world_(seed),
+        schedule_rng_(seed * 0x9E3779B97F4A7C15ULL + 1),
+        ledger_(seed ^ 0xC0FFEE),
+        net_(world_.clock, seed + 17),
+        a_node_(world_.add_node("a", "10.0.0.1")),
+        b_node_(world_.add_node("b", "10.0.0.2")),
+        a_stack_(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.1")),
+        b_stack_(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.2")),
+        a_fbs_(a_stack_, core::IpMappingConfig{}, *a_node_.keys, world_.clock,
+               world_.rng),
+        b_fbs_(b_stack_, core::IpMappingConfig{}, *b_node_.keys, world_.clock,
+               world_.rng),
+        a_udp_(a_stack_),
+        b_udp_(b_stack_) {
+    b_udp_.bind(9000, [this](net::Ipv4Address, std::uint16_t,
+                             util::Bytes p) {
+      delivered_.push_back(std::move(p));
+    });
+    net_.set_tap([this](net::Ipv4Address, net::Ipv4Address,
+                        util::Bytes& frame) {
+      if (ledger_.leaks_into(frame)) ++plaintext_leaks_;
+      return net::SimNetwork::TapVerdict::kPass;
+    });
+  }
+
+  /// Phase 1: randomized faults + traffic, then drain all events.
+  void run_fault_phase(int datagrams) {
+    const ChaosPlan plan = ChaosPlan::draw(schedule_rng_);
+    const util::TimeUs t0 = world_.clock.now();
+    net_.set_default_link(plan.faulty_link);
+    world_.directory.set_fault_plan(plan.directory_plan);
+    for (int i = 0; i < plan.partition_windows; ++i) {
+      const util::TimeUs from = t0 + draw_time(plan.window);
+      net_.partition(a_stack_.address(), b_stack_.address(), from,
+                     from + draw_time(util::seconds(4)));
+    }
+    if (plan.directory_outage) {
+      const util::TimeUs from = t0 + draw_time(plan.window);
+      world_.directory.add_outage(from, from + draw_time(util::seconds(5)));
+    }
+    for (int i = 0; i < plan.soft_state_wipes; ++i) {
+      net_.call_later(draw_time(plan.window),
+                      [this, which = schedule_rng_.next_below(4)] {
+                        wipe_soft_state(which);
+                      });
+    }
+    for (int i = 0; i < datagrams; ++i) {
+      // A few jumbo payloads exercise fragmentation/reassembly under loss.
+      const std::size_t size = i % 17 == 0 ? 3000 : 48;
+      net_.call_later(draw_time(plan.window),
+                      [this, payload = ledger_.make_payload(size), i] {
+                        if (a_udp_.send(b_stack_.address(),
+                                        static_cast<std::uint16_t>(4000 + i % 4),
+                                        9000, payload))
+                          ++fault_phase_sent_;
+                      });
+    }
+    net_.run();
+    fault_phase_delivered_ = delivered_.size();
+  }
+
+  /// Phase 2: faults cease; every datagram sent now must arrive.
+  void run_recovery_phase(int datagrams) {
+    net_.set_default_link(net::LinkParams{});
+    net_.clear_partitions();
+    world_.directory.clear_fault_plan();
+    world_.directory.clear_outages();
+    // Let negative-cache entries from the outage expire.
+    world_.clock.advance(a_node_.mkd->retry_policy().negative_ttl);
+    for (int i = 0; i < datagrams; ++i) {
+      const auto payload = ledger_.make_payload(48);
+      if (a_udp_.send(b_stack_.address(), 4100, 9000, payload))
+        ++recovery_sent_;
+    }
+    net_.run();
+    recovery_delivered_ = delivered_.size() - fault_phase_delivered_;
+  }
+
+  /// Invariant 2: every delivered payload is byte-identical to a sent one.
+  bool all_deliveries_genuine() const {
+    return std::all_of(delivered_.begin(), delivered_.end(),
+                       [&](const util::Bytes& p) { return ledger_.was_sent(p); });
+  }
+
+  std::uint64_t plaintext_leaks() const { return plaintext_leaks_; }
+  std::size_t fault_phase_sent() const { return fault_phase_sent_; }
+  std::size_t fault_phase_delivered() const { return fault_phase_delivered_; }
+  std::size_t recovery_sent() const { return recovery_sent_; }
+  std::size_t recovery_delivered() const { return recovery_delivered_; }
+
+  TestWorld world_;
+  util::SplitMix64 schedule_rng_;
+  PayloadLedger ledger_;
+  net::SimNetwork net_;
+  TestWorld::Node& a_node_;
+  TestWorld::Node& b_node_;
+  net::IpStack a_stack_;
+  net::IpStack b_stack_;
+  core::FbsIpMapping a_fbs_;
+  core::FbsIpMapping b_fbs_;
+  net::UdpService a_udp_;
+  net::UdpService b_udp_;
+
+ private:
+  util::TimeUs draw_time(util::TimeUs range) {
+    return static_cast<util::TimeUs>(
+        schedule_rng_.next_below(static_cast<std::uint64_t>(range)));
+  }
+
+  void wipe_soft_state(std::uint64_t which) {
+    switch (which) {
+      case 0: a_fbs_.endpoint().clear_soft_state(); break;
+      case 1: b_fbs_.endpoint().clear_soft_state(); break;
+      case 2:  // full receiver restart: endpoint + MKC + PVC
+        b_fbs_.endpoint().clear_soft_state();
+        b_node_.keys->clear_soft_state();
+        b_node_.mkd->clear_soft_state();
+        break;
+      default:  // both ends at once
+        a_fbs_.endpoint().clear_soft_state();
+        a_node_.keys->clear_soft_state();
+        b_fbs_.endpoint().clear_soft_state();
+        break;
+    }
+  }
+
+  std::vector<util::Bytes> delivered_;
+  std::uint64_t plaintext_leaks_ = 0;
+  std::size_t fault_phase_sent_ = 0;
+  std::size_t fault_phase_delivered_ = 0;
+  std::size_t recovery_sent_ = 0;
+  std::size_t recovery_delivered_ = 0;
+};
+
+}  // namespace fbs::testing

@@ -52,6 +52,10 @@ class TestWorld {
     node.mkd = std::make_unique<core::MasterKeyDaemon>(
         node.principal, node.dh.private_value, group_, ca, directory, clock,
         pvc_size);
+    // Backoff waits advance the shared virtual clock, so a directory outage
+    // can clear while a daemon is between retries.
+    node.mkd->set_backoff_waiter(
+        [this](util::TimeUs wait) { clock.advance(wait); });
     node.keys = std::make_unique<core::KeyManager>(*node.mkd, mkc_size);
     auto [it, inserted] = nodes.emplace(name, std::move(node));
     return it->second;
