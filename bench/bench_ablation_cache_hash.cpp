@@ -13,12 +13,22 @@
 
 #include "fbs/caches.hpp"
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 
 namespace {
 
 using namespace fbs;
 
-void print_miss_table() {
+const char* hash_slug(core::CacheHashKind hash) {
+  switch (hash) {
+    case core::CacheHashKind::kCrc32: return "crc32";
+    case core::CacheHashKind::kModulo: return "modulo";
+    case core::CacheHashKind::kXorFold: return "xorfold";
+  }
+  return "unknown";
+}
+
+void print_miss_table(obs::MetricsRegistry& reg) {
   const trace::Trace t = bench::campus_trace();
   std::printf("Cache-hash ablation: direct-mapped flow key caches over the "
               "campus trace (%zu packets)\n\n",
@@ -32,6 +42,9 @@ void print_miss_table() {
       const auto points =
           trace::simulate_cache_misses(t, util::seconds(600), {size}, 1, hash);
       std::printf("%11.2f%%", 100.0 * points[0].receive.miss_rate());
+      reg.gauge(std::string("cache_hash.") + hash_slug(hash) + ".size" +
+                std::to_string(size) + ".miss_rate")
+          .set(points[0].receive.miss_rate());
     }
     std::printf("\n");
   }
@@ -46,6 +59,9 @@ void print_miss_table() {
                                                      {64}, ways);
     std::printf("%zu-way %.2f%%  ", ways,
                 100.0 * points[0].receive.miss_rate());
+    reg.gauge("cache_hash.crc32.size64.ways" + std::to_string(ways) +
+              ".miss_rate")
+        .set(points[0].receive.miss_rate());
   }
   std::printf("\n\n");
 }
@@ -106,7 +122,9 @@ BENCHMARK(BM_Associativity)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_miss_table();
+  fbs::obs::MetricsRegistry reg;
+  print_miss_table(reg);
+  fbs::bench::write_metrics(reg.snapshot(), "fbs_bench_ablation_cache_hash");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,7 +18,9 @@
 #include "baselines/skiplike.hpp"
 #include "crypto/bbs.hpp"
 #include "fbs/engine.hpp"
+#include "fbs/metrics.hpp"
 #include "support/harness.hpp"
+#include "support/metrics_io.hpp"
 
 #include <cstdio>
 
@@ -214,10 +216,37 @@ void print_setup_cost_table() {
               "(Section 2.1's efficiency-vs-semantics tradeoff dissolved).\n\n");
 }
 
+/// Instrumented steady-state pass (separate from the timed loops above):
+/// both FBS table layouts protect the same stream with stage tracing on,
+/// so the snapshot carries per-stage latencies and the cache/FAM counters
+/// that explain the combined-vs-split gap.
+void emit_metrics() {
+  KeyedPair world;
+  obs::MetricsRegistry reg;
+  core::FbsConfig combined_cfg;
+  combined_cfg.trace_stages = true;
+  core::FbsEndpoint combined(world.a.principal, combined_cfg, *world.a.keys,
+                             world.clock, world.rng);
+  core::FbsConfig split_cfg;
+  split_cfg.combined_fst_tfkc = false;
+  split_cfg.trace_stages = true;
+  core::FbsEndpoint split(world.a.principal, split_cfg, *world.a.keys,
+                          world.clock, world.rng);
+  combined.register_metrics(reg, "combined");
+  split.register_metrics(reg, "split");
+  const core::Datagram d = world.datagram(kPayload);
+  for (int i = 0; i < 1000; ++i) {
+    (void)combined.protect(d, true);
+    (void)split.protect(d, true);
+  }
+  bench::write_metrics(reg.snapshot(), "fbs_bench_ablation_keying");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_setup_cost_table();
+  emit_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

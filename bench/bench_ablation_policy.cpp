@@ -13,6 +13,7 @@
 
 #include "fbs/fam.hpp"
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -91,14 +92,25 @@ int main() {
 
   std::printf("%-24s %12s %16s %18s %14s %12s\n", "policy", "keys derived",
               "max pkts/key", "max bytes/key", "max convs/key", "peak active");
-  for (const auto& r : reports) {
+  obs::MetricsRegistry reg;
+  const char* slugs[] = {"per_datagram", "five_tuple", "host_pair"};
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
     std::printf("%-24s %12llu %16llu %18llu %14llu %12zu\n", r.name.c_str(),
                 static_cast<unsigned long long>(r.flows),
                 static_cast<unsigned long long>(r.max_exposure_pkts),
                 static_cast<unsigned long long>(r.max_exposure_bytes),
                 static_cast<unsigned long long>(r.max_conversations_per_key),
                 r.peak_active);
+    const std::string p = std::string("policy.") + slugs[i];
+    reg.counter(p + ".keys_derived").add(r.flows);
+    reg.counter(p + ".max_pkts_per_key").add(r.max_exposure_pkts);
+    reg.counter(p + ".max_bytes_per_key").add(r.max_exposure_bytes);
+    reg.counter(p + ".max_conversations_per_key")
+        .add(r.max_conversations_per_key);
+    reg.counter(p + ".peak_active").add(r.peak_active);
   }
+  bench::write_metrics(reg.snapshot(), "fbs_bench_ablation_policy");
 
   std::printf(
       "\nreading: five-tuple sits between the extremes -- %llux fewer key\n"

@@ -6,6 +6,8 @@
 // cost.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bignum/prime.hpp"
 #include "crypto/bbs.hpp"
 #include "crypto/block_modes.hpp"
@@ -16,6 +18,7 @@
 #include "crypto/md5.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha1.hpp"
+#include "support/metrics_io.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -189,6 +192,47 @@ void BM_BbsPerDatagramKey(benchmark::State& state) {
 }
 BENCHMARK(BM_BbsPerDatagramKey);
 
+/// Quick self-timed pass for the machine-readable snapshot: bulk rates of
+/// the Section 7.2 primitives (the paper's table is in kB/s), independent
+/// of google-benchmark's output format.
+void emit_metrics() {
+  obs::MetricsRegistry reg;
+  const util::Bytes data = buffer_of(1460);
+  const crypto::Des des(buffer_of(8));
+  crypto::KeyedPrefixMac mac(std::make_unique<crypto::Md5>());
+  const util::Bytes key = buffer_of(16), prefix = buffer_of(8);
+
+  auto rate_kBps = [&](auto&& op) {
+    constexpr int kReps = 2000;  // ~2.9 MB per primitive
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) op();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return kReps * static_cast<double>(data.size()) / 1000.0 /
+           elapsed.count();
+  };
+  reg.gauge("crypto.md5.kBps").set(rate_kBps([&] {
+    benchmark::DoNotOptimize(crypto::md5(data));
+  }));
+  reg.gauge("crypto.des_cbc.kBps").set(rate_kBps([&] {
+    benchmark::DoNotOptimize(
+        crypto::encrypt(des, crypto::CipherMode::kCbc, 42, data));
+  }));
+  reg.gauge("crypto.keyed_md5_mac.kBps").set(rate_kBps([&] {
+    benchmark::DoNotOptimize(mac.compute(key, {data}));
+  }));
+  reg.gauge("crypto.fused_md5_des_cbc.kBps").set(rate_kBps([&] {
+    benchmark::DoNotOptimize(
+        crypto::fused_keyed_md5_des_cbc(des, 42, key, prefix, data));
+  }));
+  bench::write_metrics(reg.snapshot(), "fbs_bench_crypto");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_metrics();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 #include "util/histogram.hpp"
 
 using namespace fbs;
@@ -42,5 +43,14 @@ int main() {
           static_cast<double>(r.flows.size()),
       100.0 * static_cast<double>(over_minute) /
           static_cast<double>(r.flows.size()));
+
+  obs::MetricsRegistry reg;
+  reg.counter("fig10.flows").add(r.flows.size());
+  reg.counter("fig10.sub_second_flows").add(sub_second);
+  reg.counter("fig10.over_minute_flows").add(over_minute);
+  reg.gauge("fig10.median_duration_s").set(duration_s.quantile(0.5));
+  reg.gauge("fig10.p90_duration_s").set(duration_s.quantile(0.9));
+  reg.gauge("fig10.max_duration_s").set(duration_s.max());
+  bench::write_metrics(reg.snapshot(), "fbs_bench_fig10_flow_duration");
   return 0;
 }

@@ -6,7 +6,9 @@
 // Section 5.3, and report the 3C miss breakdown.
 #include <cstdio>
 
+#include "fbs/metrics.hpp"
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 
 using namespace fbs;
 
@@ -62,5 +64,15 @@ int main() {
       std::printf("%9.2f%%", 100.0 * p.receive.miss_rate());
     std::printf("\n");
   }
+
+  // Machine-readable export: the full 3C breakdown per cache size, through
+  // the same CacheStats adapter the runtime endpoints use.
+  obs::MetricsRegistry reg;
+  for (const auto& p : points) {
+    const std::string sz = std::to_string(p.cache_size);
+    core::register_metrics(reg, "fig11.tfkc.size" + sz, p.send);
+    core::register_metrics(reg, "fig11.rfkc.size" + sz, p.receive);
+  }
+  bench::write_metrics(reg.snapshot(), "fbs_bench_fig11_cache_miss");
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 
 using namespace fbs;
 
@@ -36,5 +37,11 @@ int main() {
               "(paper: modest, easily held in kernel memory)\n",
               r.peak_active, r.mean_active,
               trace::summarize(t).distinct_hosts);
+
+  obs::MetricsRegistry reg;
+  reg.counter("fig12.flows").add(r.flows.size());
+  reg.counter("fig12.peak_active").add(r.peak_active);
+  reg.gauge("fig12.mean_active").set(r.mean_active);
+  bench::write_metrics(reg.snapshot(), "fbs_bench_fig12_active_flows");
   return 0;
 }

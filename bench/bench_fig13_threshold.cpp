@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 
 using namespace fbs;
 
@@ -17,6 +18,7 @@ int main() {
   std::printf("%12s %12s %12s %12s\n", "THRESHOLD", "mean active",
               "peak active", "total flows");
   double mean300 = 0, mean600 = 0, mean900 = 0, mean1200 = 0;
+  obs::MetricsRegistry reg;
   for (int ts : thresholds_s) {
     trace::FlowSimConfig cfg;
     cfg.threshold = util::seconds(ts);
@@ -24,6 +26,10 @@ int main() {
     const trace::FlowSimResult r = trace::simulate_flows(t, cfg);
     std::printf("%11ds %12.1f %12zu %12zu\n", ts, r.mean_active,
                 r.peak_active, r.flows.size());
+    const std::string p = "fig13.t" + std::to_string(ts);
+    reg.gauge(p + ".mean_active").set(r.mean_active);
+    reg.counter(p + ".peak_active").add(r.peak_active);
+    reg.counter(p + ".flows").add(r.flows.size());
     if (ts == 300) mean300 = r.mean_active;
     if (ts == 600) mean600 = r.mean_active;
     if (ts == 900) mean900 = r.mean_active;
@@ -34,5 +40,6 @@ int main() {
               "%+.0f%% (paper: grows first, insensitive above ~900s)\n",
               100.0 * (mean600 - mean300) / mean300,
               100.0 * (mean1200 - mean900) / mean900);
+  bench::write_metrics(reg.snapshot(), "fbs_bench_fig13_threshold");
   return 0;
 }

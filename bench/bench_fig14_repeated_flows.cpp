@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 
 using namespace fbs;
 
@@ -16,6 +17,7 @@ int main() {
               "total flows", "repeated share");
   std::uint64_t first = 0, last = 0;
   const int thresholds_s[] = {60, 150, 300, 600, 900, 1200};
+  obs::MetricsRegistry reg;
   for (int ts : thresholds_s) {
     trace::FlowSimConfig cfg;
     cfg.threshold = util::seconds(ts);
@@ -25,6 +27,9 @@ int main() {
                 r.flows.size(),
                 100.0 * static_cast<double>(r.repeated_flows) /
                     static_cast<double>(r.flows.size()));
+    const std::string p = "fig14.t" + std::to_string(ts);
+    reg.counter(p + ".repeated_flows").add(r.repeated_flows);
+    reg.counter(p + ".flows").add(r.flows.size());
     if (ts == thresholds_s[0]) first = r.repeated_flows;
     last = r.repeated_flows;
   }
@@ -33,5 +38,6 @@ int main() {
               static_cast<unsigned long long>(first), thresholds_s[0],
               static_cast<unsigned long long>(last),
               thresholds_s[sizeof(thresholds_s) / sizeof(int) - 1]);
+  bench::write_metrics(reg.snapshot(), "fbs_bench_fig14_repeated_flows");
   return 0;
 }

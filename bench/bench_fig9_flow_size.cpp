@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "support/figures.hpp"
+#include "support/metrics_io.hpp"
 #include "util/histogram.hpp"
 
 using namespace fbs;
@@ -70,5 +71,15 @@ int main() {
     std::printf("%-12s %10zu %14.0f %16.0f %14.0f\n", name, wr.flows.size(),
                 p.quantile(0.5), b.quantile(0.5), p.quantile(0.99));
   }
+
+  obs::MetricsRegistry reg;
+  reg.counter("fig9.flows").add(r.flows.size());
+  reg.counter("fig9.total_bytes").add(r.total_bytes);
+  reg.gauge("fig9.median_packets_per_flow").set(median_packets);
+  reg.gauge("fig9.p99_packets_per_flow").set(packets.quantile(0.99));
+  reg.gauge("fig9.median_bytes_per_flow").set(bytes.quantile(0.5));
+  reg.gauge("fig9.top10pct_bytes_share")
+      .set(static_cast<double>(top) / static_cast<double>(r.total_bytes));
+  bench::write_metrics(reg.snapshot(), "fbs_bench_fig9_flow_size");
   return 0;
 }

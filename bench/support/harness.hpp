@@ -32,7 +32,11 @@ inline const char* to_string(StackConfig c) {
 /// Two hosts, certificates published, FBS mappings installed per config.
 class TwoHostWorld {
  public:
-  explicit TwoHostWorld(StackConfig config, std::uint64_t seed = 1997)
+  /// `trace_stages` turns on per-stage latency tracing in both endpoints;
+  /// keep it off for timed runs (it adds clock reads to the datagram path)
+  /// and use a separate instrumented world for metrics emission.
+  explicit TwoHostWorld(StackConfig config, std::uint64_t seed = 1997,
+                        bool trace_stages = false)
       : rng_(seed),
         clock_(util::minutes(1000)),
         ca_(512, rng_),
@@ -48,6 +52,7 @@ class TwoHostWorld {
     if (config != StackConfig::kGeneric) {
       core::IpMappingConfig cfg;
       cfg.fbs.suite = suite_for(config);
+      cfg.fbs.trace_stages = trace_stages;
       if (config == StackConfig::kFbsNop ||
           config == StackConfig::kFbsMd5Only) {
         cfg.secret_policy = [](const core::FlowAttributes&) { return false; };

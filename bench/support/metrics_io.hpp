@@ -1,0 +1,37 @@
+// Machine-readable bench output: every bench binary dumps a
+// MetricsSnapshot as JSON so results can be scraped without parsing the
+// human-oriented tables. The destination is $FBS_METRICS_OUT if set,
+// otherwise "<bench>.metrics.json" in the working directory.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fbs::bench {
+
+inline std::string metrics_output_path(const char* bench_name) {
+  if (const char* env = std::getenv("FBS_METRICS_OUT"))
+    if (*env) return env;
+  return std::string(bench_name) + ".metrics.json";
+}
+
+inline void write_metrics(const obs::MetricsSnapshot& snap,
+                          const char* bench_name) {
+  const std::string path = metrics_output_path(bench_name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "metrics: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = snap.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("[metrics snapshot written to %s]\n", path.c_str());
+}
+
+}  // namespace fbs::bench

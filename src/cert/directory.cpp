@@ -65,4 +65,14 @@ FetchResult DirectoryService::fetch(util::BytesView subject) {
   return {FetchStatus::kOk, it->second};
 }
 
+void DirectoryService::register_metrics(obs::MetricsRegistry& registry,
+                                        const std::string& prefix) const {
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".fetches", fetch_count_);
+    emit.counter(prefix + ".failed", failed_fetches_);
+    emit.counter(prefix + ".slow", slow_fetches_);
+    emit.counter(prefix + ".fetch_delay_us", total_fetch_delay_);
+  });
+}
+
 }  // namespace fbs::cert

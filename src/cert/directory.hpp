@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cert/certificate.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
@@ -86,6 +87,11 @@ class DirectoryService {
   std::uint64_t failed_fetches() const { return failed_fetches_; }
   std::uint64_t slow_fetches() const { return slow_fetches_; }
   util::TimeUs total_fetch_delay() const { return total_fetch_delay_; }
+
+  /// Publish the fetch/outage counters as a pull source under `<prefix>.`
+  /// names (e.g. `dir.fetches`, `dir.failed`).
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
  private:
   struct Outage {

@@ -52,7 +52,9 @@ FbsEndpoint::FbsEndpoint(Principal self, const FbsConfig& config,
       rfkc_(config.rfkc_size, config.cache_ways, config.cache_hash),
       freshness_(clock, config.freshness_window_minutes,
                  config.strict_replay),
-      mac_(crypto::make_mac(config.suite.mac)) {}
+      mac_(crypto::make_mac(config.suite.mac)) {
+  tracer_.set_enabled(config.trace_stages);
+}
 
 util::Bytes FbsEndpoint::cache_key(Sfl sfl, const Principal& a,
                                    const Principal& b) {
@@ -103,8 +105,10 @@ std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
     if (!master) return std::nullopt;
     const Sfl sfl = sfl_alloc_.allocate();
     ++send_stats_.flow_keys_derived;
+    auto derive_timer = tracer_.start(obs::Stage::kSendKeyDerive);
     util::Bytes key =
         derive_flow_key(kdf_hash_, sfl, *master, self_, d.destination);
+    derive_timer.finish();
     e = CombinedEntry{true, d.attrs, sfl, key, now, now, 1, d.body.size()};
     return std::make_pair(sfl, std::move(key));
   }
@@ -115,6 +119,8 @@ std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
     const bool worn =
         (config_.rekey_after_datagrams &&
          entry->datagrams >= config_.rekey_after_datagrams) ||
+        (config_.rekey_after_bytes &&
+         entry->bytes >= config_.rekey_after_bytes) ||
         (config_.rekey_after_age &&
          now - entry->created >= config_.rekey_after_age);
     if (worn) {
@@ -128,15 +134,19 @@ std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
   const auto master = keys_.master_key(d.destination);
   if (!master) return std::nullopt;
   ++send_stats_.flow_keys_derived;
+  auto derive_timer = tracer_.start(obs::Stage::kSendKeyDerive);
   util::Bytes key =
       derive_flow_key(kdf_hash_, mapping.sfl, *master, self_, d.destination);
+  derive_timer.finish();
   tfkc_.insert(ck, key);
   return std::make_pair(mapping.sfl, std::move(key));
 }
 
 std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
                                                 bool secret) {
+  auto classify_timer = tracer_.start(obs::Stage::kSendClassify);
   const auto flow = outgoing_flow(d);
+  classify_timer.finish();
   if (!flow) {
     ++send_stats_.key_unavailable;
     return std::nullopt;
@@ -159,6 +169,7 @@ std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
       config_.suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
     // Section 5.3 single-pass optimization: MAC and encryption in one loop
     // over the payload (bit-identical to the two-pass path).
+    auto fused_timer = tracer_.start(obs::Stage::kSendFused);
     const crypto::Des des(
         util::BytesView(key).subspan(0, crypto::Des::kKeySize));
     auto fused = crypto::fused_keyed_md5_des_cbc(
@@ -167,8 +178,12 @@ std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
     body = std::move(fused.ciphertext);
     ++send_stats_.encrypted;
   } else {
-    header.mac = mac_->compute(key, {prefix, d.body});
+    {
+      auto mac_timer = tracer_.start(obs::Stage::kSendMac);
+      header.mac = mac_->compute(key, {prefix, d.body});
+    }
     if (header.secret) {
+      auto cipher_timer = tracer_.start(obs::Stage::kSendCipher);
       const crypto::Des des(
           util::BytesView(key).subspan(0, crypto::Des::kKeySize));
       body = crypto::encrypt(des, *crypto::cipher_mode(config_.suite.cipher),
@@ -180,6 +195,7 @@ std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
   }
 
   ++send_stats_.datagrams;
+  auto wire_timer = tracer_.start(obs::Stage::kSendWire);
   util::Bytes wire = header.serialize();
   wire.insert(wire.end(), body.begin(), body.end());
   return wire;
@@ -216,12 +232,19 @@ ReceiveError FbsEndpoint::reject(ReceiveError e) {
 
 ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
                                       util::BytesView wire) {
+  auto parse_timer = tracer_.start(obs::Stage::kRecvParse);
   auto parsed = FbsHeader::parse(wire);
+  parse_timer.finish();
   if (!parsed) return reject(ReceiveError::kMalformed);
   FbsHeader& header = parsed->header;
 
   // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
-  switch (freshness_.check(header.timestamp_minutes, header.mac)) {
+  // The check is read-only; the seen-MAC cache is only committed to after
+  // the MAC verifies, so a forged body cannot poison it (see replay.hpp).
+  auto fresh_timer = tracer_.start(obs::Stage::kRecvFreshness);
+  const auto verdict = freshness_.check(header.timestamp_minutes, header.mac);
+  fresh_timer.finish();
+  switch (verdict) {
     case FreshnessChecker::Verdict::kFresh:
       break;
     case FreshnessChecker::Verdict::kStale:
@@ -231,13 +254,16 @@ ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
   }
 
   // (R5-6) recover the flow key from the sfl (RFKC-cached).
+  auto key_timer = tracer_.start(obs::Stage::kRecvKey);
   const auto key = incoming_flow_key(source, header.sfl);
+  key_timer.finish();
   if (!key) return reject(ReceiveError::kUnknownPeer);
 
   // (R10-11 first for secret datagrams -- see the header-comment deviation
   // note): recover the plaintext the MAC was computed over.
   util::Bytes body;
   if (header.secret) {
+    auto cipher_timer = tracer_.start(obs::Stage::kRecvCipher);
     const auto mode = crypto::cipher_mode(header.suite.cipher);
     if (!mode) return reject(ReceiveError::kMalformed);
     const crypto::Des des(
@@ -252,12 +278,17 @@ ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
   }
 
   // (R7-9) verify the MAC over confounder | timestamp | plaintext body.
+  auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
   const util::Bytes prefix =
       mac_prefix(header.confounder, header.timestamp_minutes);
   const auto suite_mac = crypto::make_mac(header.suite.mac);
   const util::Bytes expected = suite_mac->compute(*key, {prefix, body});
-  if (!util::ct_equal(expected, header.mac))
-    return reject(ReceiveError::kBadMac);
+  const bool mac_ok = util::ct_equal(expected, header.mac);
+  mac_timer.finish();
+  if (!mac_ok) return reject(ReceiveError::kBadMac);
+
+  // Only a verified datagram may enter the strict-replay seen-set.
+  freshness_.commit(header.timestamp_minutes, header.mac);
 
   ++receive_stats_.accepted;
   ReceivedDatagram out;

@@ -28,6 +28,8 @@
 #include "fbs/keying.hpp"
 #include "fbs/principal.hpp"
 #include "fbs/replay.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stages.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
@@ -64,6 +66,11 @@ struct FbsConfig {
   std::uint64_t rekey_after_datagrams = 0;
   std::uint64_t rekey_after_bytes = 0;
   util::TimeUs rekey_after_age = 0;
+
+  /// Record per-stage latencies on the datagram path. Off by default: the
+  /// steady_clock reads would perturb the per-packet CPU measurements of
+  /// the Figure 8 bench, so benches opt in for instrumented runs only.
+  bool trace_stages = false;
 };
 
 enum class ReceiveError : std::uint8_t {
@@ -175,6 +182,15 @@ class FbsEndpoint {
   const FreshnessChecker::Stats& freshness_stats() const {
     return freshness_.stats();
   }
+  obs::StageTracer& tracer() { return tracer_; }
+  const obs::StageTracer& tracer() const { return tracer_; }
+
+  /// Register every stat this endpoint keeps -- send/receive counters, the
+  /// TFKC/RFKC 3C taxonomy, FAM and freshness stats, stage latencies -- as
+  /// pull sources under `<prefix>.` dotted names. The endpoint must outlive
+  /// `registry`.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
  private:
   struct CombinedEntry {
@@ -217,6 +233,7 @@ class FbsEndpoint {
   std::unique_ptr<crypto::Mac> mac_;
   SendStats send_stats_;
   ReceiveStats receive_stats_;
+  obs::StageTracer tracer_;
 };
 
 }  // namespace fbs::core

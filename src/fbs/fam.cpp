@@ -8,8 +8,9 @@ namespace {
 /// hashed index, else start a new flow there (Figure 7's mapper()).
 MapResult table_map(std::vector<FlowStateEntry>& table, std::size_t index,
                     const FlowAttributes& attrs, util::TimeUs now,
-                    util::TimeUs threshold, bool expire_in_mapper,
-                    SflAllocator& sfl_alloc, FamStats& stats) {
+                    std::uint64_t bytes, util::TimeUs threshold,
+                    bool expire_in_mapper, SflAllocator& sfl_alloc,
+                    FamStats& stats) {
   ++stats.datagrams;
   FlowStateEntry& e = table[index];
 
@@ -23,6 +24,7 @@ MapResult table_map(std::vector<FlowStateEntry>& table, std::size_t index,
   if (reusable) {
     e.last = now;
     ++e.datagrams;
+    e.bytes += bytes;
     ++stats.mapper_hits;
     return {e.sfl, false};
   }
@@ -34,6 +36,7 @@ MapResult table_map(std::vector<FlowStateEntry>& table, std::size_t index,
   e.created = now;
   e.last = now;
   e.datagrams = 1;
+  e.bytes = bytes;
   ++stats.flows_created;
   return {e.sfl, true};
 }
@@ -82,8 +85,8 @@ std::size_t FiveTuplePolicy::index_of(const FlowAttributes& attrs) const {
 }
 
 MapResult FiveTuplePolicy::map(const Datagram& d, util::TimeUs now) {
-  return table_map(table_, index_of(d.attrs), d.attrs, now, threshold_,
-                   expire_in_mapper_, sfl_alloc_, stats_);
+  return table_map(table_, index_of(d.attrs), d.attrs, now, d.body.size(),
+                   threshold_, expire_in_mapper_, sfl_alloc_, stats_);
 }
 
 std::size_t FiveTuplePolicy::sweep(util::TimeUs now) {
@@ -123,7 +126,7 @@ MapResult HostPairPolicy::map(const Datagram& d, util::TimeUs now) {
   attrs.destination_address = d.attrs.destination_address;
   const std::size_t index =
       cache_index(CacheHashKind::kCrc32, attrs.encode(), table_.size());
-  return table_map(table_, index, attrs, now, threshold_,
+  return table_map(table_, index, attrs, now, d.body.size(), threshold_,
                    /*expire_in_mapper=*/true, sfl_alloc_, stats_);
 }
 

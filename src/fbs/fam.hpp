@@ -31,6 +31,7 @@ struct FlowStateEntry {
   util::TimeUs created = 0;
   util::TimeUs last = 0;  // last datagram arrival time
   std::uint64_t datagrams = 0;
+  std::uint64_t bytes = 0;  // payload bytes sent on this flow (key wear-out)
 };
 
 /// Security-flow-label allocator (Section 5.3): a 64-bit counter with a

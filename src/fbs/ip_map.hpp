@@ -60,6 +60,11 @@ class FbsIpMapping {
   FbsEndpoint& endpoint() { return endpoint_; }
   const Counters& counters() const { return counters_; }
 
+  /// Publish the endpoint's metrics plus the IP-layer counters as pull
+  /// sources under `<prefix>.` names.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
   /// Total worst-case wire overhead per packet (for MTU budgeting):
   /// security flow header plus block-cipher padding.
   std::size_t header_overhead() const {

@@ -28,6 +28,7 @@
 #include "crypto/hash.hpp"
 #include "fbs/caches.hpp"
 #include "fbs/principal.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 
 namespace fbs::core {
@@ -105,6 +106,10 @@ class MasterKeyDaemon {
   const MkdStats& stats() const { return stats_; }
   const CacheStats& pvc_stats() const { return pvc_.stats(); }
 
+  /// Publish MKD and PVC stats as pull sources under `<prefix>.` names.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
  private:
   std::optional<cert::PublicValueCertificate> obtain_certificate(
       const Principal& peer);
@@ -144,6 +149,10 @@ class KeyManager {
 
   const CacheStats& mkc_stats() const { return mkc_.stats(); }
   std::uint64_t upcalls() const { return upcalls_; }
+
+  /// Publish MKC stats and the upcall counter under `<prefix>.` names.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
  private:
   MasterKeyDaemon& daemon_;

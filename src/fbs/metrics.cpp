@@ -1,0 +1,140 @@
+#include "fbs/metrics.hpp"
+
+#include "fbs/ip_map.hpp"
+#include "fbs/tunnel.hpp"
+
+namespace fbs::core {
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const CacheStats& stats) {
+  registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".hits", stats.hits);
+    emit.counter(prefix + ".misses.cold", stats.cold_misses);
+    emit.counter(prefix + ".misses.capacity", stats.capacity_misses);
+    emit.counter(prefix + ".misses.collision", stats.collision_misses);
+    emit.gauge(prefix + ".miss_rate", stats.miss_rate());
+  });
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const SendStats& stats) {
+  registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".datagrams", stats.datagrams);
+    emit.counter(prefix + ".encrypted", stats.encrypted);
+    emit.counter(prefix + ".flow_keys_derived", stats.flow_keys_derived);
+    emit.counter(prefix + ".key_unavailable", stats.key_unavailable);
+    emit.counter(prefix + ".lifetime_rekeys", stats.lifetime_rekeys);
+  });
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const ReceiveStats& stats) {
+  registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".accepted", stats.accepted);
+    emit.counter(prefix + ".flow_keys_derived", stats.flow_keys_derived);
+    for (std::size_t i = 0; i < kReceiveErrorKinds; ++i) {
+      const auto kind = static_cast<ReceiveError>(i);
+      emit.counter(prefix + ".rejected." + to_string(kind),
+                   stats.by_kind[i]);
+    }
+  });
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const FamStats& stats) {
+  registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".datagrams", stats.datagrams);
+    emit.counter(prefix + ".flows_created", stats.flows_created);
+    emit.counter(prefix + ".mapper_hits", stats.mapper_hits);
+    emit.counter(prefix + ".hash_evictions", stats.hash_evictions);
+    emit.counter(prefix + ".mapper_expirations", stats.mapper_expirations);
+    emit.counter(prefix + ".sweeper_expirations", stats.sweeper_expirations);
+  });
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix,
+                      const FreshnessChecker::Stats& stats) {
+  registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".fresh", stats.fresh);
+    emit.counter(prefix + ".stale", stats.stale);
+    emit.counter(prefix + ".replays", stats.replays);
+  });
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const MkdStats& stats) {
+  registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".upcalls", stats.upcalls);
+    emit.counter(prefix + ".directory_fetches", stats.directory_fetches);
+    emit.counter(prefix + ".directory_failures", stats.directory_failures);
+    emit.counter(prefix + ".directory_retries", stats.directory_retries);
+    emit.counter(prefix + ".verify_failures", stats.verify_failures);
+    emit.counter(prefix + ".master_keys_computed",
+                 stats.master_keys_computed);
+    emit.counter(prefix + ".negative_cache_hits", stats.negative_cache_hits);
+    emit.counter(prefix + ".negative_cache_inserts",
+                 stats.negative_cache_inserts);
+  });
+}
+
+void FbsEndpoint::register_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  core::register_metrics(registry, prefix + ".send", send_stats_);
+  core::register_metrics(registry, prefix + ".recv", receive_stats_);
+  core::register_metrics(registry, prefix + ".cache.tfkc", tfkc_.stats());
+  core::register_metrics(registry, prefix + ".cache.rfkc", rfkc_.stats());
+  core::register_metrics(registry, prefix + ".freshness",
+                         freshness_.stats());
+  core::register_metrics(registry, prefix + ".fam", policy_->stats());
+  tracer_.register_metrics(registry, prefix);
+}
+
+void KeyManager::register_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  core::register_metrics(registry, prefix + ".cache.mkc", mkc_.stats());
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".upcalls", upcalls_);
+  });
+}
+
+void MasterKeyDaemon::register_metrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  core::register_metrics(registry, prefix + ".mkd", stats_);
+  core::register_metrics(registry, prefix + ".cache.pvc", pvc_.stats());
+}
+
+void FbsIpMapping::register_metrics(obs::MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  endpoint_.register_metrics(registry, prefix);
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".ip.out.protected", counters_.out_protected);
+    emit.counter(prefix + ".ip.out.bypassed", counters_.out_bypassed);
+    emit.counter(prefix + ".ip.out.raw_ip", counters_.out_raw_ip);
+    emit.counter(prefix + ".ip.out.dropped", counters_.out_dropped);
+    emit.counter(prefix + ".ip.in.accepted", counters_.in_accepted);
+    emit.counter(prefix + ".ip.in.bypassed", counters_.in_bypassed);
+    emit.counter(prefix + ".ip.in.raw_ip", counters_.in_raw_ip);
+    for (std::size_t i = 0; i < kReceiveErrorKinds; ++i) {
+      const auto kind = static_cast<ReceiveError>(i);
+      emit.counter(prefix + ".ip.in.rejected." + to_string(kind),
+                   counters_.in_rejected[i]);
+    }
+  });
+}
+
+void FbsTunnel::register_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  endpoint_.register_metrics(registry, prefix);
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".tunnel.encapsulated", counters_.encapsulated);
+    emit.counter(prefix + ".tunnel.decapsulated", counters_.decapsulated);
+    emit.counter(prefix + ".tunnel.key_unavailable",
+                 counters_.key_unavailable);
+    emit.counter(prefix + ".tunnel.rejected", counters_.rejected);
+    emit.counter(prefix + ".tunnel.inner_malformed",
+                 counters_.inner_malformed);
+  });
+}
+
+}  // namespace fbs::core

@@ -1,0 +1,43 @@
+// Adapters that publish the protocol's ad-hoc stats structs into an
+// obs::MetricsRegistry under stable dotted names.
+//
+// Each register_metrics overload installs a *pull source*: the registry
+// reads the referenced struct at snapshot() time, so hot-path increments
+// stay plain ++field and nothing changes for code that never snapshots.
+// The referenced object must outlive the registry.
+//
+// Naming scheme (see DESIGN.md):
+//   <prefix>.send.datagrams            SendStats
+//   <prefix>.recv.rejected.bad-mac     ReceiveStats, kinds from to_string()
+//   <prefix>.hits / .misses.cold       CacheStats 3C taxonomy
+//   <prefix>.fam.flows_created         FamStats
+//   <prefix>.freshness.replays         FreshnessChecker::Stats
+//   <prefix>.mkd.upcalls               MkdStats
+#pragma once
+
+#include <string>
+
+#include "fbs/caches.hpp"
+#include "fbs/engine.hpp"
+#include "fbs/fam.hpp"
+#include "fbs/keying.hpp"
+#include "fbs/replay.hpp"
+#include "obs/metrics.hpp"
+
+namespace fbs::core {
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const CacheStats& stats);
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const SendStats& stats);
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const ReceiveStats& stats);
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const FamStats& stats);
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix,
+                      const FreshnessChecker::Stats& stats);
+void register_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix, const MkdStats& stats);
+
+}  // namespace fbs::core

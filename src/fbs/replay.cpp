@@ -20,15 +20,22 @@ FreshnessChecker::Verdict FreshnessChecker::check(
   }
   if (strict_replay_) {
     prune(now_minutes);
-    auto& bucket = seen_[timestamp_minutes];
-    util::Bytes key(mac.begin(), mac.end());
-    if (!bucket.insert(std::move(key)).second) {
+    const auto bucket = seen_.find(timestamp_minutes);
+    if (bucket != seen_.end() &&
+        bucket->second.count(util::Bytes(mac.begin(), mac.end()))) {
       ++stats_.replays;
       return Verdict::kReplay;
     }
   }
   ++stats_.fresh;
   return Verdict::kFresh;
+}
+
+void FreshnessChecker::commit(std::uint32_t timestamp_minutes,
+                              util::BytesView mac) {
+  if (!strict_replay_) return;
+  prune(util::to_header_minutes(clock_.now()));
+  seen_[timestamp_minutes].insert(util::Bytes(mac.begin(), mac.end()));
 }
 
 }  // namespace fbs::core

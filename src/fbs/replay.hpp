@@ -37,8 +37,16 @@ class FreshnessChecker {
         strict_replay_(strict_replay) {}
 
   /// Check a header timestamp; `mac` identifies the datagram for the
-  /// optional within-window replay cache.
+  /// optional within-window replay cache. Read-only: an unverified datagram
+  /// must not mutate the seen-set, or an attacker who forwards a captured
+  /// header with a forged body would poison the cache and get the genuine
+  /// datagram rejected as a replay. Call commit() once the MAC verifies.
   Verdict check(std::uint32_t timestamp_minutes, util::BytesView mac);
+
+  /// Record an accepted datagram's MAC in the within-window replay cache.
+  /// Only call after MAC verification succeeds; a no-op unless strict
+  /// replay is enabled.
+  void commit(std::uint32_t timestamp_minutes, util::BytesView mac);
 
   /// Forget all recently seen MACs (crash/restart simulation). Degrades to
   /// the paper's window-only freshness check until the cache refills.

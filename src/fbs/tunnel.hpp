@@ -43,6 +43,11 @@ class FbsTunnel {
   const Counters& counters() const { return counters_; }
   FbsEndpoint& endpoint() { return endpoint_; }
 
+  /// Publish the endpoint's metrics plus the tunnel counters as pull
+  /// sources under `<prefix>.` names.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
  private:
   bool on_forward(const net::Ipv4Header& inner, const util::Bytes& payload);
   void on_tunnel_packet(const net::Ipv4Header& outer, util::Bytes payload);

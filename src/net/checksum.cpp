@@ -2,6 +2,26 @@
 
 namespace fbs::net {
 
+void ChecksumAccumulator::add(util::BytesView data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // The previous span ended mid-word; this byte is that word's low half.
+    acc_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2)
+    acc_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  if (i < data.size()) {
+    acc_ += static_cast<std::uint32_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  return checksum_finish(acc_);
+}
+
 std::uint32_t checksum_partial(std::uint32_t acc, util::BytesView data) {
   std::size_t i = 0;
   for (; i + 1 < data.size(); i += 2)

@@ -12,7 +12,25 @@ namespace fbs::net {
 std::uint16_t internet_checksum(util::BytesView data);
 
 /// Incremental interface for checksumming several non-contiguous pieces
-/// (e.g. a pseudo-header plus payload).
+/// (e.g. a pseudo-header plus payload). The accumulator carries byte
+/// parity across spans: an odd-length non-final span leaves its trailing
+/// byte as the pending high half of a 16-bit word, and the next span's
+/// first byte fills the low half -- exactly as if the spans were one
+/// contiguous buffer. (The bare checksum_partial below pads every span's
+/// odd tail to a full word, which is only correct for the final span.)
+class ChecksumAccumulator {
+ public:
+  void add(util::BytesView data);
+  std::uint16_t finish() const;
+
+ private:
+  std::uint32_t acc_ = 0;
+  bool odd_ = false;  // a high byte is pending its low-half partner
+};
+
+/// Single-span primitives. checksum_partial treats an odd trailing byte as
+/// final padding, so chaining it across spans is only sound when every
+/// non-final span has even length; use ChecksumAccumulator otherwise.
 std::uint32_t checksum_partial(std::uint32_t acc, util::BytesView data);
 std::uint16_t checksum_finish(std::uint32_t acc);
 

@@ -45,39 +45,61 @@ std::optional<Ipv4Packet> Reassembler::push(const Ipv4Header& header,
   }
   if (header.fragment_offset == 0) p.first_header = header;
 
-  const std::uint16_t offset_bytes = header.fragment_offset * 8;
+  // Widened before scaling: the 13-bit wire offset reaches 8191, so byte
+  // offsets go up to 65528 and would wrap in 16-bit arithmetic.
+  const std::size_t offset_bytes =
+      static_cast<std::size_t>(header.fragment_offset) * 8;
   // Duplicate fragments (datagram services may duplicate) are ignored.
   const bool dup = std::any_of(
       p.pieces.begin(), p.pieces.end(),
       [&](const Piece& piece) { return piece.offset_bytes == offset_bytes; });
   if (!dup) {
-    if (!header.more_fragments)
+    // First last-fragment wins: a later "last" fragment claiming a
+    // different total (e.g. a forged short one) cannot shrink or grow an
+    // already-announced datagram size.
+    if (!header.more_fragments && !p.total_size)
       p.total_size = offset_bytes + payload.size();
     p.pieces.push_back(Piece{offset_bytes, std::move(payload)});
   }
 
   if (!p.total_size) return std::nullopt;
 
-  // Complete iff contiguous coverage of [0, total_size).
+  // Complete iff [0, total_size) is covered. Overlapping fragments are
+  // legal in IPv4 (retransmission through a different path can re-split),
+  // so a piece starting at or before the covered watermark extends it;
+  // only a piece starting beyond it leaves a hole.
   std::sort(p.pieces.begin(), p.pieces.end(),
             [](const Piece& a, const Piece& b) {
               return a.offset_bytes < b.offset_bytes;
             });
   std::size_t covered = 0;
   for (const Piece& piece : p.pieces) {
-    if (piece.offset_bytes != covered) return std::nullopt;  // hole
-    covered += piece.data.size();
+    if (piece.offset_bytes > covered) return std::nullopt;  // hole
+    covered = std::max(covered, piece.offset_bytes + piece.data.size());
   }
-  if (covered != *p.total_size) return std::nullopt;
+  if (covered > *p.total_size) {
+    // Coverage exceeds the announced size: fragments are inconsistent
+    // (forged or corrupted). Reject the whole datagram deterministically
+    // instead of stalling it until the reassembly timer fires.
+    partial_.erase(key);
+    return std::nullopt;
+  }
+  if (covered < *p.total_size) return std::nullopt;
 
+  // Assemble in offset order, trimming overlap: where two fragments cover
+  // the same bytes, the earlier-offset fragment's copy wins.
   Ipv4Packet done;
   done.header = p.first_header;
   done.header.more_fragments = false;
   done.header.fragment_offset = 0;
   done.payload.reserve(covered);
-  for (const Piece& piece : p.pieces)
-    done.payload.insert(done.payload.end(), piece.data.begin(),
+  for (const Piece& piece : p.pieces) {
+    const std::size_t end = done.payload.size();
+    if (piece.offset_bytes + piece.data.size() <= end) continue;
+    const std::size_t skip = end - piece.offset_bytes;
+    done.payload.insert(done.payload.end(), piece.data.begin() + skip,
                         piece.data.end());
+  }
   partial_.erase(key);
   return done;
 }

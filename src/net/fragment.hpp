@@ -51,7 +51,9 @@ class Reassembler {
     auto operator<=>(const Key&) const = default;
   };
   struct Piece {
-    std::uint16_t offset_bytes;
+    // Byte offsets go up to 8 * 8191 = 65528 and intermediate sums exceed
+    // 16 bits, so keep the arithmetic in std::size_t.
+    std::size_t offset_bytes;
     util::Bytes data;
   };
   struct Partial {

@@ -6,16 +6,21 @@ namespace fbs::net {
 
 namespace {
 
-/// RFC 768/793 pseudo-header for transport checksums.
-std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
-                                std::uint8_t proto, std::size_t length) {
+/// RFC 768/793 pseudo-header for transport checksums. Seeds a
+/// parity-carrying accumulator so the subsequent spans chain correctly
+/// regardless of their lengths.
+ChecksumAccumulator pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                      std::uint8_t proto,
+                                      std::size_t length) {
   util::ByteWriter w(12);
   w.u32(src.value);
   w.u32(dst.value);
   w.u8(0);
   w.u8(proto);
   w.u16(static_cast<std::uint16_t>(length));
-  return checksum_partial(0, w.view());
+  ChecksumAccumulator acc;
+  acc.add(w.view());
+  return acc;
 }
 
 }  // namespace
@@ -31,10 +36,10 @@ util::Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   w.bytes(payload);
 
   util::Bytes out = w.take();
-  std::uint32_t acc = pseudo_header_sum(
+  ChecksumAccumulator acc = pseudo_header_sum(
       src, dst, static_cast<std::uint8_t>(IpProto::kUdp), total);
-  acc = checksum_partial(acc, out);
-  std::uint16_t csum = checksum_finish(acc);
+  acc.add(out);
+  std::uint16_t csum = acc.finish();
   if (csum == 0) csum = 0xFFFF;  // RFC 768: zero means "no checksum"
   out[6] = static_cast<std::uint8_t>(csum >> 8);
   out[7] = static_cast<std::uint8_t>(csum);
@@ -52,10 +57,10 @@ std::optional<UdpDatagram> UdpHeader::parse(Ipv4Address src, Ipv4Address dst,
   const std::uint16_t csum = *r.u16();
   if (length < kSize || length > wire.size()) return std::nullopt;
   if (csum != 0) {
-    std::uint32_t acc = pseudo_header_sum(
+    ChecksumAccumulator acc = pseudo_header_sum(
         src, dst, static_cast<std::uint8_t>(IpProto::kUdp), length);
-    acc = checksum_partial(acc, wire.subspan(0, length));
-    if (checksum_finish(acc) != 0) return std::nullopt;
+    acc.add(wire.subspan(0, length));
+    if (acc.finish() != 0) return std::nullopt;
   }
   out.payload.assign(wire.begin() + kSize, wire.begin() + length);
   return out;
@@ -80,10 +85,10 @@ util::Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   w.bytes(payload);
 
   util::Bytes out = w.take();
-  std::uint32_t acc = pseudo_header_sum(
+  ChecksumAccumulator acc = pseudo_header_sum(
       src, dst, static_cast<std::uint8_t>(IpProto::kTcp), out.size());
-  acc = checksum_partial(acc, out);
-  const std::uint16_t csum = checksum_finish(acc);
+  acc.add(out);
+  const std::uint16_t csum = acc.finish();
   out[16] = static_cast<std::uint8_t>(csum >> 8);
   out[17] = static_cast<std::uint8_t>(csum);
   return out;
@@ -92,10 +97,10 @@ util::Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
 std::optional<TcpSegment> TcpHeader::parse(Ipv4Address src, Ipv4Address dst,
                                            util::BytesView wire) {
   if (wire.size() < kSize) return std::nullopt;
-  std::uint32_t acc = pseudo_header_sum(
+  ChecksumAccumulator acc = pseudo_header_sum(
       src, dst, static_cast<std::uint8_t>(IpProto::kTcp), wire.size());
-  acc = checksum_partial(acc, wire);
-  if (checksum_finish(acc) != 0) return std::nullopt;
+  acc.add(wire);
+  if (acc.finish() != 0) return std::nullopt;
 
   util::ByteReader r(wire);
   TcpSegment out;

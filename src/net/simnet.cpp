@@ -162,4 +162,20 @@ void SimNetwork::run() {
   }
 }
 
+void SimNetwork::register_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".sent", counters_.sent);
+    emit.counter(prefix + ".delivered", counters_.delivered);
+    emit.counter(prefix + ".lost", counters_.lost);
+    emit.counter(prefix + ".burst_lost", counters_.burst_lost);
+    emit.counter(prefix + ".corrupted", counters_.corrupted);
+    emit.counter(prefix + ".partition_dropped",
+                 counters_.partition_dropped);
+    emit.counter(prefix + ".duplicated", counters_.duplicated);
+    emit.counter(prefix + ".tap_dropped", counters_.tap_dropped);
+    emit.counter(prefix + ".no_such_host", counters_.no_such_host);
+  });
+}
+
 }  // namespace fbs::net

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/ip.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +110,11 @@ class SimNetwork {
     std::uint64_t no_such_host = 0;
   };
   const Counters& counters() const { return counters_; }
+
+  /// Publish the fault counters as a pull source under `<prefix>.` names
+  /// (e.g. `net.delivered`, `net.burst_lost`).
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
  private:
   struct Event {

@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fbs::obs {
+
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+/// JSON string escaping for metric names (ours are plain dotted ASCII, but
+/// the exporter must not silently emit invalid documents for odd inputs).
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string number(double v) {
+  // JSON has no NaN/Inf; clamp to null-ish zero (cannot occur for counts).
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  std::string s = os.str();
+  // Trim trailing zeros but keep one digit after the point.
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.')
+    s.pop_back();
+  return s;
+}
+
+class SnapshotEmitter final : public MetricsRegistry::Emitter {
+ public:
+  explicit SnapshotEmitter(MetricsSnapshot& snap) : snap_(snap) {}
+  void counter(const std::string& name, std::uint64_t value) override {
+    snap_.counters[name] += value;
+  }
+  void gauge(const std::string& name, double value) override {
+    snap_.gauges[name] = value;
+  }
+  void latency(const std::string& name, const LatencySummary& value) override {
+    snap_.latencies[name] = value;
+  }
+
+ private:
+  MetricsSnapshot& snap_;
+};
+
+}  // namespace
+
+LatencySummary LatencyRecorder::summary() const {
+  LatencySummary s;
+  s.count = hist_.total();
+  if (s.count == 0) return s;
+  s.mean_us = hist_.mean() / kNsPerUs;
+  s.p50_us = hist_.quantile(0.50) / kNsPerUs;
+  s.p90_us = hist_.quantile(0.90) / kNsPerUs;
+  s.p99_us = hist_.quantile(0.99) / kNsPerUs;
+  s.max_us = hist_.max() / kNsPerUs;
+  return s;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    // Counters are monotonic by contract; a regression would wrap here, so
+    // clamp to zero to keep the delta sane even for a misbehaving source.
+    out.counters[name] = value >= before ? value - before : 0;
+  }
+  out.gauges = gauges;
+  out.latencies = latencies;
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + number(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"latencies\": {";
+  first = true;
+  for (const auto& [name, s] : latencies) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(s.count) +
+           ", \"mean_us\": " + number(s.mean_us) +
+           ", \"p50_us\": " + number(s.p50_us) +
+           ", \"p90_us\": " + number(s.p90_us) +
+           ", \"p99_us\": " + number(s.p99_us) +
+           ", \"max_us\": " + number(s.max_us) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyRecorder& MetricsRegistry::latency(const std::string& name) {
+  auto& slot = latencies_[name];
+  if (!slot) slot = std::make_unique<LatencyRecorder>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, l] : latencies_)
+    snap.latencies[name] = l->summary();
+  SnapshotEmitter emitter(snap);
+  for (const auto& source : sources_) source(emitter);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace fbs::obs

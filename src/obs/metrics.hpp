@@ -1,0 +1,142 @@
+// Unified observability substrate: one process-wide metrics registry.
+//
+// Section 7.3 of the paper is a measurement story (throughput, the 3C cache
+// miss taxonomy, flow-duration sensitivity), and the chaos suite's
+// degraded-mode invariants are assertions over counters. Before this layer
+// every component kept its own ad-hoc stats struct; this registry gives all
+// of them stable dotted names, point-in-time snapshots with delta support,
+// and a JSON exporter, so every bench and soak emits a machine-readable
+// metrics report from one source of truth.
+//
+// Two registration styles:
+//   - push handles: registry.counter("x.y") returns a Counter& whose
+//     address is stable for the registry's lifetime; increment it directly.
+//   - pull sources: add_source() registers a callback that publishes
+//     (name, value) pairs at snapshot time. Existing stats structs
+//     (SendStats, CacheStats, MkdStats, simnet counters, ...) are exported
+//     this way -- their hot-path increments stay plain ++field, and the
+//     registry reads them only when asked. The referenced object must
+//     outlive the registry (or the source must be registered on a registry
+//     with matching lifetime, as the tests and benches do).
+//
+// Counters are monotonically non-decreasing by contract; the chaos suite
+// asserts this across snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace fbs::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value (table occupancies, rates).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Quantile summary of a latency recorder, in microseconds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// Latency distribution built on util::LogHistogram. Samples are recorded
+/// in nanoseconds (stage costs on a modern CPU are sub-microsecond, below
+/// the histogram's resolution in us) and summarized in microseconds.
+class LatencyRecorder {
+ public:
+  /// base 1.3 gives ~13% bucket resolution across ns..s.
+  explicit LatencyRecorder(double base = 1.3) : hist_(base) {}
+
+  void record_ns(double ns) { hist_.add(ns); }
+  std::uint64_t count() const { return hist_.total(); }
+  LatencySummary summary() const;
+  const util::LogHistogram& histogram() const { return hist_; }
+
+ private:
+  util::LogHistogram hist_;
+};
+
+/// One point-in-time view of every metric in a registry. Maps are ordered,
+/// so iteration (and the JSON export) is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencySummary> latencies;
+
+  /// Counters become (this - earlier); a name absent from `earlier` counts
+  /// from zero. Gauges and latency summaries are point-in-time views, so
+  /// the later (this) value is kept as-is.
+  MetricsSnapshot delta(const MetricsSnapshot& earlier) const;
+
+  /// {"counters": {...}, "gauges": {...}, "latencies": {name: {count,
+  /// mean_us, p50_us, p90_us, p99_us, max_us}}}
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// A pull source publishes its current values through this interface at
+  /// snapshot time.
+  class Emitter {
+   public:
+    virtual ~Emitter() = default;
+    virtual void counter(const std::string& name, std::uint64_t value) = 0;
+    virtual void gauge(const std::string& name, double value) = 0;
+    virtual void latency(const std::string& name,
+                         const LatencySummary& value) = 0;
+  };
+  using Source = std::function<void(Emitter&)>;
+
+  /// Find-or-create a push-style metric. References stay valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyRecorder& latency(const std::string& name);
+
+  /// Register a pull source; called on every snapshot().
+  void add_source(Source source) { sources_.push_back(std::move(source)); }
+
+  MetricsSnapshot snapshot() const;
+
+  std::size_t registered_metrics() const {
+    return counters_.size() + gauges_.size() + latencies_.size();
+  }
+  std::size_t registered_sources() const { return sources_.size(); }
+
+  /// The process-wide registry. Components default to local registries in
+  /// tests; long-lived processes (examples, daemons) share this one.
+  static MetricsRegistry& global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyRecorder>> latencies_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace fbs::obs

@@ -190,6 +190,33 @@ TEST_F(EngineTest, StrictReplayExtensionRejectsSecondCopy) {
             ReceiveError::kReplay);
 }
 
+TEST_F(EngineTest, StrictReplayCacheNotPoisonedByForgedBody) {
+  // Regression: an on-path attacker captures a datagram, corrupts the body,
+  // and delivers the forgery *before* the genuine copy. The forgery still
+  // carries the genuine (timestamp, MAC) pair; if the receiver recorded it
+  // before MAC verification, the genuine datagram would then be rejected as
+  // a replay -- a denial of service with no key material.
+  FbsConfig strict = config_;
+  strict.strict_replay = true;
+  auto& b = world_["bob"];
+  FbsEndpoint strict_bob(b.principal, strict, *b.keys, world_.clock,
+                         world_.rng);
+  const auto wire = alice_->protect(
+      datagram(alice_->self(), strict_bob.self(), "genuine payload"), false);
+  ASSERT_TRUE(wire.has_value());
+
+  util::Bytes forged = *wire;
+  forged.back() ^= 0x01;  // corrupt one body byte; header and MAC intact
+  EXPECT_EQ(expect_reject(strict_bob, alice_->self(), forged),
+            ReceiveError::kBadMac);
+
+  // The genuine datagram must still be accepted...
+  (void)expect_accept(strict_bob, alice_->self(), *wire);
+  // ...and only now does its MAC enter the replay cache.
+  EXPECT_EQ(expect_reject(strict_bob, alice_->self(), *wire),
+            ReceiveError::kReplay);
+}
+
 TEST_F(EngineTest, UnknownSourceRejected) {
   const auto wire = alice_->protect(
       datagram(alice_->self(), bob_->self(), "hi"), false);

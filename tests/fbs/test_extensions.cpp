@@ -128,6 +128,42 @@ TEST_F(LifetimeTest, SplitModeAlsoRekeysByCount) {
   EXPECT_EQ(sender.send_stats().lifetime_rekeys, 1u);
 }
 
+TEST_F(LifetimeTest, SplitModeRekeysByByteCount) {
+  // Regression: the split-path worn check tested datagrams and age but not
+  // bytes, so a bytes-only policy silently never rekeyed outside combined
+  // mode. With 4000B datagrams and a 10KB limit the FAM entry crosses the
+  // limit at the 3rd datagram, so the 4th starts a fresh flow.
+  FbsConfig cfg;
+  cfg.combined_fst_tfkc = false;
+  cfg.rekey_after_bytes = 10'000;
+  auto sender = make_sender(cfg);
+  const Datagram d =
+      datagram(world_["a"].principal, world_["b"].principal, 4000);
+  std::set<Sfl> sfls;
+  for (int i = 0; i < 6; ++i) sfls.insert(sfl_of(*sender.protect(d, false)));
+  EXPECT_EQ(sfls.size(), 2u);
+  EXPECT_GE(sender.send_stats().lifetime_rekeys, 1u);
+}
+
+TEST_F(LifetimeTest, BytesOnlyRekeyMatchesAcrossModes) {
+  // The same bytes-only policy must behave in both table organizations.
+  for (const bool combined : {true, false}) {
+    FbsConfig cfg;
+    cfg.combined_fst_tfkc = combined;
+    cfg.rekey_after_bytes = 1'000;
+    auto sender = make_sender(cfg);
+    const Datagram d =
+        datagram(world_["a"].principal, world_["b"].principal, 600);
+    std::set<Sfl> sfls;
+    for (int i = 0; i < 6; ++i)
+      sfls.insert(sfl_of(*sender.protect(d, false)));
+    // 600B each, limit 1KB: every second datagram wears the key out.
+    EXPECT_EQ(sfls.size(), 3u) << (combined ? "combined" : "split");
+    EXPECT_EQ(sender.send_stats().lifetime_rekeys, 2u)
+        << (combined ? "combined" : "split");
+  }
+}
+
 class RawIpTest : public ::testing::Test {
  protected:
   RawIpTest()

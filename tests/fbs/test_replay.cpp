@@ -64,8 +64,27 @@ TEST_F(ReplayTest, StrictModeRejectsWithinWindowReplay) {
   FreshnessChecker f(clock_, 5, /*strict_replay=*/true);
   const util::Bytes mac = util::to_bytes("same-mac");
   EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  f.commit(1000, mac);
   EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kReplay);
   EXPECT_EQ(f.stats().replays, 1u);
+}
+
+TEST_F(ReplayTest, CheckIsReadOnlyUntilCommitted) {
+  // The poisoning fix: check() alone must not record the MAC, or a forged
+  // datagram carrying a captured header would block the genuine one.
+  FreshnessChecker f(clock_, 5, /*strict_replay=*/true);
+  const util::Bytes mac = util::to_bytes("captured-mac");
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  f.commit(1000, mac);
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kReplay);
+}
+
+TEST_F(ReplayTest, CommitWithoutStrictModeIsNoop) {
+  FreshnessChecker f(clock_, 5, /*strict_replay=*/false);
+  const util::Bytes mac = util::to_bytes("m");
+  f.commit(1000, mac);
+  EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
 }
 
 TEST_F(ReplayTest, StrictModeDistinctMacsBothAccepted) {
@@ -80,6 +99,7 @@ TEST_F(ReplayTest, StrictModeStateIsSoftAndPruned) {
   FreshnessChecker f(clock_, 5, true);
   const util::Bytes mac = util::to_bytes("m");
   EXPECT_EQ(f.check(1000, mac), FreshnessChecker::Verdict::kFresh);
+  f.commit(1000, mac);
   // Slide far enough that minute 1000 leaves the window; the record of the
   // MAC is pruned -- and the timestamp itself is now stale anyway.
   clock_.advance(util::minutes(20));

@@ -7,6 +7,7 @@
 //   - full delivery convergence once the faults cease.
 #include <gtest/gtest.h>
 
+#include "fbs/metrics.hpp"
 #include "fbs/tunnel.hpp"
 #include "support/chaos.hpp"
 
@@ -18,10 +19,41 @@ using testing::PayloadLedger;
 using testing::TestWorld;
 using testing::TwoHostChaosRig;
 
+// Sum of every counter whose dotted name starts with `prefix`.
+std::uint64_t sum_with_prefix(const obs::MetricsSnapshot& snap,
+                              const std::string& prefix) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : snap.counters)
+    if (name.rfind(prefix, 0) == 0) total += value;
+  return total;
+}
+
+// Every counter present in `before` must still exist in `after` and must
+// not have decreased: counters are monotonic even across soft-state wipes
+// (the stats objects survive cache clears by design).
+void expect_counters_monotonic(const obs::MetricsSnapshot& before,
+                               const obs::MetricsSnapshot& after) {
+  for (const auto& [name, value] : before.counters) {
+    const auto it = after.counters.find(name);
+    ASSERT_NE(it, after.counters.end()) << name << " vanished";
+    EXPECT_GE(it->second, value) << name << " decreased";
+  }
+}
+
 class ChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSoak, TwoHostSoftStateSurvivesFaultSchedule) {
   TwoHostChaosRig rig(GetParam());
+  obs::MetricsRegistry reg;
+  rig.a_fbs_.register_metrics(reg, "a");
+  rig.b_fbs_.register_metrics(reg, "b");
+  rig.a_node_.keys->register_metrics(reg, "a");
+  rig.b_node_.keys->register_metrics(reg, "b");
+  rig.a_node_.mkd->register_metrics(reg, "a");
+  rig.b_node_.mkd->register_metrics(reg, "b");
+  rig.net_.register_metrics(reg, "net");
+  rig.world_.directory.register_metrics(reg, "dir");
+
   rig.run_fault_phase(/*datagrams=*/100);
 
   // Invariant: nothing forged or corrupted was ever accepted. Whatever the
@@ -40,6 +72,28 @@ TEST_P(ChaosSoak, TwoHostSoftStateSurvivesFaultSchedule) {
     by_kind_total += rs.by_kind[k];
   EXPECT_EQ(by_kind_total, rs.rejected());
 
+  // Metric invariants, phase 1 snapshot. Every datagram handed to b's
+  // unprotect path was either accepted or rejected with a kind -- and the
+  // IP-mapping layer's tallies agree with the endpoint's, so the registry
+  // view is self-consistent across layers.
+  const obs::MetricsSnapshot fault_snap = reg.snapshot();
+  EXPECT_EQ(fault_snap.counters.at("b.recv.accepted") +
+                sum_with_prefix(fault_snap, "b.recv.rejected."),
+            fault_snap.counters.at("b.ip.in.accepted") +
+                sum_with_prefix(fault_snap, "b.ip.in.rejected."));
+  EXPECT_EQ(fault_snap.counters.at("b.recv.accepted"),
+            fault_snap.counters.at("b.ip.in.accepted"));
+  // Wire conservation: every frame the simnet accepted for transmission is
+  // accounted for exactly once -- delivered or dropped for a named reason.
+  EXPECT_EQ(fault_snap.counters.at("net.sent") +
+                fault_snap.counters.at("net.duplicated"),
+            fault_snap.counters.at("net.delivered") +
+                fault_snap.counters.at("net.lost") +
+                fault_snap.counters.at("net.burst_lost") +
+                fault_snap.counters.at("net.tap_dropped") +
+                fault_snap.counters.at("net.partition_dropped") +
+                fault_snap.counters.at("net.no_such_host"));
+
   // Invariant: once the faults cease, delivery converges to 100% -- every
   // cache and table re-derives from the datagrams themselves.
   rig.run_recovery_phase(/*datagrams=*/40);
@@ -47,6 +101,25 @@ TEST_P(ChaosSoak, TwoHostSoftStateSurvivesFaultSchedule) {
   EXPECT_EQ(rig.recovery_delivered(), rig.recovery_sent());
   EXPECT_TRUE(rig.all_deliveries_genuine());
   EXPECT_EQ(rig.plaintext_leaks(), 0u);
+
+  // Metric invariants, phase 2: counters never decrease -- soft-state wipes
+  // clear caches and tables but must never reset the observability layer --
+  // and the cross-layer tallies still agree after recovery.
+  const obs::MetricsSnapshot recovery_snap = reg.snapshot();
+  expect_counters_monotonic(fault_snap, recovery_snap);
+  EXPECT_EQ(recovery_snap.counters.at("b.recv.accepted") +
+                sum_with_prefix(recovery_snap, "b.recv.rejected."),
+            recovery_snap.counters.at("b.ip.in.accepted") +
+                sum_with_prefix(recovery_snap, "b.ip.in.rejected."));
+  // The recovery-phase delta on its own is clean: no drops, no rejects on
+  // the wire segment (the fault schedule is off).
+  const obs::MetricsSnapshot d = recovery_snap.delta(fault_snap);
+  EXPECT_EQ(d.counters.at("net.sent") + d.counters.at("net.duplicated"),
+            d.counters.at("net.delivered") + d.counters.at("net.lost") +
+                d.counters.at("net.burst_lost") +
+                d.counters.at("net.tap_dropped") +
+                d.counters.at("net.partition_dropped") +
+                d.counters.at("net.no_such_host"));
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedSweep, ChaosSoak,

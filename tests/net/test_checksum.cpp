@@ -42,6 +42,47 @@ TEST(Checksum, IncrementalMatchesOneShot) {
   EXPECT_EQ(checksum_finish(acc), internet_checksum(data));
 }
 
+TEST(Checksum, AccumulatorMatchesOneShotOnEvenSplit) {
+  const util::Bytes data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ChecksumAccumulator acc;
+  acc.add(util::BytesView(data).subspan(0, 4));
+  acc.add(util::BytesView(data).subspan(4));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, AccumulatorCarriesParityAcrossOddSpans) {
+  // Regression: checksum_partial pads every odd span as if it were final,
+  // so chaining it across an odd-length non-final span computes the wrong
+  // sum. The accumulator must treat the spans as one contiguous buffer no
+  // matter where they are cut.
+  const util::Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7,
+                         0x9a};
+  const std::uint16_t expected = internet_checksum(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    ChecksumAccumulator acc;
+    acc.add(util::BytesView(data).subspan(0, cut));
+    acc.add(util::BytesView(data).subspan(cut));
+    EXPECT_EQ(acc.finish(), expected) << "cut at " << cut;
+  }
+}
+
+TEST(Checksum, AccumulatorHandlesManyTinySpans) {
+  const util::Bytes data{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde};
+  ChecksumAccumulator acc;
+  for (std::uint8_t b : data) acc.add(util::BytesView(&b, 1));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, LegacyPartialDiffersOnOddNonFinalSpan) {
+  // Documents the exact failure mode the accumulator fixes: the legacy
+  // chaining is only sound when every non-final span has even length.
+  const util::Bytes data{0x10, 0x20, 0x30, 0x40, 0x50};
+  std::uint32_t acc = 0;
+  acc = checksum_partial(acc, util::BytesView(data).subspan(0, 3));  // odd!
+  acc = checksum_partial(acc, util::BytesView(data).subspan(3));
+  EXPECT_NE(checksum_finish(acc), internet_checksum(data));
+}
+
 TEST(Checksum, DetectsSingleBitError) {
   util::Bytes data(64, 0x5A);
   const std::uint16_t base = internet_checksum(data);

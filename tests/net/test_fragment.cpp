@@ -150,6 +150,108 @@ TEST_F(ReassemblerTest, ExpireDropsStalePartials) {
   EXPECT_FALSE(reasm_.push(last->header, last->payload).has_value());
 }
 
+Ipv4Header frag_header(std::uint16_t id, std::size_t offset_bytes, bool mf) {
+  Ipv4Header h = header_for(id);
+  h.fragment_offset = static_cast<std::uint16_t>(offset_bytes / 8);
+  h.more_fragments = mf;
+  return h;
+}
+
+TEST_F(ReassemblerTest, OverlappingFragmentsComplete) {
+  // Regression: overlap-contiguous coverage used to be declared a hole
+  // (offset != covered), stalling the datagram until expiry even though
+  // every byte was present. A retransmission re-split on a different-MTU
+  // path produces exactly this pattern.
+  const util::Bytes part1(1000, 'A');
+  const util::Bytes part2(1200, 'B');  // covers [800, 2000)
+  EXPECT_FALSE(
+      reasm_.push(frag_header(20, 0, true), part1).has_value());
+  const auto done = reasm_.push(frag_header(20, 800, false), part2);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->payload.size(), 2000u);
+  // Earlier-offset fragment wins the overlapped range [800, 1000).
+  EXPECT_EQ(done->payload[799], 'A');
+  EXPECT_EQ(done->payload[999], 'A');
+  EXPECT_EQ(done->payload[1000], 'B');
+  EXPECT_EQ(reasm_.pending(), 0u);
+}
+
+TEST_F(ReassemblerTest, FullyContainedFragmentIgnoredInAssembly) {
+  const util::Bytes big(1600, 'X');
+  const util::Bytes inner(800, 'Y');  // [400, 1200), inside big
+  const util::Bytes tail(400, 'Z');   // [1600, 2000)
+  EXPECT_FALSE(reasm_.push(frag_header(21, 0, true), big).has_value());
+  EXPECT_FALSE(reasm_.push(frag_header(21, 400, true), inner).has_value());
+  const auto done = reasm_.push(frag_header(21, 1600, false), tail);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->payload.size(), 2000u);
+  EXPECT_EQ(done->payload[400], 'X');
+  EXPECT_EQ(done->payload[1199], 'X');
+  EXPECT_EQ(done->payload[1600], 'Z');
+}
+
+TEST_F(ReassemblerTest, OffsetArithmeticSurvivesLargeOffsets) {
+  // Regression: the byte offset was computed into a std::uint16_t, so a
+  // programmatic fragment offset beyond 8191 units wrapped and corrupted
+  // coverage tracking. 16000 units = 128000 bytes needs > 16 bits.
+  Ipv4Header first = header_for(22);
+  first.fragment_offset = 0;
+  first.more_fragments = true;
+  Ipv4Header last = header_for(22);
+  last.fragment_offset = 16000;
+  last.more_fragments = false;
+  EXPECT_FALSE(
+      reasm_.push(first, util::Bytes(128000, 'a')).has_value());
+  const auto done = reasm_.push(last, util::Bytes(100, 'b'));
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload.size(), 128100u);
+  EXPECT_EQ(done->payload[127999], 'a');
+  EXPECT_EQ(done->payload[128000], 'b');
+}
+
+TEST_F(ReassemblerTest, ConflictingLastFragmentCannotShrinkTotal) {
+  // First last-fragment wins: once the genuine last fragment announces the
+  // datagram size, a forged shorter "last" fragment must not rewrite it.
+  const util::Bytes payload(3000, 'q');
+  const auto packets = fragment(header_for(23), payload, 1500);
+  ASSERT_EQ(packets.size(), 3u);
+  const auto p0 = Ipv4Header::parse(packets[0]);
+  const auto p1 = Ipv4Header::parse(packets[1]);
+  const auto p2 = Ipv4Header::parse(packets[2]);
+  EXPECT_FALSE(reasm_.push(p0->header, p0->payload).has_value());
+  EXPECT_FALSE(reasm_.push(p2->header, p2->payload).has_value());
+  // Forged "last" fragment inside already-covered territory, claiming the
+  // datagram ends at byte 108.
+  EXPECT_FALSE(
+      reasm_.push(frag_header(23, 8, false), util::Bytes(100, 'Z'))
+          .has_value());
+  const auto done = reasm_.push(p1->header, p1->payload);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, payload);  // forged bytes trimmed away
+}
+
+TEST_F(ReassemblerTest, CoverageBeyondClaimedTotalRejectsDatagram) {
+  // A forged short last fragment arriving first sets total_size = 108; the
+  // genuine 1480-byte first fragment then exceeds it. The reassembler must
+  // drop the inconsistent partial deterministically (not stall to expiry).
+  EXPECT_FALSE(
+      reasm_.push(frag_header(24, 8, false), util::Bytes(100, 'Z'))
+          .has_value());
+  const util::Bytes payload(3000, 'r');
+  const auto packets = fragment(header_for(24), payload, 1500);
+  const auto p0 = Ipv4Header::parse(packets[0]);
+  EXPECT_FALSE(reasm_.push(p0->header, p0->payload).has_value());
+  EXPECT_EQ(reasm_.pending(), 0u);  // partial rejected, not parked
+  // With the poisoned partial gone, a clean redelivery reassembles fine.
+  std::optional<Ipv4Packet> done;
+  for (const auto& p : packets) {
+    const auto parsed = Ipv4Header::parse(p);
+    done = reasm_.push(parsed->header, parsed->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, payload);
+}
+
 class FragmentSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(FragmentSweep, RoundTripAtManyMtus) {

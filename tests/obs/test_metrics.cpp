@@ -1,0 +1,148 @@
+#include "fbs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/stages.hpp"
+
+namespace fbs::obs {
+namespace {
+
+TEST(Metrics, CounterHandleIsStableAndMonotonic) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.b.c");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Find-or-create returns the same handle for the same name.
+  EXPECT_EQ(&reg.counter("a.b.c"), &c);
+  EXPECT_EQ(reg.snapshot().counters.at("a.b.c"), 42u);
+}
+
+TEST(Metrics, GaugeKeepsLastWrite) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("occupancy");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("occupancy"), 0.75);
+}
+
+TEST(Metrics, LatencyRecorderSummarizesInMicroseconds) {
+  MetricsRegistry reg;
+  LatencyRecorder& lat = reg.latency("stage.x");
+  for (int i = 0; i < 100; ++i) lat.record_ns(1000.0);  // 1us each
+  const LatencySummary s = reg.snapshot().latencies.at("stage.x");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean_us, 1.0, 0.2);
+  EXPECT_NEAR(s.p50_us, 1.0, 0.35);  // log-bucket resolution
+  EXPECT_NEAR(s.max_us, 1.0, 1e-9);
+}
+
+TEST(Metrics, PullSourcePublishesAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::uint64_t raw = 0;  // stands in for an ad-hoc ++field stat
+  reg.add_source([&raw](MetricsRegistry::Emitter& emit) {
+    emit.counter("adhoc.events", raw);
+  });
+  EXPECT_EQ(reg.snapshot().counters.at("adhoc.events"), 0u);
+  raw = 7;
+  EXPECT_EQ(reg.snapshot().counters.at("adhoc.events"), 7u);
+}
+
+TEST(Metrics, DeltaSubtractsCountersAndKeepsLaterGauges) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n");
+  Gauge& g = reg.gauge("v");
+  c.add(10);
+  g.set(1.0);
+  const MetricsSnapshot before = reg.snapshot();
+  c.add(5);
+  g.set(2.0);
+  const MetricsSnapshot after = reg.snapshot();
+  const MetricsSnapshot d = after.delta(before);
+  EXPECT_EQ(d.counters.at("n"), 5u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("v"), 2.0);
+}
+
+TEST(Metrics, DeltaTreatsMissingEarlierNameAsZero) {
+  MetricsRegistry reg;
+  const MetricsSnapshot before = reg.snapshot();
+  reg.counter("late.arrival").add(3);
+  const MetricsSnapshot d = reg.snapshot().delta(before);
+  EXPECT_EQ(d.counters.at("late.arrival"), 3u);
+}
+
+TEST(Metrics, JsonExportIsDeterministicAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.gauge("rate").set(0.5);
+  reg.latency("lat").record_ns(2000.0);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.first\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"z.last\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"latencies\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // Ordered maps make the export byte-stable across runs.
+  EXPECT_EQ(json, reg.snapshot().to_json());
+  // Sorted: a.first appears before z.last.
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+}
+
+TEST(Metrics, EmptyRegistrySerializesToValidEmptyObjects) {
+  MetricsRegistry reg;
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"latencies\": {}"), std::string::npos);
+}
+
+TEST(Stages, DisabledTracerRecordsNothing) {
+  StageTracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  { auto t = tracer.start(Stage::kSendMac); }
+  EXPECT_EQ(tracer.recorder(Stage::kSendMac).count(), 0u);
+}
+
+TEST(Stages, EnabledTracerRecordsPerStage) {
+  StageTracer tracer;
+  tracer.set_enabled(true);
+  { auto t = tracer.start(Stage::kSendMac); }
+  { auto t = tracer.start(Stage::kSendMac); }
+  { auto t = tracer.start(Stage::kRecvParse); }
+  EXPECT_EQ(tracer.recorder(Stage::kSendMac).count(), 2u);
+  EXPECT_EQ(tracer.recorder(Stage::kRecvParse).count(), 1u);
+  EXPECT_EQ(tracer.recorder(Stage::kSendCipher).count(), 0u);
+}
+
+TEST(Stages, ExplicitFinishRecordsOnce) {
+  StageTracer tracer;
+  tracer.set_enabled(true);
+  auto t = tracer.start(Stage::kRecvMac);
+  t.finish();
+  t.finish();  // idempotent
+  EXPECT_EQ(tracer.recorder(Stage::kRecvMac).count(), 1u);
+}
+
+TEST(Stages, RegisterMetricsPublishesOnlySampledStages) {
+  StageTracer tracer;
+  tracer.set_enabled(true);
+  { auto t = tracer.start(Stage::kSendMac); }
+  MetricsRegistry reg;
+  tracer.register_metrics(reg, "ep");
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.latencies.count("ep.stage.send.mac"), 1u);
+  EXPECT_EQ(snap.latencies.count("ep.stage.send.cipher"), 0u);
+}
+
+TEST(Stages, EveryStageHasAName) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    EXPECT_STRNE(to_string(stage), "unknown");
+    EXPECT_EQ(stage_metric_name(stage).rfind("stage.", 0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fbs::obs

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# One-stop verification: build + tier-1 tests + chaos soaks + metrics suite.
+#
+#   tools/check.sh             # RelWithDebInfo build, all suites
+#   tools/check.sh --sanitize  # same suites under ASan+UBSan (FBS_SANITIZE=ON)
+#   FBS_CHECK_JOBS=8 tools/check.sh   # override parallelism (default: nproc)
+#
+# Exit status is non-zero as soon as any step fails.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CONFIG_ARGS="-DCMAKE_BUILD_TYPE=RelWithDebInfo"
+if [ "${1:-}" = "--sanitize" ]; then
+  BUILD_DIR=build-sanitize
+  CONFIG_ARGS="$CONFIG_ARGS -DFBS_SANITIZE=ON"
+fi
+
+JOBS="${FBS_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure ($BUILD_DIR) =="
+cmake -B "$BUILD_DIR" -S . $CONFIG_ARGS
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tier-1 tests (everything except the chaos soaks) =="
+ctest --test-dir "$BUILD_DIR" -LE chaos -j "$JOBS" --output-on-failure
+
+echo "== chaos soak suite =="
+ctest --test-dir "$BUILD_DIR" -L chaos -j "$JOBS" --output-on-failure
+
+echo "== metrics / observability suite =="
+ctest --test-dir "$BUILD_DIR" -L metrics -j "$JOBS" --output-on-failure
+
+echo "All checks passed."
