@@ -1,34 +1,38 @@
 #include "crypto/block_modes.hpp"
 
+#include <cstring>
+
 namespace fbs::crypto {
 
 namespace {
 
 constexpr std::size_t kBlock = Des::kBlockSize;
 
-util::Bytes pkcs7_pad(util::BytesView data) {
+/// Copy `data` into `out` and append PKCS#7 padding. One resize sizes the
+/// buffer exactly; a reused `out` with enough capacity never reallocates.
+void pkcs7_pad_into(util::BytesView data, util::Bytes& out) {
   const std::size_t pad = kBlock - data.size() % kBlock;  // 1..8
-  util::Bytes out(data.begin(), data.end());
-  out.insert(out.end(), pad, static_cast<std::uint8_t>(pad));
-  return out;
+  out.resize(data.size() + pad);
+  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size());
+  std::memset(out.data() + data.size(), static_cast<int>(pad), pad);
 }
 
-std::optional<util::Bytes> pkcs7_unpad(util::Bytes data) {
-  if (data.empty() || data.size() % kBlock != 0) return std::nullopt;
+bool pkcs7_unpad_in_place(util::Bytes& data) {
+  if (data.empty() || data.size() % kBlock != 0) return false;
   const std::uint8_t pad = data.back();
-  if (pad == 0 || pad > kBlock || pad > data.size()) return std::nullopt;
+  if (pad == 0 || pad > kBlock || pad > data.size()) return false;
   for (std::size_t i = data.size() - pad; i < data.size(); ++i)
-    if (data[i] != pad) return std::nullopt;
+    if (data[i] != pad) return false;
   data.resize(data.size() - pad);
-  return data;
+  return true;
 }
 
 /// Shared keystream generator for the two stream modes. CFB feeds the
 /// previous ciphertext block back through the cipher; OFB feeds the cipher
 /// output back, independent of the data.
-util::Bytes stream_crypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
-                         util::BytesView in, bool decrypting) {
-  util::Bytes out(in.size());
+void stream_crypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                       util::BytesView in, bool decrypting, util::Bytes& out) {
+  out.resize(in.size());
   std::uint64_t feedback = iv;
   for (std::size_t off = 0; off < in.size(); off += kBlock) {
     const std::uint64_t keystream = cipher.encrypt_block(feedback);
@@ -45,69 +49,86 @@ util::Bytes stream_crypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
       feedback = decrypting ? in_block : out_block;
     }
   }
-  return out;
 }
 
 }  // namespace
 
-util::Bytes encrypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
-                    util::BytesView plaintext) {
+void encrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                  util::BytesView plaintext, util::Bytes& out) {
   switch (mode) {
     case CipherMode::kEcb: {
-      util::Bytes padded = pkcs7_pad(plaintext);
-      for (std::size_t off = 0; off < padded.size(); off += kBlock) {
+      pkcs7_pad_into(plaintext, out);
+      for (std::size_t off = 0; off < out.size(); off += kBlock) {
         // Confounder-XOR ECB per Section 5.2.
-        const std::uint64_t pt = Des::load_be64(&padded[off]) ^ iv;
-        Des::store_be64(cipher.encrypt_block(pt), &padded[off]);
+        const std::uint64_t pt = Des::load_be64(&out[off]) ^ iv;
+        Des::store_be64(cipher.encrypt_block(pt), &out[off]);
       }
-      return padded;
+      return;
     }
     case CipherMode::kCbc: {
-      util::Bytes padded = pkcs7_pad(plaintext);
+      pkcs7_pad_into(plaintext, out);
       std::uint64_t chain = iv;
-      for (std::size_t off = 0; off < padded.size(); off += kBlock) {
-        chain = cipher.encrypt_block(Des::load_be64(&padded[off]) ^ chain);
-        Des::store_be64(chain, &padded[off]);
+      for (std::size_t off = 0; off < out.size(); off += kBlock) {
+        chain = cipher.encrypt_block(Des::load_be64(&out[off]) ^ chain);
+        Des::store_be64(chain, &out[off]);
       }
-      return padded;
+      return;
     }
     case CipherMode::kCfb:
     case CipherMode::kOfb:
-      return stream_crypt(cipher, mode, iv, plaintext, /*decrypting=*/false);
+      stream_crypt_into(cipher, mode, iv, plaintext, /*decrypting=*/false,
+                        out);
+      return;
   }
-  return {};
+  out.clear();
+}
+
+bool decrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                  util::BytesView ciphertext, util::Bytes& out) {
+  switch (mode) {
+    case CipherMode::kEcb: {
+      if (ciphertext.empty() || ciphertext.size() % kBlock != 0) return false;
+      out.resize(ciphertext.size());
+      for (std::size_t off = 0; off < out.size(); off += kBlock) {
+        const std::uint64_t pt =
+            cipher.decrypt_block(Des::load_be64(&ciphertext[off])) ^ iv;
+        Des::store_be64(pt, &out[off]);
+      }
+      return pkcs7_unpad_in_place(out);
+    }
+    case CipherMode::kCbc: {
+      if (ciphertext.empty() || ciphertext.size() % kBlock != 0) return false;
+      out.resize(ciphertext.size());
+      std::uint64_t chain = iv;
+      for (std::size_t off = 0; off < out.size(); off += kBlock) {
+        const std::uint64_t ct = Des::load_be64(&ciphertext[off]);
+        Des::store_be64(cipher.decrypt_block(ct) ^ chain, &out[off]);
+        chain = ct;
+      }
+      return pkcs7_unpad_in_place(out);
+    }
+    case CipherMode::kCfb:
+    case CipherMode::kOfb:
+      stream_crypt_into(cipher, mode, iv, ciphertext, /*decrypting=*/true,
+                        out);
+      return true;
+  }
+  return false;
+}
+
+util::Bytes encrypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                    util::BytesView plaintext) {
+  util::Bytes out;
+  encrypt_into(cipher, mode, iv, plaintext, out);
+  return out;
 }
 
 std::optional<util::Bytes> decrypt(const Des& cipher, CipherMode mode,
                                    std::uint64_t iv,
                                    util::BytesView ciphertext) {
-  switch (mode) {
-    case CipherMode::kEcb: {
-      if (ciphertext.size() % kBlock != 0) return std::nullopt;
-      util::Bytes out(ciphertext.begin(), ciphertext.end());
-      for (std::size_t off = 0; off < out.size(); off += kBlock) {
-        const std::uint64_t pt =
-            cipher.decrypt_block(Des::load_be64(&out[off])) ^ iv;
-        Des::store_be64(pt, &out[off]);
-      }
-      return pkcs7_unpad(std::move(out));
-    }
-    case CipherMode::kCbc: {
-      if (ciphertext.size() % kBlock != 0) return std::nullopt;
-      util::Bytes out(ciphertext.begin(), ciphertext.end());
-      std::uint64_t chain = iv;
-      for (std::size_t off = 0; off < out.size(); off += kBlock) {
-        const std::uint64_t ct = Des::load_be64(&out[off]);
-        Des::store_be64(cipher.decrypt_block(ct) ^ chain, &out[off]);
-        chain = ct;
-      }
-      return pkcs7_unpad(std::move(out));
-    }
-    case CipherMode::kCfb:
-    case CipherMode::kOfb:
-      return stream_crypt(cipher, mode, iv, ciphertext, /*decrypting=*/true);
-  }
-  return std::nullopt;
+  util::Bytes out;
+  if (!decrypt_into(cipher, mode, iv, ciphertext, out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace fbs::crypto

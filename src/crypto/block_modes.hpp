@@ -29,4 +29,15 @@ std::optional<util::Bytes> decrypt(const Des& cipher, CipherMode mode,
                                    std::uint64_t iv,
                                    util::BytesView ciphertext);
 
+/// Encrypt into a caller-owned buffer, reusing its capacity: `out` is
+/// resized to the ciphertext length and allocates only if it has never held
+/// a datagram this large. `plaintext` must not alias `out`.
+void encrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                  util::BytesView plaintext, util::Bytes& out);
+
+/// Inverse of encrypt_into; returns false on malformed input (and leaves
+/// `out` unspecified). `ciphertext` must not alias `out`.
+bool decrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+                  util::BytesView ciphertext, util::Bytes& out);
+
 }  // namespace fbs::crypto

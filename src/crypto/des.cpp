@@ -2,143 +2,123 @@
 
 #include <cassert>
 
+#include "crypto/des_tables.hpp"
+
 namespace fbs::crypto {
 
 namespace {
 
-// All tables use the FIPS 46 1-based, MSB-first bit numbering.
-
-constexpr std::uint8_t kIp[64] = {
-    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
-    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
-    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
-
-constexpr std::uint8_t kFp[64] = {
-    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
-    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
-    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
-    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
-
-constexpr std::uint8_t kExpansion[48] = {
-    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
-    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
-    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
-
-constexpr std::uint8_t kPbox[32] = {16, 7,  20, 21, 29, 12, 28, 17,
-                                    1,  15, 23, 26, 5,  18, 31, 10,
-                                    2,  8,  24, 14, 32, 27, 3,  9,
-                                    19, 13, 30, 6,  22, 11, 4,  25};
-
-constexpr std::uint8_t kPc1[56] = {
-    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
-    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
-    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
-    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
-
-constexpr std::uint8_t kPc2[48] = {
-    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
-    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
-    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
-
-constexpr std::uint8_t kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2,
-                                      1, 2, 2, 2, 2, 2, 2, 1};
-
-constexpr std::uint8_t kSbox[8][64] = {
-    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
-     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
-     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
-     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
-    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
-     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
-     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
-     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
-    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
-     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
-     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
-     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
-    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
-     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
-     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
-     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
-    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
-     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
-     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
-     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
-    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
-     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
-     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
-     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
-    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
-     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
-     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
-     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
-    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
-     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
-     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
-     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
-
-/// Apply a FIPS permutation table: `in_width` is the bit width of `value`,
-/// the output has table_len bits, bit 1 = MSB.
-template <std::size_t N>
-std::uint64_t permute(std::uint64_t value, const std::uint8_t (&table)[N],
-                      unsigned in_width) {
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < N; ++i) {
-    out <<= 1;
-    out |= (value >> (in_width - table[i])) & 1;
+/// Fused SP tables: kSp[i][v] is the P permutation applied to S-box i's
+/// output for the 6-bit E-expanded-and-keyed input v, already positioned in
+/// the 32-bit word. One lookup replaces a 6-bit S-box row/column decode plus
+/// a 32-entry P permutation walk.
+constexpr std::array<std::array<std::uint32_t, 64>, 8> build_sp_tables() {
+  std::array<std::array<std::uint32_t, 64>, 8> sp{};
+  for (int box = 0; box < 8; ++box) {
+    for (int v = 0; v < 64; ++v) {
+      // Row = outer two bits, column = inner four (FIPS b1..b6, MSB first).
+      const int row = ((v & 0x20) >> 4) | (v & 1);
+      const int col = (v >> 1) & 0xF;
+      const std::uint32_t s = des_tables::kSbox[box][row * 16 + col];
+      // Place the 4-bit output at FIPS bits 4*box+1 .. 4*box+4, then P.
+      const std::uint64_t positioned = static_cast<std::uint64_t>(s)
+                                       << (28 - 4 * box);
+      sp[box][v] = static_cast<std::uint32_t>(
+          des_tables::permute(positioned, des_tables::kPbox, 32));
+    }
   }
-  return out;
+  return sp;
 }
 
-std::uint32_t rotl28(std::uint32_t v, unsigned n) {
-  return ((v << n) | (v >> (28 - n))) & 0x0FFFFFFFu;
+constexpr auto kSp = build_sp_tables();
+
+/// IP as a 5-stage bit-swap network on the big-endian-loaded halves
+/// (l = FIPS bits 1-32, r = 33-64); verified bit-exact against the kIp
+/// table walk. FP is the inverse: the same involutive stages in reverse.
+inline void initial_permutation(std::uint32_t& l, std::uint32_t& r) {
+  std::uint32_t t;
+  t = ((l >> 4) ^ r) & 0x0F0F0F0Fu;  r ^= t;  l ^= t << 4;
+  t = ((l >> 16) ^ r) & 0x0000FFFFu; r ^= t;  l ^= t << 16;
+  t = ((r >> 2) ^ l) & 0x33333333u;  l ^= t;  r ^= t << 2;
+  t = ((r >> 8) ^ l) & 0x00FF00FFu;  l ^= t;  r ^= t << 8;
+  t = ((l >> 1) ^ r) & 0x55555555u;  r ^= t;  l ^= t << 1;
 }
 
-std::uint32_t feistel(std::uint32_t half, std::uint64_t subkey) {
-  const std::uint64_t expanded =
-      permute(half, kExpansion, 32) ^ subkey;  // 48 bits
-  std::uint32_t sboxed = 0;
-  for (int i = 0; i < 8; ++i) {
-    const auto six =
-        static_cast<std::uint8_t>((expanded >> (42 - 6 * i)) & 0x3F);
-    // Row = outer two bits, column = inner four.
-    const int row = ((six & 0x20) >> 4) | (six & 1);
-    const int col = (six >> 1) & 0xF;
-    sboxed = sboxed << 4 | kSbox[i][row * 16 + col];
-  }
-  return static_cast<std::uint32_t>(permute(sboxed, kPbox, 32));
+inline void final_permutation(std::uint32_t& l, std::uint32_t& r) {
+  std::uint32_t t;
+  t = ((l >> 1) ^ r) & 0x55555555u;  r ^= t;  l ^= t << 1;
+  t = ((r >> 8) ^ l) & 0x00FF00FFu;  l ^= t;  r ^= t << 8;
+  t = ((r >> 2) ^ l) & 0x33333333u;  l ^= t;  r ^= t << 2;
+  t = ((l >> 16) ^ r) & 0x0000FFFFu; r ^= t;  l ^= t << 16;
+  t = ((l >> 4) ^ r) & 0x0F0F0F0Fu;  r ^= t;  l ^= t << 4;
+}
+
+/// The cipher function f(R, K). Rotating R right by one bit turns the E
+/// expansion's overlapping 6-bit groups into plain shift/mask extractions:
+/// group i of E(R) is bits [4i..4i+5] of the cyclic sequence
+/// R32 R1 R2 ... R31, which is exactly `u` read MSB-first.
+inline std::uint32_t feistel(std::uint32_t r, const std::uint8_t* k) {
+  const std::uint32_t u = (r >> 1) | (r << 31);
+  return kSp[0][((u >> 26) ^ k[0]) & 0x3F] |
+         kSp[1][((u >> 22) ^ k[1]) & 0x3F] |
+         kSp[2][((u >> 18) ^ k[2]) & 0x3F] |
+         kSp[3][((u >> 14) ^ k[3]) & 0x3F] |
+         kSp[4][((u >> 10) ^ k[4]) & 0x3F] |
+         kSp[5][((u >> 6) ^ k[5]) & 0x3F] |
+         kSp[6][((u >> 2) ^ k[6]) & 0x3F] |
+         kSp[7][((((u & 0xF) << 2) | (u >> 30)) ^ k[7]) & 0x3F];
 }
 
 }  // namespace
 
 Des::Des(util::BytesView key) {
   assert(key.size() == kKeySize);
-  const std::uint64_t k64 = load_be64(key.data());
-  const std::uint64_t pc1 = permute(k64, kPc1, 64);  // 56 bits
-  std::uint32_t c = static_cast<std::uint32_t>(pc1 >> 28);
-  std::uint32_t d = static_cast<std::uint32_t>(pc1 & 0x0FFFFFFFull);
-  for (int round = 0; round < 16; ++round) {
-    c = rotl28(c, kShifts[round]);
-    d = rotl28(d, kShifts[round]);
-    const std::uint64_t cd = static_cast<std::uint64_t>(c) << 28 | d;
-    subkeys_[round] = permute(cd, kPc2, 56);  // 48 bits
-  }
+  const des_tables::KeySchedule ks =
+      des_tables::key_schedule(load_be64(key.data()));
+  for (int round = 0; round < 16; ++round)
+    for (int chunk = 0; chunk < 8; ++chunk)
+      subkeys_[round][chunk] = static_cast<std::uint8_t>(
+          (ks.subkeys[round] >> (42 - 6 * chunk)) & 0x3F);
 }
 
 std::uint64_t Des::crypt(std::uint64_t block, bool decrypt) const {
-  const std::uint64_t ip = permute(block, kIp, 64);
-  std::uint32_t l = static_cast<std::uint32_t>(ip >> 32);
-  std::uint32_t r = static_cast<std::uint32_t>(ip);
+  std::uint32_t l = static_cast<std::uint32_t>(block >> 32);
+  std::uint32_t r = static_cast<std::uint32_t>(block);
+  initial_permutation(l, r);
+  if (decrypt) {
+    for (int round = 15; round >= 0; round -= 2) {
+      l ^= feistel(r, subkeys_[round].data());
+      r ^= feistel(l, subkeys_[round - 1].data());
+    }
+  } else {
+    for (int round = 0; round < 16; round += 2) {
+      l ^= feistel(r, subkeys_[round].data());
+      r ^= feistel(l, subkeys_[round + 1].data());
+    }
+  }
+  // The unrolled pairs absorb the per-round swap; preoutput is R16 L16.
+  final_permutation(r, l);
+  return static_cast<std::uint64_t>(r) << 32 | l;
+}
+
+std::uint64_t Des::crypt_trace(std::uint64_t block, bool decrypt,
+                               RoundTrace& trace) const {
+  std::uint32_t l = static_cast<std::uint32_t>(block >> 32);
+  std::uint32_t r = static_cast<std::uint32_t>(block);
+  initial_permutation(l, r);
+  trace.l[0] = l;
+  trace.r[0] = r;
   for (int round = 0; round < 16; ++round) {
-    const std::uint64_t k = subkeys_[decrypt ? 15 - round : round];
-    const std::uint32_t next = l ^ feistel(r, k);
+    const auto& k = subkeys_[decrypt ? 15 - round : round];
+    const std::uint32_t next = l ^ feistel(r, k.data());
     l = r;
     r = next;
+    trace.l[round + 1] = l;
+    trace.r[round + 1] = r;
   }
-  // Note the swap: preoutput is R16 L16.
-  const std::uint64_t preoutput = static_cast<std::uint64_t>(r) << 32 | l;
-  return permute(preoutput, kFp, 64);
+  std::uint32_t outl = r, outr = l;  // preoutput swap
+  final_permutation(outl, outr);
+  return static_cast<std::uint64_t>(outl) << 32 | outr;
 }
 
 std::uint64_t Des::encrypt_block(std::uint64_t block) const {

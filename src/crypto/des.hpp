@@ -1,7 +1,16 @@
-// DES block cipher (FIPS PUB 46), implemented from the standard's
-// permutation tables. The paper's IP mapping encrypts datagram bodies with
-// DES and uses the 32-bit confounder (duplicated to 64 bits) as the IV
-// (Section 7.2). Modes of operation (FIPS 81) live in block_modes.hpp.
+// DES block cipher (FIPS PUB 46). The paper's IP mapping encrypts datagram
+// bodies with DES and uses the 32-bit confounder (duplicated to 64 bits) as
+// the IV (Section 7.2). Modes of operation (FIPS 81) live in block_modes.hpp.
+//
+// This is the classic table-driven implementation: the eight S-boxes are
+// fused with the P permutation into 64-entry tables of 32-bit words
+// (generated at compile time from the FIPS tables in des_tables.hpp), the E
+// expansion is done with shifts and masks on a rotated copy of the right
+// half, and IP/FP are O(log n) bit-swap networks instead of 64-entry
+// permutation walks. The key schedule is computed once at construction, so
+// a Des object cached per flow amortizes it across every datagram. The
+// bit-at-a-time transcription of the standard survives as DesReference
+// (des_reference.hpp) and the two are tested bit-exact round by round.
 #pragma once
 
 #include <array>
@@ -25,13 +34,25 @@ class Des {
   void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
   void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
 
+  /// Per-round intermediate values (FIPS 46 notation): l[0]/r[0] are L0/R0
+  /// (after IP), l[i]/r[i] are Li/Ri after round i. For tests comparing
+  /// this implementation against DesReference round by round.
+  struct RoundTrace {
+    std::array<std::uint32_t, 17> l{};
+    std::array<std::uint32_t, 17> r{};
+  };
+  std::uint64_t crypt_trace(std::uint64_t block, bool decrypt,
+                            RoundTrace& trace) const;
+
   static std::uint64_t load_be64(const std::uint8_t* p);
   static void store_be64(std::uint64_t v, std::uint8_t* p);
 
  private:
   std::uint64_t crypt(std::uint64_t block, bool decrypt) const;
 
-  std::array<std::uint64_t, 16> subkeys_{};  // 48-bit round keys
+  /// Round keys as eight 6-bit chunks, pre-split to line up with the
+  /// shift/mask E expansion (chunk i feeds S-box i).
+  std::array<std::array<std::uint8_t, 8>, 16> subkeys_{};
 };
 
 }  // namespace fbs::crypto

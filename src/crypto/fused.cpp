@@ -15,7 +15,9 @@ FusedResult fused_keyed_md5_des_cbc(const Des& des, std::uint64_t iv,
 
   const std::size_t kBlock = Des::kBlockSize;
   const std::size_t whole = body.size() / kBlock * kBlock;
-  out.ciphertext.resize(whole + kBlock);  // + one PKCS#7 padding block part
+  // PKCS#7 always adds 1..8 bytes, so the ciphertext is exactly one block
+  // past the last whole plaintext block; size it once up front.
+  out.ciphertext.resize(whole + kBlock);
 
   std::uint64_t chain = iv;
   std::size_t off = 0;
@@ -36,10 +38,71 @@ FusedResult fused_keyed_md5_des_cbc(const Des& des, std::uint64_t iv,
     last[i] = i < rem ? body[whole + i] : pad;
   chain = des.encrypt_block(Des::load_be64(last) ^ chain);
   Des::store_be64(chain, &out.ciphertext[whole]);
-  out.ciphertext.resize(whole + kBlock);
 
   out.mac = mac.finish();
   return out;
+}
+
+void fused_seal_into(const Des& des, std::uint64_t iv, MacContext& mac,
+                     util::BytesView mac_prefix, util::BytesView body,
+                     std::uint8_t* mac_out, util::Bytes& ciphertext) {
+  mac.begin();
+  mac.update(mac_prefix);
+
+  const std::size_t kBlock = Des::kBlockSize;
+  const std::size_t whole = body.size() / kBlock * kBlock;
+  ciphertext.resize(whole + kBlock);
+
+  std::uint64_t chain = iv;
+  for (std::size_t off = 0; off < whole; off += kBlock) {
+    mac.update(body.subspan(off, kBlock));
+    chain = des.encrypt_block(Des::load_be64(&body[off]) ^ chain);
+    Des::store_be64(chain, &ciphertext[off]);
+  }
+
+  const std::size_t rem = body.size() - whole;
+  if (rem) mac.update(body.subspan(whole, rem));
+  std::uint8_t last[Des::kBlockSize];
+  const std::uint8_t pad = static_cast<std::uint8_t>(kBlock - rem);
+  for (std::size_t i = 0; i < kBlock; ++i)
+    last[i] = i < rem ? body[whole + i] : pad;
+  chain = des.encrypt_block(Des::load_be64(last) ^ chain);
+  Des::store_be64(chain, &ciphertext[whole]);
+
+  mac.finish_into(mac_out);
+}
+
+bool fused_open_into(const Des& des, std::uint64_t iv, MacContext& mac,
+                     util::BytesView mac_prefix, util::BytesView ciphertext,
+                     std::uint8_t* mac_out, util::Bytes& body) {
+  const std::size_t kBlock = Des::kBlockSize;
+  if (ciphertext.empty() || ciphertext.size() % kBlock != 0) return false;
+
+  mac.begin();
+  mac.update(mac_prefix);
+  body.resize(ciphertext.size());
+
+  // Every block but the last is hashed the moment it is decrypted; the
+  // last block's body bytes are only known after the padding check.
+  const std::size_t last_off = ciphertext.size() - kBlock;
+  std::uint64_t chain = iv;
+  for (std::size_t off = 0; off < ciphertext.size(); off += kBlock) {
+    const std::uint64_t ct = Des::load_be64(&ciphertext[off]);
+    Des::store_be64(des.decrypt_block(ct) ^ chain, &body[off]);
+    chain = ct;
+    if (off < last_off) mac.update({body.data() + off, kBlock});
+  }
+
+  const std::uint8_t pad = body.back();
+  if (pad == 0 || pad > kBlock) return false;
+  for (std::size_t i = body.size() - pad; i < body.size(); ++i)
+    if (body[i] != pad) return false;
+  body.resize(body.size() - pad);
+
+  if (body.size() > last_off)
+    mac.update({body.data() + last_off, body.size() - last_off});
+  mac.finish_into(mac_out);
+  return true;
 }
 
 }  // namespace fbs::crypto

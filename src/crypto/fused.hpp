@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "crypto/des.hpp"
+#include "crypto/mac.hpp"
 #include "util/bytes.hpp"
 
 namespace fbs::crypto {
@@ -29,5 +30,23 @@ FusedResult fused_keyed_md5_des_cbc(const Des& des, std::uint64_t iv,
                                     util::BytesView mac_key,
                                     util::BytesView mac_prefix,
                                     util::BytesView body);
+
+/// Allocation-free single pass over `body` for a per-flow context: `mac` is
+/// a keyed MacContext (the key material that fused_keyed_md5_des_cbc
+/// re-hashes per call is already absorbed into it), `mac_out` receives
+/// mac.mac_size() bytes, and `ciphertext` is a reused caller buffer.
+/// Bit-identical to the one-shot form when the contexts match.
+void fused_seal_into(const Des& des, std::uint64_t iv, MacContext& mac,
+                     util::BytesView mac_prefix, util::BytesView body,
+                     std::uint8_t* mac_out, util::Bytes& ciphertext);
+
+/// The receive-side single pass: DES-CBC decrypt and MAC the recovered
+/// plaintext block by block while it is hot in cache. `body` is resized to
+/// the unpadded plaintext and `mac_out` receives the tag the sender would
+/// have produced (the caller compares it against the header's). Returns
+/// false on malformed length or PKCS#7 padding.
+bool fused_open_into(const Des& des, std::uint64_t iv, MacContext& mac,
+                     util::BytesView mac_prefix, util::BytesView ciphertext,
+                     std::uint8_t* mac_out, util::Bytes& body);
 
 }  // namespace fbs::crypto

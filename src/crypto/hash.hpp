@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "util/bytes.hpp"
@@ -20,9 +21,21 @@ class Hash {
   virtual std::size_t block_size() const = 0;
   virtual void reset() = 0;
   virtual void update(util::BytesView data) = 0;
-  /// Finish and return the digest; the context must be reset() before reuse.
-  virtual util::Bytes finish() = 0;
+  /// Finish into a caller-provided buffer of digest_size() bytes without
+  /// allocating; the context must be reset() before reuse.
+  virtual void finish_into(std::uint8_t* out) = 0;
+  /// Become a copy of `other`, which must be the same concrete type. The
+  /// allocation-free counterpart of clone(): MAC contexts restore their
+  /// precomputed key states with this per message.
+  virtual void copy_from(const Hash& other) = 0;
   virtual std::unique_ptr<Hash> clone() const = 0;
+
+  /// Finish and return the digest (allocating convenience wrapper).
+  util::Bytes finish() {
+    util::Bytes digest(digest_size());
+    finish_into(digest.data());
+    return digest;
+  }
 };
 
 }  // namespace fbs::crypto

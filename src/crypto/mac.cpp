@@ -1,9 +1,108 @@
 #include "crypto/mac.hpp"
 
+#include <cstring>
+
 #include "crypto/md5.hpp"
 #include "crypto/sha1.hpp"
 
 namespace fbs::crypto {
+
+namespace {
+
+/// Large enough for any digest we produce (MD5 = 16, SHA-1 = 20).
+constexpr std::size_t kMaxDigestSize = 64;
+
+/// Keyed-prefix context: the key is absorbed into `key_state_` once; each
+/// message restores that state into the working hash and streams from there.
+class KeyedPrefixContext final : public MacContext {
+ public:
+  KeyedPrefixContext(const Hash& hash, util::BytesView key)
+      : key_state_(hash.clone()), work_(hash.clone()) {
+    key_state_->reset();
+    key_state_->update(key);
+  }
+
+  std::size_t mac_size() const override { return work_->digest_size(); }
+  void begin() override { work_->copy_from(*key_state_); }
+  void update(util::BytesView chunk) override { work_->update(chunk); }
+  void finish_into(std::uint8_t* out) override { work_->finish_into(out); }
+
+ private:
+  std::unique_ptr<Hash> key_state_;  // hash state with the key absorbed
+  std::unique_ptr<Hash> work_;
+};
+
+/// RFC 2104 HMAC context: the construction hashes overlong keys and absorbs
+/// the ipad/opad blocks exactly once, here; per message only the two
+/// precomputed states are restored.
+class HmacContext final : public MacContext {
+ public:
+  HmacContext(const Hash& hash, util::BytesView key)
+      : inner_state_(hash.clone()),
+        outer_state_(hash.clone()),
+        work_(hash.clone()) {
+    const std::size_t block = hash.block_size();
+    util::Bytes k(key.begin(), key.end());
+    if (k.size() > block) {
+      work_->reset();
+      work_->update(k);
+      k = work_->finish();
+    }
+    k.resize(block, 0);
+
+    util::Bytes pad(block);
+    for (std::size_t i = 0; i < block; ++i) pad[i] = k[i] ^ 0x36;
+    inner_state_->reset();
+    inner_state_->update(pad);
+    for (std::size_t i = 0; i < block; ++i) pad[i] = k[i] ^ 0x5c;
+    outer_state_->reset();
+    outer_state_->update(pad);
+  }
+
+  std::size_t mac_size() const override { return work_->digest_size(); }
+  void begin() override { work_->copy_from(*inner_state_); }
+  void update(util::BytesView chunk) override { work_->update(chunk); }
+  void finish_into(std::uint8_t* out) override {
+    std::uint8_t inner_digest[kMaxDigestSize];
+    const std::size_t n = work_->digest_size();
+    work_->finish_into(inner_digest);
+    work_->copy_from(*outer_state_);
+    work_->update({inner_digest, n});
+    work_->finish_into(out);
+  }
+
+ private:
+  std::unique_ptr<Hash> inner_state_;  // H after absorbing K ^ ipad
+  std::unique_ptr<Hash> outer_state_;  // H after absorbing K ^ opad
+  std::unique_ptr<Hash> work_;
+};
+
+class NullContext final : public MacContext {
+ public:
+  explicit NullContext(std::size_t size) : size_(size) {}
+  std::size_t mac_size() const override { return size_; }
+  void begin() override {}
+  void update(util::BytesView) override {}
+  void finish_into(std::uint8_t* out) override { std::memset(out, 0, size_); }
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace
+
+std::unique_ptr<MacContext> KeyedPrefixMac::make_context(
+    util::BytesView key) const {
+  return std::make_unique<KeyedPrefixContext>(*hash_, key);
+}
+
+std::unique_ptr<MacContext> HmacMac::make_context(util::BytesView key) const {
+  return std::make_unique<HmacContext>(*hash_, key);
+}
+
+std::unique_ptr<MacContext> NullMac::make_context(util::BytesView) const {
+  return std::make_unique<NullContext>(size_);
+}
 
 util::Bytes KeyedPrefixMac::compute(
     util::BytesView key,

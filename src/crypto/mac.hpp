@@ -15,6 +15,29 @@
 
 namespace fbs::crypto {
 
+/// A MAC bound to one key: the streaming interface the datagram fast path
+/// uses. Construction does the per-key work once (hashing overlong keys,
+/// absorbing the HMAC pads); after that, each message costs one
+/// begin()/update().../finish_into() cycle with zero heap allocations.
+/// Cached per flow alongside the Des key schedule.
+class MacContext {
+ public:
+  virtual ~MacContext() = default;
+  virtual std::size_t mac_size() const = 0;
+  /// Start a new message; discards any partial state.
+  virtual void begin() = 0;
+  virtual void update(util::BytesView chunk) = 0;
+  /// Finish into a caller-provided buffer of mac_size() bytes.
+  virtual void finish_into(std::uint8_t* out) = 0;
+
+  /// Allocating convenience wrapper.
+  util::Bytes finish() {
+    util::Bytes tag(mac_size());
+    finish_into(tag.data());
+    return tag;
+  }
+};
+
 /// Common interface: a MAC over (key, message chunks).
 class Mac {
  public:
@@ -24,6 +47,9 @@ class Mac {
   virtual util::Bytes compute(
       util::BytesView key,
       std::initializer_list<util::BytesView> chunks) const = 0;
+  /// Bind this MAC to `key`, doing all per-key precomputation up front.
+  virtual std::unique_ptr<MacContext> make_context(
+      util::BytesView key) const = 0;
 };
 
 /// The paper's construction: tag = H(key | chunk_0 | chunk_1 | ...).
@@ -39,6 +65,8 @@ class KeyedPrefixMac final : public Mac {
   util::Bytes compute(
       util::BytesView key,
       std::initializer_list<util::BytesView> chunks) const override;
+  std::unique_ptr<MacContext> make_context(
+      util::BytesView key) const override;
 
  private:
   std::unique_ptr<Hash> hash_;
@@ -53,6 +81,8 @@ class HmacMac final : public Mac {
   util::Bytes compute(
       util::BytesView key,
       std::initializer_list<util::BytesView> chunks) const override;
+  std::unique_ptr<MacContext> make_context(
+      util::BytesView key) const override;
 
  private:
   std::unique_ptr<Hash> hash_;
@@ -69,6 +99,8 @@ class NullMac final : public Mac {
                       std::initializer_list<util::BytesView>) const override {
     return util::Bytes(size_, 0);
   }
+  std::unique_ptr<MacContext> make_context(
+      util::BytesView key) const override;
 
  private:
   std::size_t size_;

@@ -95,7 +95,7 @@ void Md5::update(util::BytesView data) {
     std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
 }
 
-util::Bytes Md5::finish() {
+void Md5::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_len = total_len_ * 8;
   // Pad: 0x80 then zeros to 56 mod 64, then the 64-bit little-endian length.
   static constexpr std::uint8_t kPad[kBlockSize] = {0x80};
@@ -107,14 +107,12 @@ util::Bytes Md5::finish() {
     len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
   update({len_bytes, 8});
 
-  util::Bytes digest(kDigestSize);
   for (int i = 0; i < 4; ++i) {
-    digest[4 * i] = static_cast<std::uint8_t>(state_[i]);
-    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
-    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
-    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i] = static_cast<std::uint8_t>(state_[i]);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
   }
-  return digest;
 }
 
 util::Bytes md5(util::BytesView data) {

@@ -21,7 +21,10 @@ class Md5 final : public Hash {
   std::size_t block_size() const override { return kBlockSize; }
   void reset() override;
   void update(util::BytesView data) override;
-  util::Bytes finish() override;
+  void finish_into(std::uint8_t* out) override;
+  void copy_from(const Hash& other) override {
+    *this = static_cast<const Md5&>(other);
+  }
   std::unique_ptr<Hash> clone() const override {
     return std::make_unique<Md5>(*this);
   }

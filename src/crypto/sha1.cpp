@@ -72,7 +72,7 @@ void Sha1::update(util::BytesView data) {
     std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
 }
 
-util::Bytes Sha1::finish() {
+void Sha1::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_len = total_len_ * 8;
   static constexpr std::uint8_t kPad[kBlockSize] = {0x80};
   const std::size_t fill = total_len_ % kBlockSize;
@@ -83,14 +83,12 @@ util::Bytes Sha1::finish() {
     len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
   update({len_bytes, 8});
 
-  util::Bytes digest(kDigestSize);
   for (int i = 0; i < 5; ++i) {
-    digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
   }
-  return digest;
 }
 
 util::Bytes sha1(util::BytesView data) {

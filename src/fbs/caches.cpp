@@ -36,41 +36,47 @@ std::size_t cache_index(CacheHashKind kind, util::BytesView key,
   return 0;
 }
 
-std::size_t MissClassifier::stack_distance(const util::Bytes& key,
+std::size_t MissClassifier::stack_distance(util::BytesView key,
                                            std::size_t limit) const {
   // Bounded walk: callers only need to know whether the reuse distance is
   // below the cache capacity, so stop once `limit` entries are passed.
   std::size_t d = 0;
   for (const auto& k : lru_) {
-    if (k == key) return d;
+    if (std::ranges::equal(k, key)) return d;
     if (++d >= limit) break;
   }
   return SIZE_MAX;
 }
 
-void MissClassifier::touch(const util::Bytes& key) {
-  const auto it = pos_.find(key);
-  if (it != pos_.end()) lru_.erase(it->second);
-  lru_.push_front(key);
-  pos_[key] = lru_.begin();
-}
-
-MissClassifier::MissKind MissClassifier::classify_miss(const util::Bytes& key,
+MissClassifier::MissKind MissClassifier::classify_miss(util::BytesView key,
                                                        std::size_t capacity) {
-  MissKind kind;
-  if (pos_.find(key) == pos_.end()) {
-    kind = MissKind::kCold;
-  } else if (stack_distance(key, capacity) < capacity) {
-    // A fully-associative cache of the same size would have hit: the miss is
-    // due to set conflicts only.
-    kind = MissKind::kCollision;
-  } else {
-    kind = MissKind::kCapacity;
+  const auto it = pos_.find(key);
+  if (it == pos_.end()) {
+    lru_.emplace_front(key.begin(), key.end());
+    pos_.emplace(lru_.front(), lru_.begin());
+    return MissKind::kCold;
   }
-  touch(key);
+  const MissKind kind = stack_distance(key, capacity) < capacity
+                            // A fully-associative cache of the same size
+                            // would have hit: the miss is due to set
+                            // conflicts only.
+                            ? MissKind::kCollision
+                            : MissKind::kCapacity;
+  lru_.splice(lru_.begin(), lru_, it->second);
   return kind;
 }
 
-void MissClassifier::record_hit(const util::Bytes& key) { touch(key); }
+void MissClassifier::record_hit(util::BytesView key) {
+  // The node is spliced to the stack top in place: a cache hit costs no
+  // allocation here. (A hit on a key the classifier never saw miss -- e.g.
+  // one pinned directly into the cache -- still enters the stack.)
+  const auto it = pos_.find(key);
+  if (it != pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key.begin(), key.end());
+  pos_.emplace(lru_.front(), lru_.begin());
+}
 
 }  // namespace fbs::core

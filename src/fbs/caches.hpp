@@ -14,6 +14,7 @@
 // collision miss; otherwise it is a capacity miss.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -52,6 +53,16 @@ struct CacheStats {
   }
 };
 
+/// Ordering over raw byte ranges with heterogeneous lookup, so cache probes
+/// keyed by a BytesView never materialize a util::Bytes.
+struct ByteRangeLess {
+  using is_transparent = void;
+  bool operator()(util::BytesView a, util::BytesView b) const {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+};
+
 /// LRU-stack miss classifier (infinite cache simulator).
 class MissClassifier {
  public:
@@ -59,16 +70,16 @@ class MissClassifier {
 
   /// Classify a miss on `key` for a cache holding `capacity` entries total,
   /// then push the reference onto the stack.
-  MissKind classify_miss(const util::Bytes& key, std::size_t capacity);
-  /// Record a hit (moves the key to the top of the stack).
-  void record_hit(const util::Bytes& key);
+  MissKind classify_miss(util::BytesView key, std::size_t capacity);
+  /// Record a hit (moves the key to the top of the stack without
+  /// allocating: the list node is spliced, not reinserted).
+  void record_hit(util::BytesView key);
 
  private:
-  std::size_t stack_distance(const util::Bytes& key, std::size_t limit) const;
-  void touch(const util::Bytes& key);
+  std::size_t stack_distance(util::BytesView key, std::size_t limit) const;
 
   std::list<util::Bytes> lru_;
-  std::map<util::Bytes, std::list<util::Bytes>::iterator> pos_;
+  std::map<util::Bytes, std::list<util::Bytes>::iterator, ByteRangeLess> pos_;
 };
 
 /// Set-associative software cache with LRU replacement within each set.
@@ -86,8 +97,9 @@ class SetAssociativeCache {
 
   std::size_t capacity() const { return nsets_ * ways_; }
 
-  /// nullptr on miss (recorded in stats with its 3C classification).
-  Value* lookup(const util::Bytes& key) {
+  /// nullptr on miss (recorded in stats with its 3C classification). Keys
+  /// are plain views: a hit performs no allocation at all.
+  Value* lookup(util::BytesView key) {
     Entry* e = find(key);
     if (e) {
       e->lru_tick = ++tick_;
@@ -104,18 +116,19 @@ class SetAssociativeCache {
   }
 
   /// Peek without touching stats or LRU state.
-  const Value* peek(const util::Bytes& key) const {
+  const Value* peek(util::BytesView key) const {
     const Entry* e = const_cast<SetAssociativeCache*>(this)->find(key);
     return e ? &e->value : nullptr;
   }
 
-  /// Insert/overwrite; evicts the LRU way of the set if full.
-  void insert(const util::Bytes& key, Value value) {
+  /// Insert/overwrite; evicts the LRU way of the set if full. Returns the
+  /// stored value, which stays valid until the next insert touching its set.
+  Value* insert(util::BytesView key, Value value) {
     const std::size_t set = cache_index(hash_, key, nsets_);
     Entry* slot = nullptr;
     for (std::size_t w = 0; w < ways_; ++w) {
       Entry& e = sets_[set * ways_ + w];
-      if (e.valid && e.key == key) {
+      if (e.valid && std::ranges::equal(e.key, key)) {
         slot = &e;
         break;
       }
@@ -130,12 +143,13 @@ class SetAssociativeCache {
       ++evictions_;
     }
     slot->valid = true;
-    slot->key = key;
+    slot->key.assign(key.begin(), key.end());
     slot->value = std::move(value);
     slot->lru_tick = ++tick_;
+    return &slot->value;
   }
 
-  void erase(const util::Bytes& key) {
+  void erase(util::BytesView key) {
     if (Entry* e = find(key)) e->valid = false;
   }
 
@@ -154,11 +168,11 @@ class SetAssociativeCache {
     std::uint64_t lru_tick = 0;
   };
 
-  Entry* find(const util::Bytes& key) {
+  Entry* find(util::BytesView key) {
     const std::size_t set = cache_index(hash_, key, nsets_);
     for (std::size_t w = 0; w < ways_; ++w) {
       Entry& e = sets_[set * ways_ + w];
-      if (e.valid && e.key == key) return &e;
+      if (e.valid && std::ranges::equal(e.key, key)) return &e;
     }
     return nullptr;
   }

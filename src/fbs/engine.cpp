@@ -1,5 +1,7 @@
 #include "fbs/engine.hpp"
 
+#include <cassert>
+
 #include "crypto/fused.hpp"
 
 namespace fbs::core {
@@ -8,18 +10,22 @@ namespace {
 
 /// 4-byte confounder + 4-byte timestamp, the MAC's non-payload input
 /// (Section 5.2: MAC is keyed on Kf and covers confounder, timestamp and
-/// payload).
-util::Bytes mac_prefix(std::uint32_t confounder, std::uint32_t timestamp) {
-  util::ByteWriter w(8);
-  w.u32(confounder);
-  w.u32(timestamp);
-  return w.take();
+/// payload). Written into a stack buffer on the datagram path.
+void mac_prefix_into(std::uint32_t confounder, std::uint32_t timestamp,
+                     std::uint8_t out[8]) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(confounder >> (24 - 8 * i));
+    out[4 + i] = static_cast<std::uint8_t>(timestamp >> (24 - 8 * i));
+  }
 }
 
 /// Section 7.2: the 32-bit confounder is duplicated into the 64-bit DES IV.
 std::uint64_t confounder_iv(std::uint32_t confounder) {
   return static_cast<std::uint64_t>(confounder) << 32 | confounder;
 }
+
+/// Stack room for any MAC tag we produce (MD5 = 16, SHA-1 = 20).
+constexpr std::size_t kMaxMacSize = 64;
 
 }  // namespace
 
@@ -51,20 +57,27 @@ FbsEndpoint::FbsEndpoint(Principal self, const FbsConfig& config,
       tfkc_(config.tfkc_size, config.cache_ways, config.cache_hash),
       rfkc_(config.rfkc_size, config.cache_ways, config.cache_hash),
       freshness_(clock, config.freshness_window_minutes,
-                 config.strict_replay),
-      mac_(crypto::make_mac(config.suite.mac)) {
+                 config.strict_replay) {
   tracer_.set_enabled(config.trace_stages);
 }
 
-util::Bytes FbsEndpoint::cache_key(Sfl sfl, const Principal& a,
-                                   const Principal& b) {
+crypto::Mac& FbsEndpoint::suite_mac(crypto::MacAlgorithm alg) {
+  const std::size_t idx = static_cast<std::size_t>(alg);
+  assert(idx < suite_macs_.size());
+  auto& slot = suite_macs_[idx];
+  if (!slot) slot = crypto::make_mac(alg);
+  return *slot;
+}
+
+void FbsEndpoint::cache_key_into(Sfl sfl, const Principal& a,
+                                 const Principal& b, util::Bytes& out) {
   // TFKC index is (sfl, D, S); RFKC is (sfl, S, D). Including the local
   // principal covers multi-homed hosts (footnote 7).
-  util::ByteWriter w(8 + a.address.size() + b.address.size());
-  w.u64(sfl);
-  w.bytes(a.address);
-  w.bytes(b.address);
-  return w.take();
+  out.clear();
+  for (int i = 7; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(sfl >> (8 * i)));
+  out.insert(out.end(), a.address.begin(), a.address.end());
+  out.insert(out.end(), b.address.begin(), b.address.end());
 }
 
 bool FbsEndpoint::key_worn_out(const CombinedEntry& e,
@@ -79,15 +92,16 @@ bool FbsEndpoint::key_worn_out(const CombinedEntry& e,
   return false;
 }
 
-std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
+std::optional<std::pair<Sfl, FlowCryptoContext*>> FbsEndpoint::outgoing_flow(
     const Datagram& d) {
   const util::TimeUs now = clock_.now();
 
   if (config_.combined_fst_tfkc) {
     // Section 7.2 fast path: one CRC-32 probe resolves both the flow
     // mapping and the flow key; the sweeper is absorbed into the mapper.
+    d.attrs.encode_into(scratch_attrs_);
     const std::size_t idx =
-        cache_index(config_.cache_hash, d.attrs.encode(), combined_.size());
+        cache_index(config_.cache_hash, scratch_attrs_, combined_.size());
     CombinedEntry& e = combined_[idx];
     if (e.valid && e.attrs == d.attrs &&
         now - e.last <= config_.flow_threshold) {
@@ -98,7 +112,7 @@ std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
         e.last = now;
         ++e.datagrams;
         e.bytes += d.body.size();
-        return std::make_pair(e.sfl, e.key);
+        return std::make_pair(e.sfl, &e.ctx);
       }
     }
     const auto master = keys_.master_key(d.destination);
@@ -108,9 +122,17 @@ std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
     auto derive_timer = tracer_.start(obs::Stage::kSendKeyDerive);
     util::Bytes key =
         derive_flow_key(kdf_hash_, sfl, *master, self_, d.destination);
+    FlowCryptoContext ctx = make_flow_crypto_context(
+        std::move(key), config_.suite, suite_mac(config_.suite.mac));
     derive_timer.finish();
-    e = CombinedEntry{true, d.attrs, sfl, key, now, now, 1, d.body.size()};
-    return std::make_pair(sfl, std::move(key));
+    e.valid = true;
+    e.attrs = d.attrs;
+    e.sfl = sfl;
+    e.ctx = std::move(ctx);
+    e.created = e.last = now;
+    e.datagrams = 1;
+    e.bytes = d.body.size();
+    return std::make_pair(sfl, &e.ctx);
   }
 
   // Split path (Figures 4 and 6): FAM classification, then TFKC. The
@@ -129,88 +151,112 @@ std::optional<std::pair<Sfl, util::Bytes>> FbsEndpoint::outgoing_flow(
     }
   }
   const MapResult mapping = policy_->map(d, now);
-  const util::Bytes ck = cache_key(mapping.sfl, d.destination, self_);
-  if (auto* cached = tfkc_.lookup(ck)) return std::make_pair(mapping.sfl, *cached);
+  cache_key_into(mapping.sfl, d.destination, self_, scratch_key_);
+  if (auto* cached = tfkc_.lookup(scratch_key_))
+    return std::make_pair(mapping.sfl, cached);
   const auto master = keys_.master_key(d.destination);
   if (!master) return std::nullopt;
   ++send_stats_.flow_keys_derived;
   auto derive_timer = tracer_.start(obs::Stage::kSendKeyDerive);
   util::Bytes key =
       derive_flow_key(kdf_hash_, mapping.sfl, *master, self_, d.destination);
+  FlowCryptoContext ctx = make_flow_crypto_context(
+      std::move(key), config_.suite, suite_mac(config_.suite.mac));
   derive_timer.finish();
-  tfkc_.insert(ck, key);
-  return std::make_pair(mapping.sfl, std::move(key));
+  return std::make_pair(mapping.sfl,
+                        tfkc_.insert(scratch_key_, std::move(ctx)));
 }
 
-std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
-                                                bool secret) {
+bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
+                               util::Bytes& wire_out) {
+  wire_out.clear();
   auto classify_timer = tracer_.start(obs::Stage::kSendClassify);
   const auto flow = outgoing_flow(d);
   classify_timer.finish();
   if (!flow) {
     ++send_stats_.key_unavailable;
-    return std::nullopt;
+    return false;
   }
-  const auto& [sfl, key] = *flow;
+  const auto& [sfl, ctx] = *flow;
 
-  FbsHeader header;
+  FbsHeaderView header;
   header.suite = config_.suite;
   header.sfl = sfl;
   header.confounder = confounder_gen_.step32();
   header.timestamp_minutes = util::to_header_minutes(clock_.now());
-  header.secret = secret && config_.suite.cipher != crypto::CipherAlgorithm::kNone;
+  header.secret =
+      secret && config_.suite.cipher != crypto::CipherAlgorithm::kNone;
 
-  const util::Bytes prefix =
-      mac_prefix(header.confounder, header.timestamp_minutes);
+  std::uint8_t prefix[8];
+  mac_prefix_into(header.confounder, header.timestamp_minutes, prefix);
+  std::uint8_t mac_buf[kMaxMacSize];
+  const std::size_t mac_n = ctx->mac->mac_size();
 
-  util::Bytes body;
+  util::BytesView body;
   if (header.secret &&
       config_.suite.mac == crypto::MacAlgorithm::kKeyedMd5 &&
       config_.suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
     // Section 5.3 single-pass optimization: MAC and encryption in one loop
     // over the payload (bit-identical to the two-pass path).
     auto fused_timer = tracer_.start(obs::Stage::kSendFused);
-    const crypto::Des des(
-        util::BytesView(key).subspan(0, crypto::Des::kKeySize));
-    auto fused = crypto::fused_keyed_md5_des_cbc(
-        des, confounder_iv(header.confounder), key, prefix, d.body);
-    header.mac = std::move(fused.mac);
-    body = std::move(fused.ciphertext);
+    crypto::fused_seal_into(*ctx->des, confounder_iv(header.confounder),
+                            *ctx->mac, {prefix, 8}, d.body, mac_buf,
+                            scratch_body_);
+    body = scratch_body_;
     ++send_stats_.encrypted;
   } else {
     {
       auto mac_timer = tracer_.start(obs::Stage::kSendMac);
-      header.mac = mac_->compute(key, {prefix, d.body});
+      ctx->mac->begin();
+      ctx->mac->update({prefix, 8});
+      ctx->mac->update(d.body);
+      ctx->mac->finish_into(mac_buf);
     }
     if (header.secret) {
       auto cipher_timer = tracer_.start(obs::Stage::kSendCipher);
-      const crypto::Des des(
-          util::BytesView(key).subspan(0, crypto::Des::kKeySize));
-      body = crypto::encrypt(des, *crypto::cipher_mode(config_.suite.cipher),
-                             confounder_iv(header.confounder), d.body);
+      crypto::encrypt_into(*ctx->des,
+                           *crypto::cipher_mode(config_.suite.cipher),
+                           confounder_iv(header.confounder), d.body,
+                           scratch_body_);
+      body = scratch_body_;
       ++send_stats_.encrypted;
     } else {
       body = d.body;
     }
   }
+  header.mac = {mac_buf, mac_n};
 
   ++send_stats_.datagrams;
   auto wire_timer = tracer_.start(obs::Stage::kSendWire);
-  util::Bytes wire = header.serialize();
-  wire.insert(wire.end(), body.begin(), body.end());
+  wire_out.reserve(FbsHeader::kFixedSize + mac_n + body.size());
+  header.serialize_into(wire_out);
+  wire_out.insert(wire_out.end(), body.begin(), body.end());
+  return true;
+}
+
+std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
+                                                bool secret) {
+  util::Bytes wire;
+  if (!protect_into(d, secret, wire)) return std::nullopt;
   return wire;
 }
 
-std::optional<util::Bytes> FbsEndpoint::incoming_flow_key(
-    const Principal& source, Sfl sfl) {
-  const util::Bytes ck = cache_key(sfl, source, self_);
-  if (auto* cached = rfkc_.lookup(ck)) return *cached;
+FlowCryptoContext* FbsEndpoint::incoming_flow_context(
+    const Principal& source, Sfl sfl, crypto::AlgorithmSuite suite) {
+  cache_key_into(sfl, source, self_, scratch_key_);
+  if (auto* cached = rfkc_.lookup(scratch_key_)) {
+    // A receiver can see the same sfl under a different header suite; the
+    // rare mismatch rebuilds the contexts from the cached key.
+    ensure_suite(*cached, suite, suite_mac(suite.mac));
+    return cached;
+  }
   const auto master = keys_.master_key(source);
-  if (!master) return std::nullopt;
+  if (!master) return nullptr;
   ++receive_stats_.flow_keys_derived;
   util::Bytes key = derive_flow_key(kdf_hash_, sfl, *master, source, self_);
-  rfkc_.insert(ck, key);
-  return key;
+  return rfkc_.insert(
+      scratch_key_,
+      make_flow_crypto_context(std::move(key), suite, suite_mac(suite.mac)));
 }
 
 ReceiveError FbsEndpoint::reject(ReceiveError e) {
@@ -230,19 +276,20 @@ ReceiveError FbsEndpoint::reject(ReceiveError e) {
   return e;
 }
 
-ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
-                                      util::BytesView wire) {
+ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
+                                               util::BytesView wire,
+                                               util::Bytes& body_out) {
   auto parse_timer = tracer_.start(obs::Stage::kRecvParse);
-  auto parsed = FbsHeader::parse(wire);
+  const auto header = FbsHeaderView::parse(wire);
   parse_timer.finish();
-  if (!parsed) return reject(ReceiveError::kMalformed);
-  FbsHeader& header = parsed->header;
+  if (!header) return reject(ReceiveError::kMalformed);
 
   // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
   // The check is read-only; the seen-MAC cache is only committed to after
   // the MAC verifies, so a forged body cannot poison it (see replay.hpp).
   auto fresh_timer = tracer_.start(obs::Stage::kRecvFreshness);
-  const auto verdict = freshness_.check(header.timestamp_minutes, header.mac);
+  const auto verdict =
+      freshness_.check(header->timestamp_minutes, header->mac);
   fresh_timer.finish();
   switch (verdict) {
     case FreshnessChecker::Verdict::kFresh:
@@ -253,51 +300,80 @@ ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
       return reject(ReceiveError::kReplay);
   }
 
-  // (R5-6) recover the flow key from the sfl (RFKC-cached).
+  // (R5-6) recover the flow's crypto context from the sfl (RFKC-cached:
+  // a hit returns the ready DES schedule and keyed MAC state).
   auto key_timer = tracer_.start(obs::Stage::kRecvKey);
-  const auto key = incoming_flow_key(source, header.sfl);
+  FlowCryptoContext* ctx =
+      incoming_flow_context(source, header->sfl, header->suite);
   key_timer.finish();
-  if (!key) return reject(ReceiveError::kUnknownPeer);
+  if (!ctx) return reject(ReceiveError::kUnknownPeer);
+
+  std::uint8_t prefix[8];
+  mac_prefix_into(header->confounder, header->timestamp_minutes, prefix);
+  std::uint8_t mac_buf[kMaxMacSize];
+  const std::size_t mac_n = ctx->mac->mac_size();
 
   // (R10-11 first for secret datagrams -- see the header-comment deviation
-  // note): recover the plaintext the MAC was computed over.
-  util::Bytes body;
-  if (header.secret) {
-    auto cipher_timer = tracer_.start(obs::Stage::kRecvCipher);
-    const auto mode = crypto::cipher_mode(header.suite.cipher);
-    if (!mode) return reject(ReceiveError::kMalformed);
-    const crypto::Des des(
-        util::BytesView(*key).subspan(0, crypto::Des::kKeySize));
-    auto plain =
-        crypto::decrypt(des, *mode, confounder_iv(header.confounder),
-                        parsed->body);
-    if (!plain) return reject(ReceiveError::kDecryptFailed);
-    body = std::move(*plain);
+  // note): recover the plaintext the MAC was computed over, computing the
+  // expected MAC in the same pass where the suite allows it.
+  if (header->secret) {
+    const auto mode = crypto::cipher_mode(header->suite.cipher);
+    if (!mode || !ctx->des) return reject(ReceiveError::kMalformed);
+    if (header->suite.mac == crypto::MacAlgorithm::kKeyedMd5 &&
+        header->suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
+      auto fused_timer = tracer_.start(obs::Stage::kRecvFused);
+      const bool ok = crypto::fused_open_into(
+          *ctx->des, confounder_iv(header->confounder), *ctx->mac,
+          {prefix, 8}, header->body, mac_buf, body_out);
+      fused_timer.finish();
+      if (!ok) return reject(ReceiveError::kDecryptFailed);
+    } else {
+      auto cipher_timer = tracer_.start(obs::Stage::kRecvCipher);
+      const bool ok =
+          crypto::decrypt_into(*ctx->des, *mode,
+                               confounder_iv(header->confounder),
+                               header->body, body_out);
+      cipher_timer.finish();
+      if (!ok) return reject(ReceiveError::kDecryptFailed);
+      auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
+      ctx->mac->begin();
+      ctx->mac->update({prefix, 8});
+      ctx->mac->update(body_out);
+      ctx->mac->finish_into(mac_buf);
+    }
   } else {
-    body = std::move(parsed->body);
+    body_out.assign(header->body.begin(), header->body.end());
+    auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
+    ctx->mac->begin();
+    ctx->mac->update({prefix, 8});
+    ctx->mac->update(body_out);
+    ctx->mac->finish_into(mac_buf);
   }
 
-  // (R7-9) verify the MAC over confounder | timestamp | plaintext body.
-  auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
-  const util::Bytes prefix =
-      mac_prefix(header.confounder, header.timestamp_minutes);
-  const auto suite_mac = crypto::make_mac(header.suite.mac);
-  const util::Bytes expected = suite_mac->compute(*key, {prefix, body});
-  const bool mac_ok = util::ct_equal(expected, header.mac);
-  mac_timer.finish();
-  if (!mac_ok) return reject(ReceiveError::kBadMac);
+  // (R7-9) the MAC covers confounder | timestamp | plaintext body.
+  if (!util::ct_equal({mac_buf, mac_n}, header->mac))
+    return reject(ReceiveError::kBadMac);
 
   // Only a verified datagram may enter the strict-replay seen-set.
-  freshness_.commit(header.timestamp_minutes, header.mac);
+  freshness_.commit(header->timestamp_minutes, header->mac);
 
   ++receive_stats_.accepted;
+  return ReceivedInfo{header->sfl, header->secret, header->suite};
+}
+
+ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
+                                      util::BytesView wire) {
+  util::Bytes body;
+  const ReceiveIntoOutcome outcome = unprotect_into(source, wire, body);
+  if (const auto* err = std::get_if<ReceiveError>(&outcome)) return *err;
+  const auto& info = std::get<ReceivedInfo>(outcome);
   ReceivedDatagram out;
   out.datagram.source = source;
   out.datagram.destination = self_;
   out.datagram.body = std::move(body);
-  out.sfl = header.sfl;
-  out.was_secret = header.secret;
-  out.suite = header.suite;
+  out.sfl = info.sfl;
+  out.was_secret = info.was_secret;
+  out.suite = info.suite;
   return out;
 }
 

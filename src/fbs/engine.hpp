@@ -96,6 +96,16 @@ struct ReceivedDatagram {
 
 using ReceiveOutcome = std::variant<ReceivedDatagram, ReceiveError>;
 
+/// Demultiplexing info for the allocation-free receive path: the body lands
+/// in the caller's buffer, so only the flow facts travel in the result.
+struct ReceivedInfo {
+  Sfl sfl = 0;
+  bool was_secret = false;
+  crypto::AlgorithmSuite suite;
+};
+
+using ReceiveIntoOutcome = std::variant<ReceivedInfo, ReceiveError>;
+
 struct SendStats {
   std::uint64_t datagrams = 0;
   std::uint64_t encrypted = 0;
@@ -141,6 +151,18 @@ class FbsEndpoint {
 
   /// FBSReceive: validate wire bytes claimed to be from `source`.
   ReceiveOutcome unprotect(const Principal& source, util::BytesView wire);
+
+  /// Allocation-free FBSSend: `wire_out` receives `FBSheader || body`,
+  /// reusing its capacity. On a flow-cache hit with warm buffers the whole
+  /// call performs zero heap allocations. Returns false if no master key
+  /// for the destination can be obtained (wire_out is left cleared).
+  bool protect_into(const Datagram& d, bool secret, util::Bytes& wire_out);
+
+  /// Allocation-free FBSReceive: the plaintext body lands in `body_out`
+  /// (capacity reused). On rejection body_out's contents are unspecified.
+  ReceiveIntoOutcome unprotect_into(const Principal& source,
+                                    util::BytesView wire,
+                                    util::Bytes& body_out);
 
   /// Force the next datagram matching `attrs` onto a fresh flow (and hence
   /// a fresh key): rekeying "via the FAM by changing the sfl" (Section 5.2).
@@ -197,7 +219,7 @@ class FbsEndpoint {
     bool valid = false;
     FlowAttributes attrs;
     Sfl sfl = 0;
-    util::Bytes key;
+    FlowCryptoContext ctx;  // ready key schedule + keyed MAC context
     util::TimeUs created = 0;
     util::TimeUs last = 0;
     std::uint64_t datagrams = 0;
@@ -211,12 +233,20 @@ class FbsEndpoint {
   /// Record a rejection in both the named field and the by-kind array.
   ReceiveError reject(ReceiveError e);
 
-  /// Resolve (sfl, flow key) for an outgoing datagram; combined or split.
-  std::optional<std::pair<Sfl, util::Bytes>> outgoing_flow(const Datagram& d);
-  std::optional<util::Bytes> incoming_flow_key(const Principal& source,
-                                               Sfl sfl);
-  static util::Bytes cache_key(Sfl sfl, const Principal& a,
-                               const Principal& b);
+  /// Resolve (sfl, crypto context) for an outgoing datagram; combined or
+  /// split. The pointer is into the cache and is valid until the next
+  /// lookup/insert (i.e. for the rest of this datagram).
+  std::optional<std::pair<Sfl, FlowCryptoContext*>> outgoing_flow(
+      const Datagram& d);
+  FlowCryptoContext* incoming_flow_context(const Principal& source, Sfl sfl,
+                                           crypto::AlgorithmSuite suite);
+  static void cache_key_into(Sfl sfl, const Principal& a, const Principal& b,
+                             util::Bytes& out);
+
+  /// One Mac instance per suite, created on first use: the receive path
+  /// consults the header's suite every datagram and must not re-instantiate
+  /// the algorithm each time.
+  crypto::Mac& suite_mac(crypto::MacAlgorithm alg);
 
   Principal self_;
   FbsConfig config_;
@@ -226,14 +256,21 @@ class FbsEndpoint {
   SflAllocator sfl_alloc_;
   std::unique_ptr<FlowPolicy> policy_;
   std::vector<CombinedEntry> combined_;  // FST+TFKC merged (Section 7.2)
-  SetAssociativeCache<util::Bytes> tfkc_;
-  SetAssociativeCache<util::Bytes> rfkc_;
+  SetAssociativeCache<FlowCryptoContext> tfkc_;
+  SetAssociativeCache<FlowCryptoContext> rfkc_;
   FreshnessChecker freshness_;
   crypto::Md5 kdf_hash_;  // H of Section 5.2 (need not equal the MAC hash)
-  std::unique_ptr<crypto::Mac> mac_;
+  std::array<std::unique_ptr<crypto::Mac>, 8> suite_macs_;  // by MacAlgorithm
   SendStats send_stats_;
   ReceiveStats receive_stats_;
   obs::StageTracer tracer_;
+
+  /// Scratch reused across datagrams (an endpoint is single-threaded, like
+  /// the in-kernel implementation it models); warm steady state touches
+  /// these without allocating.
+  util::Bytes scratch_attrs_;  // FlowAttributes encoding for the FST probe
+  util::Bytes scratch_key_;    // TFKC/RFKC cache key
+  util::Bytes scratch_body_;   // ciphertext staging on send
 };
 
 }  // namespace fbs::core

@@ -6,6 +6,23 @@ namespace {
 constexpr std::uint8_t kFlagSecret = 0x01;
 constexpr std::uint8_t kVersionShift = 4;
 constexpr std::uint8_t kVersion = 1;
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_be32(p)) << 32 | load_be32(p + 4);
+}
+
+void append_be32(util::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
 }  // namespace
 
 util::Bytes FbsHeader::serialize() const {
@@ -21,28 +38,49 @@ util::Bytes FbsHeader::serialize() const {
   return w.take();
 }
 
-std::optional<FbsHeader::ParsedOut> FbsHeader::parse(util::BytesView wire) {
-  util::ByteReader r(wire);
-  const auto flags = r.u8();
-  const auto suite_wire = r.u8();
-  if (!flags || !suite_wire) return std::nullopt;
-  if ((*flags >> kVersionShift) != kVersion) return std::nullopt;
-  const auto suite = crypto::decode_suite(*suite_wire);
+std::optional<FbsHeaderView> FbsHeaderView::parse(util::BytesView wire) {
+  if (wire.size() < FbsHeader::kFixedSize) return std::nullopt;
+  const std::uint8_t flags = wire[0];
+  if ((flags >> kVersionShift) != kVersion) return std::nullopt;
+  const auto suite = crypto::decode_suite(wire[1]);
   if (!suite) return std::nullopt;
+  const std::size_t mac_n = crypto::mac_size(suite->mac);
+  if (wire.size() < FbsHeader::kFixedSize + mac_n) return std::nullopt;
 
+  FbsHeaderView out;
+  out.suite = *suite;
+  out.secret = flags & kFlagSecret;
+  out.sfl = load_be64(wire.data() + 2);
+  out.confounder = load_be32(wire.data() + 10);
+  out.timestamp_minutes = load_be32(wire.data() + 14);
+  out.mac = wire.subspan(FbsHeader::kFixedSize, mac_n);
+  out.body = wire.subspan(FbsHeader::kFixedSize + mac_n);
+  return out;
+}
+
+void FbsHeaderView::serialize_into(util::Bytes& out) const {
+  std::uint8_t flags = static_cast<std::uint8_t>(kVersion << kVersionShift);
+  if (secret) flags |= kFlagSecret;
+  out.push_back(flags);
+  out.push_back(crypto::encode_suite(suite));
+  append_be32(out, static_cast<std::uint32_t>(sfl >> 32));
+  append_be32(out, static_cast<std::uint32_t>(sfl));
+  append_be32(out, confounder);
+  append_be32(out, timestamp_minutes);
+  out.insert(out.end(), mac.begin(), mac.end());
+}
+
+std::optional<FbsHeader::ParsedOut> FbsHeader::parse(util::BytesView wire) {
+  const auto view = FbsHeaderView::parse(wire);
+  if (!view) return std::nullopt;
   ParsedOut out;
-  out.header.suite = *suite;
-  out.header.secret = *flags & kFlagSecret;
-  const auto sfl = r.u64();
-  const auto confounder = r.u32();
-  const auto timestamp = r.u32();
-  const auto mac = r.bytes(crypto::mac_size(suite->mac));
-  if (!sfl || !confounder || !timestamp || !mac) return std::nullopt;
-  out.header.sfl = *sfl;
-  out.header.confounder = *confounder;
-  out.header.timestamp_minutes = *timestamp;
-  out.header.mac = *mac;
-  out.body = r.rest();
+  out.header.suite = view->suite;
+  out.header.secret = view->secret;
+  out.header.sfl = view->sfl;
+  out.header.confounder = view->confounder;
+  out.header.timestamp_minutes = view->timestamp_minutes;
+  out.header.mac.assign(view->mac.begin(), view->mac.end());
+  out.body.assign(view->body.begin(), view->body.end());
   return out;
 }
 

@@ -46,4 +46,24 @@ struct FbsHeader::ParsedOut {
   util::Bytes body;
 };
 
+/// Non-owning header view for the allocation-free datagram path: `mac` and
+/// `body` alias the wire buffer handed to parse(), which must outlive the
+/// view. Field meanings match FbsHeader.
+struct FbsHeaderView {
+  Sfl sfl = 0;
+  std::uint32_t confounder = 0;
+  std::uint32_t timestamp_minutes = 0;
+  util::BytesView mac;
+  crypto::AlgorithmSuite suite;
+  bool secret = false;
+  util::BytesView body;  // remainder of the wire after the header
+
+  /// Allocation-free counterpart of FbsHeader::parse.
+  static std::optional<FbsHeaderView> parse(util::BytesView wire);
+
+  /// Append the serialized header (fixed fields then MAC; `body` is NOT
+  /// written) to `out`, reusing its capacity.
+  void serialize_into(util::Bytes& out) const;
+};
+
 }  // namespace fbs::core

@@ -68,15 +68,16 @@ bool FbsIpMapping::on_output(net::Ipv4Header& header, util::Bytes& payload) {
 
   const bool secret =
       config_.secret_policy ? config_.secret_policy(d.attrs) : true;
-  auto wire = endpoint_.protect(d, secret);
-  if (!wire) {
+  if (!endpoint_.protect_into(d, secret, scratch_wire_)) {
     // Fail closed: traffic must not leave unprotected when keying fails.
     ++counters_.out_dropped;
     payload = std::move(d.body);
     return false;
   }
   ++counters_.out_protected;
-  payload = std::move(*wire);
+  std::swap(payload, scratch_wire_);
+  // Recycle the plaintext buffer as next packet's wire staging.
+  scratch_wire_ = std::move(d.body);
   return true;
 }
 
@@ -91,15 +92,16 @@ bool FbsIpMapping::on_input(const net::Ipv4Header& header,
     return true;
   }
 
-  auto outcome = endpoint_.unprotect(Principal::from_ipv4(header.source),
-                                     payload);
-  if (auto* err = std::get_if<ReceiveError>(&outcome)) {
+  const auto outcome = endpoint_.unprotect_into(
+      Principal::from_ipv4(header.source), payload, scratch_body_);
+  if (const auto* err = std::get_if<ReceiveError>(&outcome)) {
     ++counters_.in_rejected[static_cast<std::size_t>(*err)];
     return false;
   }
-  auto& received = std::get<ReceivedDatagram>(outcome);
   ++counters_.in_accepted;
-  payload = std::move(received.datagram.body);
+  // The old wire buffer (capacity >= any body it can carry) becomes next
+  // packet's body staging, so the steady-state receive hook never allocates.
+  std::swap(payload, scratch_body_);
   return true;
 }
 

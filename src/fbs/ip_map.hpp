@@ -80,6 +80,11 @@ class FbsIpMapping {
   IpMappingConfig config_;
   FbsEndpoint endpoint_;
   Counters counters_;
+
+  /// Wire/body staging reused across packets so the steady-state hook path
+  /// (flow-cache hit, warm buffers) performs no heap allocations.
+  util::Bytes scratch_wire_;
+  util::Bytes scratch_body_;
 };
 
 }  // namespace fbs::core

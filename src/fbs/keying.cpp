@@ -17,6 +17,26 @@ util::Bytes derive_flow_key(crypto::Hash& hash, Sfl sfl,
   return hash.finish();
 }
 
+FlowCryptoContext make_flow_crypto_context(util::Bytes key,
+                                           crypto::AlgorithmSuite suite,
+                                           const crypto::Mac& mac_alg) {
+  FlowCryptoContext ctx;
+  ctx.key = std::move(key);
+  ctx.suite = suite;
+  if (suite.cipher != crypto::CipherAlgorithm::kNone &&
+      ctx.key.size() >= crypto::Des::kKeySize)
+    ctx.des.emplace(
+        util::BytesView(ctx.key).subspan(0, crypto::Des::kKeySize));
+  ctx.mac = mac_alg.make_context(ctx.key);
+  return ctx;
+}
+
+void ensure_suite(FlowCryptoContext& ctx, crypto::AlgorithmSuite suite,
+                  const crypto::Mac& mac_alg) {
+  if (ctx.suite == suite && ctx.mac) return;
+  ctx = make_flow_crypto_context(std::move(ctx.key), suite, mac_alg);
+}
+
 MasterKeyDaemon::MasterKeyDaemon(Principal self, bignum::Uint private_value,
                                  const crypto::DhGroup& group,
                                  const cert::Verifier& verifier,

@@ -24,6 +24,8 @@
 #include "bignum/uint.hpp"
 #include "cert/certificate.hpp"
 #include "cert/directory.hpp"
+#include "crypto/algorithms.hpp"
+#include "crypto/des.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/hash.hpp"
 #include "fbs/caches.hpp"
@@ -38,6 +40,30 @@ namespace fbs::core {
 util::Bytes derive_flow_key(crypto::Hash& hash, Sfl sfl,
                             util::BytesView master_key, const Principal& S,
                             const Principal& D);
+
+/// Everything the datagram hot path needs from a flow key, derived once
+/// when the flow key is: the DES key schedule (16 subkey expansions) and
+/// the keyed MAC context (key hashing plus, for HMAC, both pad blocks).
+/// This is what the TFKC/RFKC and the combined FST+TFKC store, so a cache
+/// hit hands back ready-to-run cryptography instead of raw key bytes.
+struct FlowCryptoContext {
+  util::Bytes key;                  // K_f itself (kept for re-suiting)
+  crypto::AlgorithmSuite suite{};   // what des/mac below were built for
+  std::optional<crypto::Des> des;   // engaged unless the suite is cipherless
+  std::unique_ptr<crypto::MacContext> mac;
+};
+
+/// Build the per-flow context for `suite`. `mac_alg` is the (cached,
+/// per-suite) Mac instance matching suite.mac -- the caller owns it; only
+/// the derived MacContext is stored.
+FlowCryptoContext make_flow_crypto_context(util::Bytes key,
+                                           crypto::AlgorithmSuite suite,
+                                           const crypto::Mac& mac_alg);
+
+/// Rebuild `ctx`'s des/mac for `suite` if it was keyed for a different one
+/// (a receiver can see the same sfl under different header suites).
+void ensure_suite(FlowCryptoContext& ctx, crypto::AlgorithmSuite suite,
+                  const crypto::Mac& mac_alg);
 
 struct MkdStats {
   std::uint64_t upcalls = 0;

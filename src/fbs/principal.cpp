@@ -14,14 +14,25 @@ net::Ipv4Address Principal::ipv4() const {
 }
 
 util::Bytes FlowAttributes::encode() const {
-  util::ByteWriter w(19);
-  w.u8(protocol);
-  w.u32(source_address);
-  w.u16(source_port);
-  w.u32(destination_address);
-  w.u16(destination_port);
-  w.u64(aux);
-  return w.take();
+  util::Bytes out;
+  encode_into(out);
+  return out;
+}
+
+void FlowAttributes::encode_into(util::Bytes& out) const {
+  out.resize(21);
+  std::uint8_t* p = out.data();
+  *p++ = protocol;
+  for (int i = 3; i >= 0; --i)
+    *p++ = static_cast<std::uint8_t>(source_address >> (8 * i));
+  *p++ = static_cast<std::uint8_t>(source_port >> 8);
+  *p++ = static_cast<std::uint8_t>(source_port);
+  for (int i = 3; i >= 0; --i)
+    *p++ = static_cast<std::uint8_t>(destination_address >> (8 * i));
+  *p++ = static_cast<std::uint8_t>(destination_port >> 8);
+  *p++ = static_cast<std::uint8_t>(destination_port);
+  for (int i = 7; i >= 0; --i)
+    *p++ = static_cast<std::uint8_t>(aux >> (8 * i));
 }
 
 }  // namespace fbs::core

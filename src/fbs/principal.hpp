@@ -44,6 +44,10 @@ struct FlowAttributes {
 
   /// Canonical encoding, used as cache/table hash input.
   util::Bytes encode() const;
+
+  /// Encode into a reused buffer (the send fast path probes the combined
+  /// FST+TFKC with this every datagram; a warm buffer never reallocates).
+  void encode_into(util::Bytes& out) const;
 };
 
 /// The uniform datagram structure entering the FBS layer (Section 5.2):

@@ -58,26 +58,24 @@ bool FbsTunnel::on_forward(const net::Ipv4Header& inner,
   }
   d.body = inner.serialize(payload);  // the whole inner packet
 
-  const auto wire = endpoint_.protect(d, /*secret=*/true);
-  if (!wire) {
+  if (!endpoint_.protect_into(d, /*secret=*/true, scratch_wire_)) {
     ++counters_.key_unavailable;
     return true;  // consumed: fail closed, never leak across the wild side
   }
   ++counters_.encapsulated;
-  stack_.output(*remote, net::IpProto::kFbsTunnel, *wire);
+  stack_.output(*remote, net::IpProto::kFbsTunnel, scratch_wire_);
   return true;
 }
 
 void FbsTunnel::on_tunnel_packet(const net::Ipv4Header& outer,
                                  util::Bytes payload) {
-  auto outcome =
-      endpoint_.unprotect(Principal::from_ipv4(outer.source), payload);
+  const auto outcome = endpoint_.unprotect_into(
+      Principal::from_ipv4(outer.source), payload, scratch_inner_);
   if (std::holds_alternative<ReceiveError>(outcome)) {
     ++counters_.rejected;
     return;
   }
-  auto& received = std::get<ReceivedDatagram>(outcome);
-  auto inner = net::Ipv4Header::parse(received.datagram.body);
+  auto inner = net::Ipv4Header::parse(scratch_inner_);
   if (!inner) {
     ++counters_.inner_malformed;
     return;

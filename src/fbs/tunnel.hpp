@@ -63,6 +63,11 @@ class FbsTunnel {
   FbsEndpoint endpoint_;
   std::vector<RemoteNet> remotes_;
   Counters counters_;
+
+  /// Encapsulation staging reused across packets (a gateway forwards a
+  /// stream of them); warm steady state adds no per-packet allocations.
+  util::Bytes scratch_wire_;
+  util::Bytes scratch_inner_;
 };
 
 }  // namespace fbs::core

@@ -15,6 +15,7 @@ const char* to_string(Stage stage) {
     case Stage::kRecvKey: return "recv.key";
     case Stage::kRecvCipher: return "recv.cipher";
     case Stage::kRecvMac: return "recv.mac";
+    case Stage::kRecvFused: return "recv.fused";
   }
   return "unknown";
 }

@@ -29,8 +29,9 @@ enum class Stage {
   kRecvKey,           // receive-side key recovery (RFKC / derivation)
   kRecvCipher,        // body decryption
   kRecvMac,           // MAC verification
+  kRecvFused,         // fused decrypt+MAC pass (replaces kRecvCipher+kRecvMac)
 };
-inline constexpr std::size_t kStageCount = 11;
+inline constexpr std::size_t kStageCount = 12;
 
 const char* to_string(Stage stage);
 

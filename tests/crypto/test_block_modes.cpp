@@ -135,6 +135,48 @@ TEST(BlockModes, CorruptedPaddingDetected) {
   }
 }
 
+TEST(BlockModes, IntoVariantsMatchAllocatingOnes) {
+  // The datagram fast path uses encrypt_into/decrypt_into with a reused
+  // buffer; every mode and length must be bit-identical to the one-shots,
+  // including when the buffer arrives dirty and oversized from a previous
+  // larger datagram.
+  util::SplitMix64 rng(9);
+  const Des des(rng.next_bytes(8));
+  util::Bytes ct_buf(4096, 0xEE);  // dirty, oversized
+  util::Bytes pt_buf(4096, 0xEE);
+  for (auto mode : {CipherMode::kEcb, CipherMode::kCbc, CipherMode::kCfb,
+                    CipherMode::kOfb}) {
+    for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 100u, 1460u}) {
+      const util::Bytes plain = rng.next_bytes(len);
+      const std::uint64_t iv = rng.next_u64();
+      encrypt_into(des, mode, iv, plain, ct_buf);
+      EXPECT_EQ(ct_buf, encrypt(des, mode, iv, plain))
+          << static_cast<int>(mode) << " len " << len;
+      ASSERT_TRUE(decrypt_into(des, mode, iv, ct_buf, pt_buf));
+      EXPECT_EQ(pt_buf, plain) << static_cast<int>(mode) << " len " << len;
+    }
+  }
+}
+
+TEST(BlockModes, DecryptIntoRejectsWhatDecryptRejects) {
+  util::SplitMix64 rng(10);
+  const Des des(rng.next_bytes(8));
+  util::Bytes out;
+  EXPECT_FALSE(decrypt_into(des, CipherMode::kEcb, 0, util::Bytes(13, 0xAA),
+                            out));
+  EXPECT_FALSE(decrypt_into(des, CipherMode::kCbc, 0, util::Bytes{}, out));
+  // Bad PKCS#7 padding: all-zero "ciphertext" decrypts to garbage padding
+  // with overwhelming probability.
+  bool any_rejected = false;
+  for (int i = 0; i < 8; ++i) {
+    util::Bytes junk = rng.next_bytes(16);
+    if (!decrypt_into(des, CipherMode::kCbc, rng.next_u64(), junk, out)) {
+      any_rejected = true;
+    }
+  }
+  EXPECT_TRUE(any_rejected);
+}
+
 TEST(BlockModes, EcbConfounderXorChangesCiphertext) {
   // Section 5.2: in ECB the confounder is XOR'ed with every plaintext block.
   util::SplitMix64 rng(8);

@@ -53,5 +53,87 @@ TEST(Fused, DecryptsAndVerifiesLikeNormalOutput) {
   EXPECT_EQ(mac.compute(mac_key, {prefix, *plain}), fused.mac);
 }
 
+class FusedIntoSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FusedIntoSweep, SealIntoMatchesOneShot) {
+  // The per-flow-context seal must be bit-identical to the one-shot form:
+  // same MAC (the context has the key pre-absorbed) and same ciphertext,
+  // with the output buffer arriving dirty from a previous datagram.
+  const std::size_t size = GetParam();
+  util::SplitMix64 rng(size + 7);
+  const util::Bytes mac_key = rng.next_bytes(16);
+  const util::Bytes prefix = rng.next_bytes(8);
+  const util::Bytes body = rng.next_bytes(size);
+  const Des des(rng.next_bytes(8));
+  const std::uint64_t iv = rng.next_u64();
+
+  const FusedResult one_shot =
+      fused_keyed_md5_des_cbc(des, iv, mac_key, prefix, body);
+
+  KeyedPrefixMac mac_alg(std::make_unique<Md5>());
+  const auto ctx = mac_alg.make_context(mac_key);
+  std::uint8_t tag[16];
+  util::Bytes ct(1, 0xEE);  // dirty
+  fused_seal_into(des, iv, *ctx, prefix, body, tag, ct);
+  EXPECT_EQ(util::Bytes(tag, tag + 16), one_shot.mac);
+  EXPECT_EQ(ct, one_shot.ciphertext);
+
+  // And open_into inverts it, producing the sender's tag.
+  std::uint8_t rtag[16];
+  util::Bytes back(1, 0xEE);
+  ASSERT_TRUE(fused_open_into(des, iv, *ctx, prefix, ct, rtag, back));
+  EXPECT_EQ(back, body);
+  EXPECT_EQ(util::Bytes(rtag, rtag + 16), one_shot.mac);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FusedIntoSweep,
+                         ::testing::Values(0u, 1u, 7u, 8u, 9u, 15u, 16u, 63u,
+                                           64u, 100u, 1024u, 1460u, 8192u));
+
+TEST(Fused, OpenIntoRejectsMalformedCiphertext) {
+  util::SplitMix64 rng(123);
+  const Des des(rng.next_bytes(8));
+  KeyedPrefixMac mac_alg(std::make_unique<Md5>());
+  const auto ctx = mac_alg.make_context(rng.next_bytes(16));
+  std::uint8_t tag[16];
+  util::Bytes body;
+  // Empty and non-block-multiple inputs are malformed (a sealed body always
+  // carries at least the padding block).
+  EXPECT_FALSE(fused_open_into(des, 0, *ctx, {}, util::Bytes{}, tag, body));
+  EXPECT_FALSE(
+      fused_open_into(des, 0, *ctx, {}, util::Bytes(13, 0xAB), tag, body));
+  // Random blocks decrypt to bad PKCS#7 padding with high probability.
+  bool any_rejected = false;
+  for (int i = 0; i < 8; ++i) {
+    if (!fused_open_into(des, rng.next_u64(), *ctx, {}, rng.next_bytes(16),
+                         tag, body)) {
+      any_rejected = true;
+    }
+  }
+  EXPECT_TRUE(any_rejected);
+}
+
+TEST(Fused, ContextIsReusableAcrossDatagrams) {
+  // One MacContext serves a whole flow: sealing different bodies back to
+  // back must give each its independent correct tag (begin() resets state).
+  util::SplitMix64 rng(321);
+  const util::Bytes mac_key = rng.next_bytes(16);
+  const Des des(rng.next_bytes(8));
+  KeyedPrefixMac mac_alg(std::make_unique<Md5>());
+  const auto ctx = mac_alg.make_context(mac_key);
+  util::Bytes ct;
+  for (int i = 0; i < 4; ++i) {
+    const util::Bytes prefix = rng.next_bytes(8);
+    const util::Bytes body = rng.next_bytes(100 + 13 * i);
+    const std::uint64_t iv = rng.next_u64();
+    std::uint8_t tag[16];
+    fused_seal_into(des, iv, *ctx, prefix, body, tag, ct);
+    const FusedResult expect =
+        fused_keyed_md5_des_cbc(des, iv, mac_key, prefix, body);
+    EXPECT_EQ(util::Bytes(tag, tag + 16), expect.mac) << i;
+    EXPECT_EQ(ct, expect.ciphertext) << i;
+  }
+}
+
 }  // namespace
 }  // namespace fbs::crypto

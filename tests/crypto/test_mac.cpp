@@ -117,6 +117,54 @@ TEST(Mac, SizesMatchUnderlyingHash) {
   EXPECT_EQ(HmacMac(std::make_unique<Sha1>()).mac_size(), 20u);
 }
 
+TEST(MacContext, MatchesOneShotComputeForEveryAlgorithm) {
+  // The per-flow streaming contexts (key precomputed once, then
+  // begin/update/finish_into per datagram) must agree with Mac::compute for
+  // every algorithm, key length (short, block-sized, overlong), and
+  // chunking, across repeated reuse of one context.
+  const util::Bytes keys[] = {
+      util::to_bytes("k"), util::Bytes(16, 0x0b), util::Bytes(64, 0x3c),
+      util::Bytes(80, 0xaa),  // overlong: exercises hash-the-key
+  };
+  const util::Bytes a = util::to_bytes("confounder+ts");
+  const util::Bytes b = util::to_bytes("payload bytes of a datagram");
+  std::unique_ptr<Mac> macs[] = {
+      std::make_unique<KeyedPrefixMac>(std::make_unique<Md5>()),
+      std::make_unique<KeyedPrefixMac>(std::make_unique<Sha1>()),
+      std::make_unique<HmacMac>(std::make_unique<Md5>()),
+      std::make_unique<HmacMac>(std::make_unique<Sha1>()),
+      std::make_unique<NullMac>(),
+  };
+  for (const auto& mac : macs) {
+    for (const util::Bytes& key : keys) {
+      const auto ctx = mac->make_context(key);
+      ASSERT_EQ(ctx->mac_size(), mac->mac_size());
+      for (int round = 0; round < 3; ++round) {  // context reuse
+        ctx->begin();
+        ctx->update(a);
+        ctx->update(b);
+        util::Bytes tag(ctx->mac_size());
+        ctx->finish_into(tag.data());
+        EXPECT_EQ(tag, mac->compute(key, {a, b}))
+            << "key len " << key.size() << " round " << round;
+      }
+    }
+  }
+}
+
+TEST(MacContext, AbandonedMessageDoesNotPoisonTheNext) {
+  // The receive path bails out mid-datagram on padding failures; the next
+  // datagram's begin() must fully reset the context.
+  HmacMac mac(std::make_unique<Md5>());
+  const util::Bytes key = util::to_bytes("flow key");
+  const auto ctx = mac.make_context(key);
+  ctx->begin();
+  ctx->update(util::to_bytes("partial garbage never finished"));
+  ctx->begin();
+  ctx->update(util::to_bytes("Hi There"));
+  EXPECT_EQ(ctx->finish(), mac.compute(key, {util::to_bytes("Hi There")}));
+}
+
 TEST(Mac, HmacDiffersFromKeyedPrefix) {
   const util::Bytes key = util::to_bytes("key");
   const util::Bytes msg = util::to_bytes("msg");

@@ -1,0 +1,126 @@
+// The tentpole perf claim, enforced: once a flow is warm (key derived,
+// crypto context cached, scratch buffers sized), protect_into() and
+// unprotect_into() perform ZERO heap allocations per datagram. Global
+// operator new/delete are replaced with counting versions; the counters
+// must not move across the steady-state calls.
+//
+// This test gets its own binary: replacing the global allocator is a
+// whole-program property and must not be linked into the other suites.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "fbs/engine.hpp"
+#include "support/world.hpp"
+
+namespace {
+std::size_t g_news = 0;  // every operator new/new[] call
+bool g_counting = false;
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting) ++g_news;
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fbs::core {
+namespace {
+
+using testing::TestWorld;
+
+Datagram make_datagram(const Principal& src, const Principal& dst,
+                       std::size_t body_size) {
+  Datagram d;
+  d.source = src;
+  d.destination = dst;
+  d.attrs.protocol = 17;
+  d.attrs.source_address = src.ipv4().value;
+  d.attrs.source_port = 5001;
+  d.attrs.destination_address = dst.ipv4().value;
+  d.attrs.destination_port = 5002;
+  d.body = util::Bytes(body_size, 0x5A);
+  return d;
+}
+
+class CountingScope {
+ public:
+  CountingScope() {
+    g_news = 0;
+    g_counting = true;
+  }
+  ~CountingScope() { g_counting = false; }
+  std::size_t news() const { return g_news; }
+};
+
+void run_steady_state(bool secret, bool combined) {
+  TestWorld world(4242);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsConfig cfg;
+  cfg.combined_fst_tfkc = combined;
+  FbsEndpoint alice(a.principal, cfg, *a.keys, world.clock, world.rng);
+  FbsEndpoint bob(b.principal, cfg, *b.keys, world.clock, world.rng);
+
+  const Datagram d = make_datagram(a.principal, b.principal, 1400);
+  util::Bytes wire;
+  util::Bytes body;
+
+  // Warm-up: derive the flow key, build the per-flow crypto contexts, and
+  // size every scratch buffer on both ends.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(alice.protect_into(d, secret, wire));
+    const auto outcome = bob.unprotect_into(a.principal, wire, body);
+    ASSERT_TRUE(std::holds_alternative<ReceivedInfo>(outcome));
+    ASSERT_EQ(body, d.body);
+  }
+
+  // Steady state: not a single heap allocation per datagram, either side.
+  for (int i = 0; i < 16; ++i) {
+    {
+      CountingScope scope;
+      ASSERT_TRUE(alice.protect_into(d, secret, wire));
+      EXPECT_EQ(scope.news(), 0u)
+          << "protect_into allocated (secret=" << secret
+          << " combined=" << combined << " iteration " << i << ")";
+    }
+    {
+      CountingScope scope;
+      const auto outcome = bob.unprotect_into(a.principal, wire, body);
+      EXPECT_EQ(scope.news(), 0u)
+          << "unprotect_into allocated (secret=" << secret
+          << " combined=" << combined << " iteration " << i << ")";
+      ASSERT_TRUE(std::holds_alternative<ReceivedInfo>(outcome));
+    }
+    ASSERT_EQ(body, d.body);
+  }
+}
+
+TEST(ZeroAlloc, SecretDatagramSteadyStateCombinedPath) {
+  run_steady_state(/*secret=*/true, /*combined=*/true);
+}
+
+TEST(ZeroAlloc, PlainDatagramSteadyStateCombinedPath) {
+  run_steady_state(/*secret=*/false, /*combined=*/true);
+}
+
+TEST(ZeroAlloc, CountersActuallyCount) {
+  // Sanity-check the hook itself so a silent linker surprise (the default
+  // allocator winning) cannot make the suite pass vacuously.
+  CountingScope scope;
+  auto* p = new std::uint64_t(7);
+  EXPECT_GE(scope.news(), 1u);
+  delete p;
+}
+
+}  // namespace
+}  // namespace fbs::core

@@ -3,6 +3,10 @@
 #
 #   tools/check.sh             # RelWithDebInfo build, all suites
 #   tools/check.sh --sanitize  # same suites under ASan+UBSan (FBS_SANITIZE=ON)
+#   tools/check.sh --bench-smoke  # Release build, run the crypto + fig8
+#                                 # benches' self-timed passes and diff their
+#                                 # gauges against the BENCH_seed.json
+#                                 # baseline (regressions exit non-zero)
 #   FBS_CHECK_JOBS=8 tools/check.sh   # override parallelism (default: nproc)
 #
 # Exit status is non-zero as soon as any step fails.
@@ -18,6 +22,42 @@ if [ "${1:-}" = "--sanitize" ]; then
 fi
 
 JOBS="${FBS_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+if [ "${1:-}" = "--bench-smoke" ]; then
+  # Benches must be measured at full optimization; this matches the
+  # "release" CMake preset. The google-benchmark loops are skipped (filter
+  # matches nothing) -- the machine-readable gauges come from each bench's
+  # self-timed emit_metrics pass, which is the part the baseline pins.
+  BUILD_DIR=build-release
+  echo "== configure ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  echo "== build benches =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target fbs_bench_crypto fbs_bench_fig8_throughput
+  OUT_DIR="$BUILD_DIR/bench-smoke"
+  mkdir -p "$OUT_DIR"
+  echo "== bench_crypto =="
+  FBS_METRICS_OUT="$OUT_DIR/fbs_bench_crypto.json" \
+    "$BUILD_DIR/bench/fbs_bench_crypto" --benchmark_filter='$^'
+  echo "== bench_fig8_throughput =="
+  FBS_METRICS_OUT="$OUT_DIR/fbs_bench_fig8_throughput.json" \
+    "$BUILD_DIR/bench/fbs_bench_fig8_throughput" --benchmark_filter='$^'
+  echo "== combine snapshots =="
+  python3 - "$OUT_DIR" <<'EOF'
+import json, sys, os
+out_dir = sys.argv[1]
+combined = {}
+for name in ("fbs_bench_crypto", "fbs_bench_fig8_throughput"):
+    with open(os.path.join(out_dir, name + ".json")) as f:
+        combined[name] = json.load(f)
+with open(os.path.join(out_dir, "current.json"), "w") as f:
+    json.dump(combined, f, indent=1)
+EOF
+  echo "== compare against BENCH_seed.json =="
+  python3 tools/bench_compare.py BENCH_seed.json "$OUT_DIR/current.json" --all
+  echo "Bench smoke passed."
+  exit 0
+fi
 
 echo "== configure ($BUILD_DIR) =="
 cmake -B "$BUILD_DIR" -S . $CONFIG_ARGS
