@@ -2,6 +2,42 @@
 
 namespace fbs::cert {
 
+const char* to_string(WireDecodeError e) {
+  switch (e) {
+    case WireDecodeError::kTruncated: return "truncated";
+    case WireDecodeError::kOversizedField: return "oversized-field";
+    case WireDecodeError::kTrailingBytes: return "trailing-bytes";
+    case WireDecodeError::kBadValue: return "bad-value";
+  }
+  return "?";
+}
+
+namespace {
+
+void set_error(WireDecodeError* error, WireDecodeError e) {
+  if (error) *error = e;
+}
+
+/// Read a u32-length-prefixed field, enforcing the per-field cap before the
+/// (already bounds-checked) copy.
+std::optional<util::Bytes> read_field(util::ByteReader& r,
+                                      WireDecodeError* error) {
+  const auto len = r.u32();
+  if (!len) {
+    set_error(error, WireDecodeError::kTruncated);
+    return std::nullopt;
+  }
+  if (*len > PublicValueCertificate::kMaxFieldSize) {
+    set_error(error, WireDecodeError::kOversizedField);
+    return std::nullopt;
+  }
+  auto bytes = r.bytes(*len);
+  if (!bytes) set_error(error, WireDecodeError::kTruncated);
+  return bytes;
+}
+
+}  // namespace
+
 util::Bytes PublicValueCertificate::tbs_bytes() const {
   util::ByteWriter w;
   w.u32(static_cast<std::uint32_t>(subject.size()));
@@ -14,6 +50,51 @@ util::Bytes PublicValueCertificate::tbs_bytes() const {
   w.u64(static_cast<std::uint64_t>(not_after));
   w.u64(serial);
   return w.take();
+}
+
+util::Bytes PublicValueCertificate::serialize() const {
+  util::ByteWriter w;
+  w.bytes(tbs_bytes());
+  w.u32(static_cast<std::uint32_t>(signature.size()));
+  w.bytes(signature);
+  return w.take();
+}
+
+std::optional<PublicValueCertificate> PublicValueCertificate::parse(
+    util::BytesView wire, WireDecodeError* error) {
+  util::ByteReader r(wire);
+  PublicValueCertificate cert;
+
+  const auto subject = read_field(r, error);
+  if (!subject) return std::nullopt;
+  cert.subject = *subject;
+  const auto group = read_field(r, error);
+  if (!group) return std::nullopt;
+  cert.group_name = util::to_string(*group);
+  const auto public_value = read_field(r, error);
+  if (!public_value) return std::nullopt;
+  cert.public_value = *public_value;
+
+  const auto not_before = r.u64();
+  const auto not_after = r.u64();
+  const auto serial = r.u64();
+  if (!not_before || !not_after || !serial) {
+    set_error(error, WireDecodeError::kTruncated);
+    return std::nullopt;
+  }
+  cert.not_before = static_cast<util::TimeUs>(*not_before);
+  cert.not_after = static_cast<util::TimeUs>(*not_after);
+  cert.serial = *serial;
+
+  const auto signature = read_field(r, error);
+  if (!signature) return std::nullopt;
+  cert.signature = *signature;
+
+  if (r.remaining() != 0) {
+    set_error(error, WireDecodeError::kTrailingBytes);
+    return std::nullopt;
+  }
+  return cert;
 }
 
 CertificateAuthority::CertificateAuthority(std::size_t rsa_bits,
@@ -66,6 +147,9 @@ std::optional<crypto::RsaPublicKey> parse_rsa_public(util::BytesView wire) {
   if (!n || !e_len) return std::nullopt;
   const auto e = r.bytes(*e_len);
   if (!e) return std::nullopt;
+  // A delegation's public_value is attacker-suppliable wire; the encoding
+  // is canonical, so trailing bytes mean forgery or corruption.
+  if (r.remaining() != 0) return std::nullopt;
   return crypto::RsaPublicKey{bignum::Uint::from_bytes_be(*n),
                               bignum::Uint::from_bytes_be(*e)};
 }

@@ -20,7 +20,24 @@
 
 namespace fbs::cert {
 
+/// Why a wire decode of a certificate or directory message was rejected.
+/// Counted per kind by DirectoryService (the decoders sit on the insecure
+/// bypass, so every rejection is a potential attack worth observing).
+enum class WireDecodeError : std::uint8_t {
+  kTruncated,       // a field (or its length prefix) ran past the buffer
+  kOversizedField,  // a length field exceeded the per-field hard cap
+  kTrailingBytes,   // decode succeeded but bytes remained (non-canonical)
+  kBadValue,        // a tag/status/kind byte outside its domain
+};
+inline constexpr std::size_t kWireDecodeErrorKinds = 4;
+const char* to_string(WireDecodeError e);
+
 struct PublicValueCertificate {
+  /// Hard cap on each variable-length field in the wire encoding. A forged
+  /// length cannot make the decoder read past the buffer (ByteReader is
+  /// bounds-checked) but without a cap it could still demand absurd copies.
+  static constexpr std::size_t kMaxFieldSize = 1 << 16;
+
   util::Bytes subject;        // principal address (opaque to this layer)
   std::string group_name;     // DH group the public value belongs to
   util::Bytes public_value;   // big-endian g^x mod p
@@ -31,6 +48,18 @@ struct PublicValueCertificate {
 
   /// Canonical "to-be-signed" encoding (everything but the signature).
   util::Bytes tbs_bytes() const;
+
+  /// Full wire encoding: tbs_bytes() followed by the length-prefixed
+  /// signature. parse() is its exact inverse (byte-identical round trip),
+  /// so the signature of a re-encoded certificate still verifies.
+  util::Bytes serialize() const;
+
+  /// Bounds-checked decode. Every length field is validated against both
+  /// the remaining buffer and kMaxFieldSize, and trailing bytes are
+  /// rejected (the encoding is canonical). On failure `error`, when given,
+  /// receives the reason.
+  static std::optional<PublicValueCertificate> parse(
+      util::BytesView wire, WireDecodeError* error = nullptr);
 };
 
 /// Why verification rejected a certificate (useful for audit counters).

@@ -4,6 +4,130 @@
 
 namespace fbs::cert {
 
+namespace {
+void set_error(WireDecodeError* error, WireDecodeError e) {
+  if (error) *error = e;
+}
+}  // namespace
+
+util::Bytes DirectoryRequest::serialize() const {
+  util::ByteWriter w(5 + subject.size());
+  w.u8(kWireKind);
+  w.u32(static_cast<std::uint32_t>(subject.size()));
+  w.bytes(subject);
+  return w.take();
+}
+
+std::optional<DirectoryRequest> DirectoryRequest::parse(
+    util::BytesView wire, WireDecodeError* error) {
+  util::ByteReader r(wire);
+  const auto kind = r.u8();
+  if (!kind) {
+    set_error(error, WireDecodeError::kTruncated);
+    return std::nullopt;
+  }
+  if (*kind != kWireKind) {
+    set_error(error, WireDecodeError::kBadValue);
+    return std::nullopt;
+  }
+  const auto len = r.u32();
+  if (!len) {
+    set_error(error, WireDecodeError::kTruncated);
+    return std::nullopt;
+  }
+  if (*len > PublicValueCertificate::kMaxFieldSize) {
+    set_error(error, WireDecodeError::kOversizedField);
+    return std::nullopt;
+  }
+  auto subject = r.bytes(*len);
+  if (!subject) {
+    set_error(error, WireDecodeError::kTruncated);
+    return std::nullopt;
+  }
+  if (r.remaining() != 0) {
+    set_error(error, WireDecodeError::kTrailingBytes);
+    return std::nullopt;
+  }
+  return DirectoryRequest{std::move(*subject)};
+}
+
+util::Bytes DirectoryResponse::serialize() const {
+  util::ByteWriter w;
+  w.u8(kWireKind);
+  w.u8(static_cast<std::uint8_t>(status));
+  if (status == FetchStatus::kOk && cert) {
+    const util::Bytes body = cert->serialize();
+    w.u32(static_cast<std::uint32_t>(body.size()));
+    w.bytes(body);
+  }
+  return w.take();
+}
+
+std::optional<DirectoryResponse> DirectoryResponse::parse(
+    util::BytesView wire, WireDecodeError* error) {
+  util::ByteReader r(wire);
+  const auto kind = r.u8();
+  const auto status_raw = r.u8();
+  if (!kind || !status_raw) {
+    set_error(error, WireDecodeError::kTruncated);
+    return std::nullopt;
+  }
+  if (*kind != kWireKind ||
+      *status_raw > static_cast<std::uint8_t>(FetchStatus::kUnavailable)) {
+    set_error(error, WireDecodeError::kBadValue);
+    return std::nullopt;
+  }
+  DirectoryResponse out;
+  out.status = static_cast<FetchStatus>(*status_raw);
+  if (out.status == FetchStatus::kOk) {
+    const auto len = r.u32();
+    if (!len) {
+      set_error(error, WireDecodeError::kTruncated);
+      return std::nullopt;
+    }
+    // The certificate's own per-field caps bound each inner length; the
+    // outer frame only needs to agree with the buffer.
+    const auto body = r.bytes(*len);
+    if (!body) {
+      set_error(error, WireDecodeError::kTruncated);
+      return std::nullopt;
+    }
+    out.cert = PublicValueCertificate::parse(*body, error);
+    if (!out.cert) return std::nullopt;
+  }
+  if (r.remaining() != 0) {
+    set_error(error, WireDecodeError::kTrailingBytes);
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<DirectoryResponse> DirectoryService::serve_wire(
+    util::BytesView request_wire) {
+  WireDecodeError err{};
+  const auto request = DirectoryRequest::parse(request_wire, &err);
+  if (!request) {
+    ++decode_rejects_[static_cast<std::size_t>(err)];
+    return std::nullopt;
+  }
+  const FetchResult result = fetch(request->subject);
+  DirectoryResponse response;
+  response.status = result.status;
+  if (result.ok()) response.cert = result.cert;
+  return response;
+}
+
+bool DirectoryService::publish_wire(util::BytesView cert_wire) {
+  WireDecodeError err{};
+  const auto cert = PublicValueCertificate::parse(cert_wire, &err);
+  if (!cert) {
+    ++decode_rejects_[static_cast<std::size_t>(err)];
+    return false;
+  }
+  publish(*cert);
+  return true;
+}
+
 void DirectoryService::publish(const PublicValueCertificate& cert) {
   certs_[cert.subject] = cert;
 }
@@ -72,6 +196,10 @@ void DirectoryService::register_metrics(obs::MetricsRegistry& registry,
     emit.counter(prefix + ".failed", failed_fetches_);
     emit.counter(prefix + ".slow", slow_fetches_);
     emit.counter(prefix + ".fetch_delay_us", total_fetch_delay_);
+    for (std::size_t i = 0; i < kWireDecodeErrorKinds; ++i)
+      emit.counter(prefix + ".decode_rejects." +
+                       to_string(static_cast<WireDecodeError>(i)),
+                   decode_rejects_[i]);
   });
 }
 

@@ -16,6 +16,7 @@
 // former is worth retrying.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -46,6 +47,33 @@ struct FetchResult {
   const PublicValueCertificate* operator->() const { return &*cert; }
 };
 
+/// The keying-plane messages of the secure-flow bypass (Section 5.3): an
+/// MKD's certificate fetch and the directory's reply travel *unprotected*
+/// ("it need not be secure because the certificates are to be verified on
+/// receipt"), so these decoders face raw attacker bytes. Both encodings are
+/// canonical: parse() rejects trailing bytes and out-of-domain tags, and
+/// serialize()/parse() round-trip byte-identically.
+struct DirectoryRequest {
+  static constexpr std::uint8_t kWireKind = 0x01;
+
+  util::Bytes subject;
+
+  util::Bytes serialize() const;
+  static std::optional<DirectoryRequest> parse(
+      util::BytesView wire, WireDecodeError* error = nullptr);
+};
+
+struct DirectoryResponse {
+  static constexpr std::uint8_t kWireKind = 0x02;
+
+  FetchStatus status = FetchStatus::kNotFound;
+  std::optional<PublicValueCertificate> cert;  // present iff status == kOk
+
+  util::Bytes serialize() const;
+  static std::optional<DirectoryResponse> parse(
+      util::BytesView wire, WireDecodeError* error = nullptr);
+};
+
 /// Seeded fault model for fetches. All draws come from the plan's own RNG so
 /// a given (plan, call sequence) misbehaves identically across runs.
 struct FaultPlan {
@@ -74,6 +102,13 @@ class DirectoryService {
   /// pay the round trip (the timeout is at least as long as the RTT).
   FetchResult fetch(util::BytesView subject);
 
+  /// Wire entry points for the bypass protocol. serve_wire decodes a fetch
+  /// request and answers it; publish_wire ingests a serialized certificate
+  /// (e.g. a CA pushing a renewal). Malformed input is rejected -- nullopt /
+  /// false -- and counted per WireDecodeError kind for the metrics layer.
+  std::optional<DirectoryResponse> serve_wire(util::BytesView request_wire);
+  bool publish_wire(util::BytesView cert_wire);
+
   /// Install/remove the probabilistic fault model.
   void set_fault_plan(const FaultPlan& plan);
   void clear_fault_plan() { plan_.reset(); }
@@ -84,6 +119,9 @@ class DirectoryService {
   void clear_outages() { outages_.clear(); }
 
   std::uint64_t fetch_count() const { return fetch_count_; }
+  std::uint64_t decode_rejects(WireDecodeError e) const {
+    return decode_rejects_[static_cast<std::size_t>(e)];
+  }
   std::uint64_t failed_fetches() const { return failed_fetches_; }
   std::uint64_t slow_fetches() const { return slow_fetches_; }
   util::TimeUs total_fetch_delay() const { return total_fetch_delay_; }
@@ -112,6 +150,7 @@ class DirectoryService {
   std::uint64_t failed_fetches_ = 0;
   std::uint64_t slow_fetches_ = 0;
   util::TimeUs total_fetch_delay_ = 0;
+  std::array<std::uint64_t, kWireDecodeErrorKinds> decode_rejects_{};
 };
 
 }  // namespace fbs::cert

@@ -24,8 +24,8 @@ struct FusedResult {
 };
 
 /// One pass over `body`: keyed-MD5 MAC over the plaintext and DES-CBC
-/// encryption with `iv`. `mac_prefix` is the confounder|timestamp material
-/// hashed between the key and the payload.
+/// encryption with `iv`. `mac_prefix` is the header material (the caller's
+/// flags|suite|confounder|timestamp) hashed between the key and the payload.
 FusedResult fused_keyed_md5_des_cbc(const Des& des, std::uint64_t iv,
                                     util::BytesView mac_key,
                                     util::BytesView mac_prefix,

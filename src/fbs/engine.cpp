@@ -8,14 +8,23 @@ namespace fbs::core {
 
 namespace {
 
-/// 4-byte confounder + 4-byte timestamp, the MAC's non-payload input
-/// (Section 5.2: MAC is keyed on Kf and covers confounder, timestamp and
-/// payload). Written into a stack buffer on the datagram path.
-void mac_prefix_into(std::uint32_t confounder, std::uint32_t timestamp,
-                     std::uint8_t out[8]) {
+/// The MAC's non-payload input: flags byte, suite byte, 4-byte confounder,
+/// 4-byte timestamp (Section 5.2 keys the MAC on Kf over confounder,
+/// timestamp and payload; we additionally cover the flags and algorithm
+/// bytes we carry, because neither participates in any other computation
+/// when the body is plaintext -- fuzzing found that an on-path attacker
+/// could rewrite the cipher nibble of a non-secret datagram and still have
+/// it accepted). Written into a stack buffer on the datagram path.
+constexpr std::size_t kMacPrefixSize = 10;
+
+void mac_prefix_into(std::uint8_t flags, std::uint8_t suite,
+                     std::uint32_t confounder, std::uint32_t timestamp,
+                     std::uint8_t out[kMacPrefixSize]) {
+  out[0] = flags;
+  out[1] = suite;
   for (int i = 0; i < 4; ++i) {
-    out[i] = static_cast<std::uint8_t>(confounder >> (24 - 8 * i));
-    out[4 + i] = static_cast<std::uint8_t>(timestamp >> (24 - 8 * i));
+    out[2 + i] = static_cast<std::uint8_t>(confounder >> (24 - 8 * i));
+    out[6 + i] = static_cast<std::uint8_t>(timestamp >> (24 - 8 * i));
   }
 }
 
@@ -187,8 +196,9 @@ bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
   header.secret =
       secret && config_.suite.cipher != crypto::CipherAlgorithm::kNone;
 
-  std::uint8_t prefix[8];
-  mac_prefix_into(header.confounder, header.timestamp_minutes, prefix);
+  std::uint8_t prefix[kMacPrefixSize];
+  mac_prefix_into(header.flags_byte(), header.suite_byte(),
+                  header.confounder, header.timestamp_minutes, prefix);
   std::uint8_t mac_buf[kMaxMacSize];
   const std::size_t mac_n = ctx->mac->mac_size();
 
@@ -200,7 +210,7 @@ bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
     // over the payload (bit-identical to the two-pass path).
     auto fused_timer = tracer_.start(obs::Stage::kSendFused);
     crypto::fused_seal_into(*ctx->des, confounder_iv(header.confounder),
-                            *ctx->mac, {prefix, 8}, d.body, mac_buf,
+                            *ctx->mac, {prefix, kMacPrefixSize}, d.body, mac_buf,
                             scratch_body_);
     body = scratch_body_;
     ++send_stats_.encrypted;
@@ -208,7 +218,7 @@ bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
     {
       auto mac_timer = tracer_.start(obs::Stage::kSendMac);
       ctx->mac->begin();
-      ctx->mac->update({prefix, 8});
+      ctx->mac->update({prefix, kMacPrefixSize});
       ctx->mac->update(d.body);
       ctx->mac->finish_into(mac_buf);
     }
@@ -284,6 +294,14 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
   parse_timer.finish();
   if (!header) return reject(ReceiveError::kMalformed);
 
+  // The header's algorithm field is attacker-controlled, and the NOP suite's
+  // "MAC" is a public constant: honoring a wire-chosen kNull suite would let
+  // anyone forge datagrams carrying sixteen zero bytes as the tag. Only an
+  // endpoint explicitly configured for NOP measurement runs may accept it.
+  if (header->suite.mac == crypto::MacAlgorithm::kNull &&
+      config_.suite.mac != crypto::MacAlgorithm::kNull)
+    return reject(ReceiveError::kMalformed);
+
   // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
   // The check is read-only; the seen-MAC cache is only committed to after
   // the MAC verifies, so a forged body cannot poison it (see replay.hpp).
@@ -308,8 +326,9 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
   key_timer.finish();
   if (!ctx) return reject(ReceiveError::kUnknownPeer);
 
-  std::uint8_t prefix[8];
-  mac_prefix_into(header->confounder, header->timestamp_minutes, prefix);
+  std::uint8_t prefix[kMacPrefixSize];
+  mac_prefix_into(header->flags_byte(), header->suite_byte(),
+                  header->confounder, header->timestamp_minutes, prefix);
   std::uint8_t mac_buf[kMaxMacSize];
   const std::size_t mac_n = ctx->mac->mac_size();
 
@@ -324,7 +343,7 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
       auto fused_timer = tracer_.start(obs::Stage::kRecvFused);
       const bool ok = crypto::fused_open_into(
           *ctx->des, confounder_iv(header->confounder), *ctx->mac,
-          {prefix, 8}, header->body, mac_buf, body_out);
+          {prefix, kMacPrefixSize}, header->body, mac_buf, body_out);
       fused_timer.finish();
       if (!ok) return reject(ReceiveError::kDecryptFailed);
     } else {
@@ -337,7 +356,7 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
       if (!ok) return reject(ReceiveError::kDecryptFailed);
       auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
       ctx->mac->begin();
-      ctx->mac->update({prefix, 8});
+      ctx->mac->update({prefix, kMacPrefixSize});
       ctx->mac->update(body_out);
       ctx->mac->finish_into(mac_buf);
     }
@@ -345,12 +364,14 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
     body_out.assign(header->body.begin(), header->body.end());
     auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
     ctx->mac->begin();
-    ctx->mac->update({prefix, 8});
+    ctx->mac->update({prefix, kMacPrefixSize});
     ctx->mac->update(body_out);
     ctx->mac->finish_into(mac_buf);
   }
 
-  // (R7-9) the MAC covers confounder | timestamp | plaintext body.
+  // (R7-9) the MAC covers flags | suite | confounder | timestamp | plaintext
+  // body: every header bit is either authenticated here or validated by
+  // parse (version, reserved flags) or by key selection (sfl).
   if (!util::ct_equal({mac_buf, mac_n}, header->mac))
     return reject(ReceiveError::kBadMac);
 

@@ -4,6 +4,11 @@ namespace fbs::core {
 
 namespace {
 constexpr std::uint8_t kFlagSecret = 0x01;
+// The three unassigned flag bits. Every encoder writes them as zero; the
+// decoders reject anything else, both to keep the wire encoding canonical
+// (one datagram, one encoding) and so future assignments of these bits
+// cannot be silently ignored by old receivers.
+constexpr std::uint8_t kFlagsReservedMask = 0x0E;
 constexpr std::uint8_t kVersionShift = 4;
 constexpr std::uint8_t kVersion = 1;
 
@@ -42,6 +47,7 @@ std::optional<FbsHeaderView> FbsHeaderView::parse(util::BytesView wire) {
   if (wire.size() < FbsHeader::kFixedSize) return std::nullopt;
   const std::uint8_t flags = wire[0];
   if ((flags >> kVersionShift) != kVersion) return std::nullopt;
+  if (flags & kFlagsReservedMask) return std::nullopt;
   const auto suite = crypto::decode_suite(wire[1]);
   if (!suite) return std::nullopt;
   const std::size_t mac_n = crypto::mac_size(suite->mac);
@@ -58,10 +64,14 @@ std::optional<FbsHeaderView> FbsHeaderView::parse(util::BytesView wire) {
   return out;
 }
 
-void FbsHeaderView::serialize_into(util::Bytes& out) const {
+std::uint8_t FbsHeaderView::flags_byte() const {
   std::uint8_t flags = static_cast<std::uint8_t>(kVersion << kVersionShift);
   if (secret) flags |= kFlagSecret;
-  out.push_back(flags);
+  return flags;
+}
+
+void FbsHeaderView::serialize_into(util::Bytes& out) const {
+  out.push_back(flags_byte());
   out.push_back(crypto::encode_suite(suite));
   append_be32(out, static_cast<std::uint32_t>(sfl >> 32));
   append_be32(out, static_cast<std::uint32_t>(sfl));

@@ -61,6 +61,13 @@ struct FbsHeaderView {
   /// Allocation-free counterpart of FbsHeader::parse.
   static std::optional<FbsHeaderView> parse(util::BytesView wire);
 
+  /// The wire flags byte (version nibble + secret bit; reserved bits are
+  /// always zero -- parse rejects anything else). Together with the suite
+  /// byte this is part of the MAC input: every header bit an attacker can
+  /// flip is either MAC-covered or independently validated.
+  std::uint8_t flags_byte() const;
+  std::uint8_t suite_byte() const { return crypto::encode_suite(suite); }
+
   /// Append the serialized header (fixed fields then MAC; `body` is NOT
   /// written) to `out`, reusing its capacity.
   void serialize_into(util::Bytes& out) const;

@@ -1,0 +1,61 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fbs::fuzz {
+
+std::optional<util::Bytes> parse_hex_text(std::string_view text) {
+  util::Bytes out;
+  int pending = -1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int digit = std::isdigit(static_cast<unsigned char>(c)) ? c - '0'
+                      : c >= 'a' && c <= 'f'                      ? c - 'a' + 10
+                      : c >= 'A' && c <= 'F' ? c - 'A' + 10
+                                             : -1;
+    if (digit < 0) return std::nullopt;
+    if (pending < 0) {
+      pending = digit;
+    } else {
+      out.push_back(static_cast<std::uint8_t>(pending << 4 | digit));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) return std::nullopt;  // odd digit count
+  return out;
+}
+
+std::optional<std::vector<util::Bytes>> load_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<util::Bytes> out;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hex")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto bytes = parse_hex_text(text.str());
+    if (!bytes) return std::nullopt;
+    out.push_back(*bytes);
+  }
+  return out;
+}
+
+}  // namespace fbs::fuzz

@@ -1,0 +1,24 @@
+// Regression corpus I/O. Corpus entries live as hex text files
+// (tests/fuzz/corpus/<target>/*.hex) so diffs stay reviewable: whitespace
+// is ignored and '#' starts a comment to end of line, letting each entry
+// document the bug it pins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fbs::fuzz {
+
+/// Decode hex text (whitespace-tolerant, '#' comments). nullopt on an odd
+/// digit count or a non-hex character.
+std::optional<util::Bytes> parse_hex_text(std::string_view text);
+
+/// Load every *.hex entry in `dir`, sorted by filename. A missing directory
+/// yields an empty corpus; an unparseable entry is a hard error (empty
+/// optional) so a corrupted corpus cannot silently pass.
+std::optional<std::vector<util::Bytes>> load_corpus(const std::string& dir);
+
+}  // namespace fbs::fuzz

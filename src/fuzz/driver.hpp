@@ -1,0 +1,39 @@
+// Deterministic mutation driver: the stock-toolchain stand-in for libFuzzer.
+//
+// Seeded xoshiro256** exploration over a pool of structure-aware seeds plus
+// any loaded corpus entries; inputs a target *accepts* feed back into the
+// pool (the coarse coverage signal available without compiler
+// instrumentation). The same target table drives real libFuzzer when the
+// tree is configured with FBS_FUZZ=ON under Clang; this driver exists so
+// `ctest -L fuzz` exercises every harness on any toolchain, reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/targets.hpp"
+#include "util/bytes.hpp"
+
+namespace fbs::fuzz {
+
+struct DriverOptions {
+  std::uint64_t iterations = 1000;
+  std::uint64_t seed = 1;
+  std::size_t max_input = 4096;  // mutants are clamped to this size
+  std::size_t pool_cap = 256;    // accepted-mutant pool bound
+  /// Extra starting inputs (e.g. the checked-in regression corpus); each is
+  /// replayed once before mutation begins.
+  std::vector<util::Bytes> extra_seeds;
+};
+
+struct DriverStats {
+  std::uint64_t executions = 0;
+  std::uint64_t accepted = 0;
+  std::size_t pool_size = 0;
+};
+
+/// Run `target` for options.iterations mutated inputs (after replaying every
+/// seed and extra seed verbatim). Oracle violations abort via FUZZ_CHECK.
+DriverStats run_target(const FuzzTarget& target, const DriverOptions& options);
+
+}  // namespace fbs::fuzz

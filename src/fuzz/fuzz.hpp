@@ -1,0 +1,61 @@
+// Shared plumbing for the structure-aware decoder fuzzing subsystem
+// (DESIGN.md section 5e): a libFuzzer-style bounded input consumer and the
+// FUZZ_CHECK oracle macro. Oracle violations abort() after dumping the
+// offending input as hex, which is the one crash signal every harness
+// understands -- gtest reports the failed test, libFuzzer saves the input,
+// and the sanitizers print their usual context.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::fuzz {
+
+/// Print `expr`/location plus a hex dump of `input` to stderr, then abort.
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       util::BytesView input);
+
+/// Assert a decoder property over the current fuzz input. Unlike gtest
+/// EXPECT_*, this works identically inside the deterministic driver, under
+/// libFuzzer, and in a standalone reproduction binary.
+#define FUZZ_CHECK(cond, input)                                  \
+  do {                                                           \
+    if (!(cond)) ::fbs::fuzz::fail(#cond, __FILE__, __LINE__, (input)); \
+  } while (0)
+
+/// Bounded consumer over a fuzz input. Reads past the end yield zeros (and
+/// empty spans) instead of failing, so structured targets can decode any
+/// byte string into a well-formed operation sequence -- the property that
+/// makes mutation-based exploration of structured targets productive.
+class FuzzInput {
+ public:
+  explicit FuzzInput(util::BytesView data) : data_(data) {}
+
+  std::uint8_t u8() { return pos_ < data_.size() ? data_[pos_++] : 0; }
+  std::uint16_t u16() {
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(hi << 8 | u8());
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return hi << 16 | u16();
+  }
+
+  /// Up to n bytes (fewer if the input is exhausted).
+  util::BytesView take(std::size_t n) {
+    n = std::min(n, remaining());
+    const util::BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  util::BytesView rest() { return take(remaining()); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  util::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fbs::fuzz

@@ -7,14 +7,16 @@ namespace fbs::net {
 std::vector<util::Bytes> fragment(const Ipv4Header& header,
                                   util::BytesView payload, std::size_t mtu) {
   std::vector<util::Bytes> out;
-  if (Ipv4Header::kSize + payload.size() <= mtu) {
+  const std::size_t hlen = header.header_size();
+  if (hlen + payload.size() <= mtu) {
     out.push_back(header.serialize(payload));
     return out;
   }
   if (header.dont_fragment) return out;  // needs fragmenting but DF set
 
   // Per-fragment payload must be a multiple of 8 bytes (offset unit).
-  const std::size_t max_data = (mtu - Ipv4Header::kSize) / 8 * 8;
+  if (mtu <= hlen) return out;
+  const std::size_t max_data = (mtu - hlen) / 8 * 8;
   if (max_data == 0) return out;
 
   std::size_t off = 0;
@@ -36,6 +38,19 @@ std::optional<Ipv4Packet> Reassembler::push(const Ipv4Header& header,
     return Ipv4Packet{header, std::move(payload)};
   }
 
+  // Widened before scaling: the 13-bit wire offset reaches 8191, so byte
+  // offsets go up to 65528 and would wrap in 16-bit arithmetic.
+  const std::size_t offset_bytes =
+      static_cast<std::size_t>(header.fragment_offset) * 8;
+
+  // Reject impossible fragments before they create or touch any state:
+  // a non-final fragment whose payload is not a multiple of the 8-byte
+  // offset unit cannot be followed contiguously (RFC 791), and no set of
+  // fragments may describe a datagram larger than total_length can express.
+  if (header.more_fragments && payload.size() % 8 != 0) return std::nullopt;
+  if (offset_bytes + payload.size() > kMaxReassembledPayload)
+    return std::nullopt;
+
   const Key key{header.source.value, header.destination.value, header.id,
                 header.protocol};
   Partial& p = partial_[key];
@@ -45,15 +60,18 @@ std::optional<Ipv4Packet> Reassembler::push(const Ipv4Header& header,
   }
   if (header.fragment_offset == 0) p.first_header = header;
 
-  // Widened before scaling: the 13-bit wire offset reaches 8191, so byte
-  // offsets go up to 65528 and would wrap in 16-bit arithmetic.
-  const std::size_t offset_bytes =
-      static_cast<std::size_t>(header.fragment_offset) * 8;
   // Duplicate fragments (datagram services may duplicate) are ignored.
   const bool dup = std::any_of(
       p.pieces.begin(), p.pieces.end(),
       [&](const Piece& piece) { return piece.offset_bytes == offset_bytes; });
   if (!dup) {
+    // A flood of distinct offsets far past what any real MTU produces can
+    // only be an attack on reassembly memory and on the O(pieces)
+    // duplicate scan; drop the whole datagram deterministically.
+    if (p.pieces.size() >= kMaxPieces) {
+      partial_.erase(key);
+      return std::nullopt;
+    }
     // First last-fragment wins: a later "last" fragment claiming a
     // different total (e.g. a forged short one) cannot shrink or grow an
     // already-announced datagram size.
@@ -85,6 +103,12 @@ std::optional<Ipv4Packet> Reassembler::push(const Ipv4Header& header,
     return std::nullopt;
   }
   if (covered < *p.total_size) return std::nullopt;
+  if (p.first_header.header_size() + covered > 0xFFFF) {
+    // A first fragment with options can push the reassembled datagram past
+    // what a 16-bit total_length expresses; such a set is unrepresentable.
+    partial_.erase(key);
+    return std::nullopt;
+  }
 
   // Assemble in offset order, trimming overlap: where two fragments cover
   // the same bytes, the earlier-offset fragment's copy wins.
@@ -92,6 +116,11 @@ std::optional<Ipv4Packet> Reassembler::push(const Ipv4Header& header,
   done.header = p.first_header;
   done.header.more_fragments = false;
   done.header.fragment_offset = 0;
+  // The carried-over total_length is the *first fragment's*, a lie about
+  // the reassembled datagram; recompute it (the kMaxReassembledPayload
+  // bound above keeps header + payload within the 16-bit field).
+  done.header.total_length =
+      static_cast<std::uint16_t>(done.header.header_size() + covered);
   done.payload.reserve(covered);
   for (const Piece& piece : p.pieces) {
     const std::size_t end = done.payload.size();

@@ -28,6 +28,18 @@ std::vector<util::Bytes> fragment(const Ipv4Header& header,
 /// classic timer that discards incomplete datagrams.
 class Reassembler {
  public:
+  /// Largest payload any fragment set may describe: a 16-bit total_length
+  /// minus the option-free header. Fragments reaching past this are forged
+  /// or corrupted and are rejected before they touch reassembly state.
+  static constexpr std::size_t kMaxReassembledPayload =
+      0xFFFF - Ipv4Header::kSize;
+  /// Hard cap on stored pieces per datagram. A full-size datagram
+  /// fragmented at the RFC 791 minimum MTU of 68 arrives in at most
+  /// ceil(65515 / 48) = 1366 pieces; anything past this cap is a flood
+  /// aimed at reassembly memory and the O(pieces) duplicate scan, and
+  /// drops the whole partial datagram.
+  static constexpr std::size_t kMaxPieces = 2048;
+
   explicit Reassembler(const util::Clock& clock,
                        util::TimeUs timeout = util::seconds(30))
       : clock_(clock), timeout_(timeout) {}

@@ -109,14 +109,22 @@ std::optional<TcpSegment> TcpHeader::parse(Ipv4Address src, Ipv4Address dst,
   out.header.seq = *r.u32();
   out.header.ack = *r.u32();
   const std::uint16_t flags = *r.u16();
+  // This codec carries FIN/SYN/RST/ACK and no options (kSize is the whole
+  // header). Everything else -- the RFC 793 reserved bits, PSH/URG, options
+  // words, a nonzero urgent pointer -- has no field in TcpHeader, so
+  // accepting it would silently drop it and admit wire encodings
+  // serialize() cannot reproduce.
+  if (flags & ~std::uint16_t{0xF017}) return std::nullopt;
   const std::size_t data_offset = (flags >> 12) * 4u;
-  if (data_offset < kSize || data_offset > wire.size()) return std::nullopt;
+  if (data_offset != kSize) return std::nullopt;
   out.header.fin = flags & 0x001;
   out.header.syn = flags & 0x002;
   out.header.rst = flags & 0x004;
   out.header.ack_flag = flags & 0x010;
   out.header.window = *r.u16();
-  out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(data_offset),
+  (void)r.u16();  // checksum (verified above)
+  if (*r.u16() != 0) return std::nullopt;  // urgent pointer: never emitted
+  out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(kSize),
                      wire.end());
   return out;
 }

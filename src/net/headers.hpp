@@ -51,6 +51,11 @@ struct TcpHeader {
   util::Bytes serialize(Ipv4Address src, Ipv4Address dst,
                         util::BytesView payload) const;
 
+  /// Parse and verify the pseudo-header checksum. The decode is canonical:
+  /// anything this struct cannot carry -- reserved or PSH/URG flag bits, a
+  /// data offset other than 5 (options), a nonzero urgent pointer -- is
+  /// rejected rather than silently dropped, so parse() accepts exactly the
+  /// encodings serialize() produces.
   static std::optional<TcpSegment> parse(Ipv4Address src, Ipv4Address dst,
                                          util::BytesView wire);
 };

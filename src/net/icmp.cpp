@@ -30,6 +30,10 @@ std::optional<IcmpMessage> IcmpMessage::parse(util::BytesView wire) {
   m.identifier = *r.u16();
   m.sequence = *r.u16();
   m.payload = r.rest();
+  // RFC 792: echo request/reply carry code 0. The service would otherwise
+  // echo an attacker-chosen code back verbatim.
+  if ((m.type == kEchoRequest || m.type == kEchoReply) && m.code != 0)
+    return std::nullopt;
   return m;
 }
 

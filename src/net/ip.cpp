@@ -44,10 +44,11 @@ util::Bytes Ipv4Address::to_bytes() const {
 }
 
 util::Bytes Ipv4Header::serialize(util::BytesView payload) const {
-  util::ByteWriter w(kSize + payload.size());
-  w.u8(0x45);  // version 4, IHL 5
+  const std::size_t hlen = header_size();
+  util::ByteWriter w(hlen + payload.size());
+  w.u8(static_cast<std::uint8_t>(0x40 | hlen / 4));  // version 4, IHL
   w.u8(tos);
-  w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16(static_cast<std::uint16_t>(hlen + payload.size()));
   w.u16(id);
   std::uint16_t frag = fragment_offset & 0x1FFF;
   if (dont_fragment) frag |= 0x4000;
@@ -58,9 +59,12 @@ util::Bytes Ipv4Header::serialize(util::BytesView payload) const {
   w.u16(0);  // checksum placeholder
   w.u32(source.value);
   w.u32(destination.value);
+  w.bytes(options);
+  for (std::size_t i = kSize + options.size(); i < hlen; ++i)
+    w.u8(0);  // end-of-option-list padding to the IHL word boundary
 
   util::Bytes out = w.take();
-  const std::uint16_t csum = internet_checksum({out.data(), kSize});
+  const std::uint16_t csum = internet_checksum({out.data(), hlen});
   out[10] = static_cast<std::uint8_t>(csum >> 8);
   out[11] = static_cast<std::uint8_t>(csum);
   out.insert(out.end(), payload.begin(), payload.end());
@@ -69,16 +73,24 @@ util::Bytes Ipv4Header::serialize(util::BytesView payload) const {
 
 std::optional<Ipv4Packet> Ipv4Header::parse(util::BytesView wire) {
   if (wire.size() < kSize) return std::nullopt;
-  if (wire[0] != 0x45) return std::nullopt;  // options unsupported
-  if (internet_checksum({wire.data(), kSize}) != 0) return std::nullopt;
+  if ((wire[0] >> 4) != 4) return std::nullopt;
+  // The header length is attacker-controlled: it must cover the fixed part
+  // and must not run past the buffer, and the checksum covers all of it --
+  // an option byte is as protected as any fixed field.
+  const std::size_t hlen = static_cast<std::size_t>(wire[0] & 0x0F) * 4;
+  if (hlen < kSize || hlen > wire.size()) return std::nullopt;
+  if (internet_checksum({wire.data(), hlen}) != 0) return std::nullopt;
 
   util::ByteReader r(wire);
   Ipv4Packet out;
-  (void)r.u8();  // version/ihl
+  (void)r.u8();  // version/ihl (validated above)
   out.header.tos = *r.u8();
   out.header.total_length = *r.u16();
   out.header.id = *r.u16();
   const std::uint16_t frag = *r.u16();
+  // RFC 791: the high flag bit is reserved and must be zero; serialize()
+  // cannot produce it, so accepting it would break the canonical encoding.
+  if (frag & 0x8000) return std::nullopt;
   out.header.dont_fragment = frag & 0x4000;
   out.header.more_fragments = frag & 0x2000;
   out.header.fragment_offset = frag & 0x1FFF;
@@ -87,10 +99,11 @@ std::optional<Ipv4Packet> Ipv4Header::parse(util::BytesView wire) {
   (void)r.u16();  // checksum (already verified)
   out.header.source.value = *r.u32();
   out.header.destination.value = *r.u32();
+  out.header.options.assign(wire.begin() + kSize, wire.begin() + hlen);
 
-  if (out.header.total_length < kSize || out.header.total_length > wire.size())
+  if (out.header.total_length < hlen || out.header.total_length > wire.size())
     return std::nullopt;
-  out.payload.assign(wire.begin() + kSize,
+  out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(hlen),
                      wire.begin() + out.header.total_length);
   return out;
 }

@@ -34,7 +34,8 @@ enum class IpProto : std::uint8_t {
 struct Ipv4Packet;  // defined after Ipv4Header
 
 struct Ipv4Header {
-  static constexpr std::size_t kSize = 20;  // we do not emit IP options
+  static constexpr std::size_t kSize = 20;          // option-free header
+  static constexpr std::size_t kMaxOptionsSize = 40;  // IHL caps at 15 words
 
   std::uint8_t tos = 0;
   std::uint16_t total_length = 0;  // header + payload, filled by serialize
@@ -46,13 +47,24 @@ struct Ipv4Header {
   std::uint8_t protocol = 0;
   Ipv4Address source;
   Ipv4Address destination;
+  /// IP options, verbatim. serialize() zero-pads to a 4-byte boundary (EOL)
+  /// and refuses nothing: callers must keep it within kMaxOptionsSize.
+  util::Bytes options;
 
-  /// Serialize header followed by payload; computes total_length and the
-  /// header checksum.
+  /// Wire size of the header including options (padded), i.e. IHL * 4.
+  std::size_t header_size() const {
+    return kSize + (options.size() + 3) / 4 * 4;
+  }
+
+  /// Serialize header (with options) followed by payload; computes
+  /// total_length and the header checksum over the full header.
   util::Bytes serialize(util::BytesView payload) const;
 
   /// Parse and checksum-verify a wire packet. nullopt on truncation, bad
-  /// version/IHL, or checksum mismatch.
+  /// version, IHL < 5 or extending past the buffer, a checksum mismatch
+  /// (computed over the full IHL * 4 header, options included), or a
+  /// total_length shorter than the header / longer than the wire buffer.
+  /// Decoded lengths are never trusted beyond what the buffer holds.
   static std::optional<Ipv4Packet> parse(util::BytesView wire);
 };
 

@@ -18,6 +18,9 @@ void UdpService::unbind(std::uint16_t port) { bindings_.erase(port); }
 bool UdpService::send(Ipv4Address destination, std::uint16_t source_port,
                       std::uint16_t destination_port, util::BytesView payload,
                       bool dont_fragment) {
+  // A payload the 16-bit UDP length cannot express would serialize with a
+  // wrapped length field and a checksum no receiver can verify.
+  if (payload.size() > 0xFFFF - UdpHeader::kSize) return false;
   UdpHeader header;
   header.source_port = source_port;
   header.destination_port = destination_port;

@@ -95,9 +95,11 @@ TEST(Interop, ReceiverRejectsDowngradedMacLength) {
 }
 
 TEST(Interop, NopSuiteNeverAcceptedAsRealTraffic) {
-  // A receiver should flag NOP-suite datagrams distinctly: we accept them
-  // (they parse and "verify") but the suite is visible to the caller, so a
-  // deployment can refuse them above FBS. Document the behaviour.
+  // The NOP suite's "MAC" is a public constant, so a receiver that honors a
+  // wire-chosen kNull suite accepts trivially forgeable datagrams (found by
+  // the fuzz harness's never-accept oracle). A normally-configured receiver
+  // must reject them below FBS; only an endpoint explicitly configured for
+  // NOP measurement runs may accept its own traffic class.
   TestWorld world(606062);
   auto& a = world.add_node("a", "10.0.0.1");
   auto& b = world.add_node("b", "10.0.0.2");
@@ -110,9 +112,9 @@ TEST(Interop, NopSuiteNeverAcceptedAsRealTraffic) {
   const auto wire =
       sender.protect(make_datagram(a.principal, b.principal), false);
   auto outcome = receiver.unprotect(a.principal, *wire);
-  ASSERT_TRUE(std::holds_alternative<ReceivedDatagram>(outcome));
-  EXPECT_EQ(std::get<ReceivedDatagram>(outcome).suite.mac,
-            crypto::MacAlgorithm::kNull);  // caller can see and refuse
+  ASSERT_TRUE(std::holds_alternative<ReceiveError>(outcome));
+  EXPECT_EQ(std::get<ReceiveError>(outcome), ReceiveError::kMalformed);
+  EXPECT_EQ(receiver.receive_stats().rejected_malformed, 1u);
 }
 
 }  // namespace

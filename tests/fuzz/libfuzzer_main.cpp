@@ -1,0 +1,17 @@
+// libFuzzer entry point: each fuzz_<target> executable is this file compiled
+// with FBS_FUZZ_TARGET naming one registry entry (see tests/CMakeLists.txt,
+// FBS_FUZZ=ON under Clang). The oracle lives in the target itself, so
+// libFuzzer and the deterministic driver enforce identical properties --
+// libFuzzer just explores with coverage feedback instead of pool feedback.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const fbs::fuzz::FuzzTarget* target =
+      fbs::fuzz::find_target(FBS_FUZZ_TARGET);
+  if (target) (void)target->run({data, size});
+  return 0;
+}

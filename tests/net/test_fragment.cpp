@@ -191,22 +191,33 @@ TEST_F(ReassemblerTest, FullyContainedFragmentIgnoredInAssembly) {
 }
 
 TEST_F(ReassemblerTest, OffsetArithmeticSurvivesLargeOffsets) {
-  // Regression: the byte offset was computed into a std::uint16_t, so a
-  // programmatic fragment offset beyond 8191 units wrapped and corrupted
-  // coverage tracking. 16000 units = 128000 bytes needs > 16 bits.
-  Ipv4Header first = header_for(22);
+  // Regression: byte offsets were computed in std::uint16_t, so offsets
+  // near the top of the 13-bit wire field wrapped once the payload length
+  // was added and corrupted coverage tracking. The sums must be done wide;
+  // a set reaching past what total_length can express (65515 payload
+  // bytes) is rejected outright instead of wrapping into acceptance.
+  Ipv4Header oversized = header_for(22);
+  oversized.fragment_offset = 8183;  // 65464 bytes; + 100 > 65515
+  oversized.more_fragments = false;
+  EXPECT_FALSE(reasm_.push(oversized, util::Bytes(100, 'x')).has_value());
+  EXPECT_EQ(reasm_.pending(), 0u);  // rejected before creating state
+
+  // A maximal legal datagram still reassembles: 65464 + 51 bytes lands
+  // exactly on kMaxReassembledPayload, and 8183 * 8 + 51 overflows 16-bit
+  // arithmetic, so this would wrap (and stall or corrupt) under the bug.
+  Ipv4Header first = header_for(23);
   first.fragment_offset = 0;
   first.more_fragments = true;
-  Ipv4Header last = header_for(22);
-  last.fragment_offset = 16000;
+  Ipv4Header last = header_for(23);
+  last.fragment_offset = 8183;
   last.more_fragments = false;
-  EXPECT_FALSE(
-      reasm_.push(first, util::Bytes(128000, 'a')).has_value());
-  const auto done = reasm_.push(last, util::Bytes(100, 'b'));
+  EXPECT_FALSE(reasm_.push(first, util::Bytes(65464, 'a')).has_value());
+  const auto done = reasm_.push(last, util::Bytes(51, 'b'));
   ASSERT_TRUE(done.has_value());
-  EXPECT_EQ(done->payload.size(), 128100u);
-  EXPECT_EQ(done->payload[127999], 'a');
-  EXPECT_EQ(done->payload[128000], 'b');
+  EXPECT_EQ(done->payload.size(), Reassembler::kMaxReassembledPayload);
+  EXPECT_EQ(done->payload[65463], 'a');
+  EXPECT_EQ(done->payload[65464], 'b');
+  EXPECT_EQ(done->header.total_length, 0xFFFFu);
 }
 
 TEST_F(ReassemblerTest, ConflictingLastFragmentCannotShrinkTotal) {

@@ -7,6 +7,9 @@
 #                                 # benches' self-timed passes and diff their
 #                                 # gauges against the BENCH_seed.json
 #                                 # baseline (regressions exit non-zero)
+#   tools/check.sh --fuzz-smoke   # ASan+UBSan build, replay the regression
+#                                 # corpus and run every deterministic fuzz
+#                                 # driver with a raised iteration budget
 #   FBS_CHECK_JOBS=8 tools/check.sh   # override parallelism (default: nproc)
 #
 # Exit status is non-zero as soon as any step fails.
@@ -56,6 +59,23 @@ EOF
   echo "== compare against BENCH_seed.json =="
   python3 tools/bench_compare.py BENCH_seed.json "$OUT_DIR/current.json" --all
   echo "Bench smoke passed."
+  exit 0
+fi
+
+if [ "${1:-}" = "--fuzz-smoke" ]; then
+  # The deterministic drivers are the stock-toolchain stand-in for libFuzzer
+  # (see DESIGN.md section 5e): replay the checked-in corpus, then mutate
+  # from the structure-aware seeds under the sanitizers, with a budget well
+  # above the tier-1 default so the smoke actually explores.
+  BUILD_DIR=build-sanitize
+  echo "== configure ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFBS_SANITIZE=ON
+  echo "== build fuzz harness =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_fuzz_harness
+  echo "== fuzz drivers (FBS_FUZZ_ITERS=${FBS_FUZZ_ITERS:-20000}) =="
+  FBS_FUZZ_ITERS="${FBS_FUZZ_ITERS:-20000}" \
+    ctest --test-dir "$BUILD_DIR" -L fuzz -j "$JOBS" --output-on-failure
+  echo "Fuzz smoke passed."
   exit 0
 fi
 
