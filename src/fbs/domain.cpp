@@ -1,0 +1,20 @@
+#include "fbs/domain.hpp"
+
+namespace fbs::core {
+
+FlowDomain::FlowDomain(const FbsConfig& config, const util::Clock& clock,
+                       SflAllocator& sfl_alloc,
+                       std::uint64_t confounder_seed)
+    : confounder_gen(confounder_seed),
+      policy(std::make_unique<FiveTuplePolicy>(
+          config.fst_size, config.flow_threshold, sfl_alloc,
+          /*expire_in_mapper=*/true, config.cache_hash)),
+      combined(config.combined_fst_tfkc ? config.fst_size : 0),
+      tfkc(config.tfkc_size, config.cache_ways, config.cache_hash),
+      rfkc(config.rfkc_size, config.cache_ways, config.cache_hash),
+      freshness(clock, config.freshness_window_minutes,
+                config.strict_replay) {
+  tracer.set_enabled(config.trace_stages);
+}
+
+}  // namespace fbs::core

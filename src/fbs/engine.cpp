@@ -1,8 +1,11 @@
 #include "fbs/engine.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <mutex>
 
 #include "crypto/fused.hpp"
+#include "util/flow_hash.hpp"
 
 namespace fbs::core {
 
@@ -36,6 +39,57 @@ std::uint64_t confounder_iv(std::uint32_t confounder) {
 /// Stack room for any MAC tag we produce (MD5 = 16, SHA-1 = 20).
 constexpr std::size_t kMaxMacSize = 64;
 
+/// Domain separation for the two shard-selection hash consumers. Send-side
+/// shards key on the encoded FlowAttributes; receive-side shards key on
+/// (source principal address, sfl) -- both are per-flow constants, so every
+/// datagram of a flow lands on the same shard.
+constexpr std::uint64_t kSendShardSeed = 0x5342'5353'454E'4421ull;
+constexpr std::uint64_t kRecvShardSeed = 0x5342'5352'4543'5621ull;
+
+void accumulate(SendStats& into, const SendStats& s) {
+  into.datagrams += s.datagrams;
+  into.encrypted += s.encrypted;
+  into.flow_keys_derived += s.flow_keys_derived;
+  into.key_unavailable += s.key_unavailable;
+  into.lifetime_rekeys += s.lifetime_rekeys;
+}
+
+void accumulate(ReceiveStats& into, const ReceiveStats& s) {
+  into.accepted += s.accepted;
+  into.rejected_malformed += s.rejected_malformed;
+  into.rejected_stale += s.rejected_stale;
+  into.rejected_replay += s.rejected_replay;
+  into.rejected_unknown_peer += s.rejected_unknown_peer;
+  into.rejected_bad_mac += s.rejected_bad_mac;
+  into.rejected_decrypt += s.rejected_decrypt;
+  into.flow_keys_derived += s.flow_keys_derived;
+  for (std::size_t i = 0; i < kReceiveErrorKinds; ++i)
+    into.by_kind[i] += s.by_kind[i];
+}
+
+void accumulate(CacheStats& into, const CacheStats& s) {
+  into.hits += s.hits;
+  into.cold_misses += s.cold_misses;
+  into.capacity_misses += s.capacity_misses;
+  into.collision_misses += s.collision_misses;
+}
+
+void accumulate(FreshnessChecker::Stats& into,
+                const FreshnessChecker::Stats& s) {
+  into.fresh += s.fresh;
+  into.stale += s.stale;
+  into.replays += s.replays;
+}
+
+void accumulate(FamStats& into, const FamStats& s) {
+  into.datagrams += s.datagrams;
+  into.flows_created += s.flows_created;
+  into.mapper_hits += s.mapper_hits;
+  into.hash_evictions += s.hash_evictions;
+  into.mapper_expirations += s.mapper_expirations;
+  into.sweeper_expirations += s.sweeper_expirations;
+}
+
 }  // namespace
 
 const char* to_string(ReceiveError e) {
@@ -57,25 +111,29 @@ FbsEndpoint::FbsEndpoint(Principal self, const FbsConfig& config,
       config_(config),
       keys_(keys),
       clock_(clock),
-      confounder_gen_(rng.next_u64()),
-      sfl_alloc_(rng),
-      policy_(std::make_unique<FiveTuplePolicy>(
-          config.fst_size, config.flow_threshold, sfl_alloc_,
-          /*expire_in_mapper=*/true, config.cache_hash)),
-      combined_(config.combined_fst_tfkc ? config.fst_size : 0),
-      tfkc_(config.tfkc_size, config.cache_ways, config.cache_hash),
-      rfkc_(config.rfkc_size, config.cache_ways, config.cache_hash),
-      freshness_(clock, config.freshness_window_minutes,
-                 config.strict_replay) {
-  tracer_.set_enabled(config.trace_stages);
+      sfl_alloc_(rng) {
+  config_.shards = config_.shards == 0 ? 1 : config_.shards;
+  // Every Mac the receive path could consult, built once. Mac instances are
+  // immutable (make_context is const) so all domains and workers share
+  // these; the mutable per-flow MacContexts live in domain caches under the
+  // domain lock.
+  for (const auto alg :
+       {crypto::MacAlgorithm::kKeyedMd5, crypto::MacAlgorithm::kHmacMd5,
+        crypto::MacAlgorithm::kKeyedSha1, crypto::MacAlgorithm::kHmacSha1,
+        crypto::MacAlgorithm::kNull}) {
+    suite_macs_[static_cast<std::size_t>(alg)] = crypto::make_mac(alg);
+  }
+  domains_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    domains_.push_back(std::make_unique<FlowDomain>(config_, clock_,
+                                                    sfl_alloc_,
+                                                    rng.next_u64()));
 }
 
-crypto::Mac& FbsEndpoint::suite_mac(crypto::MacAlgorithm alg) {
+const crypto::Mac& FbsEndpoint::suite_mac(crypto::MacAlgorithm alg) const {
   const std::size_t idx = static_cast<std::size_t>(alg);
-  assert(idx < suite_macs_.size());
-  auto& slot = suite_macs_[idx];
-  if (!slot) slot = crypto::make_mac(alg);
-  return *slot;
+  assert(idx < suite_macs_.size() && suite_macs_[idx] != nullptr);
+  return *suite_macs_[idx];
 }
 
 void FbsEndpoint::cache_key_into(Sfl sfl, const Principal& a,
@@ -89,7 +147,25 @@ void FbsEndpoint::cache_key_into(Sfl sfl, const Principal& a,
   out.insert(out.end(), b.address.begin(), b.address.end());
 }
 
-bool FbsEndpoint::key_worn_out(const CombinedEntry& e,
+std::size_t FbsEndpoint::send_shard_of(const FlowAttributes& attrs) const {
+  util::Bytes enc;
+  attrs.encode_into(enc);
+  return shard_index(util::flow_hash64(enc, kSendShardSeed));
+}
+
+std::size_t FbsEndpoint::recv_shard_of(const Principal& source,
+                                       Sfl sfl) const {
+  return shard_index(util::flow_hash_combine(
+      util::flow_hash64(source.address, kRecvShardSeed), sfl));
+}
+
+std::size_t FbsEndpoint::recv_shard_of_wire(const Principal& source,
+                                            util::BytesView wire) const {
+  const auto header = FbsHeaderView::parse(wire);
+  return recv_shard_of(source, header ? header->sfl : 0);
+}
+
+bool FbsEndpoint::key_worn_out(const CombinedFlowEntry& e,
                                util::TimeUs now) const {
   if (config_.rekey_after_datagrams &&
       e.datagrams >= config_.rekey_after_datagrams)
@@ -102,20 +178,21 @@ bool FbsEndpoint::key_worn_out(const CombinedEntry& e,
 }
 
 std::optional<std::pair<Sfl, FlowCryptoContext*>> FbsEndpoint::outgoing_flow(
-    const Datagram& d) {
+    FlowDomain& dom, WorkContext& ctx, const Datagram& d) {
   const util::TimeUs now = clock_.now();
 
   if (config_.combined_fst_tfkc) {
     // Section 7.2 fast path: one CRC-32 probe resolves both the flow
     // mapping and the flow key; the sweeper is absorbed into the mapper.
-    d.attrs.encode_into(scratch_attrs_);
+    // ctx.attrs already holds the encoded attributes (the caller encoded
+    // them to pick this domain).
     const std::size_t idx =
-        cache_index(config_.cache_hash, scratch_attrs_, combined_.size());
-    CombinedEntry& e = combined_[idx];
+        cache_index(config_.cache_hash, ctx.attrs, dom.combined.size());
+    CombinedFlowEntry& e = dom.combined[idx];
     if (e.valid && e.attrs == d.attrs &&
         now - e.last <= config_.flow_threshold) {
       if (key_worn_out(e, now)) {
-        ++send_stats_.lifetime_rekeys;
+        ++dom.send_stats.lifetime_rekeys;
         e.valid = false;  // retire the worn key; fall through to a new flow
       } else {
         e.last = now;
@@ -127,17 +204,17 @@ std::optional<std::pair<Sfl, FlowCryptoContext*>> FbsEndpoint::outgoing_flow(
     const auto master = keys_.master_key(d.destination);
     if (!master) return std::nullopt;
     const Sfl sfl = sfl_alloc_.allocate();
-    ++send_stats_.flow_keys_derived;
-    auto derive_timer = tracer_.start(obs::Stage::kSendKeyDerive);
+    ++dom.send_stats.flow_keys_derived;
+    auto derive_timer = dom.tracer.start(obs::Stage::kSendKeyDerive);
     util::Bytes key =
-        derive_flow_key(kdf_hash_, sfl, *master, self_, d.destination);
-    FlowCryptoContext ctx = make_flow_crypto_context(
+        derive_flow_key(ctx.kdf_hash, sfl, *master, self_, d.destination);
+    FlowCryptoContext fctx = make_flow_crypto_context(
         std::move(key), config_.suite, suite_mac(config_.suite.mac));
     derive_timer.finish();
     e.valid = true;
     e.attrs = d.attrs;
     e.sfl = sfl;
-    e.ctx = std::move(ctx);
+    e.ctx = std::move(fctx);
     e.created = e.last = now;
     e.datagrams = 1;
     e.bytes = d.body.size();
@@ -146,7 +223,7 @@ std::optional<std::pair<Sfl, FlowCryptoContext*>> FbsEndpoint::outgoing_flow(
 
   // Split path (Figures 4 and 6): FAM classification, then TFKC. The
   // lifetime policy module consults the FAM's entry and retires worn flows.
-  if (const FlowStateEntry* entry = policy_->find(d.attrs)) {
+  if (const FlowStateEntry* entry = dom.policy->find(d.attrs)) {
     const bool worn =
         (config_.rekey_after_datagrams &&
          entry->datagrams >= config_.rekey_after_datagrams) ||
@@ -155,43 +232,51 @@ std::optional<std::pair<Sfl, FlowCryptoContext*>> FbsEndpoint::outgoing_flow(
         (config_.rekey_after_age &&
          now - entry->created >= config_.rekey_after_age);
     if (worn) {
-      ++send_stats_.lifetime_rekeys;
-      policy_->expire_flow(d.attrs);
+      ++dom.send_stats.lifetime_rekeys;
+      dom.policy->expire_flow(d.attrs);
     }
   }
-  const MapResult mapping = policy_->map(d, now);
-  cache_key_into(mapping.sfl, d.destination, self_, scratch_key_);
-  if (auto* cached = tfkc_.lookup(scratch_key_))
+  const MapResult mapping = dom.policy->map(d, now);
+  cache_key_into(mapping.sfl, d.destination, self_, ctx.key);
+  if (auto* cached = dom.tfkc.lookup(ctx.key))
     return std::make_pair(mapping.sfl, cached);
   const auto master = keys_.master_key(d.destination);
   if (!master) return std::nullopt;
-  ++send_stats_.flow_keys_derived;
-  auto derive_timer = tracer_.start(obs::Stage::kSendKeyDerive);
-  util::Bytes key =
-      derive_flow_key(kdf_hash_, mapping.sfl, *master, self_, d.destination);
-  FlowCryptoContext ctx = make_flow_crypto_context(
+  ++dom.send_stats.flow_keys_derived;
+  auto derive_timer = dom.tracer.start(obs::Stage::kSendKeyDerive);
+  util::Bytes key = derive_flow_key(ctx.kdf_hash, mapping.sfl, *master, self_,
+                                    d.destination);
+  FlowCryptoContext fctx = make_flow_crypto_context(
       std::move(key), config_.suite, suite_mac(config_.suite.mac));
   derive_timer.finish();
   return std::make_pair(mapping.sfl,
-                        tfkc_.insert(scratch_key_, std::move(ctx)));
+                        dom.tfkc.insert(ctx.key, std::move(fctx)));
 }
 
-bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
-                               util::Bytes& wire_out) {
+bool FbsEndpoint::protect_into(WorkContext& ctx, const Datagram& d,
+                               bool secret, util::Bytes& wire_out) {
   wire_out.clear();
-  auto classify_timer = tracer_.start(obs::Stage::kSendClassify);
-  const auto flow = outgoing_flow(d);
+  d.attrs.encode_into(ctx.attrs);
+  FlowDomain& dom =
+      *domains_[shard_index(util::flow_hash64(ctx.attrs, kSendShardSeed))];
+  // One lock for the whole datagram: flow resolution, key wear-out
+  // accounting, confounder draw, MAC/cipher (the per-flow MacContext is
+  // mutable state), and stats all belong to this domain.
+  std::lock_guard<std::mutex> lock(dom.mu);
+
+  auto classify_timer = dom.tracer.start(obs::Stage::kSendClassify);
+  const auto flow = outgoing_flow(dom, ctx, d);
   classify_timer.finish();
   if (!flow) {
-    ++send_stats_.key_unavailable;
+    ++dom.send_stats.key_unavailable;
     return false;
   }
-  const auto& [sfl, ctx] = *flow;
+  const auto& [sfl, fctx] = *flow;
 
   FbsHeaderView header;
   header.suite = config_.suite;
   header.sfl = sfl;
-  header.confounder = confounder_gen_.step32();
+  header.confounder = dom.confounder_gen.step32();
   header.timestamp_minutes = util::to_header_minutes(clock_.now());
   header.secret =
       secret && config_.suite.cipher != crypto::CipherAlgorithm::kNone;
@@ -200,7 +285,7 @@ bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
   mac_prefix_into(header.flags_byte(), header.suite_byte(),
                   header.confounder, header.timestamp_minutes, prefix);
   std::uint8_t mac_buf[kMaxMacSize];
-  const std::size_t mac_n = ctx->mac->mac_size();
+  const std::size_t mac_n = fctx->mac->mac_size();
 
   util::BytesView body;
   if (header.secret &&
@@ -208,40 +293,45 @@ bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
       config_.suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
     // Section 5.3 single-pass optimization: MAC and encryption in one loop
     // over the payload (bit-identical to the two-pass path).
-    auto fused_timer = tracer_.start(obs::Stage::kSendFused);
-    crypto::fused_seal_into(*ctx->des, confounder_iv(header.confounder),
-                            *ctx->mac, {prefix, kMacPrefixSize}, d.body, mac_buf,
-                            scratch_body_);
-    body = scratch_body_;
-    ++send_stats_.encrypted;
+    auto fused_timer = dom.tracer.start(obs::Stage::kSendFused);
+    crypto::fused_seal_into(*fctx->des, confounder_iv(header.confounder),
+                            *fctx->mac, {prefix, kMacPrefixSize}, d.body,
+                            mac_buf, ctx.body);
+    body = ctx.body;
+    ++dom.send_stats.encrypted;
   } else {
     {
-      auto mac_timer = tracer_.start(obs::Stage::kSendMac);
-      ctx->mac->begin();
-      ctx->mac->update({prefix, kMacPrefixSize});
-      ctx->mac->update(d.body);
-      ctx->mac->finish_into(mac_buf);
+      auto mac_timer = dom.tracer.start(obs::Stage::kSendMac);
+      fctx->mac->begin();
+      fctx->mac->update({prefix, kMacPrefixSize});
+      fctx->mac->update(d.body);
+      fctx->mac->finish_into(mac_buf);
     }
     if (header.secret) {
-      auto cipher_timer = tracer_.start(obs::Stage::kSendCipher);
-      crypto::encrypt_into(*ctx->des,
+      auto cipher_timer = dom.tracer.start(obs::Stage::kSendCipher);
+      crypto::encrypt_into(*fctx->des,
                            *crypto::cipher_mode(config_.suite.cipher),
                            confounder_iv(header.confounder), d.body,
-                           scratch_body_);
-      body = scratch_body_;
-      ++send_stats_.encrypted;
+                           ctx.body);
+      body = ctx.body;
+      ++dom.send_stats.encrypted;
     } else {
       body = d.body;
     }
   }
   header.mac = {mac_buf, mac_n};
 
-  ++send_stats_.datagrams;
-  auto wire_timer = tracer_.start(obs::Stage::kSendWire);
+  ++dom.send_stats.datagrams;
+  auto wire_timer = dom.tracer.start(obs::Stage::kSendWire);
   wire_out.reserve(FbsHeader::kFixedSize + mac_n + body.size());
   header.serialize_into(wire_out);
   wire_out.insert(wire_out.end(), body.begin(), body.end());
   return true;
+}
+
+bool FbsEndpoint::protect_into(const Datagram& d, bool secret,
+                               util::Bytes& wire_out) {
+  return protect_into(default_ctx_, d, secret, wire_out);
 }
 
 std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
@@ -252,9 +342,10 @@ std::optional<util::Bytes> FbsEndpoint::protect(const Datagram& d,
 }
 
 FlowCryptoContext* FbsEndpoint::incoming_flow_context(
-    const Principal& source, Sfl sfl, crypto::AlgorithmSuite suite) {
-  cache_key_into(sfl, source, self_, scratch_key_);
-  if (auto* cached = rfkc_.lookup(scratch_key_)) {
+    FlowDomain& dom, WorkContext& ctx, const Principal& source, Sfl sfl,
+    crypto::AlgorithmSuite suite) {
+  cache_key_into(sfl, source, self_, ctx.key);
+  if (auto* cached = dom.rfkc.lookup(ctx.key)) {
     // A receiver can see the same sfl under a different header suite; the
     // rare mismatch rebuilds the contexts from the cached key.
     ensure_suite(*cached, suite, suite_mac(suite.mac));
@@ -262,37 +353,56 @@ FlowCryptoContext* FbsEndpoint::incoming_flow_context(
   }
   const auto master = keys_.master_key(source);
   if (!master) return nullptr;
-  ++receive_stats_.flow_keys_derived;
-  util::Bytes key = derive_flow_key(kdf_hash_, sfl, *master, source, self_);
-  return rfkc_.insert(
-      scratch_key_,
+  ++dom.receive_stats.flow_keys_derived;
+  util::Bytes key = derive_flow_key(ctx.kdf_hash, sfl, *master, source, self_);
+  return dom.rfkc.insert(
+      ctx.key,
       make_flow_crypto_context(std::move(key), suite, suite_mac(suite.mac)));
 }
 
-ReceiveError FbsEndpoint::reject(ReceiveError e) {
-  ++receive_stats_.by_kind[static_cast<std::size_t>(e)];
+ReceiveError FbsEndpoint::reject(FlowDomain& dom, ReceiveError e) {
+  ReceiveStats& rs = dom.receive_stats;
+  ++rs.by_kind[static_cast<std::size_t>(e)];
   switch (e) {
-    case ReceiveError::kMalformed: ++receive_stats_.rejected_malformed; break;
-    case ReceiveError::kStale: ++receive_stats_.rejected_stale; break;
-    case ReceiveError::kReplay: ++receive_stats_.rejected_replay; break;
-    case ReceiveError::kUnknownPeer:
-      ++receive_stats_.rejected_unknown_peer;
-      break;
-    case ReceiveError::kBadMac: ++receive_stats_.rejected_bad_mac; break;
-    case ReceiveError::kDecryptFailed:
-      ++receive_stats_.rejected_decrypt;
-      break;
+    case ReceiveError::kMalformed: ++rs.rejected_malformed; break;
+    case ReceiveError::kStale: ++rs.rejected_stale; break;
+    case ReceiveError::kReplay: ++rs.rejected_replay; break;
+    case ReceiveError::kUnknownPeer: ++rs.rejected_unknown_peer; break;
+    case ReceiveError::kBadMac: ++rs.rejected_bad_mac; break;
+    case ReceiveError::kDecryptFailed: ++rs.rejected_decrypt; break;
   }
   return e;
 }
 
-ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
+ReceiveIntoOutcome FbsEndpoint::unprotect_into(WorkContext& ctx,
+                                               const Principal& source,
                                                util::BytesView wire,
                                                util::Bytes& body_out) {
-  auto parse_timer = tracer_.start(obs::Stage::kRecvParse);
+  // Parse before taking any lock: it reads only the wire, and the sfl it
+  // yields picks the owning domain. The parse duration is measured here and
+  // recorded under the domain lock (tracer recorders are domain state).
+  const bool tracing = config_.trace_stages;
+  std::chrono::steady_clock::time_point parse_start;
+  if (tracing) parse_start = std::chrono::steady_clock::now();
   const auto header = FbsHeaderView::parse(wire);
-  parse_timer.finish();
-  if (!header) return reject(ReceiveError::kMalformed);
+  double parse_ns = 0;
+  if (tracing)
+    parse_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - parse_start)
+            .count());
+
+  // Unparseable wires carry no sfl; they land on the source's sfl-0 domain
+  // purely so the malformed rejection is counted somewhere deterministic.
+  FlowDomain& dom =
+      *domains_[recv_shard_of(source, header ? header->sfl : 0)];
+  // From here to accept/reject: one critical section per datagram. In
+  // particular the freshness check and the post-verification commit below
+  // execute atomically with respect to any other datagram of this flow, so
+  // a duplicate racing in from another worker cannot slip between them.
+  std::lock_guard<std::mutex> lock(dom.mu);
+  if (tracing) dom.tracer.record(obs::Stage::kRecvParse, parse_ns);
+  if (!header) return reject(dom, ReceiveError::kMalformed);
 
   // The header's algorithm field is attacker-controlled, and the NOP suite's
   // "MAC" is a public constant: honoring a wire-chosen kNull suite would let
@@ -300,86 +410,93 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
   // endpoint explicitly configured for NOP measurement runs may accept it.
   if (header->suite.mac == crypto::MacAlgorithm::kNull &&
       config_.suite.mac != crypto::MacAlgorithm::kNull)
-    return reject(ReceiveError::kMalformed);
+    return reject(dom, ReceiveError::kMalformed);
 
   // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
   // The check is read-only; the seen-MAC cache is only committed to after
   // the MAC verifies, so a forged body cannot poison it (see replay.hpp).
-  auto fresh_timer = tracer_.start(obs::Stage::kRecvFreshness);
+  auto fresh_timer = dom.tracer.start(obs::Stage::kRecvFreshness);
   const auto verdict =
-      freshness_.check(header->timestamp_minutes, header->mac);
+      dom.freshness.check(header->timestamp_minutes, header->mac);
   fresh_timer.finish();
   switch (verdict) {
     case FreshnessChecker::Verdict::kFresh:
       break;
     case FreshnessChecker::Verdict::kStale:
-      return reject(ReceiveError::kStale);
+      return reject(dom, ReceiveError::kStale);
     case FreshnessChecker::Verdict::kReplay:
-      return reject(ReceiveError::kReplay);
+      return reject(dom, ReceiveError::kReplay);
   }
 
   // (R5-6) recover the flow's crypto context from the sfl (RFKC-cached:
   // a hit returns the ready DES schedule and keyed MAC state).
-  auto key_timer = tracer_.start(obs::Stage::kRecvKey);
-  FlowCryptoContext* ctx =
-      incoming_flow_context(source, header->sfl, header->suite);
+  auto key_timer = dom.tracer.start(obs::Stage::kRecvKey);
+  FlowCryptoContext* fctx =
+      incoming_flow_context(dom, ctx, source, header->sfl, header->suite);
   key_timer.finish();
-  if (!ctx) return reject(ReceiveError::kUnknownPeer);
+  if (!fctx) return reject(dom, ReceiveError::kUnknownPeer);
 
   std::uint8_t prefix[kMacPrefixSize];
   mac_prefix_into(header->flags_byte(), header->suite_byte(),
                   header->confounder, header->timestamp_minutes, prefix);
   std::uint8_t mac_buf[kMaxMacSize];
-  const std::size_t mac_n = ctx->mac->mac_size();
+  const std::size_t mac_n = fctx->mac->mac_size();
 
   // (R10-11 first for secret datagrams -- see the header-comment deviation
   // note): recover the plaintext the MAC was computed over, computing the
   // expected MAC in the same pass where the suite allows it.
   if (header->secret) {
     const auto mode = crypto::cipher_mode(header->suite.cipher);
-    if (!mode || !ctx->des) return reject(ReceiveError::kMalformed);
+    if (!mode || !fctx->des) return reject(dom, ReceiveError::kMalformed);
     if (header->suite.mac == crypto::MacAlgorithm::kKeyedMd5 &&
         header->suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
-      auto fused_timer = tracer_.start(obs::Stage::kRecvFused);
+      auto fused_timer = dom.tracer.start(obs::Stage::kRecvFused);
       const bool ok = crypto::fused_open_into(
-          *ctx->des, confounder_iv(header->confounder), *ctx->mac,
+          *fctx->des, confounder_iv(header->confounder), *fctx->mac,
           {prefix, kMacPrefixSize}, header->body, mac_buf, body_out);
       fused_timer.finish();
-      if (!ok) return reject(ReceiveError::kDecryptFailed);
+      if (!ok) return reject(dom, ReceiveError::kDecryptFailed);
     } else {
-      auto cipher_timer = tracer_.start(obs::Stage::kRecvCipher);
+      auto cipher_timer = dom.tracer.start(obs::Stage::kRecvCipher);
       const bool ok =
-          crypto::decrypt_into(*ctx->des, *mode,
+          crypto::decrypt_into(*fctx->des, *mode,
                                confounder_iv(header->confounder),
                                header->body, body_out);
       cipher_timer.finish();
-      if (!ok) return reject(ReceiveError::kDecryptFailed);
-      auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
-      ctx->mac->begin();
-      ctx->mac->update({prefix, kMacPrefixSize});
-      ctx->mac->update(body_out);
-      ctx->mac->finish_into(mac_buf);
+      if (!ok) return reject(dom, ReceiveError::kDecryptFailed);
+      auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
+      fctx->mac->begin();
+      fctx->mac->update({prefix, kMacPrefixSize});
+      fctx->mac->update(body_out);
+      fctx->mac->finish_into(mac_buf);
     }
   } else {
     body_out.assign(header->body.begin(), header->body.end());
-    auto mac_timer = tracer_.start(obs::Stage::kRecvMac);
-    ctx->mac->begin();
-    ctx->mac->update({prefix, kMacPrefixSize});
-    ctx->mac->update(body_out);
-    ctx->mac->finish_into(mac_buf);
+    auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
+    fctx->mac->begin();
+    fctx->mac->update({prefix, kMacPrefixSize});
+    fctx->mac->update(body_out);
+    fctx->mac->finish_into(mac_buf);
   }
 
   // (R7-9) the MAC covers flags | suite | confounder | timestamp | plaintext
   // body: every header bit is either authenticated here or validated by
   // parse (version, reserved flags) or by key selection (sfl).
   if (!util::ct_equal({mac_buf, mac_n}, header->mac))
-    return reject(ReceiveError::kBadMac);
+    return reject(dom, ReceiveError::kBadMac);
 
-  // Only a verified datagram may enter the strict-replay seen-set.
-  freshness_.commit(header->timestamp_minutes, header->mac);
+  // Only a verified datagram may enter the strict-replay seen-set. Still
+  // inside this flow's critical section: check+commit is atomic per shard.
+  dom.freshness.commit(header->timestamp_minutes, header->mac);
 
-  ++receive_stats_.accepted;
+  ++dom.receive_stats.accepted;
   return ReceivedInfo{header->sfl, header->secret, header->suite};
+}
+
+ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,
+                                               util::BytesView wire,
+                                               util::Bytes& body_out) {
+  return unprotect_into(default_ctx_, source, wire, body_out);
 }
 
 ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
@@ -399,29 +516,96 @@ ReceiveOutcome FbsEndpoint::unprotect(const Principal& source,
 }
 
 void FbsEndpoint::rekey(const FlowAttributes& attrs) {
+  FlowDomain& dom = *domains_[send_shard_of(attrs)];
+  std::lock_guard<std::mutex> lock(dom.mu);
   if (config_.combined_fst_tfkc) {
     const std::size_t idx =
-        cache_index(config_.cache_hash, attrs.encode(), combined_.size());
-    CombinedEntry& e = combined_[idx];
+        cache_index(config_.cache_hash, attrs.encode(), dom.combined.size());
+    CombinedFlowEntry& e = dom.combined[idx];
     if (e.valid && e.attrs == attrs) e.valid = false;
     return;
   }
   // Split mode: terminate the flow in the FAM; the next datagram maps to a
   // fresh sfl, whose key misses in the TFKC and is derived anew.
-  policy_->expire_flow(attrs);
+  dom.policy->expire_flow(attrs);
 }
 
-std::size_t FbsEndpoint::sweep() { return policy_->sweep(clock_.now()); }
+std::size_t FbsEndpoint::sweep() {
+  const util::TimeUs now = clock_.now();
+  std::size_t expired = 0;
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    expired += dom->policy->sweep(now);
+  }
+  return expired;
+}
 
 void FbsEndpoint::clear_soft_state() {
-  for (CombinedEntry& e : combined_) e.valid = false;
-  tfkc_.clear();
-  rfkc_.clear();
-  policy_->clear();
-  // A restarted receiver has no memory of recently seen MACs; the strict
-  // replay extension degrades to the paper's window-only check (its design
-  // guarantee: losing the cache is never worse than not having it).
-  freshness_.clear();
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    for (CombinedFlowEntry& e : dom->combined) e.valid = false;
+    dom->tfkc.clear();
+    dom->rfkc.clear();
+    dom->policy->clear();
+    // A restarted receiver has no memory of recently seen MACs; the strict
+    // replay extension degrades to the paper's window-only check (its design
+    // guarantee: losing the cache is never worse than not having it).
+    dom->freshness.clear();
+  }
+}
+
+const SendStats& FbsEndpoint::send_stats() const {
+  agg_send_ = SendStats{};
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    accumulate(agg_send_, dom->send_stats);
+  }
+  return agg_send_;
+}
+
+const ReceiveStats& FbsEndpoint::receive_stats() const {
+  agg_recv_ = ReceiveStats{};
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    accumulate(agg_recv_, dom->receive_stats);
+  }
+  return agg_recv_;
+}
+
+const CacheStats& FbsEndpoint::tfkc_stats() const {
+  agg_tfkc_ = CacheStats{};
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    accumulate(agg_tfkc_, dom->tfkc.stats());
+  }
+  return agg_tfkc_;
+}
+
+const CacheStats& FbsEndpoint::rfkc_stats() const {
+  agg_rfkc_ = CacheStats{};
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    accumulate(agg_rfkc_, dom->rfkc.stats());
+  }
+  return agg_rfkc_;
+}
+
+const FreshnessChecker::Stats& FbsEndpoint::freshness_stats() const {
+  agg_freshness_ = FreshnessChecker::Stats{};
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    accumulate(agg_freshness_, dom->freshness.stats());
+  }
+  return agg_freshness_;
+}
+
+const FamStats& FbsEndpoint::fam_stats() const {
+  agg_fam_ = FamStats{};
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    accumulate(agg_fam_, dom->policy->stats());
+  }
+  return agg_fam_;
 }
 
 }  // namespace fbs::core

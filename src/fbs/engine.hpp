@@ -7,6 +7,15 @@
 // moment is safe and merely costs re-derivation, which is what preserves
 // datagram semantics.
 //
+// Concurrency (DESIGN.md section 5f): per-flow state is striped across
+// config.shards independent FlowDomains. The WorkContext overloads of
+// protect_into/unprotect_into are re-entrant -- any number of threads may
+// call them concurrently, each with its own WorkContext; the engine takes
+// exactly one domain lock for the duration of each datagram. The legacy
+// overloads without a WorkContext use an internal context and therefore
+// keep the original single-threaded contract. Key management (KeyManager /
+// MKD) is deliberately serial behind its own lock: keying is the cold path.
+//
 // One deliberate deviation from Figure 4's pseudo-code: the paper computes
 // the MAC over the plaintext body on send (S6, before encrypting at S8-9)
 // but verifies at R7 *before* decrypting at R10-11, which cannot match for
@@ -21,8 +30,8 @@
 #include <variant>
 
 #include "crypto/algorithms.hpp"
-#include "crypto/md5.hpp"
 #include "fbs/caches.hpp"
+#include "fbs/domain.hpp"
 #include "fbs/fam.hpp"
 #include "fbs/header.hpp"
 #include "fbs/keying.hpp"
@@ -35,112 +44,10 @@
 
 namespace fbs::core {
 
-struct FbsConfig {
-  crypto::AlgorithmSuite suite{};  // keyed MD5 + DES-CBC by default
-
-  /// Flow state table (Figure 7): size and conversation gap threshold.
-  std::size_t fst_size = 256;
-  util::TimeUs flow_threshold = util::seconds(600);
-
-  /// Flow key caches.
-  std::size_t tfkc_size = 256;
-  std::size_t rfkc_size = 256;
-  CacheHashKind cache_hash = CacheHashKind::kCrc32;
-  std::size_t cache_ways = 1;
-
-  /// Section 7.2's optimization: merge the FST and the TFKC so mapper and
-  /// key lookup are one probe. false exercises the split Figure 4/6 path.
-  bool combined_fst_tfkc = true;
-
-  /// Replay window half-width (Section 6.2) and the optional strict
-  /// within-window replay cache extension.
-  std::uint32_t freshness_window_minutes = 5;
-  bool strict_replay = false;
-
-  /// Key-lifetime policy (Section 5.2: "With use, an encryption key will
-  /// 'wear out' and should be changed... rekeying can be easily
-  /// accomplished via the FAM by changing the sfl. Rekeying decisions are
-  /// made by policy modules."). Zero disables a limit. When a flow exceeds
-  /// any limit, the next datagram transparently starts a fresh flow
-  /// (fresh sfl, fresh key); the receiver needs no coordination.
-  std::uint64_t rekey_after_datagrams = 0;
-  std::uint64_t rekey_after_bytes = 0;
-  util::TimeUs rekey_after_age = 0;
-
-  /// Record per-stage latencies on the datagram path. Off by default: the
-  /// steady_clock reads would perturb the per-packet CPU measurements of
-  /// the Figure 8 bench, so benches opt in for instrumented runs only.
-  bool trace_stages = false;
-};
-
-enum class ReceiveError : std::uint8_t {
-  kMalformed,     // header does not parse / unknown suite
-  kStale,         // timestamp outside the freshness window
-  kReplay,        // strict replay cache rejection
-  kUnknownPeer,   // no master key obtainable for the claimed source
-  kBadMac,        // MAC mismatch (tampering or wrong flow key)
-  kDecryptFailed, // ciphertext malformed
-};
-
-inline constexpr std::size_t kReceiveErrorKinds = 6;
-
-const char* to_string(ReceiveError e);
-
-/// A successfully received datagram plus its flow demultiplexing info.
-struct ReceivedDatagram {
-  Datagram datagram;
-  Sfl sfl = 0;
-  bool was_secret = false;
-  crypto::AlgorithmSuite suite;
-};
-
-using ReceiveOutcome = std::variant<ReceivedDatagram, ReceiveError>;
-
-/// Demultiplexing info for the allocation-free receive path: the body lands
-/// in the caller's buffer, so only the flow facts travel in the result.
-struct ReceivedInfo {
-  Sfl sfl = 0;
-  bool was_secret = false;
-  crypto::AlgorithmSuite suite;
-};
-
-using ReceiveIntoOutcome = std::variant<ReceivedInfo, ReceiveError>;
-
-struct SendStats {
-  std::uint64_t datagrams = 0;
-  std::uint64_t encrypted = 0;
-  std::uint64_t flow_keys_derived = 0;  // TFKC / combined-table misses
-  std::uint64_t key_unavailable = 0;    // master key could not be obtained
-  std::uint64_t lifetime_rekeys = 0;    // flows retired by lifetime policy
-};
-
-struct ReceiveStats {
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected_malformed = 0;
-  std::uint64_t rejected_stale = 0;
-  std::uint64_t rejected_replay = 0;
-  std::uint64_t rejected_unknown_peer = 0;
-  std::uint64_t rejected_bad_mac = 0;
-  std::uint64_t rejected_decrypt = 0;
-  std::uint64_t flow_keys_derived = 0;  // RFKC misses
-
-  /// The same rejections indexed by ReceiveError, so experiments can report
-  /// degraded-mode behaviour generically without naming each field.
-  std::array<std::uint64_t, kReceiveErrorKinds> by_kind{};
-
-  std::uint64_t rejected_by(ReceiveError e) const {
-    return by_kind[static_cast<std::size_t>(e)];
-  }
-  std::uint64_t rejected() const {
-    return rejected_malformed + rejected_stale + rejected_replay +
-           rejected_unknown_peer + rejected_bad_mac + rejected_decrypt;
-  }
-};
-
 class FbsEndpoint {
  public:
   /// `keys` resolves pair-based master keys (KeyManager -> MKD -> PVC).
-  /// `rng` seeds the confounder LCG and the sfl counter.
+  /// `rng` seeds the per-domain confounder LCGs and the sfl counter.
   FbsEndpoint(Principal self, const FbsConfig& config, KeyManager& keys,
               const util::Clock& clock, util::RandomSource& rng);
 
@@ -156,11 +63,29 @@ class FbsEndpoint {
   /// reusing its capacity. On a flow-cache hit with warm buffers the whole
   /// call performs zero heap allocations. Returns false if no master key
   /// for the destination can be obtained (wire_out is left cleared).
+  /// Uses the endpoint's internal WorkContext: NOT re-entrant.
   bool protect_into(const Datagram& d, bool secret, util::Bytes& wire_out);
 
   /// Allocation-free FBSReceive: the plaintext body lands in `body_out`
   /// (capacity reused). On rejection body_out's contents are unspecified.
+  /// Uses the endpoint's internal WorkContext: NOT re-entrant.
   ReceiveIntoOutcome unprotect_into(const Principal& source,
+                                    util::BytesView wire,
+                                    util::Bytes& body_out);
+
+  /// Re-entrant FBSSend: safe to call from any number of threads
+  /// concurrently, each passing its own WorkContext (and its own wire_out).
+  /// Datagrams of distinct flows on distinct shards proceed fully in
+  /// parallel; same-shard datagrams serialize on that shard's lock.
+  bool protect_into(WorkContext& ctx, const Datagram& d, bool secret,
+                    util::Bytes& wire_out);
+
+  /// Re-entrant FBSReceive; same threading contract as the protect_into
+  /// overload above. Replay check+commit executes atomically under the
+  /// owning shard's lock, so a duplicated wire racing itself from two
+  /// threads is accepted exactly once (strict-replay mode).
+  ReceiveIntoOutcome unprotect_into(WorkContext& ctx,
+                                    const Principal& source,
                                     util::BytesView wire,
                                     util::Bytes& body_out);
 
@@ -168,15 +93,16 @@ class FbsEndpoint {
   /// a fresh key): rekeying "via the FAM by changing the sfl" (Section 5.2).
   void rekey(const FlowAttributes& attrs);
 
-  /// Run the sweeper (split mode; combined mode expires lazily).
+  /// Run the sweeper on every domain (split mode; combined mode expires
+  /// lazily).
   std::size_t sweep();
 
   /// Crash/restart simulation: drop every piece of soft state this endpoint
   /// holds -- flow tables, both flow-key caches, and the freshness/replay
-  /// cache. Per the paper's soft-state claim this is safe at any moment and
-  /// merely costs re-derivation on the next datagram. (Master-key state
-  /// lives in the KeyManager/MKD; clear those separately for a full-host
-  /// restart.)
+  /// cache, in every domain. Per the paper's soft-state claim this is safe
+  /// at any moment and merely costs re-derivation on the next datagram.
+  /// (Master-key state lives in the KeyManager/MKD; clear those separately
+  /// for a full-host restart.)
   void clear_soft_state();
 
   /// Wire overhead of the security flow header itself.
@@ -196,81 +122,98 @@ class FbsEndpoint {
 
   const Principal& self() const { return self_; }
   const FbsConfig& config() const { return config_; }
-  FlowPolicy& policy() { return *policy_; }
-  const SendStats& send_stats() const { return send_stats_; }
-  const ReceiveStats& receive_stats() const { return receive_stats_; }
-  const CacheStats& tfkc_stats() const { return tfkc_.stats(); }
-  const CacheStats& rfkc_stats() const { return rfkc_.stats(); }
-  const FreshnessChecker::Stats& freshness_stats() const {
-    return freshness_.stats();
-  }
-  obs::StageTracer& tracer() { return tracer_; }
-  const obs::StageTracer& tracer() const { return tracer_; }
+  /// Domain 0's policy (the only one when shards == 1, the common
+  /// single-threaded configuration).
+  FlowPolicy& policy() { return *domains_.front()->policy; }
+
+  // --- Sharding introspection (tests, benches, the pipeline) ---
+  std::size_t shard_count() const { return domains_.size(); }
+  const FlowDomain& shard(std::size_t i) const { return *domains_[i]; }
+  /// Which domain an outgoing datagram with `attrs` lands on.
+  std::size_t send_shard_of(const FlowAttributes& attrs) const;
+  /// Which domain a received datagram from `source` carrying `sfl` lands
+  /// on. Both sides of the hash are wire facts, so every datagram of a
+  /// flow -- including replays -- resolves to the same shard.
+  std::size_t recv_shard_of(const Principal& source, Sfl sfl) const;
+  /// recv_shard_of with the sfl peeked from the wire (unparseable wires go
+  /// to the source's sfl-0 shard, which records the malformed rejection).
+  std::size_t recv_shard_of_wire(const Principal& source,
+                                 util::BytesView wire) const;
+
+  // --- Stats, aggregated across domains ---
+  // Each accessor locks every domain in turn and sums into a stable
+  // endpoint-owned struct, so the returned reference stays valid (and keeps
+  // the pre-sharding signatures) but its contents are a snapshot taken at
+  // call time, not a live view. Per-domain figures: shard(i).
+  const SendStats& send_stats() const;
+  const ReceiveStats& receive_stats() const;
+  const CacheStats& tfkc_stats() const;
+  const CacheStats& rfkc_stats() const;
+  const FreshnessChecker::Stats& freshness_stats() const;
+  const FamStats& fam_stats() const;
+
+  /// Domain 0's tracer (per-domain tracers: shard(i).tracer).
+  obs::StageTracer& tracer() { return domains_.front()->tracer; }
+  const obs::StageTracer& tracer() const { return domains_.front()->tracer; }
 
   /// Register every stat this endpoint keeps -- send/receive counters, the
   /// TFKC/RFKC 3C taxonomy, FAM and freshness stats, stage latencies -- as
   /// pull sources under `<prefix>.` dotted names. The endpoint must outlive
-  /// `registry`.
+  /// `registry`. Counters are aggregated across shards; stage latencies are
+  /// per shard (suffix `.shard<i>` when there is more than one).
   void register_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix) const;
 
  private:
-  struct CombinedEntry {
-    bool valid = false;
-    FlowAttributes attrs;
-    Sfl sfl = 0;
-    FlowCryptoContext ctx;  // ready key schedule + keyed MAC context
-    util::TimeUs created = 0;
-    util::TimeUs last = 0;
-    std::uint64_t datagrams = 0;
-    std::uint64_t bytes = 0;
-  };
-
   /// Lifetime policy check (combined path tracks usage in the entry; the
   /// split path tracks it on the FlowStateEntry via the policy).
-  bool key_worn_out(const CombinedEntry& e, util::TimeUs now) const;
+  bool key_worn_out(const CombinedFlowEntry& e, util::TimeUs now) const;
 
-  /// Record a rejection in both the named field and the by-kind array.
-  ReceiveError reject(ReceiveError e);
+  /// Record a rejection in the domain's named field and by-kind array.
+  /// Caller holds dom.mu.
+  static ReceiveError reject(FlowDomain& dom, ReceiveError e);
 
   /// Resolve (sfl, crypto context) for an outgoing datagram; combined or
-  /// split. The pointer is into the cache and is valid until the next
-  /// lookup/insert (i.e. for the rest of this datagram).
+  /// split. Caller holds dom.mu and has encoded d.attrs into ctx.attrs.
+  /// The pointer is into the domain's cache and is valid until the next
+  /// lookup/insert under the same lock (i.e. for the rest of this
+  /// datagram).
   std::optional<std::pair<Sfl, FlowCryptoContext*>> outgoing_flow(
-      const Datagram& d);
-  FlowCryptoContext* incoming_flow_context(const Principal& source, Sfl sfl,
+      FlowDomain& dom, WorkContext& ctx, const Datagram& d);
+  FlowCryptoContext* incoming_flow_context(FlowDomain& dom, WorkContext& ctx,
+                                           const Principal& source, Sfl sfl,
                                            crypto::AlgorithmSuite suite);
   static void cache_key_into(Sfl sfl, const Principal& a, const Principal& b,
                              util::Bytes& out);
 
-  /// One Mac instance per suite, created on first use: the receive path
-  /// consults the header's suite every datagram and must not re-instantiate
-  /// the algorithm each time.
-  crypto::Mac& suite_mac(crypto::MacAlgorithm alg);
+  /// One immutable Mac instance per suite, built eagerly in the
+  /// constructor; Mac itself is stateless (make_context is const), so the
+  /// array is safely shared by every domain and worker.
+  const crypto::Mac& suite_mac(crypto::MacAlgorithm alg) const;
+
+  std::size_t shard_index(std::uint64_t hash) const {
+    return static_cast<std::size_t>(hash % domains_.size());
+  }
 
   Principal self_;
   FbsConfig config_;
   KeyManager& keys_;
   const util::Clock& clock_;
-  util::Lcg48 confounder_gen_;
-  SflAllocator sfl_alloc_;
-  std::unique_ptr<FlowPolicy> policy_;
-  std::vector<CombinedEntry> combined_;  // FST+TFKC merged (Section 7.2)
-  SetAssociativeCache<FlowCryptoContext> tfkc_;
-  SetAssociativeCache<FlowCryptoContext> rfkc_;
-  FreshnessChecker freshness_;
-  crypto::Md5 kdf_hash_;  // H of Section 5.2 (need not equal the MAC hash)
+  SflAllocator sfl_alloc_;  // atomic counter, shared by all domains
   std::array<std::unique_ptr<crypto::Mac>, 8> suite_macs_;  // by MacAlgorithm
-  SendStats send_stats_;
-  ReceiveStats receive_stats_;
-  obs::StageTracer tracer_;
+  std::vector<std::unique_ptr<FlowDomain>> domains_;
 
-  /// Scratch reused across datagrams (an endpoint is single-threaded, like
-  /// the in-kernel implementation it models); warm steady state touches
-  /// these without allocating.
-  util::Bytes scratch_attrs_;  // FlowAttributes encoding for the FST probe
-  util::Bytes scratch_key_;    // TFKC/RFKC cache key
-  util::Bytes scratch_body_;   // ciphertext staging on send
+  /// Serves the legacy (context-free) protect/unprotect overloads.
+  WorkContext default_ctx_;
+
+  /// Aggregation staging for the stats accessors: mutable so the accessors
+  /// can keep returning stable references with const signatures.
+  mutable SendStats agg_send_;
+  mutable ReceiveStats agg_recv_;
+  mutable CacheStats agg_tfkc_;
+  mutable CacheStats agg_rfkc_;
+  mutable FreshnessChecker::Stats agg_freshness_;
+  mutable FamStats agg_fam_;
 };
 
 }  // namespace fbs::core

@@ -11,6 +11,7 @@
 // demultiplexes on the sfl carried in each datagram.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -38,14 +39,17 @@ struct FlowStateEntry {
 /// randomized initial value, so labels are unique until the counter wraps
 /// (by which time the master key must have changed) and a rebooted machine
 /// does not reuse labels.
+/// The counter is the one piece of send-side state shared by every flow
+/// domain (sfl uniqueness must hold across shards), so it is a lone relaxed
+/// atomic rather than per-domain state.
 class SflAllocator {
  public:
   explicit SflAllocator(util::RandomSource& rng) : next_(rng.next_u64()) {}
-  Sfl allocate() { return next_++; }
-  Sfl peek_next() const { return next_; }
+  Sfl allocate() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  Sfl peek_next() const { return next_.load(std::memory_order_relaxed); }
 
  private:
-  Sfl next_;
+  std::atomic<Sfl> next_;
 };
 
 struct FamStats {

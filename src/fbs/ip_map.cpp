@@ -17,8 +17,19 @@ FbsIpMapping::FbsIpMapping(net::IpStack& stack, const IpMappingConfig& config,
                            KeyManager& keys, const util::Clock& clock,
                            util::RandomSource& rng)
     : config_(config),
+      stack_(stack),
       endpoint_(Principal::from_ipv4(stack.address()), config.fbs, keys,
                 clock, rng) {
+  if (config_.pipeline_workers > 0) {
+    PipelineConfig pc;
+    pc.workers = config_.pipeline_workers;
+    pc.ingress_capacity = config_.pipeline_ingress_capacity;
+    pc.egress_capacity = config_.pipeline_egress_capacity;
+    pipeline_ = std::make_unique<DatagramPipeline>(
+        endpoint_, pc, [this](ReceiveError err) {
+          ++counters_.in_rejected[static_cast<std::size_t>(err)];
+        });
+  }
   net::IpStack::SecurityHooks hooks;
   hooks.output = [this](net::Ipv4Header& h, util::Bytes& p) {
     return on_output(h, p);
@@ -26,6 +37,11 @@ FbsIpMapping::FbsIpMapping(net::IpStack& stack, const IpMappingConfig& config,
   hooks.input = [this](const net::Ipv4Header& h, util::Bytes& p) {
     return on_input(h, p);
   };
+  if (pipeline_) {
+    hooks.deferred_input = [this](const net::Ipv4Header& h, util::Bytes& p) {
+      return on_deferred(h, p);
+    };
+  }
   hooks.header_overhead = endpoint_.max_wire_overhead();
   stack.set_security_hooks(std::move(hooks));
 }
@@ -103,6 +119,38 @@ bool FbsIpMapping::on_input(const net::Ipv4Header& header,
   // packet's body staging, so the steady-state receive hook never allocates.
   std::swap(payload, scratch_body_);
   return true;
+}
+
+net::IpStack::DeferredVerdict FbsIpMapping::on_deferred(
+    const net::Ipv4Header& header, util::Bytes& payload) {
+  // Same exemptions as the sync hook: non-FBS traffic has no cryptography
+  // to parallelize, so it takes the inline path (kProcessSync falls through
+  // to on_input, which re-applies the bypass counters).
+  if (!is_transport(header.protocol) && !config_.protect_raw_ip)
+    return net::IpStack::DeferredVerdict::kProcessSync;
+  if (config_.bypass_hosts.contains(header.source))
+    return net::IpStack::DeferredVerdict::kProcessSync;
+
+  if (!pipeline_->submit(header, std::move(payload)))
+    return net::IpStack::DeferredVerdict::kDrop;  // ring full: backpressure
+  ++counters_.in_deferred;
+  return net::IpStack::DeferredVerdict::kConsumed;
+}
+
+std::size_t FbsIpMapping::drain_pipeline() {
+  if (!pipeline_) return 0;
+  return pipeline_->drain([this](const net::Ipv4Header& h, util::Bytes body) {
+    ++counters_.in_accepted;
+    stack_.deliver(h, std::move(body));
+  });
+}
+
+void FbsIpMapping::drain_pipeline_all() {
+  if (!pipeline_) return;
+  pipeline_->drain_all([this](const net::Ipv4Header& h, util::Bytes body) {
+    ++counters_.in_accepted;
+    stack_.deliver(h, std::move(body));
+  });
 }
 
 }  // namespace fbs::core

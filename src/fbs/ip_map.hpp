@@ -15,10 +15,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <set>
 
 #include "fbs/engine.hpp"
+#include "fbs/pipeline.hpp"
 #include "net/stack.hpp"
 
 namespace fbs::core {
@@ -38,19 +41,34 @@ struct IpMappingConfig {
   /// as host-level flows": ICMP/IGMP/etc. are protected under one flow per
   /// host pair.
   bool protect_raw_ip = false;
+
+  /// Parallel receive pipeline. 0 workers (default) keeps the synchronous
+  /// input hook: every receive runs inline on the stack's thread, exactly
+  /// the paper's in-kernel shape. >0 installs a deferred input hook that
+  /// routes FBS datagrams through a DatagramPipeline; the owner must then
+  /// call drain_pipeline() (or drain_pipeline_all()) from the stack's
+  /// thread to complete delivery. Pair with fbs.shards > 1 or workers will
+  /// be clamped to the shard count.
+  std::size_t pipeline_workers = 0;
+  std::size_t pipeline_ingress_capacity = 1024;
+  std::size_t pipeline_egress_capacity = 4096;
 };
 
 class FbsIpMapping {
  public:
+  /// Atomic: in pipeline mode rejection counting happens on worker threads
+  /// while the stack thread counts bypasses and acceptances.
   struct Counters {
-    std::uint64_t out_protected = 0;
-    std::uint64_t out_bypassed = 0;
-    std::uint64_t out_raw_ip = 0;  // non-TCP/UDP, passed through
-    std::uint64_t out_dropped = 0;  // master key unavailable
-    std::uint64_t in_accepted = 0;
-    std::uint64_t in_bypassed = 0;
-    std::uint64_t in_raw_ip = 0;
-    std::array<std::uint64_t, 6> in_rejected{};  // indexed by ReceiveError
+    std::atomic<std::uint64_t> out_protected{0};
+    std::atomic<std::uint64_t> out_bypassed{0};
+    std::atomic<std::uint64_t> out_raw_ip{0};   // non-TCP/UDP, passed through
+    std::atomic<std::uint64_t> out_dropped{0};  // master key unavailable
+    std::atomic<std::uint64_t> in_accepted{0};
+    std::atomic<std::uint64_t> in_bypassed{0};
+    std::atomic<std::uint64_t> in_raw_ip{0};
+    std::atomic<std::uint64_t> in_deferred{0};  // handed to the pipeline
+    // Indexed by ReceiveError.
+    std::array<std::atomic<std::uint64_t>, 6> in_rejected{};
   };
 
   FbsIpMapping(net::IpStack& stack, const IpMappingConfig& config,
@@ -59,6 +77,16 @@ class FbsIpMapping {
 
   FbsEndpoint& endpoint() { return endpoint_; }
   const Counters& counters() const { return counters_; }
+
+  /// Engaged when config.pipeline_workers > 0.
+  DatagramPipeline* pipeline() { return pipeline_.get(); }
+
+  /// Deliver every pipeline result that is ready (no-op in sync mode).
+  /// Call from the stack's thread -- results complete via IpStack::deliver,
+  /// which is single-writer. Returns the number delivered.
+  std::size_t drain_pipeline();
+  /// Deliver until nothing the pipeline holds remains in flight.
+  void drain_pipeline_all();
 
   /// Publish the endpoint's metrics plus the IP-layer counters as pull
   /// sources under `<prefix>.` names.
@@ -74,12 +102,16 @@ class FbsIpMapping {
  private:
   bool on_output(net::Ipv4Header& header, util::Bytes& payload);
   bool on_input(const net::Ipv4Header& header, util::Bytes& payload);
+  net::IpStack::DeferredVerdict on_deferred(const net::Ipv4Header& header,
+                                            util::Bytes& payload);
   static FlowAttributes attributes_of(const net::Ipv4Header& header,
                                       util::BytesView payload);
 
   IpMappingConfig config_;
+  net::IpStack& stack_;
   FbsEndpoint endpoint_;
   Counters counters_;
+  std::unique_ptr<DatagramPipeline> pipeline_;  // null in sync mode
 
   /// Wire/body staging reused across packets so the steady-state hook path
   /// (flow-cache hit, warm buffers) performs no heap allocations.

@@ -140,8 +140,11 @@ std::optional<util::Bytes> MasterKeyDaemon::upcall(const Principal& peer) {
 }
 
 std::optional<util::Bytes> KeyManager::master_key(const Principal& peer) {
+  // One lock across lookup AND upcall: two shards racing on a cold peer
+  // must not drive two upcalls (the daemon is single-threaded by design).
+  std::lock_guard<std::mutex> lock(mu_);
   if (const auto* cached = mkc_.lookup(peer.address)) return *cached;
-  ++upcalls_;
+  upcalls_.fetch_add(1, std::memory_order_relaxed);
   auto key = daemon_.upcall(peer);
   if (key) mkc_.insert(peer.address, *key);
   return key;

@@ -15,10 +15,12 @@
 // daemon on a miss.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "bignum/uint.hpp"
@@ -156,6 +158,12 @@ class MasterKeyDaemon {
 };
 
 /// Kernel-side key manager: the MKC, with upcalls to the daemon on miss.
+///
+/// Thread-safe behind one mutex, held across the daemon upcall: keying is
+/// deliberately serial (DESIGN.md section 5f). Key derivation happens once
+/// per flow, not per datagram, so serializing it costs nothing on the
+/// sharded fast path, and the MasterKeyDaemon (directory fetches, backoff
+/// waits, DH exponentiation) stays single-threaded and lock-free inside.
 class KeyManager {
  public:
   KeyManager(MasterKeyDaemon& daemon, std::size_t mkc_size = 64,
@@ -167,14 +175,28 @@ class KeyManager {
   std::optional<util::Bytes> master_key(const Principal& peer);
 
   /// Drop a cached master key (e.g. after peer key rollover).
-  void invalidate(const Principal& peer) { mkc_.erase(peer.address); }
+  void invalidate(const Principal& peer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mkc_.erase(peer.address);
+  }
 
   /// Crash/restart simulation: wipe the MKC (soft state; re-derived via
   /// upcalls on the next datagram).
-  void clear_soft_state() { mkc_.clear(); }
+  void clear_soft_state() {
+    std::lock_guard<std::mutex> lock(mu_);
+    mkc_.clear();
+  }
 
-  const CacheStats& mkc_stats() const { return mkc_.stats(); }
-  std::uint64_t upcalls() const { return upcalls_; }
+  /// Snapshot taken under the lock; the reference stays valid (same
+  /// stable-address contract as the endpoint's aggregated stats).
+  const CacheStats& mkc_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_snapshot_ = mkc_.stats();
+    return stats_snapshot_;
+  }
+  std::uint64_t upcalls() const {
+    return upcalls_.load(std::memory_order_relaxed);
+  }
 
   /// Publish MKC stats and the upcall counter under `<prefix>.` names.
   void register_metrics(obs::MetricsRegistry& registry,
@@ -182,8 +204,10 @@ class KeyManager {
 
  private:
   MasterKeyDaemon& daemon_;
+  mutable std::mutex mu_;  // guards mkc_ and the daemon upcall
   SetAssociativeCache<util::Bytes> mkc_;
-  std::uint64_t upcalls_ = 0;
+  std::atomic<std::uint64_t> upcalls_{0};
+  mutable CacheStats stats_snapshot_;
 };
 
 }  // namespace fbs::core

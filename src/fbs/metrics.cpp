@@ -5,50 +5,84 @@
 
 namespace fbs::core {
 
+namespace {
+
+// Emit helpers shared by the reference-capturing free overloads (callers
+// own a long-lived struct) and the endpoint's this-capturing source (which
+// aggregates across shards at snapshot time).
+
+void emit_cache(obs::MetricsRegistry::Emitter& emit, const std::string& prefix,
+                const CacheStats& stats) {
+  emit.counter(prefix + ".hits", stats.hits);
+  emit.counter(prefix + ".misses.cold", stats.cold_misses);
+  emit.counter(prefix + ".misses.capacity", stats.capacity_misses);
+  emit.counter(prefix + ".misses.collision", stats.collision_misses);
+  emit.gauge(prefix + ".miss_rate", stats.miss_rate());
+}
+
+void emit_send(obs::MetricsRegistry::Emitter& emit, const std::string& prefix,
+               const SendStats& stats) {
+  emit.counter(prefix + ".datagrams", stats.datagrams);
+  emit.counter(prefix + ".encrypted", stats.encrypted);
+  emit.counter(prefix + ".flow_keys_derived", stats.flow_keys_derived);
+  emit.counter(prefix + ".key_unavailable", stats.key_unavailable);
+  emit.counter(prefix + ".lifetime_rekeys", stats.lifetime_rekeys);
+}
+
+void emit_recv(obs::MetricsRegistry::Emitter& emit, const std::string& prefix,
+               const ReceiveStats& stats) {
+  emit.counter(prefix + ".accepted", stats.accepted);
+  emit.counter(prefix + ".flow_keys_derived", stats.flow_keys_derived);
+  for (std::size_t i = 0; i < kReceiveErrorKinds; ++i) {
+    const auto kind = static_cast<ReceiveError>(i);
+    emit.counter(prefix + ".rejected." + to_string(kind), stats.by_kind[i]);
+  }
+}
+
+void emit_fam(obs::MetricsRegistry::Emitter& emit, const std::string& prefix,
+              const FamStats& stats) {
+  emit.counter(prefix + ".datagrams", stats.datagrams);
+  emit.counter(prefix + ".flows_created", stats.flows_created);
+  emit.counter(prefix + ".mapper_hits", stats.mapper_hits);
+  emit.counter(prefix + ".hash_evictions", stats.hash_evictions);
+  emit.counter(prefix + ".mapper_expirations", stats.mapper_expirations);
+  emit.counter(prefix + ".sweeper_expirations", stats.sweeper_expirations);
+}
+
+void emit_fresh(obs::MetricsRegistry::Emitter& emit, const std::string& prefix,
+                const FreshnessChecker::Stats& stats) {
+  emit.counter(prefix + ".fresh", stats.fresh);
+  emit.counter(prefix + ".stale", stats.stale);
+  emit.counter(prefix + ".replays", stats.replays);
+}
+
+}  // namespace
+
 void register_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix, const CacheStats& stats) {
   registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
-    emit.counter(prefix + ".hits", stats.hits);
-    emit.counter(prefix + ".misses.cold", stats.cold_misses);
-    emit.counter(prefix + ".misses.capacity", stats.capacity_misses);
-    emit.counter(prefix + ".misses.collision", stats.collision_misses);
-    emit.gauge(prefix + ".miss_rate", stats.miss_rate());
+    emit_cache(emit, prefix, stats);
   });
 }
 
 void register_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix, const SendStats& stats) {
   registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
-    emit.counter(prefix + ".datagrams", stats.datagrams);
-    emit.counter(prefix + ".encrypted", stats.encrypted);
-    emit.counter(prefix + ".flow_keys_derived", stats.flow_keys_derived);
-    emit.counter(prefix + ".key_unavailable", stats.key_unavailable);
-    emit.counter(prefix + ".lifetime_rekeys", stats.lifetime_rekeys);
+    emit_send(emit, prefix, stats);
   });
 }
 
 void register_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix, const ReceiveStats& stats) {
   registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
-    emit.counter(prefix + ".accepted", stats.accepted);
-    emit.counter(prefix + ".flow_keys_derived", stats.flow_keys_derived);
-    for (std::size_t i = 0; i < kReceiveErrorKinds; ++i) {
-      const auto kind = static_cast<ReceiveError>(i);
-      emit.counter(prefix + ".rejected." + to_string(kind),
-                   stats.by_kind[i]);
-    }
+    emit_recv(emit, prefix, stats);
   });
 }
 
 void register_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix, const FamStats& stats) {
   registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
-    emit.counter(prefix + ".datagrams", stats.datagrams);
-    emit.counter(prefix + ".flows_created", stats.flows_created);
-    emit.counter(prefix + ".mapper_hits", stats.mapper_hits);
-    emit.counter(prefix + ".hash_evictions", stats.hash_evictions);
-    emit.counter(prefix + ".mapper_expirations", stats.mapper_expirations);
-    emit.counter(prefix + ".sweeper_expirations", stats.sweeper_expirations);
+    emit_fam(emit, prefix, stats);
   });
 }
 
@@ -56,9 +90,7 @@ void register_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix,
                       const FreshnessChecker::Stats& stats) {
   registry.add_source([prefix, &stats](obs::MetricsRegistry::Emitter& emit) {
-    emit.counter(prefix + ".fresh", stats.fresh);
-    emit.counter(prefix + ".stale", stats.stale);
-    emit.counter(prefix + ".replays", stats.replays);
+    emit_fresh(emit, prefix, stats);
   });
 }
 
@@ -80,21 +112,35 @@ void register_metrics(obs::MetricsRegistry& registry,
 
 void FbsEndpoint::register_metrics(obs::MetricsRegistry& registry,
                                    const std::string& prefix) const {
-  core::register_metrics(registry, prefix + ".send", send_stats_);
-  core::register_metrics(registry, prefix + ".recv", receive_stats_);
-  core::register_metrics(registry, prefix + ".cache.tfkc", tfkc_.stats());
-  core::register_metrics(registry, prefix + ".cache.rfkc", rfkc_.stats());
-  core::register_metrics(registry, prefix + ".freshness",
-                         freshness_.stats());
-  core::register_metrics(registry, prefix + ".fam", policy_->stats());
-  tracer_.register_metrics(registry, prefix);
+  // One source aggregating across shards at snapshot time: the accessors
+  // take each domain's lock, so a snapshot racing live traffic reads a
+  // coherent per-domain view.
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit_send(emit, prefix + ".send", send_stats());
+    emit_recv(emit, prefix + ".recv", receive_stats());
+    emit_cache(emit, prefix + ".cache.tfkc", tfkc_stats());
+    emit_cache(emit, prefix + ".cache.rfkc", rfkc_stats());
+    emit_fresh(emit, prefix + ".freshness", freshness_stats());
+    emit_fam(emit, prefix + ".fam", fam_stats());
+    emit.gauge(prefix + ".shards", static_cast<double>(shard_count()));
+  });
+  // Stage latencies stay per shard (LatencyRecorder is single-writer; each
+  // domain's recorder is written only under that domain's lock). Keep the
+  // unsuffixed name in the common single-shard configuration.
+  if (shard_count() == 1) {
+    domains_.front()->tracer.register_metrics(registry, prefix);
+  } else {
+    for (std::size_t i = 0; i < domains_.size(); ++i)
+      domains_[i]->tracer.register_metrics(
+          registry, prefix + ".shard" + std::to_string(i));
+  }
 }
 
 void KeyManager::register_metrics(obs::MetricsRegistry& registry,
                                   const std::string& prefix) const {
-  core::register_metrics(registry, prefix + ".cache.mkc", mkc_.stats());
   registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
-    emit.counter(prefix + ".upcalls", upcalls_);
+    emit_cache(emit, prefix + ".cache.mkc", mkc_stats());
+    emit.counter(prefix + ".upcalls", upcalls());
   });
 }
 
@@ -115,12 +161,14 @@ void FbsIpMapping::register_metrics(obs::MetricsRegistry& registry,
     emit.counter(prefix + ".ip.in.accepted", counters_.in_accepted);
     emit.counter(prefix + ".ip.in.bypassed", counters_.in_bypassed);
     emit.counter(prefix + ".ip.in.raw_ip", counters_.in_raw_ip);
+    emit.counter(prefix + ".ip.in.deferred", counters_.in_deferred);
     for (std::size_t i = 0; i < kReceiveErrorKinds; ++i) {
       const auto kind = static_cast<ReceiveError>(i);
       emit.counter(prefix + ".ip.in.rejected." + to_string(kind),
                    counters_.in_rejected[i]);
     }
   });
+  if (pipeline_) pipeline_->register_metrics(registry, prefix + ".pipeline");
 }
 
 void FbsTunnel::register_metrics(obs::MetricsRegistry& registry,

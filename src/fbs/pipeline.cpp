@@ -1,0 +1,182 @@
+#include "fbs/pipeline.hpp"
+
+#include <chrono>
+#include <thread>
+
+#if defined(__linux__)
+#include <time.h>
+#endif
+
+namespace fbs::core {
+
+namespace {
+
+/// CPU time consumed by the calling thread. This is what makes per-worker
+/// busy accounting meaningful on a machine with fewer cores than workers:
+/// wall time would charge a descheduled worker for its neighbors' work.
+std::uint64_t thread_cpu_ns() {
+#if defined(__linux__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+DatagramPipeline::DatagramPipeline(FbsEndpoint& endpoint,
+                                   const PipelineConfig& config,
+                                   RejectHook on_reject)
+    : endpoint_(endpoint),
+      config_(config),
+      on_reject_(std::move(on_reject)),
+      egress_(config.egress_capacity) {
+  const std::size_t shards = endpoint_.shard_count();
+  std::size_t workers = config_.workers == 0 ? 1 : config_.workers;
+  if (workers > shards) workers = shards;
+  config_.workers = workers;
+
+  ingress_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    ingress_.push_back(std::make_unique<util::BoundedMpscRing<Item>>(
+        config_.ingress_capacity));
+
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+    for (std::size_t s = w; s < shards; s += workers)
+      workers_[w]->shards.push_back(s);
+  }
+
+  pool_.set_wake([this] {
+    for (auto& wk : workers_) {
+      // Empty critical section before notify: a worker between its
+      // predicate check and its wait cannot miss the signal.
+      { std::lock_guard<std::mutex> lock(wk->mu); }
+      wk->cv.notify_all();
+    }
+    egress_.wake_all();  // workers blocked on a full egress re-check stop
+  });
+  pool_.start(workers, [this](std::size_t w, const std::atomic<bool>& stop) {
+    worker_loop(w, stop);
+  });
+}
+
+DatagramPipeline::~DatagramPipeline() { pool_.stop(); }
+
+bool DatagramPipeline::submit(const net::Ipv4Header& header,
+                              util::Bytes wire) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  Item item;
+  item.header = header;
+  item.source = Principal::from_ipv4(header.source);
+  const std::size_t shard = endpoint_.recv_shard_of_wire(item.source, wire);
+  item.wire = std::move(wire);
+
+  Worker& wk = *workers_[shard % workers_.size()];
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  wk.queued.fetch_add(1, std::memory_order_relaxed);
+  if (!ingress_[shard]->try_push(std::move(item))) {
+    wk.queued.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.backpressure_drops.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Same empty-critical-section handshake as the wake hook (see above).
+  { std::lock_guard<std::mutex> lock(wk.mu); }
+  wk.cv.notify_one();
+  return true;
+}
+
+void DatagramPipeline::worker_loop(std::size_t w,
+                                   const std::atomic<bool>& stop) {
+  Worker& wk = *workers_[w];
+  Item item;
+  for (;;) {
+    bool worked = false;
+    for (const std::size_t shard : wk.shards) {
+      while (ingress_[shard]->try_pop(item)) {
+        wk.queued.fetch_sub(1, std::memory_order_relaxed);
+        worked = true;
+        process(wk, item);
+        if (stop.load(std::memory_order_relaxed)) return;
+      }
+    }
+    if (stop.load(std::memory_order_relaxed)) return;
+    if (worked) continue;
+    std::unique_lock<std::mutex> lock(wk.mu);
+    wk.cv.wait(lock, [&] {
+      return wk.queued.load(std::memory_order_relaxed) > 0 ||
+             stop.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void DatagramPipeline::process(Worker& wk, Item& item) {
+  const std::uint64_t t0 = thread_cpu_ns();
+  const ReceiveIntoOutcome outcome =
+      endpoint_.unprotect_into(wk.ctx, item.source, item.wire, wk.body);
+  wk.busy_ns.fetch_add(thread_cpu_ns() - t0, std::memory_order_relaxed);
+
+  if (const auto* err = std::get_if<ReceiveError>(&outcome)) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    if (on_reject_) on_reject_(*err);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  Result r;
+  r.header = item.header;
+  r.body = std::move(wk.body);
+  // The drained wire buffer (capacity >= any plaintext it carried) becomes
+  // this worker's next body staging: steady state recycles two buffers per
+  // worker instead of allocating per datagram.
+  wk.body = std::move(item.wire);
+  if (!egress_.push_wait(std::move(r), pool_.stop_flag())) {
+    // Shutdown while the egress was full: the result dies with the
+    // pipeline. Account it so drain_all() callers aren't left waiting.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+std::size_t DatagramPipeline::drain(const Sink& sink) {
+  Result r;
+  std::size_t n = 0;
+  while (egress_.try_pop(r)) {
+    sink(r.header, std::move(r.body));
+    stats_.drained.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    ++n;
+  }
+  return n;
+}
+
+void DatagramPipeline::drain_all(const Sink& sink) {
+  while (in_flight_.load(std::memory_order_acquire) > 0) {
+    if (drain(sink) == 0) std::this_thread::yield();
+  }
+  drain(sink);
+}
+
+void DatagramPipeline::register_metrics(obs::MetricsRegistry& registry,
+                                        const std::string& prefix) const {
+  registry.add_source([prefix, this](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter(prefix + ".submitted", stats_.submitted);
+    emit.counter(prefix + ".backpressure_drops", stats_.backpressure_drops);
+    emit.counter(prefix + ".accepted", stats_.accepted);
+    emit.counter(prefix + ".rejected", stats_.rejected);
+    emit.counter(prefix + ".drained", stats_.drained);
+    emit.gauge(prefix + ".workers", static_cast<double>(worker_count()));
+    emit.gauge(prefix + ".in_flight", static_cast<double>(in_flight()));
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+      emit.counter(prefix + ".worker" + std::to_string(w) + ".busy_ns",
+                   worker_busy_ns(w));
+  });
+}
+
+}  // namespace fbs::core

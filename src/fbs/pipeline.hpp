@@ -1,0 +1,146 @@
+// The parallel receive pipeline: a worker pool draining per-shard ingress
+// rings through the re-entrant engine into a single-consumer egress ring.
+//
+//   submit(header, wire)                    [any thread]
+//     -> ingress ring of the wire's flow domain (full ring = counted drop,
+//        like a NIC ring overflow)
+//   worker w drains the rings of shards s where s mod workers == w
+//     -> FbsEndpoint::unprotect_into(ctx, ...) with w's own WorkContext
+//     -> accepted bodies go to the egress ring (blocking: work already
+//        paid for its cryptography); rejections are counted and reported
+//   drain(sink)                             [one thread -- the stack's]
+//     -> pops results and hands them to the sink (IpStack::deliver)
+//
+// The static shard->worker assignment is what preserves per-flow ordering
+// without any cross-worker coordination: every datagram of a flow hashes to
+// one shard (see domain.hpp), one worker owns that shard's ring, and the
+// ring is FIFO. Distinct flows on distinct shards proceed fully in
+// parallel. Delivery order ACROSS flows is whatever the egress interleaving
+// yields -- datagram semantics, the paper's own ground rule.
+//
+// Per-worker busy time is accounted with the thread CPU clock, so a bench
+// can compute the critical-path aggregate throughput (bytes / max worker
+// busy time) even on a machine with fewer cores than workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fbs/engine.hpp"
+#include "net/ip.hpp"
+#include "obs/metrics.hpp"
+#include "util/ring.hpp"
+#include "util/worker_pool.hpp"
+
+namespace fbs::core {
+
+struct PipelineConfig {
+  /// Worker threads. Clamped to the endpoint's shard count (a shard is
+  /// single-consumer; more workers than shards would idle). 0 means 1.
+  std::size_t workers = 1;
+  /// Capacity of each per-shard ingress ring; a full ring drops (counted).
+  std::size_t ingress_capacity = 1024;
+  /// Capacity of the shared egress ring; full blocks the producing worker.
+  std::size_t egress_capacity = 4096;
+};
+
+/// Owns the worker pool and the rings; borrows the endpoint. Construction
+/// starts the workers, destruction (or the owner's) stops and joins them.
+/// submit() may be called from any thread; drain()/drain_all() must be
+/// called from one thread at a time (the egress ring's single consumer).
+class DatagramPipeline {
+ public:
+  struct Stats {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> backpressure_drops{0};  // ingress ring full
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> drained{0};
+  };
+
+  /// Called on a worker thread for every rejected datagram (counting; must
+  /// be thread-safe, cheap, and must not call back into the pipeline).
+  using RejectHook = std::function<void(ReceiveError)>;
+  /// Receives each accepted (header, plaintext body) from drain().
+  using Sink =
+      std::function<void(const net::Ipv4Header&, util::Bytes body)>;
+
+  DatagramPipeline(FbsEndpoint& endpoint, const PipelineConfig& config,
+                   RejectHook on_reject = nullptr);
+  ~DatagramPipeline();
+
+  DatagramPipeline(const DatagramPipeline&) = delete;
+  DatagramPipeline& operator=(const DatagramPipeline&) = delete;
+
+  /// Hand a received FBS wire (post-reassembly) to the workers. False means
+  /// the owning shard's ingress ring was full and the datagram was dropped
+  /// (counted in stats().backpressure_drops) -- receive-side backpressure.
+  bool submit(const net::Ipv4Header& header, util::Bytes wire);
+
+  /// Pop every currently ready result into `sink`; returns how many.
+  std::size_t drain(const Sink& sink);
+
+  /// Drain until every submitted datagram has been rejected or delivered.
+  /// Workers must be running (call before the pipeline is destroyed).
+  void drain_all(const Sink& sink);
+
+  /// Datagrams submitted but not yet rejected or drained.
+  std::size_t in_flight() const {
+    const auto v = in_flight_.load(std::memory_order_acquire);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+
+  std::size_t worker_count() const { return workers_.size(); }
+  /// Cumulative thread-CPU time worker `w` has spent inside the engine.
+  std::uint64_t worker_busy_ns(std::size_t w) const {
+    return workers_[w]->busy_ns.load(std::memory_order_relaxed);
+  }
+  const Stats& stats() const { return stats_; }
+
+  /// Publish pipeline counters and per-worker busy time under `<prefix>.`.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
+ private:
+  struct Item {
+    net::Ipv4Header header;
+    Principal source;
+    util::Bytes wire;
+  };
+  struct Result {
+    net::Ipv4Header header;
+    util::Bytes body;
+  };
+  /// One worker's private world: its WorkContext (engine re-entrancy), its
+  /// body staging buffer, the shards it owns, and its wakeup channel.
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<std::int64_t> queued{0};  // items across this worker's rings
+    std::atomic<std::uint64_t> busy_ns{0};
+    WorkContext ctx;
+    util::Bytes body;
+    std::vector<std::size_t> shards;
+  };
+
+  void worker_loop(std::size_t w, const std::atomic<bool>& stop);
+  void process(Worker& wk, Item& item);
+
+  FbsEndpoint& endpoint_;
+  PipelineConfig config_;
+  RejectHook on_reject_;
+  Stats stats_;
+  std::atomic<std::int64_t> in_flight_{0};
+  std::vector<std::unique_ptr<util::BoundedMpscRing<Item>>> ingress_;
+  util::BoundedMpscRing<Result> egress_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  util::WorkerPool pool_;  // last: joins before the state above dies
+};
+
+}  // namespace fbs::core

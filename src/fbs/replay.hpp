@@ -7,6 +7,16 @@
 // extension we add a bounded soft-state cache of recently accepted MACs
 // that also rejects within-window replays (off by default -- it is soft
 // state, so losing it degrades to the paper's behaviour, never worse).
+//
+// Concurrency: a FreshnessChecker is not internally synchronized. Each
+// FlowDomain owns one, and the engine holds that domain's lock from before
+// check() until after commit() -- the check/commit pair executes as ONE
+// critical section per datagram. This closes the check-then-act window the
+// split API would otherwise open: two threads racing the same duplicated
+// wire both pass check() only if they interleave between one thread's check
+// and its commit, which the domain lock makes impossible. Replay semantics
+// are therefore per flow and exactly as strong as in the serial engine
+// (every datagram of a flow hashes to the same domain; see domain.hpp).
 #pragma once
 
 #include <cstdint>

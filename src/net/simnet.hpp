@@ -8,6 +8,7 @@
 // tap lets attack tests observe, drop, modify, and inject frames.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -98,16 +99,19 @@ class SimNetwork {
   /// Run until no events remain.
   void run();
 
+  /// Relaxed-atomic, 64-bit: the chaos suite asserts frame-conservation
+  /// invariants (sent == delivered + every loss bucket) over these while
+  /// pipeline workers run, so reads must be tear-free and wraps impossible.
   struct Counters {
-    std::uint64_t sent = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t lost = 0;         // i.i.d. (good-state) loss
-    std::uint64_t burst_lost = 0;   // lost while in the Gilbert bad state
-    std::uint64_t corrupted = 0;    // frames with a bit flipped in flight
-    std::uint64_t partition_dropped = 0;
-    std::uint64_t duplicated = 0;
-    std::uint64_t tap_dropped = 0;
-    std::uint64_t no_such_host = 0;
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> lost{0};        // i.i.d. (good-state) loss
+    std::atomic<std::uint64_t> burst_lost{0};  // Gilbert bad-state loss
+    std::atomic<std::uint64_t> corrupted{0};   // bit flipped in flight
+    std::atomic<std::uint64_t> partition_dropped{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> tap_dropped{0};
+    std::atomic<std::uint64_t> no_such_host{0};
   };
   const Counters& counters() const { return counters_; }
 

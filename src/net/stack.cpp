@@ -125,20 +125,38 @@ void IpStack::on_frame(util::Bytes frame) {
   auto complete = reassembler_.push(parsed->header, std::move(parsed->payload));
   if (!complete) return;
 
-  // FBS input hook sits between reassembly and dispatch.
+  // FBS input hooks sit between reassembly and dispatch. The deferred hook
+  // (parallel pipeline) gets first refusal; datagrams it consumes complete
+  // via deliver() from the pipeline's drain.
+  if (hooks_.deferred_input) {
+    switch (hooks_.deferred_input(complete->header, complete->payload)) {
+      case DeferredVerdict::kConsumed:
+        ++counters_.deferred_in;
+        return;
+      case DeferredVerdict::kDrop:
+        ++counters_.hook_drops_in;
+        return;
+      case DeferredVerdict::kProcessSync:
+        break;
+    }
+  }
   if (hooks_.input && !hooks_.input(complete->header, complete->payload)) {
     ++counters_.hook_drops_in;
     return;
   }
 
+  deliver(complete->header, std::move(complete->payload));
+}
+
+void IpStack::deliver(const Ipv4Header& header, util::Bytes payload) {
   // Part [3]: dispatch to the higher-layer protocol.
-  const auto it = handlers_.find(complete->header.protocol);
+  const auto it = handlers_.find(header.protocol);
   if (it == handlers_.end()) {
     ++counters_.no_protocol;
     return;
   }
   ++counters_.delivered;
-  it->second(complete->header, std::move(complete->payload));
+  it->second(header, std::move(payload));
 }
 
 }  // namespace fbs::net

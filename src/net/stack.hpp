@@ -11,6 +11,7 @@
 // packets would need fragmenting).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -26,6 +27,13 @@ class IpStack {
   using ProtocolHandler =
       std::function<void(const Ipv4Header&, util::Bytes payload)>;
 
+  /// What the deferred input hook did with a reassembled datagram.
+  enum class DeferredVerdict {
+    kConsumed,     // handed to the parallel pipeline; deliver() comes later
+    kProcessSync,  // not pipeline material (bypass/raw); run the sync hook
+    kDrop,         // pipeline backpressure: drop, counted as a hook drop
+  };
+
   struct SecurityHooks {
     /// Called between output parts [1] and [2]; may grow the payload
     /// (inserting the FBS header) and must keep the header's protocol field
@@ -34,25 +42,36 @@ class IpStack {
     /// Called between input parts [2] and [3]; strips/validates the FBS
     /// header. Return false to drop (counted).
     std::function<bool(const Ipv4Header&, util::Bytes&)> input;
+    /// Optional asynchronous variant of `input`, consulted first (same hook
+    /// placement: after reassembly, before dispatch). kConsumed means the
+    /// hook took ownership of the payload and will call deliver() when the
+    /// datagram clears its pipeline; kProcessSync falls through to `input`.
+    std::function<DeferredVerdict(const Ipv4Header&, util::Bytes&)>
+        deferred_input;
     /// Wire bytes the output hook adds; reduces the payload budget that
     /// upper layers (tcp_output-style senders) may use per packet.
     std::size_t header_overhead = 0;
   };
 
+  /// Relaxed-atomic counters: pipeline drains call deliver() while the sim
+  /// thread keeps receiving frames, so every counter a concurrent path can
+  /// touch must tolerate unsynchronized increments. 64-bit throughout --
+  /// frame-conservation invariants (chaos suite) must never see a wrap.
   struct Counters {
-    std::uint64_t packets_out = 0;
-    std::uint64_t fragments_out = 0;
-    std::uint64_t df_drops = 0;
-    std::uint64_t packets_in = 0;
-    std::uint64_t parse_errors = 0;
-    std::uint64_t not_for_us = 0;
-    std::uint64_t forwarded = 0;
-    std::uint64_t ttl_expired = 0;
-    std::uint64_t reassembly_expired = 0;
-    std::uint64_t hook_drops_out = 0;
-    std::uint64_t hook_drops_in = 0;
-    std::uint64_t no_protocol = 0;
-    std::uint64_t delivered = 0;
+    std::atomic<std::uint64_t> packets_out{0};
+    std::atomic<std::uint64_t> fragments_out{0};
+    std::atomic<std::uint64_t> df_drops{0};
+    std::atomic<std::uint64_t> packets_in{0};
+    std::atomic<std::uint64_t> parse_errors{0};
+    std::atomic<std::uint64_t> not_for_us{0};
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> ttl_expired{0};
+    std::atomic<std::uint64_t> reassembly_expired{0};
+    std::atomic<std::uint64_t> hook_drops_out{0};
+    std::atomic<std::uint64_t> hook_drops_in{0};
+    std::atomic<std::uint64_t> no_protocol{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> deferred_in{0};  // consumed by deferred hook
   };
 
   IpStack(SimNetwork& network, const util::Clock& clock, Ipv4Address address,
@@ -106,6 +125,14 @@ class IpStack {
   /// Incomplete datagrams currently held by the reassembly queue (lost
   /// fragments must eventually expire these, not leak them).
   std::size_t reassembly_pending() const { return reassembler_.pending(); }
+
+  /// Input part [3]: dispatch a (security-cleared) payload to its protocol
+  /// handler. Public so a deferred input hook (the parallel pipeline) can
+  /// complete delivery for datagrams it consumed. Single-writer contract:
+  /// only one thread at a time may be delivering -- the pipeline funnels
+  /// its results through one drain, and the sim thread and drains must not
+  /// overlap (protocol handlers are not locked).
+  void deliver(const Ipv4Header& header, util::Bytes payload);
 
  private:
   void on_frame(util::Bytes frame);

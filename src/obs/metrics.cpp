@@ -130,24 +130,31 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 LatencyRecorder& MetricsRegistry::latency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = latencies_[name];
   if (!slot) slot = std::make_unique<LatencyRecorder>();
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Publish every relaxed increment that happened-before this call (see the
+  // header's snapshot protocol note).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();

@@ -21,12 +21,25 @@
 //
 // Counters are monotonically non-decreasing by contract; the chaos suite
 // asserts this across snapshots.
+//
+// Thread model (the shard-per-core refactor): Counter and Gauge are relaxed
+// atomics, so any number of pipeline workers may increment push-style
+// metrics concurrently with zero coordination. snapshot() issues a
+// sequentially-consistent fence before reading, giving the consistency
+// contract stated there. Registration (counter()/gauge()/latency()/
+// add_source()) takes the registry mutex and may also run concurrently,
+// though components typically register at setup time. LatencyRecorder is
+// the exception: its log-histogram buckets are plain memory, so a recorder
+// must only be fed from one thread at a time -- the engine keeps one
+// StageTracer per flow domain for exactly this reason.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,24 +47,29 @@
 
 namespace fbs::obs {
 
-/// Monotonic event count.
+/// Monotonic event count. Increments are relaxed atomics: cheap enough for
+/// every packet on every worker, ordered only by snapshot()'s fence.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written instantaneous value (table occupancies, rates).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Quantile summary of a latency recorder, in microseconds.
@@ -119,20 +137,35 @@ class MetricsRegistry {
   LatencyRecorder& latency(const std::string& name);
 
   /// Register a pull source; called on every snapshot().
-  void add_source(Source source) { sources_.push_back(std::move(source)); }
+  void add_source(Source source) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources_.push_back(std::move(source));
+  }
 
+  /// Consistent snapshot protocol: the registry mutex is held for the whole
+  /// read (so the metric set cannot change mid-snapshot) and a seq_cst
+  /// fence is issued first, so every relaxed increment that happens-before
+  /// the snapshot call -- in particular everything a joined or drained
+  /// worker did -- is visible. Increments racing with the snapshot land in
+  /// this one or the next; monotonicity across snapshots is preserved
+  /// either way.
   MetricsSnapshot snapshot() const;
 
   std::size_t registered_metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + latencies_.size();
   }
-  std::size_t registered_sources() const { return sources_.size(); }
+  std::size_t registered_sources() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sources_.size();
+  }
 
   /// The process-wide registry. Components default to local registries in
   /// tests; long-lived processes (examples, daemons) share this one.
   static MetricsRegistry& global();
 
  private:
+  mutable std::mutex mu_;  // guards the maps/sources, never the hot path
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyRecorder>> latencies_;

@@ -76,6 +76,14 @@ class StageTracer {
                           : nullptr);
   }
 
+  /// Record an externally measured duration. The sharded engine needs this
+  /// for the one stage measured before the owning flow domain is known
+  /// (wire parse resolves the sfl that picks the domain): the caller times
+  /// the work itself, then records under the domain's lock.
+  void record(Stage stage, double ns) {
+    if (enabled_) recorders_[static_cast<std::size_t>(stage)].record_ns(ns);
+  }
+
   const LatencyRecorder& recorder(Stage stage) const {
     return recorders_[static_cast<std::size_t>(stage)];
   }

@@ -7,6 +7,7 @@
 // virtual time while examples run on the system clock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace fbs::util {
@@ -36,15 +37,25 @@ class Clock {
 };
 
 /// Manually driven clock for tests and discrete-event simulation.
+///
+/// now() is an atomic (relaxed) read so pipeline worker threads may consult
+/// virtual time while the simulation thread advances it: a worker observing
+/// a tick early or late is indistinguishable from scheduling skew, and the
+/// protocol only consumes time at minute granularity. Advancing from more
+/// than one thread is still the driver's job to serialize.
 class VirtualClock final : public Clock {
  public:
   explicit VirtualClock(TimeUs start = 0) : now_(start) {}
-  TimeUs now() const override { return now_; }
-  void advance(TimeUs delta) { now_ += delta; }
-  void set(TimeUs t) { now_ = t; }
+  TimeUs now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance(TimeUs delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(TimeUs t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  TimeUs now_;
+  std::atomic<TimeUs> now_;
 };
 
 /// Wall-clock time converted to the FBS epoch.

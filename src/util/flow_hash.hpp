@@ -1,0 +1,51 @@
+// 64-bit flow hashing for shard selection.
+//
+// The sharded datagram engine partitions per-flow state into independent
+// FlowDomains; the shard index must decorrelate inputs that differ in only
+// a few bits (sequential sfls from one counter, IPv4 addresses sharing a
+// prefix, ports differing in the low byte), or most flows pile onto one
+// shard and the engine degenerates to single-threaded. This is the same
+// requirement Section 5.3 places on the cache index hash, but for a
+// different consumer: cache_index() picks a set within one table, while
+// flow_hash64() picks which table (domain) a flow lives in. Keeping the two
+// hash families distinct also means a pathological workload cannot align
+// shard collisions with cache-set collisions.
+//
+// FNV-1a over the bytes followed by a splitmix64 finalizer: FNV mixes every
+// input byte cheaply, the finalizer gives full avalanche so `hash % nshards`
+// is uniform even for small nshards.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::util {
+
+/// splitmix64 finalizer: bijective, full-avalanche mixing of a 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a 64 over `bytes`, finalized with mix64. `seed` domain-separates
+/// independent consumers (send-side vs receive-side sharding).
+inline std::uint64_t flow_hash64(BytesView bytes, std::uint64_t seed = 0) {
+  std::uint64_t h = 0xCBF29CE484222325ull ^ mix64(seed);
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return mix64(h);
+}
+
+/// Fold an extra 64-bit word (an sfl, a port pair) into a hash.
+constexpr std::uint64_t flow_hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+}  // namespace fbs::util

@@ -1,0 +1,102 @@
+// Bounded multi-producer ring queue for the parallel datagram pipeline.
+//
+// The pipeline's ingress is one ring per flow domain (producers: whatever
+// threads feed the stack; consumer: the one worker owning that shard) and
+// its egress is one shared ring (producers: all workers; consumer: the
+// single drain thread). Both shapes are MPSC with a hard capacity: a full
+// ingress ring is backpressure -- the caller drops and counts, exactly like
+// a NIC ring overflow -- while a full egress ring blocks the producing
+// worker until the drain thread catches up (dropping a datagram that
+// already paid for its cryptography would waste the work).
+//
+// A mutex+condvar ring, not a lock-free one: every slot carries an owned
+// byte buffer, so the per-item cost is dominated by the datagram's
+// cryptography (tens of microseconds); an uncontended mutex is noise at
+// that scale and keeps the structure trivially ThreadSanitizer-clean.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace fbs::util {
+
+template <typename T>
+class BoundedMpscRing {
+ public:
+  explicit BoundedMpscRing(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscRing(const BoundedMpscRing&) = delete;
+  BoundedMpscRing& operator=(const BoundedMpscRing&) = delete;
+
+  /// Non-blocking enqueue; false means the ring is full (backpressure --
+  /// the caller decides whether that is a counted drop or a retry).
+  bool try_push(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (count_ == slots_.size()) return false;
+      slots_[(head_ + count_) % slots_.size()] = std::move(value);
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue: waits for a free slot. Returns false (value
+  /// dropped) if `cancel` becomes true while the ring is full -- the
+  /// shutdown path, where the consumer may never drain again. The
+  /// canceller must call wake_all() after setting the flag.
+  bool push_wait(T&& value, const std::atomic<bool>& cancel) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return count_ < slots_.size() ||
+             cancel.load(std::memory_order_relaxed);
+    });
+    if (count_ == slots_.size()) return false;
+    slots_[(head_ + count_) % slots_.size()] = std::move(value);
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking dequeue into `out`; false when empty.
+  bool try_pop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (count_ == 0) return false;
+      out = std::move(slots_[head_]);
+      head_ = (head_ + 1) % slots_.size();
+      --count_;
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wake every waiter (shutdown); they re-check their predicates.
+  void wake_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace fbs::util

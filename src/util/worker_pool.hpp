@@ -1,0 +1,62 @@
+// A small owned-thread pool running one user loop per worker.
+//
+// Deliberately not a task queue: the datagram pipeline statically assigns
+// flow domains to workers (shard s belongs to worker s mod N), so each
+// worker runs a bespoke drain loop over its own rings and per-flow ordering
+// needs no further coordination. This class only owns the threads, the
+// shared stop flag, and the shutdown handshake.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fbs::util {
+
+class WorkerPool {
+ public:
+  /// The worker body: runs until it observes `stop` true (and has drained
+  /// whatever its contract says must not be abandoned).
+  using Loop =
+      std::function<void(std::size_t worker, const std::atomic<bool>& stop)>;
+
+  WorkerPool() = default;
+  ~WorkerPool() { stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Called inside stop() after the flag is set, before joining: must wake
+  /// any condition variables the loops may be blocked on.
+  void set_wake(std::function<void()> wake) { wake_ = std::move(wake); }
+
+  void start(std::size_t workers, Loop loop) {
+    stop();
+    stop_.store(false, std::memory_order_relaxed);
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads_.emplace_back([this, i, loop] { loop(i, stop_); });
+  }
+
+  /// Idempotent: set the flag, wake sleepers, join everything.
+  void stop() {
+    if (threads_.empty()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    if (wake_) wake_();
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  std::size_t size() const { return threads_.size(); }
+  const std::atomic<bool>& stop_flag() const { return stop_; }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::function<void()> wake_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fbs::util

@@ -78,13 +78,14 @@ TEST(EngineProperties, ManyPeersIndependentKeys) {
   auto& hub = world.add_node("hub", "10.0.0.1");
   FbsEndpoint sender(hub.principal, FbsConfig{}, *hub.keys, world.clock,
                      world.rng);
-  std::vector<FbsEndpoint> receivers;
+  // unique_ptr: the sharded endpoint owns mutexes and is pinned in place.
+  std::vector<std::unique_ptr<FbsEndpoint>> receivers;
   std::vector<Principal> peers;
   for (int i = 0; i < 8; ++i) {
     auto& node = world.add_node("peer" + std::to_string(i),
                                 "10.0.1." + std::to_string(i + 1));
-    receivers.emplace_back(node.principal, FbsConfig{}, *node.keys,
-                           world.clock, world.rng);
+    receivers.push_back(std::make_unique<FbsEndpoint>(
+        node.principal, FbsConfig{}, *node.keys, world.clock, world.rng));
     peers.push_back(node.principal);
   }
   // One datagram to each peer; each receiver accepts its own and its own
@@ -99,10 +100,10 @@ TEST(EngineProperties, ManyPeersIndependentKeys) {
     wires.push_back(*wire);
   }
   for (int i = 0; i < 8; ++i) {
-    auto own = receivers[i].unprotect(hub.principal, wires[i]);
+    auto own = receivers[i]->unprotect(hub.principal, wires[i]);
     EXPECT_TRUE(std::holds_alternative<ReceivedDatagram>(own)) << i;
     auto crossed =
-        receivers[(i + 1) % 8].unprotect(hub.principal, wires[i]);
+        receivers[(i + 1) % 8]->unprotect(hub.principal, wires[i]);
     EXPECT_TRUE(std::holds_alternative<ReceiveError>(crossed)) << i;
   }
 }

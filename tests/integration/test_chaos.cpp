@@ -125,6 +125,61 @@ TEST_P(ChaosSoak, TwoHostSoftStateSurvivesFaultSchedule) {
 INSTANTIATE_TEST_SUITE_P(SeedSweep, ChaosSoak,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// The same soak with the receiver running the parallel pipeline: worker
+// threads unprotect concurrently with the event loop, and every invariant
+// -- genuineness, no plaintext leaks, frame conservation, recovery
+// convergence -- must hold exactly as in the synchronous engine.
+class PipelinedChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinedChaosSoak, InvariantsHoldWithPipelineWorkers) {
+  core::IpMappingConfig b_config;
+  b_config.fbs.shards = 4;
+  b_config.pipeline_workers = 2;
+  TwoHostChaosRig rig(GetParam(), b_config);
+  obs::MetricsRegistry reg;
+  rig.b_fbs_.register_metrics(reg, "b");
+  rig.net_.register_metrics(reg, "net");
+
+  rig.run_fault_phase(/*datagrams=*/100);
+  EXPECT_TRUE(rig.all_deliveries_genuine());
+  EXPECT_LE(rig.fault_phase_delivered(), rig.fault_phase_sent());
+  EXPECT_EQ(rig.plaintext_leaks(), 0u);
+
+  // Frame conservation holds while worker threads race the event loop:
+  // every frame the simnet accepted is accounted for exactly once. The
+  // counters are concurrently-incremented atomics; the snapshot fence makes
+  // the sum exact once the queue has drained.
+  const obs::MetricsSnapshot fault_snap = reg.snapshot();
+  EXPECT_EQ(fault_snap.counters.at("net.sent") +
+                fault_snap.counters.at("net.duplicated"),
+            fault_snap.counters.at("net.delivered") +
+                fault_snap.counters.at("net.lost") +
+                fault_snap.counters.at("net.burst_lost") +
+                fault_snap.counters.at("net.tap_dropped") +
+                fault_snap.counters.at("net.partition_dropped") +
+                fault_snap.counters.at("net.no_such_host"));
+
+  // Pipeline conservation: everything submitted was accepted, rejected, or
+  // dropped for backpressure; everything accepted was drained to the stack.
+  const auto& ps = rig.b_fbs_.pipeline()->stats();
+  EXPECT_EQ(ps.submitted.load(),
+            ps.accepted.load() + ps.rejected.load() +
+                ps.backpressure_drops.load());
+  EXPECT_EQ(ps.drained.load(), ps.accepted.load());
+  EXPECT_EQ(rig.b_fbs_.pipeline()->in_flight(), 0u);
+
+  rig.run_recovery_phase(/*datagrams=*/40);
+  EXPECT_EQ(rig.recovery_delivered(), rig.recovery_sent());
+  EXPECT_TRUE(rig.all_deliveries_genuine());
+  EXPECT_EQ(rig.plaintext_leaks(), 0u);
+
+  const obs::MetricsSnapshot recovery_snap = reg.snapshot();
+  expect_counters_monotonic(fault_snap, recovery_snap);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PipelinedChaosSoak,
+                         ::testing::Range<std::uint64_t>(40, 48));
+
 // Gateway-to-gateway tunnel under the same chaos: the WAN hop between the
 // security gateways is the faulty segment; the inner hosts run plain IP.
 class TunnelChaosRig {

@@ -95,9 +95,13 @@ struct ChaosPlan {
 };
 
 /// Two FBS hosts exchanging UDP datagrams across one chaotic segment.
+/// `b_config` lets a soak run the receiver in parallel-pipeline mode (the
+/// phases drain the pipeline after the event loop settles; a no-op in the
+/// default synchronous mode).
 class TwoHostChaosRig {
  public:
-  explicit TwoHostChaosRig(std::uint64_t seed)
+  explicit TwoHostChaosRig(std::uint64_t seed,
+                           const core::IpMappingConfig& b_config = {})
       : world_(seed),
         schedule_rng_(seed * 0x9E3779B97F4A7C15ULL + 1),
         ledger_(seed ^ 0xC0FFEE),
@@ -108,7 +112,7 @@ class TwoHostChaosRig {
         b_stack_(net_, world_.clock, *net::Ipv4Address::parse("10.0.0.2")),
         a_fbs_(a_stack_, core::IpMappingConfig{}, *a_node_.keys, world_.clock,
                world_.rng),
-        b_fbs_(b_stack_, core::IpMappingConfig{}, *b_node_.keys, world_.clock,
+        b_fbs_(b_stack_, b_config, *b_node_.keys, world_.clock,
                world_.rng),
         a_udp_(a_stack_),
         b_udp_(b_stack_) {
@@ -156,6 +160,7 @@ class TwoHostChaosRig {
                       });
     }
     net_.run();
+    b_fbs_.drain_pipeline_all();
     fault_phase_delivered_ = delivered_.size();
   }
 
@@ -173,6 +178,7 @@ class TwoHostChaosRig {
         ++recovery_sent_;
     }
     net_.run();
+    b_fbs_.drain_pipeline_all();
     recovery_delivered_ = delivered_.size() - fault_phase_delivered_;
   }
 

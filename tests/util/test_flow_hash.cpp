@@ -1,0 +1,69 @@
+#include "util/flow_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbs::util {
+namespace {
+
+TEST(FlowHash, DeterministicForSameInput) {
+  const Bytes key = to_bytes("10.0.0.1:5000 -> 10.0.0.2:7 udp");
+  EXPECT_EQ(flow_hash64(key), flow_hash64(key));
+  EXPECT_EQ(flow_hash64(key, 7), flow_hash64(key, 7));
+}
+
+TEST(FlowHash, SeedSeparatesStreams) {
+  const Bytes key = to_bytes("same bytes");
+  EXPECT_NE(flow_hash64(key, 1), flow_hash64(key, 2));
+}
+
+TEST(FlowHash, SensitiveToEveryByte) {
+  Bytes key = to_bytes("flow-key-bytes");
+  const std::uint64_t base = flow_hash64(key);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] ^= 1;
+    EXPECT_NE(flow_hash64(key), base) << "byte " << i;
+    key[i] ^= 1;
+  }
+}
+
+TEST(FlowHash, EmptyInputIsValid) {
+  EXPECT_EQ(flow_hash64(Bytes{}), flow_hash64(Bytes{}));
+  EXPECT_NE(flow_hash64(Bytes{}, 1), flow_hash64(Bytes{}, 2));
+}
+
+TEST(FlowHash, CombineMixesBothOperands) {
+  const std::uint64_t h = flow_hash64(to_bytes("source"));
+  EXPECT_NE(flow_hash_combine(h, 1), flow_hash_combine(h, 2));
+  EXPECT_NE(flow_hash_combine(h, 1), flow_hash_combine(h + 1, 1));
+}
+
+TEST(FlowHash, StripesFlowsAcrossShardsEvenly) {
+  // The shard selector is `hash % N`: 4096 random flow keys over 8 shards
+  // should land every shard well away from empty (binomial tail makes a
+  // shard under 1/4 of its expected 512 essentially impossible unless the
+  // hash is broken).
+  SplitMix64 rng(42);
+  constexpr std::size_t kShards = 8;
+  std::vector<std::size_t> per_shard(kShards, 0);
+  for (int i = 0; i < 4096; ++i)
+    ++per_shard[flow_hash64(rng.next_bytes(13)) % kShards];
+  for (std::size_t s = 0; s < kShards; ++s)
+    EXPECT_GT(per_shard[s], 4096 / kShards / 4) << "shard " << s;
+}
+
+TEST(FlowHash, FewCollisionsOverManyKeys) {
+  SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) seen.insert(flow_hash64(rng.next_bytes(16)));
+  // 64-bit hash, 20k draws: any collision at all would be suspicious.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace fbs::util

@@ -1,0 +1,101 @@
+#include "util/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fbs::util {
+namespace {
+
+TEST(BoundedMpscRing, FifoWithinCapacity) {
+  BoundedMpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_EQ(ring.size(), 4u);
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(BoundedMpscRing, FullRingRefusesTryPush) {
+  BoundedMpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));  // backpressure
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(3));  // pop freed a slot
+}
+
+TEST(BoundedMpscRing, ZeroCapacityClampedToOne) {
+  BoundedMpscRing<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  EXPECT_TRUE(ring.try_push(7));
+  EXPECT_FALSE(ring.try_push(8));
+}
+
+TEST(BoundedMpscRing, PushWaitBlocksUntilSlotFrees) {
+  BoundedMpscRing<int> ring(1);
+  std::atomic<bool> cancel{false};
+  ASSERT_TRUE(ring.try_push(1));
+  std::thread producer([&] {
+    EXPECT_TRUE(ring.push_wait(2, cancel));  // blocks until the pop below
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedMpscRing, PushWaitHonorsCancel) {
+  BoundedMpscRing<int> ring(1);
+  std::atomic<bool> cancel{false};
+  ASSERT_TRUE(ring.try_push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(ring.push_wait(2, cancel));  // ring stays full; canceled
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cancel.store(true);
+  ring.wake_all();
+  producer.join();
+}
+
+TEST(BoundedMpscRing, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedMpscRing<int> ring(64);
+  std::atomic<bool> cancel{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(ring.push_wait(p * kPerProducer + i, cancel));
+    });
+  }
+  std::vector<int> last_seen(kProducers, -1);
+  int received = 0, out = 0;
+  while (received < kProducers * kPerProducer) {
+    if (!ring.try_pop(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ++received;
+    const int producer = out / kPerProducer;
+    const int seq = out % kPerProducer;
+    // Per-producer FIFO must survive the interleaving.
+    EXPECT_GT(seq, last_seen[producer]);
+    last_seen[producer] = seq;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fbs::util

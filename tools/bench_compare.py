@@ -22,7 +22,8 @@ import argparse
 import json
 import sys
 
-HIGHER_BETTER = ("kbps", "kBps", "Bps", "per_sec", "throughput", "hits")
+HIGHER_BETTER = ("kbps", "kBps", "Bps", "per_sec", "throughput", "hits",
+                 "speedup")
 LOWER_BETTER = ("us_per_pkt", "_us", ".us", "_ns", ".ns", "seconds",
                 "misses", "evictions", "cost")
 

@@ -3,13 +3,18 @@
 #
 #   tools/check.sh             # RelWithDebInfo build, all suites
 #   tools/check.sh --sanitize  # same suites under ASan+UBSan (FBS_SANITIZE=ON)
-#   tools/check.sh --bench-smoke  # Release build, run the crypto + fig8
-#                                 # benches' self-timed passes and diff their
-#                                 # gauges against the BENCH_seed.json
-#                                 # baseline (regressions exit non-zero)
+#   tools/check.sh --bench-smoke  # Release build, run the crypto + fig8 +
+#                                 # parallel benches' self-timed passes and
+#                                 # diff their gauges against the
+#                                 # BENCH_seed.json baseline (regressions
+#                                 # exit non-zero)
 #   tools/check.sh --fuzz-smoke   # ASan+UBSan build, replay the regression
 #                                 # corpus and run every deterministic fuzz
 #                                 # driver with a raised iteration budget
+#   tools/check.sh --tsan-smoke   # ThreadSanitizer build, run the
+#                                 # multi-threaded stress suite (ctest -L
+#                                 # tsan) against the sharded engine and
+#                                 # the receive pipeline
 #   FBS_CHECK_JOBS=8 tools/check.sh   # override parallelism (default: nproc)
 #
 # Exit status is non-zero as soon as any step fails.
@@ -36,7 +41,8 @@ if [ "${1:-}" = "--bench-smoke" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   echo "== build benches =="
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target fbs_bench_crypto fbs_bench_fig8_throughput
+    --target fbs_bench_crypto fbs_bench_fig8_throughput \
+             fbs_bench_parallel_throughput
   OUT_DIR="$BUILD_DIR/bench-smoke"
   mkdir -p "$OUT_DIR"
   echo "== bench_crypto =="
@@ -45,12 +51,16 @@ if [ "${1:-}" = "--bench-smoke" ]; then
   echo "== bench_fig8_throughput =="
   FBS_METRICS_OUT="$OUT_DIR/fbs_bench_fig8_throughput.json" \
     "$BUILD_DIR/bench/fbs_bench_fig8_throughput" --benchmark_filter='$^'
+  echo "== bench_parallel_throughput =="
+  FBS_METRICS_OUT="$OUT_DIR/fbs_bench_parallel_throughput.json" \
+    "$BUILD_DIR/bench/fbs_bench_parallel_throughput"
   echo "== combine snapshots =="
   python3 - "$OUT_DIR" <<'EOF'
 import json, sys, os
 out_dir = sys.argv[1]
 combined = {}
-for name in ("fbs_bench_crypto", "fbs_bench_fig8_throughput"):
+for name in ("fbs_bench_crypto", "fbs_bench_fig8_throughput",
+             "fbs_bench_parallel_throughput"):
     with open(os.path.join(out_dir, name + ".json")) as f:
         combined[name] = json.load(f)
 with open(os.path.join(out_dir, "current.json"), "w") as f:
@@ -59,6 +69,20 @@ EOF
   echo "== compare against BENCH_seed.json =="
   python3 tools/bench_compare.py BENCH_seed.json "$OUT_DIR/current.json" --all
   echo "Bench smoke passed."
+  exit 0
+fi
+
+if [ "${1:-}" = "--tsan-smoke" ]; then
+  # Data-race detection for the shard-per-core datagram path. FBS_TSAN is
+  # mutually exclusive with FBS_SANITIZE, so this runs in its own tree.
+  BUILD_DIR=build-tsan
+  echo "== configure ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFBS_TSAN=ON
+  echo "== build concurrency stress =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_concurrency
+  echo "== tsan stress suite =="
+  ctest --test-dir "$BUILD_DIR" -L tsan -j "$JOBS" --output-on-failure
+  echo "TSan smoke passed."
   exit 0
 fi
 
