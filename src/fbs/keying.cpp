@@ -50,7 +50,19 @@ MasterKeyDaemon::MasterKeyDaemon(Principal self, bignum::Uint private_value,
       verifier_(verifier),
       directory_(directory),
       clock_(clock),
-      pvc_(pvc_size, pvc_ways, hash) {}
+      pvc_(pvc_size, pvc_ways, hash) {
+  jitter_rng_ = util::SplitMix64(jitter_seed(retry_.seed));
+}
+
+std::uint64_t MasterKeyDaemon::jitter_seed(std::uint64_t base) const {
+  // FNV-1a over the principal address.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : self_.address) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return base ^ h;
+}
 
 void MasterKeyDaemon::pin_certificate(
     const cert::PublicValueCertificate& cert) {
@@ -59,7 +71,7 @@ void MasterKeyDaemon::pin_certificate(
 
 void MasterKeyDaemon::set_retry_policy(const RetryPolicy& policy) {
   retry_ = policy;
-  jitter_rng_ = util::SplitMix64(policy.seed);
+  jitter_rng_ = util::SplitMix64(jitter_seed(policy.seed));
 }
 
 void MasterKeyDaemon::clear_soft_state() {
@@ -68,8 +80,9 @@ void MasterKeyDaemon::clear_soft_state() {
 }
 
 cert::FetchResult MasterKeyDaemon::fetch_with_retry(const Principal& peer) {
-  util::TimeUs backoff = retry_.initial_backoff;
   const std::uint32_t attempts = retry_.max_attempts ? retry_.max_attempts : 1;
+  util::TimeUs backoff = retry_.initial_backoff;  // legacy: next nominal wait
+  util::TimeUs prev = retry_.initial_backoff;     // decorrelated: last wait
   for (std::uint32_t attempt = 1;; ++attempt) {
     ++stats_.directory_fetches;
     auto result = directory_.fetch(peer.address);
@@ -77,15 +90,31 @@ cert::FetchResult MasterKeyDaemon::fetch_with_retry(const Principal& peer) {
     // Transient failure: back off (with jitter, so a population of daemons
     // retrying the same outage does not stampede) and try again.
     ++stats_.directory_retries;
-    util::TimeUs wait = backoff;
-    if (retry_.jitter > 0) {
-      const double scale = 1.0 - retry_.jitter * jitter_rng_.next_double();
-      wait = static_cast<util::TimeUs>(static_cast<double>(wait) * scale);
+    util::TimeUs wait;
+    if (retry_.decorrelated) {
+      // wait = U[initial, 3 * prev], capped. Each draw's upper bound chases
+      // the previous *actual* wait, not a shared nominal schedule.
+      const double lo = static_cast<double>(retry_.initial_backoff);
+      double hi = 3.0 * static_cast<double>(prev);
+      if (retry_.max_backoff > 0)
+        hi = std::min(hi, static_cast<double>(retry_.max_backoff));
+      hi = std::max(hi, lo);
+      wait = static_cast<util::TimeUs>(
+          lo + jitter_rng_.next_double() * (hi - lo));
+      prev = wait;
+    } else {
+      wait = backoff;
+      if (retry_.jitter > 0) {
+        const double scale = 1.0 - retry_.jitter * jitter_rng_.next_double();
+        wait = static_cast<util::TimeUs>(static_cast<double>(wait) * scale);
+      }
+      backoff = static_cast<util::TimeUs>(static_cast<double>(backoff) *
+                                          retry_.multiplier);
+      if (retry_.max_backoff > 0)
+        backoff = std::min(backoff, retry_.max_backoff);
     }
+    stats_.backoff_waited_us += static_cast<std::uint64_t>(wait);
     if (waiter_ && wait > 0) waiter_(wait);
-    backoff = static_cast<util::TimeUs>(static_cast<double>(backoff) *
-                                        retry_.multiplier);
-    if (retry_.max_backoff > 0) backoff = std::min(backoff, retry_.max_backoff);
   }
 }
 

@@ -76,20 +76,31 @@ struct MkdStats {
   std::uint64_t master_keys_computed = 0;
   std::uint64_t negative_cache_hits = 0;     // upcalls short-circuited
   std::uint64_t negative_cache_inserts = 0;  // peers marked unresolvable
+  std::uint64_t backoff_waited_us = 0;       // cumulative backoff time
 };
 
-/// Bounded retry with exponential backoff + jitter for transient directory
-/// failures (outages, timeouts), plus the TTL of the negative cache that
-/// absorbs upcall storms for peers that stay unresolvable. All state this
+/// Bounded retry with backoff + jitter for transient directory failures
+/// (outages, timeouts), plus the TTL of the negative cache that absorbs
+/// upcall storms for peers that stay unresolvable. All state this
 /// produces is soft: wiping it merely costs re-fetching.
 struct RetryPolicy {
   std::uint32_t max_attempts = 4;  // total fetch attempts per upcall
   util::TimeUs initial_backoff = util::TimeUs{50'000};  // before attempt 2
-  double multiplier = 2.0;
+  double multiplier = 2.0;         // legacy schedule only
   util::TimeUs max_backoff = util::seconds(2);
-  double jitter = 0.5;  // each wait is scaled by U[1-jitter, 1]
+  double jitter = 0.5;  // legacy schedule: each wait scaled by U[1-jitter, 1]
+  /// Decorrelated jitter (default): wait_n = min(max_backoff,
+  /// U[initial_backoff, 3 * wait_{n-1}]), with wait_0 = initial_backoff.
+  /// Compared with jittered exponential backoff, the draws of different
+  /// daemons spread over the whole interval instead of clustering near the
+  /// shared nominal schedule, so a population retrying the same directory
+  /// outage does not re-stampede in synchronized waves. Set false for the
+  /// legacy multiplier/jitter schedule above.
+  bool decorrelated = true;
   util::TimeUs negative_ttl = util::seconds(30);
-  std::uint64_t seed = 42;  // jitter RNG (deterministic per daemon)
+  /// Jitter RNG seed. Each daemon mixes its own principal address into
+  /// this, so a fleet sharing one policy still draws distinct schedules.
+  std::uint64_t seed = 42;
 };
 
 /// User-space master key daemon: PVC + certificate fetch/verify + DH.
@@ -142,6 +153,9 @@ class MasterKeyDaemon {
   std::optional<cert::PublicValueCertificate> obtain_certificate(
       const Principal& peer);
   cert::FetchResult fetch_with_retry(const Principal& peer);
+  /// Mix the daemon's principal address into the policy seed so identical
+  /// policies still yield per-daemon schedules (decorrelation's premise).
+  std::uint64_t jitter_seed(std::uint64_t base) const;
 
   Principal self_;
   bignum::Uint private_value_;

@@ -107,6 +107,10 @@ void register_metrics(obs::MetricsRegistry& registry,
     emit.counter(prefix + ".negative_cache_hits", stats.negative_cache_hits);
     emit.counter(prefix + ".negative_cache_inserts",
                  stats.negative_cache_inserts);
+    // Operator-facing aliases: how often we retried and how long we waited
+    // doing it (virtual time; ms so dashboards stay readable).
+    emit.counter(prefix + ".retries", stats.directory_retries);
+    emit.counter(prefix + ".backoff_ms", stats.backoff_waited_us / 1000);
   });
 }
 

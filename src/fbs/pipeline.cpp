@@ -171,8 +171,13 @@ void DatagramPipeline::register_metrics(obs::MetricsRegistry& registry,
     emit.counter(prefix + ".accepted", stats_.accepted);
     emit.counter(prefix + ".rejected", stats_.rejected);
     emit.counter(prefix + ".drained", stats_.drained);
+    emit.counter(prefix + ".ingress_dropped", ingress_dropped());
     emit.gauge(prefix + ".workers", static_cast<double>(worker_count()));
     emit.gauge(prefix + ".in_flight", static_cast<double>(in_flight()));
+    for (std::size_t s = 0; s < ingress_.size(); ++s)
+      emit.counter(
+          prefix + ".ingress_dropped.shard" + std::to_string(s),
+          ingress_[s]->dropped());
     for (std::size_t w = 0; w < workers_.size(); ++w)
       emit.counter(prefix + ".worker" + std::to_string(w) + ".busy_ns",
                    worker_busy_ns(w));

@@ -103,6 +103,20 @@ class DatagramPipeline {
   }
   const Stats& stats() const { return stats_; }
 
+  /// Ring-level ingress drop attribution. The total tracks
+  /// stats().backpressure_drops (both count full-ring rejections; the ring
+  /// counts at the source, submit() counts the policy decision), and the
+  /// per-shard view pinpoints which flow domain is overloaded.
+  std::uint64_t ingress_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& ring : ingress_) n += ring->dropped();
+    return n;
+  }
+  std::uint64_t ingress_dropped(std::size_t shard) const {
+    return ingress_[shard]->dropped();
+  }
+  std::size_t shard_count() const { return ingress_.size(); }
+
   /// Publish pipeline counters and per-worker busy time under `<prefix>.`.
   void register_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix) const;

@@ -52,8 +52,16 @@ bool IpStack::output(Ipv4Address destination, IpProto proto,
   ++counters_.packets_out;
   counters_.fragments_out += packets.size();
   const Ipv4Address hop = next_hop_for(destination);
-  for (auto& p : packets) network_.send(address_, hop, std::move(p));
+  for (auto& p : packets) transmit(hop, std::move(p));
   return true;
+}
+
+void IpStack::transmit(Ipv4Address next_hop, util::Bytes frame) {
+  if (transmit_hook_) {
+    transmit_hook_(next_hop, std::move(frame));
+    return;
+  }
+  network_.send(address_, next_hop, std::move(frame));
 }
 
 void IpStack::add_route(Ipv4Address network, int prefix_len,
@@ -86,7 +94,7 @@ bool IpStack::forward_packet(Ipv4Header header, util::BytesView payload) {
   }
   ++counters_.forwarded;
   const Ipv4Address hop = next_hop_for(header.destination);
-  for (auto& p : packets) network_.send(address_, hop, std::move(p));
+  for (auto& p : packets) transmit(hop, std::move(p));
   return true;
 }
 

@@ -101,6 +101,9 @@ class IpStack {
   /// Longest prefix wins; absent a route, delivery is direct (our segment
   /// is fully connected).
   void add_route(Ipv4Address network, int prefix_len, Ipv4Address next_hop);
+  /// Drop every installed route (a routing recomputation reinstalls from
+  /// scratch -- see MeshNetwork::recompute_routes).
+  void clear_routes() { routes_.clear(); }
   /// Route for everything without a more specific entry.
   void set_default_route(Ipv4Address next_hop) { add_route({}, 0, next_hop); }
   /// Act as a router: packets not addressed to us are forwarded (TTL
@@ -121,6 +124,17 @@ class IpStack {
   /// are for locally originated traffic).
   bool forward_packet(Ipv4Header header, util::BytesView payload);
 
+  /// Seam between the stack and the wire: when set, every frame this stack
+  /// emits (locally originated and forwarded alike) is handed to the hook
+  /// instead of SimNetwork::send. A transit router installs its egress
+  /// queue/serialization model here; the hook owns the frame and decides
+  /// whether it is queued, delayed, or dropped (with its own accounting).
+  using TransmitHook =
+      std::function<void(Ipv4Address next_hop, util::Bytes frame)>;
+  void set_transmit_hook(TransmitHook hook) {
+    transmit_hook_ = std::move(hook);
+  }
+
   const Counters& counters() const { return counters_; }
   /// Incomplete datagrams currently held by the reassembly queue (lost
   /// fragments must eventually expire these, not leak them).
@@ -136,6 +150,7 @@ class IpStack {
 
  private:
   void on_frame(util::Bytes frame);
+  void transmit(Ipv4Address next_hop, util::Bytes frame);
   Ipv4Address next_hop_for(Ipv4Address destination) const;
 
   struct Route {
@@ -153,6 +168,7 @@ class IpStack {
   std::vector<Route> routes_;
   bool forwarding_ = false;
   ForwardFilter forward_filter_;
+  TransmitHook transmit_hook_;
   Counters counters_;
   std::uint16_t next_id_ = 1;
 };

@@ -38,7 +38,10 @@ class BoundedMpscRing {
   bool try_push(T&& value) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (count_ == slots_.size()) return false;
+      if (count_ == slots_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       slots_[(head_ + count_) % slots_.size()] = std::move(value);
       ++count_;
     }
@@ -56,7 +59,10 @@ class BoundedMpscRing {
       return count_ < slots_.size() ||
              cancel.load(std::memory_order_relaxed);
     });
-    if (count_ == slots_.size()) return false;
+    if (count_ == slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     slots_[(head_ + count_) % slots_.size()] = std::move(value);
     ++count_;
     lock.unlock();
@@ -89,6 +95,12 @@ class BoundedMpscRing {
     return count_;
   }
   std::size_t capacity() const { return slots_.size(); }
+  /// Values rejected because the ring was full (try_push) or cancelled
+  /// while full (push_wait). The ring counts so every producer -- pipeline
+  /// ingress shards above all -- gets per-ring drop attribution for free.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   mutable std::mutex mu_;
@@ -97,6 +109,7 @@ class BoundedMpscRing {
   std::vector<T> slots_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace fbs::util

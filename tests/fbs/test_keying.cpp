@@ -143,19 +143,22 @@ TEST_F(KeyingTest, UpcallRetriesThroughShortOutage) {
   TestWorld w(301);
   auto& a = w.add_node("a", "10.1.0.1");
   auto& b = w.add_node("b", "10.1.0.2");
-  // Jittered waits: w1 in (25,50]ms, w2 in (50,100]ms. A 60ms outage
-  // therefore always eats attempts 1 and 2, and attempt 3 (cumulative
-  // wait > 75ms) always lands after it clears.
+  // Decorrelated waits are each at least initial_backoff (50ms), so the
+  // three possible waits accumulate past any 60ms outage well before the
+  // attempt budget runs out -- the retry must succeed, however the draws
+  // land.
   const util::TimeUs t0 = w.clock.now();
   w.directory.add_outage(t0, t0 + util::TimeUs{60'000});
   ASSERT_TRUE(a.mkd->upcall(b.principal).has_value());
-  EXPECT_EQ(a.mkd->stats().directory_fetches, 3u);
-  EXPECT_EQ(a.mkd->stats().directory_retries, 2u);
+  EXPECT_GE(a.mkd->stats().directory_retries, 1u);
+  EXPECT_EQ(a.mkd->stats().directory_fetches,
+            a.mkd->stats().directory_retries + 1);
   EXPECT_EQ(a.mkd->stats().directory_failures, 0u);
   EXPECT_EQ(a.mkd->stats().negative_cache_inserts, 0u);
+  EXPECT_GE(a.mkd->stats().backoff_waited_us, 60'000u);
 }
 
-TEST_F(KeyingTest, BackoffWaitsGrowExponentiallyWithJitter) {
+TEST_F(KeyingTest, DecorrelatedBackoffWaitsStayWithinEnvelope) {
   TestWorld w(302);
   auto& a = w.add_node("a", "10.1.0.1");
   auto& b = w.add_node("b", "10.1.0.2");
@@ -167,7 +170,33 @@ TEST_F(KeyingTest, BackoffWaitsGrowExponentiallyWithJitter) {
   w.directory.add_outage(w.clock.now(), w.clock.now() + util::minutes(10));
   EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
 
+  // wait_n in [initial, min(3 * wait_{n-1}, max_backoff)], wait_0 = initial.
   const RetryPolicy& policy = a.mkd->retry_policy();
+  ASSERT_EQ(waits.size(), policy.max_attempts - 1);
+  util::TimeUs prev = policy.initial_backoff;
+  for (const util::TimeUs wait : waits) {
+    EXPECT_GE(wait, policy.initial_backoff);
+    EXPECT_LE(wait, std::min(3 * prev, policy.max_backoff));
+    prev = wait;
+  }
+  EXPECT_EQ(a.mkd->stats().directory_failures, 1u);
+}
+
+TEST_F(KeyingTest, LegacyExponentialBackoffStillAvailable) {
+  TestWorld w(302);
+  auto& a = w.add_node("a", "10.1.0.1");
+  auto& b = w.add_node("b", "10.1.0.2");
+  RetryPolicy policy = a.mkd->retry_policy();
+  policy.decorrelated = false;
+  a.mkd->set_retry_policy(policy);
+  std::vector<util::TimeUs> waits;
+  a.mkd->set_backoff_waiter([&](util::TimeUs wait) {
+    waits.push_back(wait);
+    w.clock.advance(wait);
+  });
+  w.directory.add_outage(w.clock.now(), w.clock.now() + util::minutes(10));
+  EXPECT_FALSE(a.mkd->upcall(b.principal).has_value());
+
   ASSERT_EQ(waits.size(), policy.max_attempts - 1);
   util::TimeUs nominal = policy.initial_backoff;
   for (const util::TimeUs wait : waits) {
@@ -179,6 +208,30 @@ TEST_F(KeyingTest, BackoffWaitsGrowExponentiallyWithJitter) {
         policy.max_backoff);
   }
   EXPECT_EQ(a.mkd->stats().directory_failures, 1u);
+}
+
+TEST_F(KeyingTest, DaemonsSharingAPolicyDrawDistinctBackoffSchedules) {
+  // The decorrelation premise: a fleet configured identically must not
+  // retry in lockstep. Each daemon mixes its principal address into the
+  // jitter seed, so two daemons hammering the same outage diverge.
+  TestWorld w(306);
+  auto& a = w.add_node("a", "10.1.0.1");
+  auto& b = w.add_node("b", "10.1.0.2");
+  auto& c = w.add_node("c", "10.1.0.3");
+  std::vector<util::TimeUs> waits_a, waits_b;
+  a.mkd->set_backoff_waiter([&](util::TimeUs wait) {
+    waits_a.push_back(wait);
+    w.clock.advance(wait);
+  });
+  b.mkd->set_backoff_waiter([&](util::TimeUs wait) {
+    waits_b.push_back(wait);
+    w.clock.advance(wait);
+  });
+  w.directory.add_outage(w.clock.now(), w.clock.now() + util::minutes(60));
+  EXPECT_FALSE(a.mkd->upcall(c.principal).has_value());
+  EXPECT_FALSE(b.mkd->upcall(c.principal).has_value());
+  ASSERT_EQ(waits_a.size(), waits_b.size());
+  EXPECT_NE(waits_a, waits_b);
 }
 
 TEST_F(KeyingTest, AuthoritativeNotFoundDoesNotRetry) {

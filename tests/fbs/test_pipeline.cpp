@@ -123,6 +123,60 @@ TEST_F(PipelineTest, SameFlowStaysInOrder) {
   EXPECT_EQ(next, kDatagrams);
 }
 
+TEST_F(PipelineTest, IngressDropsAttributedToTheOverloadedShard) {
+  PipelineConfig pc;
+  pc.workers = 1;
+  pc.ingress_capacity = 1;  // one-slot ring: a pre-built burst must drop
+  DatagramPipeline pipe(receiver_, pc);
+
+  // Protect everything up front so the submit loop outruns the worker by
+  // orders of magnitude -- the drops are then inevitable, not timing luck.
+  constexpr int kDatagrams = 2048;
+  std::vector<util::Bytes> wires;
+  wires.reserve(kDatagrams);
+  for (int i = 0; i < kDatagrams; ++i) {
+    auto wire = sender_.protect(
+        datagram(a_.principal, b_.principal,
+                 util::to_bytes(std::to_string(i)), 7),
+        true);
+    ASSERT_TRUE(wire.has_value());
+    wires.push_back(std::move(*wire));
+  }
+  const auto header = header_from(a_.principal, b_.principal);
+  std::uint64_t refused = 0;
+  for (auto& wire : wires)
+    if (!pipe.submit(header, std::move(wire))) ++refused;
+  int delivered = 0;
+  pipe.drain_all([&](const net::Ipv4Header&, util::Bytes) { ++delivered; });
+
+  EXPECT_GT(refused, 0u);
+  // The policy counter and the ring-level counter describe the same events.
+  EXPECT_EQ(pipe.stats().backpressure_drops, refused);
+  EXPECT_EQ(pipe.ingress_dropped(), refused);
+  // One flow -> one shard: the per-shard view pins the overload to it.
+  std::uint64_t across_shards = 0;
+  std::size_t overloaded = 0;
+  for (std::size_t s = 0; s < pipe.shard_count(); ++s) {
+    across_shards += pipe.ingress_dropped(s);
+    if (pipe.ingress_dropped(s) > 0) ++overloaded;
+  }
+  EXPECT_EQ(across_shards, refused);
+  EXPECT_EQ(overloaded, 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) + refused,
+            static_cast<std::uint64_t>(kDatagrams));
+
+  // And the registry exposes both the total and the per-shard breakdown.
+  obs::MetricsRegistry reg;
+  pipe.register_metrics(reg, "pipe");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("pipe.ingress_dropped"), refused);
+  std::uint64_t from_metrics = 0;
+  for (std::size_t s = 0; s < pipe.shard_count(); ++s)
+    from_metrics +=
+        snap.counters.at("pipe.ingress_dropped.shard" + std::to_string(s));
+  EXPECT_EQ(from_metrics, refused);
+}
+
 TEST_F(PipelineTest, RejectionsAreCountedAndReported) {
   PipelineConfig pc;
   pc.workers = 2;

@@ -329,14 +329,14 @@ TEST(ChaosRecovery, DirectoryOutageDuringColdMissRetriesThroughIt) {
   auto& a = world.add_node("a", "10.0.0.1");
   auto& b = world.add_node("b", "10.0.0.2");
   const util::TimeUs t0 = world.clock.now();
-  // Outage shorter than the worst-case cumulative backoff (with jitter the
-  // three waits sum to at least 25+50+100 ms), so attempt 3 or 4 lands
-  // after it clears.
+  // Outage shorter than the worst-case cumulative backoff (decorrelated
+  // waits are each at least 50 ms, so three of them always pass 150 ms),
+  // meaning some retry attempt must land after it clears.
   world.directory.add_outage(t0, t0 + util::TimeUs{120'000});
 
   const auto key = a.keys->master_key(b.principal);
   ASSERT_TRUE(key.has_value());
-  EXPECT_GE(a.mkd->stats().directory_retries, 2u);
+  EXPECT_GE(a.mkd->stats().directory_retries, 1u);
   EXPECT_EQ(a.mkd->stats().directory_failures, 0u);
   EXPECT_EQ(a.mkd->stats().negative_cache_inserts, 0u);
   EXPECT_GT(world.clock.now(), t0 + util::TimeUs{120'000});

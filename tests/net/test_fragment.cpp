@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "net/udp.hpp"
 #include "util/rng.hpp"
 
 namespace fbs::net {
@@ -261,6 +262,77 @@ TEST_F(ReassemblerTest, CoverageBeyondClaimedTotalRejectsDatagram) {
   }
   ASSERT_TRUE(done.has_value());
   EXPECT_EQ(done->payload, payload);
+}
+
+TEST_F(ReassemblerTest, ExpiredPartialDoesNotPoisonReusedId) {
+  // A 16-bit id inevitably wraps: after a partition eats the tail of one
+  // datagram, a later datagram may legitimately reuse the same
+  // (src, dst, id, proto) key. Once the stale partial has expired, the new
+  // datagram must reassemble from its own pieces only.
+  const util::Bytes old_payload(3000, 'O');
+  const util::Bytes new_payload(3000, 'N');
+  const auto old_packets = fragment(header_for(77), old_payload, 1500);
+  const auto first = Ipv4Header::parse(old_packets[0]);
+  EXPECT_FALSE(reasm_.push(first->header, first->payload).has_value());
+  EXPECT_EQ(reasm_.pending(), 1u);
+
+  clock_.advance(util::seconds(31));
+  EXPECT_EQ(reasm_.expire(), 1u);
+
+  // Same id, different fragmentation (smaller MTU): any leaked stale piece
+  // would misalign or corrupt the content.
+  std::optional<Ipv4Packet> done;
+  for (const auto& pkt : fragment(header_for(77), new_payload, 576)) {
+    const auto p = Ipv4Header::parse(pkt);
+    done = reasm_.push(p->header, p->payload);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload, new_payload);
+  EXPECT_EQ(reasm_.pending(), 0u);
+}
+
+TEST(ReassemblyHealing, StalePartialExpiresAcrossPartitionThenHeal) {
+  // End-to-end through the stack: a partition window eats the trailing
+  // fragment of a datagram, the receiver holds a partial, the link heals,
+  // and (a) the partial expires instead of leaking, (b) post-heal traffic
+  // -- including a full-size retransmission -- delivers intact.
+  util::VirtualClock clock(util::minutes(1));
+  SimNetwork net(clock, 5);
+  const Ipv4Address a_addr = *Ipv4Address::parse("10.0.0.1");
+  const Ipv4Address b_addr = *Ipv4Address::parse("10.0.0.2");
+  IpStack a(net, clock, a_addr), b(net, clock, b_addr);
+  UdpService a_udp(a), b_udp(b);
+  util::Bytes payload(3000, 0);
+  util::SplitMix64 rng(5);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.next_u64());
+
+  std::vector<util::Bytes> got;
+  b_udp.bind(9, [&](Ipv4Address, std::uint16_t, util::Bytes p) {
+    got.push_back(std::move(p));
+  });
+
+  // The "partition": drop every non-first fragment while the window is on.
+  bool window_on = true;
+  net.set_tap([&](Ipv4Address, Ipv4Address, util::Bytes& frame) {
+    const auto parsed = Ipv4Header::parse(frame);
+    if (window_on && parsed && parsed->header.fragment_offset > 0)
+      return SimNetwork::TapVerdict::kDrop;
+    return SimNetwork::TapVerdict::kPass;
+  });
+  a_udp.send(b_addr, 1, 9, payload);
+  net.run();
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(b.reassembly_pending(), 1u);  // head arrived, tail lost
+
+  // Heal, wait out the reassembly timeout, and retransmit.
+  window_on = false;
+  clock.advance(util::seconds(31));
+  a_udp.send(b_addr, 1, 9, payload);
+  net.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+  EXPECT_EQ(b.reassembly_pending(), 0u);
+  EXPECT_EQ(b.counters().reassembly_expired, 1u);  // the stale partial
 }
 
 class FragmentSweep : public ::testing::TestWithParam<std::size_t> {};

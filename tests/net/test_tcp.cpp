@@ -88,9 +88,11 @@ TEST_F(TcpTest, SegmentsRespectMssAndNeverFragment) {
 TEST_F(TcpTest, BidirectionalEcho) {
   b_tcp_.listen(7, [this](std::shared_ptr<TcpConnection> conn) {
     server_conn_ = conn;
-    conn->on_receive([conn](util::BytesView data) {
+    // Capture raw: the service's connection map owns the connection, and a
+    // shared_ptr inside the connection's own callback is a leak cycle.
+    conn->on_receive([c = conn.get()](util::BytesView data) {
       util::Bytes echoed(data.begin(), data.end());
-      conn->send(echoed);
+      c->send(echoed);
     });
   });
   util::Bytes reply;
@@ -194,12 +196,12 @@ TEST_F(TcpTest, ConnectToClosedPortIgnored) {
 TEST_F(TcpTest, TwoConcurrentConnectionsIsolated) {
   util::Bytes on_80, on_81;
   b_tcp_.listen(80, [&](std::shared_ptr<TcpConnection> conn) {
-    conn->on_receive([&, conn](util::BytesView d) {
+    conn->on_receive([&](util::BytesView d) {
       on_80.insert(on_80.end(), d.begin(), d.end());
     });
   });
   b_tcp_.listen(81, [&](std::shared_ptr<TcpConnection> conn) {
-    conn->on_receive([&, conn](util::BytesView d) {
+    conn->on_receive([&](util::BytesView d) {
       on_81.insert(on_81.end(), d.begin(), d.end());
     });
   });
@@ -248,7 +250,7 @@ TEST_P(TcpLossSweep, ReliableDeliveryUnderLoss) {
 
   util::Bytes received;
   b_tcp.listen(80, [&](std::shared_ptr<TcpConnection> conn) {
-    conn->on_receive([&, conn](util::BytesView d) {
+    conn->on_receive([&](util::BytesView d) {
       received.insert(received.end(), d.begin(), d.end());
     });
   });

@@ -38,6 +38,26 @@ TEST(BoundedMpscRing, ZeroCapacityClampedToOne) {
   EXPECT_FALSE(ring.try_push(8));
 }
 
+TEST(BoundedMpscRing, CountsEveryRejectedPush) {
+  BoundedMpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_FALSE(ring.try_push(3));
+  EXPECT_FALSE(ring.try_push(4));
+  EXPECT_EQ(ring.dropped(), 2u);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(5));  // accepted pushes leave the count alone
+  EXPECT_EQ(ring.dropped(), 2u);
+
+  // A push_wait cancelled while the ring is (again) full is a drop too
+  // (the shutdown path abandons the value).
+  std::atomic<bool> cancel{true};
+  EXPECT_FALSE(ring.push_wait(7, cancel));
+  EXPECT_EQ(ring.dropped(), 3u);
+}
+
 TEST(BoundedMpscRing, PushWaitBlocksUntilSlotFrees) {
   BoundedMpscRing<int> ring(1);
   std::atomic<bool> cancel{false};

@@ -15,6 +15,11 @@
 #                                 # multi-threaded stress suite (ctest -L
 #                                 # tsan) against the sharded engine and
 #                                 # the receive pipeline
+#   tools/check.sh --mesh-smoke   # ASan+UBSan build, run the transit-mesh
+#                                 # suites (ctest -L mesh): router/queue
+#                                 # unit tests plus the routed-topology
+#                                 # survival scenarios (congestion, rekey
+#                                 # failover, rebinding, 30-node soaks)
 #   FBS_CHECK_JOBS=8 tools/check.sh   # override parallelism (default: nproc)
 #
 # Exit status is non-zero as soon as any step fails.
@@ -83,6 +88,22 @@ if [ "${1:-}" = "--tsan-smoke" ]; then
   echo "== tsan stress suite =="
   ctest --test-dir "$BUILD_DIR" -L tsan -j "$JOBS" --output-on-failure
   echo "TSan smoke passed."
+  exit 0
+fi
+
+if [ "${1:-}" = "--mesh-smoke" ]; then
+  # Transit-mesh robustness gate (see DESIGN.md section 5g): the queue
+  # discipline + router unit tests plus the routed-topology survival
+  # scenarios, under ASan+UBSan so queue-wipe and crash-restart paths get
+  # lifetime checking too.
+  BUILD_DIR=build-sanitize
+  echo "== configure ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFBS_SANITIZE=ON
+  echo "== build mesh suites =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_net test_mesh_scenarios
+  echo "== mesh suites (ctest -L mesh) =="
+  ctest --test-dir "$BUILD_DIR" -L mesh -j "$JOBS" --output-on-failure
+  echo "Mesh smoke passed."
   exit 0
 fi
 
