@@ -52,6 +52,11 @@ struct IpMappingConfig {
   std::size_t pipeline_workers = 0;
   std::size_t pipeline_ingress_capacity = 1024;
   std::size_t pipeline_egress_capacity = 4096;
+  /// Burst size for the pipeline's ring transfers and pooled buffers
+  /// (PipelineConfig::batch); 0 pool buffers means auto-sized.
+  std::size_t pipeline_batch = 32;
+  std::size_t pipeline_pool_buffers = 0;
+  std::size_t pipeline_pool_buffer_bytes = 2048;
 };
 
 class FbsIpMapping {

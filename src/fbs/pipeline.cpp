@@ -1,6 +1,7 @@
 #include "fbs/pipeline.hpp"
 
 #include <chrono>
+#include <ctime>
 #include <thread>
 
 #if defined(__linux__)
@@ -14,32 +15,64 @@ namespace {
 /// CPU time consumed by the calling thread. This is what makes per-worker
 /// busy accounting meaningful on a machine with fewer cores than workers:
 /// wall time would charge a descheduled worker for its neighbors' work.
-std::uint64_t thread_cpu_ns() {
+/// Off Linux the fallback is std::clock() -- process CPU time, which still
+/// never counts descheduled wall time but attributes all threads' cycles
+/// to each, so per-worker figures become approximate; busy_clock() tells
+/// callers which regime they are in so speedup math can refuse to lie.
 #if defined(__linux__)
+constexpr std::string_view kBusyClockName = "thread-cputime";
+std::uint64_t thread_cpu_ns() {
   timespec ts;
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
     return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
            static_cast<std::uint64_t>(ts.tv_nsec);
+  return 0;
+}
+#else
+constexpr std::string_view kBusyClockName = "process-cputime";
+std::uint64_t thread_cpu_ns() {
+  return static_cast<std::uint64_t>(std::clock()) *
+         (1'000'000'000ull / CLOCKS_PER_SEC);
+}
 #endif
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+
+PipelineConfig normalized(PipelineConfig config, std::size_t shards) {
+  if (config.workers == 0) config.workers = 1;
+  if (config.workers > shards) config.workers = shards;
+  if (config.batch == 0) config.batch = 1;
+  if (config.pool_buffers == 0) {
+    // Auto: two bursts of bodies per worker (one being filled, one riding
+    // the egress ring) plus a burst of slack for the drain lane.
+    config.pool_buffers = config.workers * config.batch * 2 + config.batch;
+  }
+  return config;
+}
+
+util::BufferPoolConfig pool_config(const PipelineConfig& config) {
+  util::BufferPoolConfig pc;
+  pc.buffer_bytes = config.pool_buffer_bytes;
+  pc.slab_buffers = config.pool_buffers;
+  pc.lanes = config.workers + 1;  // +1: the drain thread's recycle lane
+  pc.lane_cap = config.batch * 2;
+  return pc;
 }
 
 }  // namespace
+
+std::string_view DatagramPipeline::busy_clock() { return kBusyClockName; }
 
 DatagramPipeline::DatagramPipeline(FbsEndpoint& endpoint,
                                    const PipelineConfig& config,
                                    RejectHook on_reject)
     : endpoint_(endpoint),
-      config_(config),
+      config_(normalized(config, endpoint.shard_count())),
       on_reject_(std::move(on_reject)),
-      egress_(config.egress_capacity) {
+      egress_(config_.egress_capacity),
+      buffers_(pool_config(config_)) {
   const std::size_t shards = endpoint_.shard_count();
-  std::size_t workers = config_.workers == 0 ? 1 : config_.workers;
-  if (workers > shards) workers = shards;
-  config_.workers = workers;
+  const std::size_t workers = config_.workers;
+  drain_lane_ = workers;
+  drain_buf_.reserve(config_.batch);
 
   ingress_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s)
@@ -49,6 +82,9 @@ DatagramPipeline::DatagramPipeline(FbsEndpoint& endpoint,
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_[w]->index = w;
+    workers_[w]->batch.reserve(config_.batch);
+    workers_[w]->results.reserve(config_.batch);
     for (std::size_t s = w; s < shards; s += workers)
       workers_[w]->shards.push_back(s);
   }
@@ -67,15 +103,39 @@ DatagramPipeline::DatagramPipeline(FbsEndpoint& endpoint,
   });
 }
 
-DatagramPipeline::~DatagramPipeline() { pool_.stop(); }
+DatagramPipeline::~DatagramPipeline() { stop(); }
+
+void DatagramPipeline::stop() {
+  stopped_.store(true, std::memory_order_release);
+  pool_.stop();  // sets the flag, wakes every waiter, joins the workers
+  // The workers are gone; whatever is still parked in the ingress rings
+  // would otherwise hold in_flight above zero forever (the drain_all
+  // livelock). Account it here -- single-threaded now, every ring's
+  // consumer side is ours.
+  Item item;
+  for (auto& ring : ingress_) {
+    while (ring->try_pop(item)) {
+      stats_.shutdown_discards.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      buffers_.release(drain_lane_, std::move(item.wire));
+    }
+  }
+}
 
 bool DatagramPipeline::submit(const net::Ipv4Header& header,
                               util::Bytes wire) {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (stopped_.load(std::memory_order_acquire)) {
+    stats_.backpressure_drops.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Scratch principal per submitting thread: identity is the 4 address
+  // bytes, rewritten in place so steady-state submits never allocate.
+  thread_local Principal source;
+  source.assign_ipv4(header.source);
+  const std::size_t shard = endpoint_.recv_shard_of_wire(source, wire);
   Item item;
   item.header = header;
-  item.source = Principal::from_ipv4(header.source);
-  const std::size_t shard = endpoint_.recv_shard_of_wire(item.source, wire);
   item.wire = std::move(wire);
 
   Worker& wk = *workers_[shard % workers_.size()];
@@ -90,24 +150,121 @@ bool DatagramPipeline::submit(const net::Ipv4Header& header,
   // Same empty-critical-section handshake as the wake hook (see above).
   { std::lock_guard<std::mutex> lock(wk.mu); }
   wk.cv.notify_one();
+  // Push-then-recheck closes the race with stop(): if the store to
+  // stopped_ is visible now, our item may have landed after stop()'s own
+  // ring sweep, so sweep again ourselves (mutex-atomic pops make the
+  // accounting exactly-once no matter who wins). If it is not visible,
+  // the push happened-before the sweep -- the ring mutex orders them --
+  // and stop() accounts the item.
+  if (stopped_.load(std::memory_order_acquire)) account_stranded(shard);
   return true;
+}
+
+std::size_t DatagramPipeline::submit_batch(const net::Ipv4Header& header,
+                                           std::span<util::Bytes> wires) {
+  if (wires.empty()) return 0;
+  stats_.submitted.fetch_add(wires.size(), std::memory_order_relaxed);
+  if (stopped_.load(std::memory_order_acquire)) {
+    stats_.backpressure_drops.fetch_add(wires.size(),
+                                        std::memory_order_relaxed);
+    return 0;
+  }
+  thread_local Principal source;
+  source.assign_ipv4(header.source);
+
+  // Group the burst by shard, preserving order within each shard (a flow
+  // never spans shards, so per-flow FIFO survives the regrouping), then
+  // push each group with one ring lock and one worker wake.
+  thread_local std::vector<std::size_t> shard_of;
+  thread_local std::vector<Item> group;
+  shard_of.clear();
+  shard_of.reserve(wires.size());
+  group.reserve(wires.size());
+  for (const util::Bytes& wire : wires)
+    shard_of.push_back(endpoint_.recv_shard_of_wire(source, wire));
+
+  std::size_t accepted_total = 0;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    if (shard_of[i] == SIZE_MAX) continue;  // already grouped
+    const std::size_t shard = shard_of[i];
+    group.clear();
+    for (std::size_t j = i; j < wires.size(); ++j) {
+      if (shard_of[j] != shard) continue;
+      if (j != i) shard_of[j] = SIZE_MAX;
+      Item item;
+      item.header = header;
+      item.wire = std::move(wires[j]);
+      group.push_back(std::move(item));
+    }
+
+    Worker& wk = *workers_[shard % workers_.size()];
+    in_flight_.fetch_add(static_cast<std::int64_t>(group.size()),
+                         std::memory_order_acq_rel);
+    wk.queued.fetch_add(static_cast<std::int64_t>(group.size()),
+                        std::memory_order_relaxed);
+    const std::size_t pushed =
+        ingress_[shard]->try_push_batch({group.data(), group.size()});
+    const std::size_t refused = group.size() - pushed;
+    if (refused > 0) {
+      wk.queued.fetch_sub(static_cast<std::int64_t>(refused),
+                          std::memory_order_relaxed);
+      in_flight_.fetch_sub(static_cast<std::int64_t>(refused),
+                           std::memory_order_acq_rel);
+      stats_.backpressure_drops.fetch_add(refused,
+                                          std::memory_order_relaxed);
+    }
+    accepted_total += pushed;
+    if (pushed > 0) {
+      { std::lock_guard<std::mutex> lock(wk.mu); }
+      wk.cv.notify_one();
+      // Same push-then-recheck as submit(): see the comment there.
+      if (stopped_.load(std::memory_order_acquire)) account_stranded(shard);
+    }
+  }
+  return accepted_total;
+}
+
+void DatagramPipeline::account_stranded(std::size_t shard) {
+  // A submit observed stopped_ only after its push landed: the items may
+  // have arrived after both the workers' and stop()'s sweeps, where they
+  // would hold in_flight above zero forever. Clear the ring here instead.
+  // The wires die rather than return to the pool -- pool lanes are
+  // single-owner and the submitting thread owns none.
+  Item item;
+  Worker& wk = *workers_[shard % workers_.size()];
+  while (ingress_[shard]->try_pop(item)) {
+    wk.queued.fetch_sub(1, std::memory_order_relaxed);
+    stats_.shutdown_discards.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
 }
 
 void DatagramPipeline::worker_loop(std::size_t w,
                                    const std::atomic<bool>& stop) {
   Worker& wk = *workers_[w];
-  Item item;
   for (;;) {
     bool worked = false;
     for (const std::size_t shard : wk.shards) {
-      while (ingress_[shard]->try_pop(item)) {
-        wk.queued.fetch_sub(1, std::memory_order_relaxed);
+      for (;;) {
+        wk.batch.clear();
+        const std::size_t n =
+            ingress_[shard]->pop_batch(wk.batch, config_.batch);
+        if (n == 0) break;
+        wk.queued.fetch_sub(static_cast<std::int64_t>(n),
+                            std::memory_order_relaxed);
         worked = true;
-        process(wk, item);
-        if (stop.load(std::memory_order_relaxed)) return;
+        for (Item& item : wk.batch) process(wk, item);
+        flush_results(wk);
+        if (stop.load(std::memory_order_relaxed)) {
+          discard_residual_ingress(wk);
+          return;
+        }
       }
     }
-    if (stop.load(std::memory_order_relaxed)) return;
+    if (stop.load(std::memory_order_relaxed)) {
+      discard_residual_ingress(wk);
+      return;
+    }
     if (worked) continue;
     std::unique_lock<std::mutex> lock(wk.mu);
     wk.cv.wait(lock, [&] {
@@ -119,41 +276,75 @@ void DatagramPipeline::worker_loop(std::size_t w,
 
 void DatagramPipeline::process(Worker& wk, Item& item) {
   const std::uint64_t t0 = thread_cpu_ns();
+  wk.source.assign_ipv4(item.header.source);
+  util::Bytes body = buffers_.acquire(wk.index);
   const ReceiveIntoOutcome outcome =
-      endpoint_.unprotect_into(wk.ctx, item.source, item.wire, wk.body);
+      endpoint_.unprotect_into(wk.ctx, wk.source, item.wire, body);
   wk.busy_ns.fetch_add(thread_cpu_ns() - t0, std::memory_order_relaxed);
 
   if (const auto* err = std::get_if<ReceiveError>(&outcome)) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     if (on_reject_) on_reject_(*err);
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    buffers_.release(wk.index, std::move(body));
+    buffers_.release(wk.index, std::move(item.wire));
     return;
   }
   stats_.accepted.fetch_add(1, std::memory_order_relaxed);
   Result r;
   r.header = item.header;
-  r.body = std::move(wk.body);
-  // The drained wire buffer (capacity >= any plaintext it carried) becomes
-  // this worker's next body staging: steady state recycles two buffers per
-  // worker instead of allocating per datagram.
-  wk.body = std::move(item.wire);
-  if (!egress_.push_wait(std::move(r), pool_.stop_flag())) {
-    // Shutdown while the egress was full: the result dies with the
-    // pipeline. Account it so drain_all() callers aren't left waiting.
+  r.body = std::move(body);
+  wk.results.push_back(std::move(r));
+  // The drained wire buffer goes back to this worker's pool lane: steady
+  // state swaps one pooled body out for one consumed wire in, so the hot
+  // path never touches the global allocator or another core's cache.
+  buffers_.release(wk.index, std::move(item.wire));
+}
+
+void DatagramPipeline::flush_results(Worker& wk) {
+  if (wk.results.empty()) return;
+  // One blocking push for the whole burst (work already paid for its
+  // cryptography). Shutdown while the egress is full abandons the tail:
+  // those results die with the pipeline, accounted so drain_all() callers
+  // aren't left waiting.
+  const std::size_t pushed = egress_.push_wait_batch(
+      {wk.results.data(), wk.results.size()}, pool_.stop_flag());
+  for (std::size_t i = pushed; i < wk.results.size(); ++i) {
+    stats_.egress_dropped.fetch_add(1, std::memory_order_relaxed);
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    buffers_.release(wk.index, std::move(wk.results[i].body));
+  }
+  wk.results.clear();
+}
+
+void DatagramPipeline::discard_residual_ingress(Worker& wk) {
+  // Stopping with queued work: pop-and-account everything this worker
+  // owns so in_flight can reach zero (the drain_all livelock fix). The
+  // items are discarded, not processed -- shutdown should not pay for
+  // cryptography nobody will drain.
+  Item item;
+  for (const std::size_t shard : wk.shards) {
+    while (ingress_[shard]->try_pop(item)) {
+      wk.queued.fetch_sub(1, std::memory_order_relaxed);
+      stats_.shutdown_discards.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      buffers_.release(wk.index, std::move(item.wire));
+    }
   }
 }
 
 std::size_t DatagramPipeline::drain(const Sink& sink) {
-  Result r;
   std::size_t n = 0;
-  while (egress_.try_pop(r)) {
-    sink(r.header, std::move(r.body));
-    stats_.drained.fetch_add(1, std::memory_order_relaxed);
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    ++n;
+  for (;;) {
+    drain_buf_.clear();
+    if (egress_.pop_batch(drain_buf_, config_.batch) == 0) return n;
+    for (Result& r : drain_buf_) {
+      sink(r.header, std::move(r.body));
+      stats_.drained.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      ++n;
+    }
   }
-  return n;
 }
 
 void DatagramPipeline::drain_all(const Sink& sink) {
@@ -171,9 +362,20 @@ void DatagramPipeline::register_metrics(obs::MetricsRegistry& registry,
     emit.counter(prefix + ".accepted", stats_.accepted);
     emit.counter(prefix + ".rejected", stats_.rejected);
     emit.counter(prefix + ".drained", stats_.drained);
+    emit.counter(prefix + ".egress_dropped", stats_.egress_dropped);
+    emit.counter(prefix + ".shutdown_discards", stats_.shutdown_discards);
     emit.counter(prefix + ".ingress_dropped", ingress_dropped());
     emit.gauge(prefix + ".workers", static_cast<double>(worker_count()));
     emit.gauge(prefix + ".in_flight", static_cast<double>(in_flight()));
+    emit.gauge(prefix + ".busy_clock_is_thread_cputime",
+               busy_clock() == "thread-cputime" ? 1.0 : 0.0);
+    const util::BufferPool::Stats pool = buffers_.stats();
+    emit.counter(prefix + ".pool.heap_fallbacks", pool.heap_fallbacks);
+    emit.counter(prefix + ".pool.refills", pool.refills);
+    emit.counter(prefix + ".pool.overflow_discards", pool.overflow_discards);
+    emit.gauge(prefix + ".pool.high_water",
+               static_cast<double>(pool.high_water));
+    emit.gauge(prefix + ".pool.pooled", static_cast<double>(pool.pooled));
     for (std::size_t s = 0; s < ingress_.size(); ++s)
       emit.counter(
           prefix + ".ingress_dropped.shard" + std::to_string(s),

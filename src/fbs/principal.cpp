@@ -6,6 +6,15 @@ Principal Principal::from_ipv4(net::Ipv4Address ip) {
   return Principal{ip.to_bytes(), ip.to_string()};
 }
 
+void Principal::assign_ipv4(net::Ipv4Address ip) {
+  address.resize(4);  // shrinking or same-size: never reallocates once warm
+  address[0] = static_cast<std::uint8_t>(ip.value >> 24);
+  address[1] = static_cast<std::uint8_t>(ip.value >> 16);
+  address[2] = static_cast<std::uint8_t>(ip.value >> 8);
+  address[3] = static_cast<std::uint8_t>(ip.value);
+  name.clear();  // identity is the address; skip the display formatting
+}
+
 net::Ipv4Address Principal::ipv4() const {
   net::Ipv4Address ip;
   for (std::size_t i = 0; i < 4 && i < address.size(); ++i)

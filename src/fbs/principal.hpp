@@ -21,6 +21,12 @@ struct Principal {
   static Principal from_ipv4(net::Ipv4Address ip);
   net::Ipv4Address ipv4() const;  // valid only for 4-byte addresses
 
+  /// Rewrite this principal in place as `ip`, reusing the address buffer's
+  /// storage (no allocation once warm). The pipeline calls this once per
+  /// datagram on scratch principals, where from_ipv4's fresh vector -- and
+  /// its display-name formatting -- would be a per-datagram heap hit.
+  void assign_ipv4(net::Ipv4Address ip);
+
   bool operator==(const Principal& o) const { return address == o.address; }
   auto operator<=>(const Principal& o) const { return address <=> o.address; }
 };

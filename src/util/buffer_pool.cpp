@@ -1,0 +1,114 @@
+#include "util/buffer_pool.hpp"
+
+#include <algorithm>
+
+namespace fbs::util {
+
+BufferPool::BufferPool(const BufferPoolConfig& config) : config_(config) {
+  if (config_.lanes == 0) config_.lanes = 1;
+  if (config_.lane_cap == 0) config_.lane_cap = 1;
+  lanes_ = std::vector<Lane>(config_.lanes);
+
+  // Reserve every list once, up front: a lane holds at most lane_cap parked
+  // buffers plus one refill chunk in flight, so lane push_back never grows
+  // on the hot path. The shared list is capped at the whole slab plus one
+  // lane_cap of slack per lane (foreign buffers released while every lane
+  // is full); beyond that a release is discarded to keep memory bounded.
+  const std::size_t lane_reserve = config_.lane_cap * 2;
+  for (Lane& lane : lanes_) lane.free.reserve(lane_reserve);
+  shared_cap_ = config_.slab_buffers + config_.lanes * config_.lane_cap;
+  shared_.reserve(shared_cap_);
+
+  // Carve the slab: fill each lane to its cap first (workers should find
+  // warm buffers without touching the shared mutex), remainder shared.
+  std::size_t remaining = config_.slab_buffers;
+  for (Lane& lane : lanes_) {
+    const std::size_t take = std::min(remaining, config_.lane_cap);
+    for (std::size_t i = 0; i < take; ++i) {
+      Bytes buffer;
+      buffer.reserve(config_.buffer_bytes);
+      lane.free.push_back(std::move(buffer));
+    }
+    remaining -= take;
+  }
+  for (std::size_t i = 0; i < remaining; ++i) {
+    Bytes buffer;
+    buffer.reserve(config_.buffer_bytes);
+    shared_.push_back(std::move(buffer));
+  }
+  pooled_.store(static_cast<std::int64_t>(config_.slab_buffers),
+                std::memory_order_relaxed);
+}
+
+Bytes BufferPool::acquire(std::size_t lane_index) {
+  Lane& lane = lanes_[lane_index % lanes_.size()];
+  if (lane.free.empty()) {
+    // Dry lane: grab a chunk from the shared list (half a lane's worth, so
+    // one refill amortizes the mutex over many subsequent acquires).
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    const std::size_t take = std::min(
+        shared_.size(), std::max<std::size_t>(1, config_.lane_cap / 2));
+    for (std::size_t i = 0; i < take; ++i) {
+      lane.free.push_back(std::move(shared_.back()));
+      shared_.pop_back();
+    }
+    if (take > 0) refills_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Bytes out;
+  if (!lane.free.empty()) {
+    out = std::move(lane.free.back());
+    lane.free.pop_back();
+    pooled_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    out.reserve(config_.buffer_bytes);
+  }
+  out.clear();
+
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t now =
+      outstanding_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::int64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !high_water_.compare_exchange_weak(seen, now,
+                                            std::memory_order_relaxed)) {
+  }
+  return out;
+}
+
+void BufferPool::release(std::size_t lane_index, Bytes&& buffer) {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+
+  Lane& lane = lanes_[lane_index % lanes_.size()];
+  if (lane.free.size() < config_.lane_cap) {
+    lane.free.push_back(std::move(buffer));
+    pooled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  if (shared_.size() < shared_cap_) {
+    shared_.push_back(std::move(buffer));
+    pooled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Pool saturated: let the buffer die rather than grow without bound.
+  overflow_discards_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.heap_fallbacks = heap_fallbacks_.load(std::memory_order_relaxed);
+  s.refills = refills_.load(std::memory_order_relaxed);
+  s.overflow_discards = overflow_discards_.load(std::memory_order_relaxed);
+  const std::int64_t hw = high_water_.load(std::memory_order_relaxed);
+  s.high_water = hw > 0 ? static_cast<std::size_t>(hw) : 0;
+  const std::int64_t pooled = pooled_.load(std::memory_order_relaxed);
+  s.pooled = pooled > 0 ? static_cast<std::size_t>(pooled) : 0;
+  return s;
+}
+
+}  // namespace fbs::util

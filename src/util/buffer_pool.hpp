@@ -1,0 +1,107 @@
+// Fixed-slab byte-buffer pool for the hot datagram path.
+//
+// The receive pipeline churns through two buffers per datagram (the
+// ciphertext wire coming in, the plaintext body going out). Getting them
+// from the global allocator costs a malloc/free pair per datagram and --
+// worse on a many-core box -- migrates cache-hot buffers between cores as
+// whichever thread frees them returns them to a shared arena. This pool
+// pre-allocates a slab of identically-sized buffers once and then recycles
+// them through per-worker free lists ("lanes"), so the steady-state path
+// touches neither the allocator nor another core's cache lines (cf. IRON's
+// packet_pool_shm.cc, which solves the same problem with a shared-memory
+// slab of fixed Packet objects).
+//
+// Threading contract: each lane is owned by exactly one thread --
+// acquire(lane)/release(lane) may only be called from that lane's owner, so
+// the lane free lists need no locks at all. Only the shared overflow list
+// (lane refill / lane spill) takes a mutex, and steady state never touches
+// it: one acquire plus one release per datagram keeps every lane balanced.
+//
+// The pool never fails: when a lane and the shared list are both empty,
+// acquire() falls back to the heap and counts it (`heap_fallbacks`), so an
+// undersized pool degrades to exactly the old allocator behaviour instead
+// of deadlocking -- the stats make the misconfiguration visible.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fbs::util {
+
+struct BufferPoolConfig {
+  /// Capacity each slab buffer is pre-reserved to. Buffers larger than a
+  /// datagram's wire image never need to grow on the hot path.
+  std::size_t buffer_bytes = 2048;
+  /// Total buffers pre-allocated up front (the slab).
+  std::size_t slab_buffers = 256;
+  /// Number of per-owner free lists. Clamped to >= 1.
+  std::size_t lanes = 1;
+  /// Max buffers parked per lane before a release spills to the shared
+  /// list. Also sizes the refill chunk a dry lane grabs from it.
+  std::size_t lane_cap = 32;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    /// Acquires served by the heap because lane and shared were both empty.
+    std::uint64_t heap_fallbacks = 0;
+    /// Lane refills from the shared list (cross-lane traffic indicator).
+    std::uint64_t refills = 0;
+    /// Releases discarded because the shared list hit its cap (the pool
+    /// stays bounded even when foreign buffers keep flowing in).
+    std::uint64_t overflow_discards = 0;
+    /// Max buffers simultaneously outstanding (acquired, not released).
+    std::size_t high_water = 0;
+    /// Buffers parked in the pool right now (all lanes + shared).
+    std::size_t pooled = 0;
+  };
+
+  explicit BufferPool(const BufferPoolConfig& config);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Take a cleared buffer with capacity >= buffer_bytes (pool-served) or a
+  /// heap fallback reserved to buffer_bytes. Caller must own `lane`.
+  Bytes acquire(std::size_t lane);
+
+  /// Park a buffer for reuse. Any buffer is accepted -- including ones that
+  /// never came from the pool -- which is what lets the pipeline swap
+  /// caller wires in for pool bodies going out without the level draining.
+  void release(std::size_t lane, Bytes&& buffer);
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  std::size_t buffer_bytes() const { return config_.buffer_bytes; }
+  Stats stats() const;
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<Bytes> free;
+  };
+
+  BufferPoolConfig config_;
+  std::vector<Lane> lanes_;
+
+  mutable std::mutex shared_mu_;
+  std::vector<Bytes> shared_;
+  std::size_t shared_cap_ = 0;
+
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::uint64_t> heap_fallbacks_{0};
+  std::atomic<std::uint64_t> refills_{0};
+  std::atomic<std::uint64_t> overflow_discards_{0};
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::int64_t> high_water_{0};
+  std::atomic<std::int64_t> pooled_{0};
+};
+
+}  // namespace fbs::util

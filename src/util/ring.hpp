@@ -9,16 +9,25 @@
 // worker until the drain thread catches up (dropping a datagram that
 // already paid for its cryptography would waste the work).
 //
+// Every entry point has a batch form -- try_push_batch / push_wait_batch /
+// pop_batch -- that takes the mutex once and notifies once per burst, so a
+// burst of N datagrams costs one lock acquisition instead of N. The
+// single-item calls are one-element batches; there is exactly one
+// implementation of each transfer direction.
+//
 // A mutex+condvar ring, not a lock-free one: every slot carries an owned
 // byte buffer, so the per-item cost is dominated by the datagram's
 // cryptography (tens of microseconds); an uncontended mutex is noise at
 // that scale and keeps the structure trivially ThreadSanitizer-clean.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -33,41 +42,85 @@ class BoundedMpscRing {
   BoundedMpscRing(const BoundedMpscRing&) = delete;
   BoundedMpscRing& operator=(const BoundedMpscRing&) = delete;
 
+  /// Non-blocking batch enqueue: moves in as many of `values` as fit (a
+  /// prefix -- order is preserved) and returns how many were accepted.
+  /// Items that did not fit are counted as backpressure drops; the caller
+  /// still owns them and decides whether that is a real drop or a retry.
+  std::size_t try_push_batch(std::span<T> values) {
+    std::size_t accepted = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      accepted = std::min(values.size(), slots_.size() - count_);
+      for (std::size_t i = 0; i < accepted; ++i)
+        place_locked(std::move(values[i]));
+      if (accepted < values.size())
+        dropped_.fetch_add(values.size() - accepted,
+                           std::memory_order_relaxed);
+    }
+    if (accepted > 0) not_empty_.notify_one();
+    return accepted;
+  }
+
   /// Non-blocking enqueue; false means the ring is full (backpressure --
   /// the caller decides whether that is a counted drop or a retry).
   bool try_push(T&& value) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (count_ == slots_.size()) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        return false;
+    return try_push_batch(std::span<T>(&value, 1)) == 1;
+  }
+
+  /// Blocking batch enqueue: pushes every value, sleeping whenever the ring
+  /// is full and moving in as large a chunk as fits each time a slot frees.
+  /// Returns how many were pushed; fewer than `values.size()` only when
+  /// `cancel` became true while the ring was full (the shutdown path, where
+  /// the consumer may never drain again) -- the remainder is counted under
+  /// cancelled_dropped(). The canceller must call wake_all() after setting
+  /// the flag.
+  std::size_t push_wait_batch(std::span<T> values,
+                              const std::atomic<bool>& cancel) {
+    std::size_t pushed = 0;
+    while (pushed < values.size()) {
+      std::size_t chunk = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [&] {
+          return count_ < slots_.size() ||
+                 cancel.load(std::memory_order_relaxed);
+        });
+        if (count_ == slots_.size()) {  // cancelled while still full
+          cancelled_dropped_.fetch_add(values.size() - pushed,
+                                       std::memory_order_relaxed);
+          return pushed;
+        }
+        chunk = std::min(values.size() - pushed, slots_.size() - count_);
+        for (std::size_t i = 0; i < chunk; ++i)
+          place_locked(std::move(values[pushed + i]));
       }
-      slots_[(head_ + count_) % slots_.size()] = std::move(value);
-      ++count_;
+      not_empty_.notify_one();
+      pushed += chunk;
     }
-    not_empty_.notify_one();
-    return true;
+    return pushed;
   }
 
   /// Blocking enqueue: waits for a free slot. Returns false (value
-  /// dropped) if `cancel` becomes true while the ring is full -- the
-  /// shutdown path, where the consumer may never drain again. The
-  /// canceller must call wake_all() after setting the flag.
+  /// dropped, counted under cancelled_dropped()) if `cancel` becomes true
+  /// while the ring is full.
   bool push_wait(T&& value, const std::atomic<bool>& cancel) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] {
-      return count_ < slots_.size() ||
-             cancel.load(std::memory_order_relaxed);
-    });
-    if (count_ == slots_.size()) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+    return push_wait_batch(std::span<T>(&value, 1), cancel) == 1;
+  }
+
+  /// Non-blocking batch dequeue: appends up to `max` items to `out` (the
+  /// caller reserves capacity to keep the burst allocation-free) and
+  /// returns how many were moved. One lock, one producer wake per burst.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      n = std::min(max, count_);
+      for (std::size_t i = 0; i < n; ++i) out.push_back(take_locked());
     }
-    slots_[(head_ + count_) % slots_.size()] = std::move(value);
-    ++count_;
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    // A burst freed n slots; every blocked producer may be able to place
+    // part of its batch now.
+    if (n > 0) not_full_.notify_all();
+    return n;
   }
 
   /// Non-blocking dequeue into `out`; false when empty.
@@ -75,9 +128,7 @@ class BoundedMpscRing {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (count_ == 0) return false;
-      out = std::move(slots_[head_]);
-      head_ = (head_ + 1) % slots_.size();
-      --count_;
+      out = take_locked();
     }
     not_full_.notify_one();
     return true;
@@ -95,14 +146,33 @@ class BoundedMpscRing {
     return count_;
   }
   std::size_t capacity() const { return slots_.size(); }
-  /// Values rejected because the ring was full (try_push) or cancelled
-  /// while full (push_wait). The ring counts so every producer -- pipeline
+  /// Values rejected because the ring was full on a non-blocking push:
+  /// pure backpressure. The ring counts so every producer -- pipeline
   /// ingress shards above all -- gets per-ring drop attribution for free.
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Values abandoned because push_wait(_batch) was cancelled while the
+  /// ring was full: shutdown drops, kept separate from backpressure so the
+  /// two failure modes stay distinguishable in the stats conservation
+  /// equation (see DatagramPipeline::Stats).
+  std::uint64_t cancelled_dropped() const {
+    return cancelled_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Both helpers require mu_ held.
+  void place_locked(T&& value) {
+    slots_[(head_ + count_) % slots_.size()] = std::move(value);
+    ++count_;
+  }
+  T take_locked() {
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return value;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
@@ -110,6 +180,7 @@ class BoundedMpscRing {
   std::size_t head_ = 0;
   std::size_t count_ = 0;
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> cancelled_dropped_{0};
 };
 
 }  // namespace fbs::util

@@ -8,6 +8,8 @@
 #include <atomic>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "fbs/ip_map.hpp"
 #include "net/udp.hpp"
@@ -209,6 +211,145 @@ TEST_F(PipelineTest, RejectionsAreCountedAndReported) {
   EXPECT_EQ(pipe.stats().accepted, 1u);
   EXPECT_EQ(pipe.stats().rejected, 1u);
   EXPECT_EQ(pipe.in_flight(), 0u);
+}
+
+TEST_F(PipelineTest, SubmitBatchDeliversEverythingInPerFlowOrder) {
+  PipelineConfig pc;
+  pc.workers = 2;
+  pc.batch = 8;
+  DatagramPipeline pipe(receiver_, pc);
+
+  // Four flows interleaved in one stream of bursts, every body tagged
+  // "f<flow>:<seq>" so per-flow order is checkable after the fan-out.
+  constexpr int kFlows = 4;
+  constexpr int kDatagrams = 96;
+  std::vector<util::Bytes> wires;
+  wires.reserve(kDatagrams);
+  std::vector<int> seq(kFlows, 0);
+  for (int i = 0; i < kDatagrams; ++i) {
+    const int flow = i % kFlows;
+    const std::string text =
+        "f" + std::to_string(flow) + ":" + std::to_string(seq[flow]++);
+    auto wire = sender_.protect(
+        datagram(a_.principal, b_.principal, util::to_bytes(text),
+                 static_cast<std::uint16_t>(100 + flow)),
+        true);
+    ASSERT_TRUE(wire.has_value());
+    wires.push_back(std::move(*wire));
+  }
+
+  // Submit in bursts of 10 (not a divisor of anything above: chunks cut
+  // across flows, so the shard grouping actually has work to do).
+  const auto header = header_from(a_.principal, b_.principal);
+  std::size_t accepted = 0;
+  for (std::size_t at = 0; at < wires.size(); at += 10) {
+    const std::size_t n = std::min<std::size_t>(10, wires.size() - at);
+    accepted += pipe.submit_batch(header, {wires.data() + at, n});
+  }
+  EXPECT_EQ(accepted, static_cast<std::size_t>(kDatagrams));
+
+  std::vector<int> next(kFlows, 0);
+  int delivered = 0;
+  pipe.drain_all([&](const net::Ipv4Header&, util::Bytes body) {
+    const std::string text(body.begin(), body.end());
+    const auto colon = text.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    const int flow = std::stoi(text.substr(1, colon - 1));
+    const int got_seq = std::stoi(text.substr(colon + 1));
+    EXPECT_EQ(got_seq, next[flow]) << "flow " << flow << " reordered";
+    ++next[flow];
+    ++delivered;
+  });
+  EXPECT_EQ(delivered, kDatagrams);
+  EXPECT_EQ(pipe.stats().submitted, static_cast<std::uint64_t>(kDatagrams));
+  EXPECT_EQ(pipe.stats().drained, static_cast<std::uint64_t>(kDatagrams));
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  // Steady-state bursts ride the slab, never the allocator.
+  EXPECT_EQ(pipe.buffer_pool().stats().heap_fallbacks, 0u);
+}
+
+TEST_F(PipelineTest, DrainAllTerminatesAfterStopWithBacklog) {
+  // The regression this PR fixes: stop the pipeline with datagrams still
+  // queued in ingress and a result stuck behind a full egress ring, then
+  // call drain_all(). Before the fix the queued items were never
+  // accounted, in_flight stayed positive and drain_all spun forever.
+  PipelineConfig pc;
+  pc.workers = 1;
+  pc.batch = 2;
+  pc.egress_capacity = 1;  // worker wedges on its second accepted result
+  DatagramPipeline pipe(receiver_, pc);
+
+  constexpr int kDatagrams = 64;
+  std::vector<util::Bytes> wires;
+  for (int i = 0; i < kDatagrams; ++i) {
+    auto wire = sender_.protect(
+        datagram(a_.principal, b_.principal,
+                 util::to_bytes(std::to_string(i)), 7),
+        true);
+    ASSERT_TRUE(wire.has_value());
+    wires.push_back(std::move(*wire));
+  }
+  const auto header = header_from(a_.principal, b_.principal);
+  EXPECT_EQ(pipe.submit_batch(header, {wires.data(), wires.size()}),
+            static_cast<std::size_t>(kDatagrams));
+
+  // Nobody drains. Wait until the worker has accepted two results: with a
+  // one-slot egress the second cannot be flushed, so the worker is (or is
+  // about to be) blocked in its egress push with the rest still queued.
+  while (pipe.stats().accepted.load() < 2) std::this_thread::yield();
+  pipe.stop();
+
+  int delivered = 0;
+  pipe.drain_all(  // must return, not spin
+      [&](const net::Ipv4Header&, util::Bytes) { ++delivered; });
+
+  const auto& s = pipe.stats();
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  // Exactly the one result that reached the egress ring survives.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(s.drained, 1u);
+  EXPECT_GT(s.egress_dropped, 0u);      // accepted work cancelled mid-push
+  EXPECT_GT(s.shutdown_discards, 0u);   // ingress backlog accounted
+  EXPECT_EQ(s.egress_dropped, s.accepted - s.drained);
+  // The conservation equation: every submitted datagram has one terminus.
+  EXPECT_EQ(s.submitted, s.backpressure_drops + s.rejected + s.drained +
+                             s.egress_dropped + s.shutdown_discards);
+
+  // A submit after stop() is refused and accounted, not lost.
+  util::Bytes late = std::move(wires[0]);
+  EXPECT_FALSE(pipe.submit(header, std::move(late)));
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kDatagrams) + 1);
+  EXPECT_EQ(s.submitted, s.backpressure_drops + s.rejected + s.drained +
+                             s.egress_dropped + s.shutdown_discards);
+
+  // And the registry exposes the new termini.
+  obs::MetricsRegistry reg;
+  pipe.register_metrics(reg, "pipe");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("pipe.egress_dropped"), s.egress_dropped);
+  EXPECT_EQ(snap.counters.at("pipe.shutdown_discards"), s.shutdown_discards);
+  EXPECT_GE(snap.counters.at("pipe.pool.refills"), 0u);
+  EXPECT_GT(snap.gauges.at("pipe.pool.pooled"), 0.0);
+}
+
+TEST_F(PipelineTest, BusyClockIsCpuTimeNotWallTime) {
+  // The satellite fix: the non-Linux fallback used to be steady_clock wall
+  // time, which charged a descheduled worker for its neighbors' cycles and
+  // made oversubscribed speedup numbers meaningless. Both remaining
+  // regimes are CPU clocks; the name says which one this build got.
+#if defined(__linux__)
+  EXPECT_EQ(DatagramPipeline::busy_clock(), "thread-cputime");
+#else
+  EXPECT_EQ(DatagramPipeline::busy_clock(), "process-cputime");
+#endif
+  PipelineConfig pc;
+  pc.workers = 1;
+  DatagramPipeline pipe(receiver_, pc);
+  obs::MetricsRegistry reg;
+  pipe.register_metrics(reg, "pipe");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.at("pipe.busy_clock_is_thread_cputime"),
+            DatagramPipeline::busy_clock() == "thread-cputime" ? 1.0 : 0.0);
 }
 
 TEST_F(PipelineTest, WorkerBusyTimeAccumulates) {

@@ -1,0 +1,141 @@
+#include "util/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fbs::util {
+namespace {
+
+TEST(BufferPool, RoundtripServesFromTheSlabWithoutFallback) {
+  BufferPoolConfig cfg;
+  cfg.buffer_bytes = 512;
+  cfg.slab_buffers = 8;
+  cfg.lanes = 2;
+  cfg.lane_cap = 4;
+  BufferPool pool(cfg);
+  EXPECT_EQ(pool.lane_count(), 2u);
+  EXPECT_EQ(pool.stats().pooled, 8u);
+
+  Bytes b = pool.acquire(0);
+  EXPECT_GE(b.capacity(), 512u);
+  EXPECT_TRUE(b.empty());  // handed out cleared
+  b.assign(100, 0xAB);
+  pool.release(0, std::move(b));
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 1u);
+  EXPECT_EQ(s.releases, 1u);
+  EXPECT_EQ(s.heap_fallbacks, 0u);
+  EXPECT_EQ(s.pooled, 8u);  // back where it started
+  EXPECT_EQ(s.high_water, 1u);
+
+  // A recycled buffer comes back cleared even though it was released dirty.
+  Bytes again = pool.acquire(0);
+  EXPECT_TRUE(again.empty());
+  pool.release(0, std::move(again));
+}
+
+TEST(BufferPool, ExhaustionFallsBackToTheHeapAndCounts) {
+  BufferPoolConfig cfg;
+  cfg.buffer_bytes = 256;
+  cfg.slab_buffers = 2;
+  cfg.lanes = 1;
+  cfg.lane_cap = 4;
+  BufferPool pool(cfg);
+
+  std::vector<Bytes> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire(0));
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 5u);
+  EXPECT_EQ(s.heap_fallbacks, 3u);  // slab had 2; the rest came off the heap
+  EXPECT_EQ(s.pooled, 0u);
+  EXPECT_EQ(s.high_water, 5u);
+  // Fallback buffers are still usable and pre-reserved.
+  for (const Bytes& b : held) EXPECT_GE(b.capacity(), 256u);
+
+  // Releasing foreign (heap) buffers re-stocks the pool: it accepts any
+  // buffer, so the level recovers instead of staying pinned at zero.
+  for (auto& b : held) pool.release(0, std::move(b));
+  held.clear();
+  EXPECT_EQ(pool.stats().pooled, 5u);
+  Bytes b = pool.acquire(0);
+  EXPECT_EQ(pool.stats().heap_fallbacks, 3u);  // no new fallback
+  pool.release(0, std::move(b));
+}
+
+TEST(BufferPool, DryLaneRefillsFromShared) {
+  BufferPoolConfig cfg;
+  cfg.buffer_bytes = 128;
+  cfg.slab_buffers = 12;  // lanes take 2x4, shared keeps 4
+  cfg.lanes = 2;
+  cfg.lane_cap = 4;
+  BufferPool pool(cfg);
+
+  // Drain lane 0's private list (4 buffers) ...
+  std::vector<Bytes> held;
+  for (int i = 0; i < 4; ++i) held.push_back(pool.acquire(0));
+  EXPECT_EQ(pool.stats().refills, 0u);
+  // ... the 5th acquire must refill from the shared remainder, not the heap.
+  held.push_back(pool.acquire(0));
+  const auto s = pool.stats();
+  EXPECT_EQ(s.refills, 1u);
+  EXPECT_EQ(s.heap_fallbacks, 0u);
+
+  for (auto& b : held) pool.release(0, std::move(b));
+}
+
+TEST(BufferPool, LaneOverflowSpillsToSharedThenDiscards) {
+  BufferPoolConfig cfg;
+  cfg.buffer_bytes = 128;
+  cfg.slab_buffers = 2;
+  cfg.lanes = 1;
+  cfg.lane_cap = 2;
+  BufferPool pool(cfg);
+  // shared_cap = slab + lanes*lane_cap = 4. Lane starts full (2), shared
+  // empty. Release 7 foreign buffers: 0 fit the lane, 4 fit shared, 3 die.
+  for (int i = 0; i < 7; ++i) {
+    Bytes foreign;
+    foreign.reserve(128);
+    pool.release(0, std::move(foreign));
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.overflow_discards, 3u);
+  EXPECT_EQ(s.pooled, 6u);  // 2 lane + 4 shared: the configured bound
+}
+
+TEST(BufferPool, HighWaterTracksPeakOutstanding) {
+  BufferPoolConfig cfg;
+  cfg.slab_buffers = 8;
+  cfg.lanes = 1;
+  cfg.lane_cap = 8;
+  BufferPool pool(cfg);
+
+  std::vector<Bytes> held;
+  for (int i = 0; i < 3; ++i) held.push_back(pool.acquire(0));
+  for (auto& b : held) pool.release(0, std::move(b));
+  held.clear();
+  // Peak was 3; later smaller bursts must not move it.
+  held.push_back(pool.acquire(0));
+  pool.release(0, std::move(held.back()));
+  held.clear();
+  EXPECT_EQ(pool.stats().high_water, 3u);
+}
+
+TEST(BufferPool, LaneIndexWrapsInsteadOfFaulting) {
+  BufferPoolConfig cfg;
+  cfg.slab_buffers = 4;
+  cfg.lanes = 2;
+  cfg.lane_cap = 2;
+  BufferPool pool(cfg);
+  // Lane 5 % 2 == lane 1: out-of-range owners alias a real lane rather than
+  // indexing out of bounds (the pipeline's drain lane is workers_.size()).
+  Bytes b = pool.acquire(5);
+  pool.release(5, std::move(b));
+  EXPECT_EQ(pool.stats().heap_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace fbs::util

@@ -51,11 +51,89 @@ TEST(BoundedMpscRing, CountsEveryRejectedPush) {
   EXPECT_TRUE(ring.try_push(5));  // accepted pushes leave the count alone
   EXPECT_EQ(ring.dropped(), 2u);
 
-  // A push_wait cancelled while the ring is (again) full is a drop too
-  // (the shutdown path abandons the value).
+  // A push_wait cancelled while the ring is (again) full is abandoned too,
+  // but it is a *shutdown* drop and must not pollute the backpressure
+  // count: the two feed different terms of the pipeline's conservation
+  // equation.
   std::atomic<bool> cancel{true};
   EXPECT_FALSE(ring.push_wait(7, cancel));
-  EXPECT_EQ(ring.dropped(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.cancelled_dropped(), 1u);
+}
+
+TEST(BoundedMpscRing, BatchFifoInterleavedWithSingleItemOps) {
+  BoundedMpscRing<int> ring(8);
+  std::vector<int> first{1, 2, 3};
+  EXPECT_EQ(ring.try_push_batch({first.data(), first.size()}), 3u);
+  EXPECT_TRUE(ring.try_push(4));
+  std::vector<int> second{5, 6};
+  EXPECT_EQ(ring.try_push_batch({second.data(), second.size()}), 2u);
+
+  // Mixed pops must observe one global FIFO regardless of how items
+  // entered: single pop, then a capped batch, then the rest.
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  std::vector<int> popped;
+  EXPECT_EQ(ring.pop_batch(popped, 2), 2u);
+  EXPECT_EQ(popped, (std::vector<int>{2, 3}));
+  EXPECT_EQ(ring.pop_batch(popped, 100), 3u);
+  EXPECT_EQ(popped, (std::vector<int>{2, 3, 4, 5, 6}));
+  EXPECT_EQ(ring.pop_batch(popped, 100), 0u);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(BoundedMpscRing, BatchLargerThanCapacityAcceptsAPrefix) {
+  BoundedMpscRing<int> ring(4);
+  std::vector<int> burst{10, 11, 12, 13, 14, 15};
+  EXPECT_EQ(ring.try_push_batch({burst.data(), burst.size()}), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);  // the overflow tail, counted at the ring
+  EXPECT_EQ(ring.size(), 4u);
+  std::vector<int> popped;
+  EXPECT_EQ(ring.pop_batch(popped, 10), 4u);
+  EXPECT_EQ(popped, (std::vector<int>{10, 11, 12, 13}));
+  // The refused tail was left untouched in the caller's storage.
+  EXPECT_EQ(burst[4], 14);
+  EXPECT_EQ(burst[5], 15);
+}
+
+TEST(BoundedMpscRing, PushWaitBatchSpansConsumerProgress) {
+  // A blocking batch wider than the whole ring must land in chunks as the
+  // consumer frees slots, preserving order end to end.
+  BoundedMpscRing<int> ring(2);
+  std::atomic<bool> cancel{false};
+  std::vector<int> burst{1, 2, 3, 4, 5};
+  std::thread producer([&] {
+    EXPECT_EQ(ring.push_wait_batch({burst.data(), burst.size()}, cancel), 5u);
+  });
+  std::vector<int> got;
+  int out = 0;
+  while (got.size() < 5) {
+    if (ring.try_pop(out)) got.push_back(out);
+    else std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.cancelled_dropped(), 0u);
+}
+
+TEST(BoundedMpscRing, PushWaitBatchCancelledMidwayCountsTheTail) {
+  BoundedMpscRing<int> ring(2);
+  std::atomic<bool> cancel{false};
+  std::vector<int> burst{1, 2, 3, 4, 5};
+  std::size_t pushed = 0;
+  std::thread producer([&] {
+    pushed = ring.push_wait_batch({burst.data(), burst.size()}, cancel);
+  });
+  // Let the first chunk land, then cancel with the ring still full.
+  while (ring.size() < 2) std::this_thread::yield();
+  cancel.store(true);
+  ring.wake_all();
+  producer.join();
+  EXPECT_EQ(pushed, 2u);
+  EXPECT_EQ(ring.cancelled_dropped(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
 }
 
 TEST(BoundedMpscRing, PushWaitBlocksUntilSlotFrees) {

@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
-                           [--no-fail] [--all]
+                           [--no-fail] [--all] [--require GAUGE=MIN ...]
 
 Each file is either one bench's MetricsSnapshot (the JSON a single bench
 writes via FBS_METRICS_OUT) or a combined {bench_name: snapshot} map like
@@ -16,6 +16,12 @@ suffixes (kBps, kbps, per_sec) are better when larger; cost-ish suffixes
 an unrecognized direction are reported but never flagged. A change worse
 than --threshold (default 10%) in the bad direction is a regression and
 makes the exit status 1 unless --no-fail is given.
+
+--require GAUGE=MIN asserts an absolute floor on a gauge in CURRENT
+(matched against the flattened "bench:gauge" name), independent of the
+baseline and of --no-fail: a missing gauge or a value below MIN always
+fails. This is how acceptance gates (e.g. the parallel wall-speedup gate)
+are enforced in CI rather than merely diffed.
 """
 
 import argparse
@@ -23,7 +29,7 @@ import json
 import sys
 
 HIGHER_BETTER = ("kbps", "kBps", "Bps", "per_sec", "throughput", "hits",
-                 "speedup")
+                 "speedup", "gate")
 LOWER_BETTER = ("us_per_pkt", "_us", ".us", "_ns", ".ns", "seconds",
                 "misses", "evictions", "cost")
 
@@ -68,7 +74,21 @@ def main():
                         help="report regressions but exit 0")
     parser.add_argument("--all", action="store_true",
                         help="print every common gauge, not just notable ones")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="GAUGE=MIN",
+                        help="assert current GAUGE >= MIN (repeatable); "
+                             "failure exits 1 even with --no-fail")
     args = parser.parse_args()
+
+    requirements = []
+    for spec in args.require:
+        name, sep, floor = spec.rpartition("=")
+        if not sep:
+            parser.error(f"--require needs GAUGE=MIN, got {spec!r}")
+        try:
+            requirements.append((name, float(floor)))
+        except ValueError:
+            parser.error(f"--require floor must be a number, got {floor!r}")
 
     with open(args.baseline) as f:
         base = flatten_gauges(json.load(f))
@@ -113,13 +133,26 @@ def main():
     print(f"\n{len(common)} gauges compared: "
           f"{len(improvements)} improved >{args.threshold:.0%}, "
           f"{len(regressions)} regressed >{args.threshold:.0%}")
+
+    gate_failed = False
+    for name, floor in requirements:
+        value = cur.get(name)
+        if value is None:
+            print(f"REQUIREMENT FAILED: {name} missing from current snapshot")
+            gate_failed = True
+        elif value < floor:
+            print(f"REQUIREMENT FAILED: {name} = {value:.3f} < {floor:.3f}")
+            gate_failed = True
+        else:
+            print(f"requirement ok: {name} = {value:.3f} >= {floor:.3f}")
+
     if regressions:
         print("regressions:")
         for name in regressions:
             print(f"  {name}")
         if not args.no_fail:
             return 1
-    return 0
+    return 1 if gate_failed else 0
 
 
 if __name__ == "__main__":

@@ -72,14 +72,23 @@ with open(os.path.join(out_dir, "current.json"), "w") as f:
     json.dump(combined, f, indent=1)
 EOF
   echo "== compare against BENCH_seed.json =="
-  python3 tools/bench_compare.py BENCH_seed.json "$OUT_DIR/current.json" --all
+  # Besides the relative diff, assert the parallel pipeline's absolute
+  # acceptance gates: crit speedup @4 workers and the hardware-aware wall
+  # gate (wall speedup @8 normalized by what this host's core count makes
+  # achievable; see bench_parallel_throughput.cpp).
+  python3 tools/bench_compare.py BENCH_seed.json "$OUT_DIR/current.json" --all \
+    --require "fbs_bench_parallel_throughput:parallel.speedup4=3.0" \
+    --require "fbs_bench_parallel_throughput:parallel.wall_gate=1.0"
   echo "Bench smoke passed."
   exit 0
 fi
 
 if [ "${1:-}" = "--tsan-smoke" ]; then
-  # Data-race detection for the shard-per-core datagram path. FBS_TSAN is
-  # mutually exclusive with FBS_SANITIZE, so this runs in its own tree.
+  # Data-race detection for the shard-per-core datagram path, including the
+  # batched ring transfers (push_wait_batch/pop_batch producers), the
+  # grouped submit_batch ingress and the stop-vs-submit shutdown races.
+  # FBS_TSAN is mutually exclusive with FBS_SANITIZE, so this runs in its
+  # own tree.
   BUILD_DIR=build-tsan
   echo "== configure ($BUILD_DIR) =="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFBS_TSAN=ON
