@@ -7,11 +7,15 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <ctime>
 
 #include "bignum/prime.hpp"
+#include "crypto/batch.hpp"
 #include "crypto/bbs.hpp"
 #include "crypto/block_modes.hpp"
 #include "crypto/des.hpp"
+#include "crypto/des3.hpp"
+#include "crypto/des_bitslice.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/fused.hpp"
 #include "crypto/mac.hpp"
@@ -84,6 +88,86 @@ BENCHMARK(BM_DesMode)
     ->Arg(static_cast<int>(crypto::CipherMode::kCbc))
     ->Arg(static_cast<int>(crypto::CipherMode::kCfb))
     ->Arg(static_cast<int>(crypto::CipherMode::kOfb));
+
+void BM_Des3CbcEncrypt(benchmark::State& state) {
+  const crypto::Des3 des3(buffer_of(24));
+  const util::Bytes data = buffer_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        crypto::encrypt(des3, crypto::CipherMode::kCbc, 42, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Des3CbcEncrypt)->Arg(1460);
+
+/// A burst of `batch` distinct-key datagrams (MTU-sized, pre-padded) for
+/// the bitslice planner; reused by the benchmark and the metrics snapshot.
+struct BitsliceBurst {
+  static constexpr std::size_t kCtBytes = 1464;  // 1460 + PKCS#7, 183 blocks
+
+  explicit BitsliceBurst(std::size_t batch) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const util::Bytes key = buffer_of(8 + i);
+      des.emplace_back(key);
+      scheds.push_back(crypto::DesBitsliceKeySchedule::from_key(key));
+      cts.push_back(buffer_of(kCtBytes));
+      plains.emplace_back(kCtBytes);
+    }
+    for (std::size_t i = 0; i < batch; ++i)
+      jobs.push_back(crypto::CbcOpenJob{&des[i], &scheds[i],
+                                        0x0123456789ABCDEFull, cts[i],
+                                        plains[i].data()});
+  }
+
+  std::size_t bytes() const { return jobs.size() * kCtBytes; }
+
+  /// The scalar reference: per-job table-driven CBC decrypt, the exact
+  /// block recurrence CryptoBatch's own fallback runs.
+  void decrypt_scalar() {
+    for (const auto& job : jobs) {
+      std::uint64_t chain = job.iv;
+      for (std::size_t off = 0; off < job.ciphertext.size(); off += 8) {
+        const std::uint64_t ct =
+            crypto::Des::load_be64(&job.ciphertext[off]);
+        crypto::Des::store_be64(job.des->decrypt_block(ct) ^ chain,
+                                job.plaintext + off);
+        chain = ct;
+      }
+    }
+  }
+
+  std::vector<crypto::Des> des;
+  std::vector<crypto::DesBitsliceKeySchedule> scheds;
+  std::vector<util::Bytes> cts;
+  std::vector<util::Bytes> plains;
+  std::vector<crypto::CbcOpenJob> jobs;
+};
+
+void BM_DesBitsliceCbcDecryptBatch(benchmark::State& state) {
+  // Cross-datagram 64-wide decrypt, mixed keys: the pipeline worker's
+  // steady-state burst shape, swept over burst widths.
+  BitsliceBurst burst(static_cast<std::size_t>(state.range(0)));
+  crypto::CryptoBatch batch;
+  for (auto _ : state) {
+    batch.open_cbc(burst.jobs);
+    benchmark::DoNotOptimize(burst.plains.front().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst.bytes()));
+}
+BENCHMARK(BM_DesBitsliceCbcDecryptBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DesScalarCbcDecryptBatch(benchmark::State& state) {
+  // The same burst on the scalar core: the fig8 "DES+MD5 scalar" leg.
+  BitsliceBurst burst(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    burst.decrypt_scalar();
+    benchmark::DoNotOptimize(burst.plains.front().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst.bytes()));
+}
+BENCHMARK(BM_DesScalarCbcDecryptBatch)->Arg(64);
 
 void BM_KeyedMd5Mac(benchmark::State& state) {
   crypto::KeyedPrefixMac mac(std::make_unique<crypto::Md5>());
@@ -225,6 +309,73 @@ void emit_metrics() {
     benchmark::DoNotOptimize(
         crypto::fused_keyed_md5_des_cbc(des, 42, key, prefix, data));
   }));
+  const crypto::Des3 des3(buffer_of(24));
+  reg.gauge("crypto.des3_cbc.kBps").set(rate_kBps([&] {
+    benchmark::DoNotOptimize(
+        crypto::encrypt(des3, crypto::CipherMode::kCbc, 42, data));
+  }));
+
+  // Bitslice vs scalar on the worker-burst shape (64 distinct-key
+  // MTU-sized datagrams). The two legs are timed adjacently, interleaved,
+  // and the speedup is the ratio of each leg's BEST of three repetitions:
+  // absolute throughput on a shared host swings with frequency scaling and
+  // neighbors, but both legs ride the same swings, so the ratio is what
+  // tools/check.sh gates on (the ISSUE's >= 3x acceptance bar).
+  {
+    BitsliceBurst burst(64);
+    crypto::CryptoBatch batch;
+    constexpr int kPasses = 24;  // ~2.2 MB per timed leg
+    // Time each leg with wall clock AND thread CPU time, and keep the
+    // smallest reading seen by either clock across all reps. Both clocks
+    // only ever overestimate the true compute time -- wall clock by slices
+    // lost to preemption (which hit the shorter bitsliced leg
+    // proportionally harder and skew the ratio low), CPU time by steal
+    // cycles a virtualized host charges to the thread -- so the minimum
+    // over many short interleaved reps is a stable estimator where any one
+    // long timed pair is not.
+    auto thread_seconds = [] {
+      timespec ts{};
+      clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+      return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+    };
+    auto time_leg = [&](auto&& op) {
+      const double cpu0 = thread_seconds();
+      const auto wall0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kPasses; ++i) op();
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - wall0;
+      return std::min(thread_seconds() - cpu0, wall.count());
+    };
+    double best_wide = 1e30, best_scalar = 1e30;
+    for (int rep = 0; rep < 8; ++rep) {
+      best_scalar =
+          std::min(best_scalar, time_leg([&] { burst.decrypt_scalar(); }));
+      best_wide =
+          std::min(best_wide, time_leg([&] { batch.open_cbc(burst.jobs); }));
+    }
+    const double bytes = static_cast<double>(kPasses) *
+                         static_cast<double>(burst.bytes());
+    reg.gauge("crypto.des_bitslice.kBps").set(bytes / 1000.0 / best_wide);
+    reg.gauge("crypto.des_scalar_cbc_decrypt.kBps")
+        .set(bytes / 1000.0 / best_scalar);
+    reg.gauge("crypto.des_bitslice_speedup").set(best_scalar / best_wide);
+  }
+  // Burst-width sweep: how quickly the transpose + key-load overhead
+  // amortizes as lanes light up (batch=1 still splits one datagram's 183
+  // blocks across lanes -- see DESIGN.md 5h).
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+    BitsliceBurst burst(width);
+    crypto::CryptoBatch batch;
+    const int passes = static_cast<int>(1536 / width);  // ~constant bytes
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < passes; ++i) batch.open_cbc(burst.jobs);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    reg.gauge("crypto.des_bitslice.batch" + std::to_string(width) + ".kBps")
+        .set(static_cast<double>(passes) * static_cast<double>(burst.bytes()) /
+             1000.0 / elapsed.count());
+  }
   bench::write_metrics(reg.snapshot(), "fbs_bench_crypto");
 }
 

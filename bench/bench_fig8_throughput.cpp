@@ -31,6 +31,8 @@ const char* slug(StackConfig c) {
     case StackConfig::kFbsNop: return "fbs_nop";
     case StackConfig::kFbsMd5Only: return "fbs_md5";
     case StackConfig::kFbsDesMd5: return "fbs_des_md5";
+    case StackConfig::kFbsDesMd5Scalar: return "fbs_des_md5_scalar";
+    case StackConfig::kFbsDes3Md5: return "fbs_des3_md5";
   }
   return "unknown";
 }
@@ -69,6 +71,12 @@ void BM_FbsMd5Only(benchmark::State& state) {
 void BM_FbsDesMd5(benchmark::State& state) {
   run_config(state, StackConfig::kFbsDesMd5);
 }
+void BM_FbsDesMd5Scalar(benchmark::State& state) {
+  run_config(state, StackConfig::kFbsDesMd5Scalar);
+}
+void BM_FbsDes3Md5(benchmark::State& state) {
+  run_config(state, StackConfig::kFbsDes3Md5);
+}
 
 constexpr int kSizes[] = {64, 512, 1024, 1408};
 
@@ -76,6 +84,8 @@ BENCHMARK(BM_Generic)->Arg(64)->Arg(512)->Arg(1024)->Arg(1408);
 BENCHMARK(BM_FbsNop)->Arg(64)->Arg(512)->Arg(1024)->Arg(1408);
 BENCHMARK(BM_FbsMd5Only)->Arg(1024)->Arg(1408);
 BENCHMARK(BM_FbsDesMd5)->Arg(64)->Arg(512)->Arg(1024)->Arg(1408);
+BENCHMARK(BM_FbsDesMd5Scalar)->Arg(1024)->Arg(1408);
+BENCHMARK(BM_FbsDes3Md5)->Arg(1024)->Arg(1408);
 
 /// Measure per-packet end-to-end CPU time for one configuration/size.
 double seconds_per_packet(StackConfig config, int size, int datagrams) {
@@ -110,16 +120,21 @@ void print_summary(obs::MetricsRegistry& reg) {
   std::printf("(paper, P133 + 10Mb Ethernet: GENERIC ~7700 kb/s, FBS NOP "
               "~= GENERIC, FBS DES+MD5 ~3400 kb/s)\n\n");
 
-  double cpu[4][4] = {};
-  const StackConfig configs[] = {StackConfig::kGeneric, StackConfig::kFbsNop,
-                                 StackConfig::kFbsMd5Only,
-                                 StackConfig::kFbsDesMd5};
+  // Per-suite curves: the paper's three configurations plus the cipher
+  // ladder this implementation adds -- MD5-only, DES+MD5 on the scalar
+  // core, DES+MD5 with the bitsliced batch path, and 3DES+MD5.
+  constexpr int kConfigs = 6;
+  double cpu[kConfigs][4] = {};
+  const StackConfig configs[kConfigs] = {
+      StackConfig::kGeneric,        StackConfig::kFbsNop,
+      StackConfig::kFbsMd5Only,     StackConfig::kFbsDesMd5Scalar,
+      StackConfig::kFbsDesMd5,      StackConfig::kFbsDes3Md5};
 
   std::printf("--- per-packet CPU cost (full send+receive path), us ---\n");
   std::printf("%-20s", "payload bytes");
   for (int size : kSizes) std::printf("%12d", size);
   std::printf("\n");
-  for (int c = 0; c < 4; ++c) {
+  for (int c = 0; c < kConfigs; ++c) {
     std::printf("%-20s", to_string(configs[c]));
     for (int s = 0; s < 4; ++s) {
       cpu[c][s] = seconds_per_packet(configs[c], kSizes[s], kDatagrams);
@@ -132,7 +147,7 @@ void print_summary(obs::MetricsRegistry& reg) {
   }
 
   const double protocol_overhead = (cpu[1][3] - cpu[0][3]) * 1e6;
-  const double crypto_overhead = (cpu[3][3] - cpu[1][3]) * 1e6;
+  const double crypto_overhead = (cpu[4][3] - cpu[1][3]) * 1e6;
   std::printf("\nclaim (1), @1408B: FBS protocol overhead excluding crypto "
               "= %.2f us/pkt; crypto adds %.2f us/pkt\n"
               "  -> %.1f%% of the FBS cost is cryptography (paper: \"very "
@@ -146,8 +161,8 @@ void print_summary(obs::MetricsRegistry& reg) {
   std::printf("%-20s", "payload bytes");
   for (int size : kSizes) std::printf("%12d", size);
   std::printf("\n");
-  double emu[4][4];
-  for (int c = 0; c < 4; ++c) {
+  double emu[kConfigs][4];
+  for (int c = 0; c < kConfigs; ++c) {
     std::printf("%-20s", to_string(configs[c]));
     for (int s = 0; s < 4; ++s) {
       const double wire_time = kSizes[s] * 8.0 / kWireBitsPerSec;
@@ -161,8 +176,12 @@ void print_summary(obs::MetricsRegistry& reg) {
     std::printf("\n");
   }
   std::printf("\nclaim (2), shape @1408B: NOP/GENERIC = %.2f (paper ~1.0), "
-              "DES+MD5/GENERIC = %.2f (paper ~0.44: heavy crypto penalty)\n\n",
-              emu[1][3] / emu[0][3], emu[3][3] / emu[0][3]);
+              "DES+MD5/GENERIC = %.2f (paper ~0.44: heavy crypto penalty)\n",
+              emu[1][3] / emu[0][3], emu[4][3] / emu[0][3]);
+  std::printf("cipher ladder @1408B, us/pkt: DES scalar %.2f -> DES "
+              "bitsliced %.2f (%.2fx), 3DES %.2f (%.2fx scalar DES)\n\n",
+              cpu[3][3] * 1e6, cpu[4][3] * 1e6, cpu[3][3] / cpu[4][3],
+              cpu[5][3] * 1e6, cpu[5][3] / cpu[3][3]);
 }
 
 /// Analytic replication of the paper's absolute numbers: steady-state

@@ -17,13 +17,22 @@
 
 namespace fbs::bench {
 
-enum class StackConfig { kGeneric, kFbsNop, kFbsDesMd5, kFbsMd5Only };
+enum class StackConfig {
+  kGeneric,
+  kFbsNop,
+  kFbsDesMd5,        // keyed MD5 + DES-CBC, bitsliced batch decrypt enabled
+  kFbsDesMd5Scalar,  // same suite with bitslice_crypto off (table-DES only)
+  kFbsDes3Md5,       // keyed MD5 + 3DES-EDE (always scalar)
+  kFbsMd5Only,
+};
 
 inline const char* to_string(StackConfig c) {
   switch (c) {
     case StackConfig::kGeneric: return "GENERIC";
     case StackConfig::kFbsNop: return "FBS NOP";
     case StackConfig::kFbsDesMd5: return "FBS DES+MD5";
+    case StackConfig::kFbsDesMd5Scalar: return "FBS DES+MD5 scalar";
+    case StackConfig::kFbsDes3Md5: return "FBS 3DES+MD5";
     case StackConfig::kFbsMd5Only: return "FBS MD5 (auth only)";
   }
   return "?";
@@ -53,6 +62,8 @@ class TwoHostWorld {
       core::IpMappingConfig cfg;
       cfg.fbs.suite = suite_for(config);
       cfg.fbs.trace_stages = trace_stages;
+      if (config == StackConfig::kFbsDesMd5Scalar)
+        cfg.fbs.bitslice_crypto = false;
       if (config == StackConfig::kFbsNop ||
           config == StackConfig::kFbsMd5Only) {
         cfg.secret_policy = [](const core::FlowAttributes&) { return false; };
@@ -74,7 +85,11 @@ class TwoHostWorld {
         suite.cipher = crypto::CipherAlgorithm::kNone;
         break;
       case StackConfig::kFbsDesMd5:
+      case StackConfig::kFbsDesMd5Scalar:
         break;  // default: keyed MD5 + DES-CBC
+      case StackConfig::kFbsDes3Md5:
+        suite.cipher = crypto::CipherAlgorithm::kDes3Ede;
+        break;
       case StackConfig::kFbsMd5Only:
         suite.cipher = crypto::CipherAlgorithm::kNone;
         break;

@@ -29,6 +29,7 @@ std::optional<AlgorithmSuite> decode_suite(std::uint8_t wire) {
     case CipherAlgorithm::kDesEcb:
     case CipherAlgorithm::kDesCfb:
     case CipherAlgorithm::kDesOfb:
+    case CipherAlgorithm::kDes3Ede:
       break;
     default:
       return std::nullopt;
@@ -71,6 +72,7 @@ std::optional<CipherMode> cipher_mode(CipherAlgorithm alg) {
     case CipherAlgorithm::kNone:
       return std::nullopt;
     case CipherAlgorithm::kDesCbc:
+    case CipherAlgorithm::kDes3Ede:
       return CipherMode::kCbc;
     case CipherAlgorithm::kDesEcb:
       return CipherMode::kEcb;

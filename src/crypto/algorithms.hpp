@@ -33,6 +33,10 @@ enum class CipherAlgorithm : std::uint8_t {
   kDesEcb = 2,
   kDesCfb = 3,
   kDesOfb = 4,
+  /// Triple DES, EDE with three independent keys, in CBC mode (ROADMAP
+  /// item 3b). Scalar-only: the bitsliced batch engine handles single DES;
+  /// kDes3Ede flows take the table-driven Des3 core.
+  kDes3Ede = 5,
 };
 
 struct AlgorithmSuite {

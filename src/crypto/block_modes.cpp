@@ -1,6 +1,6 @@
 #include "crypto/block_modes.hpp"
 
-#include <cstring>
+#include "crypto/des3.hpp"
 
 namespace fbs::crypto {
 
@@ -8,30 +8,13 @@ namespace {
 
 constexpr std::size_t kBlock = Des::kBlockSize;
 
-/// Copy `data` into `out` and append PKCS#7 padding. One resize sizes the
-/// buffer exactly; a reused `out` with enough capacity never reallocates.
-void pkcs7_pad_into(util::BytesView data, util::Bytes& out) {
-  const std::size_t pad = kBlock - data.size() % kBlock;  // 1..8
-  out.resize(data.size() + pad);
-  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size());
-  std::memset(out.data() + data.size(), static_cast<int>(pad), pad);
-}
-
-bool pkcs7_unpad_in_place(util::Bytes& data) {
-  if (data.empty() || data.size() % kBlock != 0) return false;
-  const std::uint8_t pad = data.back();
-  if (pad == 0 || pad > kBlock || pad > data.size()) return false;
-  for (std::size_t i = data.size() - pad; i < data.size(); ++i)
-    if (data[i] != pad) return false;
-  data.resize(data.size() - pad);
-  return true;
-}
-
 /// Shared keystream generator for the two stream modes. CFB feeds the
 /// previous ciphertext block back through the cipher; OFB feeds the cipher
 /// output back, independent of the data.
-void stream_crypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
-                       util::BytesView in, bool decrypting, util::Bytes& out) {
+template <class Cipher>
+void stream_crypt_into(const Cipher& cipher, CipherMode mode,
+                       std::uint64_t iv, util::BytesView in, bool decrypting,
+                       util::Bytes& out) {
   out.resize(in.size());
   std::uint64_t feedback = iv;
   for (std::size_t off = 0; off < in.size(); off += kBlock) {
@@ -53,11 +36,12 @@ void stream_crypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
 
 }  // namespace
 
-void encrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+template <class Cipher>
+void encrypt_into(const Cipher& cipher, CipherMode mode, std::uint64_t iv,
                   util::BytesView plaintext, util::Bytes& out) {
   switch (mode) {
     case CipherMode::kEcb: {
-      pkcs7_pad_into(plaintext, out);
+      detail::pkcs7_pad_into(plaintext, out);
       for (std::size_t off = 0; off < out.size(); off += kBlock) {
         // Confounder-XOR ECB per Section 5.2.
         const std::uint64_t pt = Des::load_be64(&out[off]) ^ iv;
@@ -66,7 +50,7 @@ void encrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
       return;
     }
     case CipherMode::kCbc: {
-      pkcs7_pad_into(plaintext, out);
+      detail::pkcs7_pad_into(plaintext, out);
       std::uint64_t chain = iv;
       for (std::size_t off = 0; off < out.size(); off += kBlock) {
         chain = cipher.encrypt_block(Des::load_be64(&out[off]) ^ chain);
@@ -83,7 +67,8 @@ void encrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
   out.clear();
 }
 
-bool decrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
+template <class Cipher>
+bool decrypt_into(const Cipher& cipher, CipherMode mode, std::uint64_t iv,
                   util::BytesView ciphertext, util::Bytes& out) {
   switch (mode) {
     case CipherMode::kEcb: {
@@ -94,7 +79,7 @@ bool decrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
             cipher.decrypt_block(Des::load_be64(&ciphertext[off])) ^ iv;
         Des::store_be64(pt, &out[off]);
       }
-      return pkcs7_unpad_in_place(out);
+      return detail::pkcs7_unpad_in_place(out);
     }
     case CipherMode::kCbc: {
       if (ciphertext.empty() || ciphertext.size() % kBlock != 0) return false;
@@ -105,7 +90,7 @@ bool decrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
         Des::store_be64(cipher.decrypt_block(ct) ^ chain, &out[off]);
         chain = ct;
       }
-      return pkcs7_unpad_in_place(out);
+      return detail::pkcs7_unpad_in_place(out);
     }
     case CipherMode::kCfb:
     case CipherMode::kOfb:
@@ -116,19 +101,13 @@ bool decrypt_into(const Des& cipher, CipherMode mode, std::uint64_t iv,
   return false;
 }
 
-util::Bytes encrypt(const Des& cipher, CipherMode mode, std::uint64_t iv,
-                    util::BytesView plaintext) {
-  util::Bytes out;
-  encrypt_into(cipher, mode, iv, plaintext, out);
-  return out;
-}
-
-std::optional<util::Bytes> decrypt(const Des& cipher, CipherMode mode,
-                                   std::uint64_t iv,
-                                   util::BytesView ciphertext) {
-  util::Bytes out;
-  if (!decrypt_into(cipher, mode, iv, ciphertext, out)) return std::nullopt;
-  return out;
-}
+template void encrypt_into<Des>(const Des&, CipherMode, std::uint64_t,
+                                util::BytesView, util::Bytes&);
+template bool decrypt_into<Des>(const Des&, CipherMode, std::uint64_t,
+                                util::BytesView, util::Bytes&);
+template void encrypt_into<Des3>(const Des3&, CipherMode, std::uint64_t,
+                                 util::BytesView, util::Bytes&);
+template bool decrypt_into<Des3>(const Des3&, CipherMode, std::uint64_t,
+                                 util::BytesView, util::Bytes&);
 
 }  // namespace fbs::crypto

@@ -1,0 +1,24 @@
+#include "crypto/des3.hpp"
+
+namespace fbs::crypto {
+
+Des3::Des3(util::BytesView key)
+    : k1_(key.subspan(0, 8)), k2_(key.subspan(8, 8)), k3_(key.subspan(16, 8)) {}
+
+std::uint64_t Des3::encrypt_block(std::uint64_t block) const {
+  return k3_.encrypt_block(k2_.decrypt_block(k1_.encrypt_block(block)));
+}
+
+std::uint64_t Des3::decrypt_block(std::uint64_t block) const {
+  return k1_.decrypt_block(k2_.encrypt_block(k3_.decrypt_block(block)));
+}
+
+void Des3::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  Des::store_be64(encrypt_block(Des::load_be64(in)), out);
+}
+
+void Des3::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  Des::store_be64(decrypt_block(Des::load_be64(in)), out);
+}
+
+}  // namespace fbs::crypto

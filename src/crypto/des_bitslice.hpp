@@ -1,0 +1,97 @@
+// Bitsliced DES: kLanes independent blocks per pass (Biham's orthogonal
+// representation). Each 64-block group's 64x64 bit matrix of
+// [lane][block bit] is transposed so that position j holds bit j of all
+// lanes; the permutations (IP, FP, E, P, PC-2 wiring) then cost nothing --
+// they are index relabelings -- and each S-box evaluates as a boolean gate
+// network over six lane-vector inputs, computing all lanes at once. The
+// gate network's word is kWords x 64 bits wide (a GCC/Clang vector type in
+// the implementation), so one evaluation covers kLanes = kWords * 64
+// blocks: the same boolean circuit, issued as SIMD ops where the target
+// has them and synthesized from scalar ops where it does not.
+//
+// The gate networks are NOT hand-copied from the literature: they are
+// derived at compile time from the FIPS kSbox tables in des_tables.hpp by
+// a template-recursive positive-Davio decomposition (see des_bitslice.cpp),
+// so this implementation shares only the standard's constants with the
+// scalar cores and is differentially tested against DesReference.
+//
+// Key handling supports mixed keys across lanes: the compact per-key form
+// (DesBitsliceKeySchedule, 16 x 48-bit round keys -- what FlowCryptoContext
+// caches per flow) expands into the engine's 16x48 lane-mask vectors either
+// all at once (broadcast or per-lane transpose, cheap) or one lane at a
+// time (the batch scheduler's job-boundary rekey).
+//
+// CBC interaction: decryption is block-parallel even within one datagram
+// (the chain input is ciphertext, all of it in hand), so a decrypt batch
+// can split a single datagram across lanes. Encryption chains serially per
+// datagram, so a seal batch assigns one datagram per lane. Both schedules
+// live in crypto/batch.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fbs::crypto {
+
+/// Compact per-key schedule: the 16 48-bit FIPS round keys, bit 47 = the
+/// standard's round-key bit 1. 128 bytes -- cheap enough to cache per flow
+/// next to the scalar Des object.
+struct DesBitsliceKeySchedule {
+  std::array<std::uint64_t, 16> subkeys{};
+
+  /// From an 8-byte DES key (parity bits ignored, as in Des).
+  static DesBitsliceKeySchedule from_key(util::BytesView key);
+  static DesBitsliceKeySchedule from_key64(std::uint64_t k64);
+
+  bool operator==(const DesBitsliceKeySchedule&) const = default;
+};
+
+class DesBitslice {
+ public:
+  /// Lanes per 64x64 transpose tile (one machine word of one group).
+  static constexpr std::size_t kGroupLanes = 64;
+  /// 64-lane groups evaluated together per gate-network pass.
+  static constexpr std::size_t kWords = 4;
+  static constexpr std::size_t kLanes = kWords * kGroupLanes;
+
+  /// All lanes share one key (~16x48 stores; the single-flow fast path).
+  void set_all_lanes(const DesBitsliceKeySchedule& ks);
+
+  /// Mixed keys, bulk: lane i takes lanes[i] (must all be non-null). Done
+  /// with one 64x64 transpose per round per group -- a fraction of a
+  /// cipher pass, so a fresh mixed-key batch amortizes after the first.
+  void set_lanes(const std::array<const DesBitsliceKeySchedule*, kLanes>& l);
+
+  /// Rekey a single lane in place (the batch scheduler's incremental
+  /// update when a lane's cursor crosses a job boundary).
+  void set_lane(std::size_t lane, const DesBitsliceKeySchedule& ks);
+
+  /// Encrypt/decrypt kLanes blocks in place, one per lane; blocks[i] is
+  /// lane i's block as loaded by Des::load_be64. Lanes with no real work
+  /// may carry anything -- every lane is computed regardless.
+  void encrypt(std::uint64_t blocks[kLanes]) const {
+    crypt(blocks, /*decrypt=*/false);
+  }
+  void decrypt(std::uint64_t blocks[kLanes]) const {
+    crypt(blocks, /*decrypt=*/true);
+  }
+
+  /// In-place 64x64 bit-matrix transpose, bit (63-c) of m[r] <-> bit
+  /// (63-r) of m[c]. Exposed for tests and the key-schedule expansion;
+  /// crypt applies it per 64-lane group.
+  static void transpose64(std::uint64_t m[kGroupLanes]);
+
+ private:
+  void crypt(std::uint64_t blocks[kLanes], bool decrypt) const;
+
+  /// ks_[round][t * kWords + w]: lane-mask word for round-key bit t+1
+  /// (FIPS numbering), group w -- lane (w * 64 + i)'s key bit lives at
+  /// word bit 63-i, matching the transposed data layout. Stored as plain
+  /// uint64_t so the header stays free of vector-extension types; the
+  /// implementation reads each kWords run as one wide word.
+  alignas(64) std::array<std::array<std::uint64_t, 48 * kWords>, 16> ks_{};
+};
+
+}  // namespace fbs::crypto

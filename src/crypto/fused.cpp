@@ -1,5 +1,8 @@
 #include "crypto/fused.hpp"
 
+#include <algorithm>
+
+#include "crypto/block_modes.hpp"
 #include "crypto/md5.hpp"
 
 namespace fbs::crypto {
@@ -103,6 +106,58 @@ bool fused_open_into(const Des& des, std::uint64_t iv, MacContext& mac,
     mac.update({body.data() + last_off, body.size() - last_off});
   mac.finish_into(mac_out);
   return true;
+}
+
+void fused_seal_batch(CryptoBatch& batch, std::span<FusedSealJob> jobs) {
+  constexpr std::size_t kMax = CryptoBatch::kLanes;
+  CbcSealJob wide[kMax];
+  for (std::size_t off = 0; off < jobs.size(); off += kMax) {
+    const std::size_t n = std::min(kMax, jobs.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      FusedSealJob& j = jobs[off + i];
+      // The MAC covers the plaintext, so it needs no decrypt output and can
+      // run now, per datagram, while the cipher leg goes wide below.
+      j.mac->begin();
+      j.mac->update(j.mac_prefix);
+      j.mac->update(j.body);
+      j.mac->finish_into(j.mac_out);
+      j.ciphertext->resize(CryptoBatch::padded_size(j.body.size()));
+      wide[i] = CbcSealJob{j.des, j.schedule, j.iv, j.body,
+                           j.ciphertext->data()};
+    }
+    batch.seal_cbc({wide, n});
+  }
+}
+
+void fused_open_batch(CryptoBatch& batch, std::span<FusedOpenJob> jobs) {
+  constexpr std::size_t kMax = CryptoBatch::kLanes;
+  CbcOpenJob wide[kMax];
+  FusedOpenJob* live[kMax];
+  for (std::size_t off = 0; off < jobs.size(); off += kMax) {
+    const std::size_t n = std::min(kMax, jobs.size() - off);
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      FusedOpenJob& j = jobs[off + i];
+      j.ok = false;
+      if (j.ciphertext.empty() ||
+          j.ciphertext.size() % Des::kBlockSize != 0)
+        continue;
+      j.body->resize(j.ciphertext.size());
+      wide[m] = CbcOpenJob{j.des, j.schedule, j.iv, j.ciphertext,
+                           j.body->data()};
+      live[m++] = &j;
+    }
+    if (m > 0) batch.open_cbc({wide, m});
+    for (std::size_t k = 0; k < m; ++k) {
+      FusedOpenJob& j = *live[k];
+      if (!detail::pkcs7_unpad_in_place(*j.body)) continue;
+      j.mac->begin();
+      j.mac->update(j.mac_prefix);
+      j.mac->update(*j.body);
+      j.mac->finish_into(j.mac_out);
+      j.ok = true;
+    }
+  }
 }
 
 }  // namespace fbs::crypto

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "crypto/batch.hpp"
 #include "crypto/des.hpp"
 #include "crypto/mac.hpp"
 #include "util/bytes.hpp"
@@ -48,5 +50,45 @@ void fused_seal_into(const Des& des, std::uint64_t iv, MacContext& mac,
 bool fused_open_into(const Des& des, std::uint64_t iv, MacContext& mac,
                      util::BytesView mac_prefix, util::BytesView ciphertext,
                      std::uint8_t* mac_out, util::Bytes& body);
+
+/// One datagram of a batch seal: the inputs of fused_seal_into plus the
+/// bitslice schedule matching `des`. Jobs may carry different keys.
+struct FusedSealJob {
+  const Des* des = nullptr;
+  const DesBitsliceKeySchedule* schedule = nullptr;
+  std::uint64_t iv = 0;
+  MacContext* mac = nullptr;
+  util::BytesView mac_prefix;
+  util::BytesView body;
+  std::uint8_t* mac_out = nullptr;   // receives mac->mac_size() bytes
+  util::Bytes* ciphertext = nullptr; // resized to padded_size(body.size())
+};
+
+/// One datagram of a batch open. `ok` reports what fused_open_into returns:
+/// false on malformed ciphertext length or bad PKCS#7 padding, in which
+/// case `body` and `mac_out` are unspecified.
+struct FusedOpenJob {
+  const Des* des = nullptr;
+  const DesBitsliceKeySchedule* schedule = nullptr;
+  std::uint64_t iv = 0;
+  MacContext* mac = nullptr;
+  util::BytesView mac_prefix;
+  util::BytesView ciphertext;
+  std::uint8_t* mac_out = nullptr;
+  util::Bytes* body = nullptr;
+  bool ok = false;
+};
+
+/// Batch-aware forms of fused_seal_into/fused_open_into: the DES-CBC leg of
+/// every job runs through the 64-wide bitsliced batch engine (cross-job for
+/// open, job-per-lane for seal; `batch` decides scalar fallback for small
+/// bursts), while each MAC stays per-datagram. Outputs are bit-identical,
+/// job by job, to calling the _into forms in sequence -- the "fused" single
+/// pass is traded for lane parallelism, which wins whenever the burst is
+/// wide or the bodies are long. Any number of jobs; chunks of up to
+/// CryptoBatch::kLanes are scheduled together. Allocation-free beyond the
+/// callers' output buffers.
+void fused_seal_batch(CryptoBatch& batch, std::span<FusedSealJob> jobs);
+void fused_open_batch(CryptoBatch& batch, std::span<FusedOpenJob> jobs);
 
 }  // namespace fbs::crypto

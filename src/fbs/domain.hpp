@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "crypto/algorithms.hpp"
+#include "crypto/batch.hpp"
 #include "crypto/md5.hpp"
 #include "fbs/caches.hpp"
 #include "fbs/fam.hpp"
@@ -77,6 +78,13 @@ struct FbsConfig {
   std::uint64_t rekey_after_datagrams = 0;
   std::uint64_t rekey_after_bytes = 0;
   util::TimeUs rekey_after_age = 0;
+
+  /// Route eligible DES-CBC decryption through the 64-wide bitsliced batch
+  /// engine: worker bursts are decrypted cross-datagram before per-datagram
+  /// MAC verification, and single datagrams above the planner's threshold
+  /// split their own blocks across lanes. false forces the scalar
+  /// table-driven core everywhere (the fig8 "DES+MD5 scalar" curve).
+  bool bitslice_crypto = true;
 
   /// Record per-stage latencies on the datagram path. Off by default: the
   /// steady_clock reads would perturb the per-packet CPU measurements of
@@ -169,6 +177,10 @@ class WorkContext {
   util::Bytes key;         // TFKC/RFKC cache key staging
   util::Bytes body;        // ciphertext staging on send
   crypto::Md5 kdf_hash;    // H of Section 5.2 (need not equal the MAC hash)
+  /// The 64-wide bitsliced DES engine plus its batch planner. Per worker,
+  /// not per domain: the lane registers are scratch, and keeping them with
+  /// the calling thread lets every worker run wide passes concurrently.
+  crypto::CryptoBatch batch;
 };
 
 /// One row of the merged FST+TFKC (Section 7.2).

@@ -309,10 +309,12 @@ bool FbsEndpoint::protect_into(WorkContext& ctx, const Datagram& d,
     }
     if (header.secret) {
       auto cipher_timer = dom.tracer.start(obs::Stage::kSendCipher);
-      crypto::encrypt_into(*fctx->des,
-                           *crypto::cipher_mode(config_.suite.cipher),
-                           confounder_iv(header.confounder), d.body,
-                           ctx.body);
+      const auto mode = *crypto::cipher_mode(config_.suite.cipher);
+      const std::uint64_t iv = confounder_iv(header.confounder);
+      if (fctx->des3)
+        crypto::encrypt_into(*fctx->des3, mode, iv, d.body, ctx.body);
+      else
+        crypto::encrypt_into(*fctx->des, mode, iv, d.body, ctx.body);
       body = ctx.body;
       ++dom.send_stats.encrypted;
     } else {
@@ -374,6 +376,123 @@ ReceiveError FbsEndpoint::reject(FlowDomain& dom, ReceiveError e) {
   return e;
 }
 
+ReceiveIntoOutcome FbsEndpoint::unprotect_item_locked(
+    FlowDomain& dom, WorkContext& ctx, const Principal& source,
+    const FbsHeaderView& header, util::Bytes& body_out) {
+  // The header's algorithm field is attacker-controlled, and the NOP suite's
+  // "MAC" is a public constant: honoring a wire-chosen kNull suite would let
+  // anyone forge datagrams carrying sixteen zero bytes as the tag. Only an
+  // endpoint explicitly configured for NOP measurement runs may accept it.
+  if (header.suite.mac == crypto::MacAlgorithm::kNull &&
+      config_.suite.mac != crypto::MacAlgorithm::kNull)
+    return reject(dom, ReceiveError::kMalformed);
+
+  // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
+  // The check is read-only; the seen-MAC cache is only committed to after
+  // the MAC verifies, so a forged body cannot poison it (see replay.hpp).
+  auto fresh_timer = dom.tracer.start(obs::Stage::kRecvFreshness);
+  const auto verdict =
+      dom.freshness.check(header.timestamp_minutes, header.mac);
+  fresh_timer.finish();
+  switch (verdict) {
+    case FreshnessChecker::Verdict::kFresh:
+      break;
+    case FreshnessChecker::Verdict::kStale:
+      return reject(dom, ReceiveError::kStale);
+    case FreshnessChecker::Verdict::kReplay:
+      return reject(dom, ReceiveError::kReplay);
+  }
+
+  // (R5-6) recover the flow's crypto context from the sfl (RFKC-cached:
+  // a hit returns the ready DES schedule and keyed MAC state).
+  auto key_timer = dom.tracer.start(obs::Stage::kRecvKey);
+  FlowCryptoContext* fctx =
+      incoming_flow_context(dom, ctx, source, header.sfl, header.suite);
+  key_timer.finish();
+  if (!fctx) return reject(dom, ReceiveError::kUnknownPeer);
+
+  std::uint8_t prefix[kMacPrefixSize];
+  mac_prefix_into(header.flags_byte(), header.suite_byte(),
+                  header.confounder, header.timestamp_minutes, prefix);
+  std::uint8_t mac_buf[kMaxMacSize];
+  const std::size_t mac_n = fctx->mac->mac_size();
+
+  // (R10-11 first for secret datagrams -- see the header-comment deviation
+  // note): recover the plaintext the MAC was computed over, computing the
+  // expected MAC in the same pass where the suite allows it.
+  if (header.secret) {
+    const auto mode = crypto::cipher_mode(header.suite.cipher);
+    if (!mode || (!fctx->des && !fctx->des3))
+      return reject(dom, ReceiveError::kMalformed);
+    const std::uint64_t iv = confounder_iv(header.confounder);
+    if (fctx->des && fctx->bitslice && config_.bitslice_crypto &&
+        header.suite.cipher == crypto::CipherAlgorithm::kDesCbc &&
+        !header.body.empty() &&
+        header.body.size() % crypto::Des::kBlockSize == 0 &&
+        header.body.size() / crypto::Des::kBlockSize >=
+            crypto::CryptoBatch::kScalarThresholdBlocks) {
+      // Single-datagram bitslice path: CBC decrypt is block-parallel, so a
+      // large body splits its own blocks across the 64 lanes (a 1408-byte
+      // body is 176 blocks -- nearly three full passes).
+      auto batch_timer = dom.tracer.start(obs::Stage::kRecvBatchCrypto);
+      body_out.resize(header.body.size());
+      const crypto::CbcOpenJob job{&*fctx->des, &*fctx->bitslice, iv,
+                                   header.body, body_out.data()};
+      ctx.batch.open_cbc({&job, 1});
+      batch_timer.finish();
+      if (!crypto::detail::pkcs7_unpad_in_place(body_out))
+        return reject(dom, ReceiveError::kDecryptFailed);
+      auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
+      fctx->mac->begin();
+      fctx->mac->update({prefix, kMacPrefixSize});
+      fctx->mac->update(body_out);
+      fctx->mac->finish_into(mac_buf);
+    } else if (header.suite.mac == crypto::MacAlgorithm::kKeyedMd5 &&
+               header.suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
+      auto fused_timer = dom.tracer.start(obs::Stage::kRecvFused);
+      const bool ok = crypto::fused_open_into(
+          *fctx->des, iv, *fctx->mac, {prefix, kMacPrefixSize}, header.body,
+          mac_buf, body_out);
+      fused_timer.finish();
+      if (!ok) return reject(dom, ReceiveError::kDecryptFailed);
+    } else {
+      auto cipher_timer = dom.tracer.start(obs::Stage::kRecvCipher);
+      const bool ok =
+          fctx->des3 ? crypto::decrypt_into(*fctx->des3, *mode, iv,
+                                            header.body, body_out)
+                     : crypto::decrypt_into(*fctx->des, *mode, iv,
+                                            header.body, body_out);
+      cipher_timer.finish();
+      if (!ok) return reject(dom, ReceiveError::kDecryptFailed);
+      auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
+      fctx->mac->begin();
+      fctx->mac->update({prefix, kMacPrefixSize});
+      fctx->mac->update(body_out);
+      fctx->mac->finish_into(mac_buf);
+    }
+  } else {
+    body_out.assign(header.body.begin(), header.body.end());
+    auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
+    fctx->mac->begin();
+    fctx->mac->update({prefix, kMacPrefixSize});
+    fctx->mac->update(body_out);
+    fctx->mac->finish_into(mac_buf);
+  }
+
+  // (R7-9) the MAC covers flags | suite | confounder | timestamp | plaintext
+  // body: every header bit is either authenticated here or validated by
+  // parse (version, reserved flags) or by key selection (sfl).
+  if (!util::ct_equal({mac_buf, mac_n}, header.mac))
+    return reject(dom, ReceiveError::kBadMac);
+
+  // Only a verified datagram may enter the strict-replay seen-set. Still
+  // inside this flow's critical section: check+commit is atomic per shard.
+  dom.freshness.commit(header.timestamp_minutes, header.mac);
+
+  ++dom.receive_stats.accepted;
+  return ReceivedInfo{header.sfl, header.secret, header.suite};
+}
+
 ReceiveIntoOutcome FbsEndpoint::unprotect_into(WorkContext& ctx,
                                                const Principal& source,
                                                util::BytesView wire,
@@ -397,100 +516,200 @@ ReceiveIntoOutcome FbsEndpoint::unprotect_into(WorkContext& ctx,
   FlowDomain& dom =
       *domains_[recv_shard_of(source, header ? header->sfl : 0)];
   // From here to accept/reject: one critical section per datagram. In
-  // particular the freshness check and the post-verification commit below
+  // particular the freshness check and the post-verification commit
   // execute atomically with respect to any other datagram of this flow, so
   // a duplicate racing in from another worker cannot slip between them.
   std::lock_guard<std::mutex> lock(dom.mu);
   if (tracing) dom.tracer.record(obs::Stage::kRecvParse, parse_ns);
   if (!header) return reject(dom, ReceiveError::kMalformed);
+  return unprotect_item_locked(dom, ctx, source, *header, body_out);
+}
 
-  // The header's algorithm field is attacker-controlled, and the NOP suite's
-  // "MAC" is a public constant: honoring a wire-chosen kNull suite would let
-  // anyone forge datagrams carrying sixteen zero bytes as the tag. Only an
-  // endpoint explicitly configured for NOP measurement runs may accept it.
-  if (header->suite.mac == crypto::MacAlgorithm::kNull &&
-      config_.suite.mac != crypto::MacAlgorithm::kNull)
-    return reject(dom, ReceiveError::kMalformed);
+// Burst chunk size: deliberately NOT tied to CryptoBatch::kLanes. The chunk
+// bounds a family of stack arrays below (the FlowCryptoContext snapshots
+// alone are ~1 KiB each), so it must stay modest even when the bitslice
+// engine widens; 64 datagrams of a few blocks each already fill the wide
+// passes, since CBC decrypt splits datagrams across lanes.
+constexpr std::size_t kBurstChunk = 64;
 
-  // (R3-4) freshness before any cryptography: stale datagrams cost nothing.
-  // The check is read-only; the seen-MAC cache is only committed to after
-  // the MAC verifies, so a forged body cannot poison it (see replay.hpp).
-  auto fresh_timer = dom.tracer.start(obs::Stage::kRecvFreshness);
-  const auto verdict =
-      dom.freshness.check(header->timestamp_minutes, header->mac);
-  fresh_timer.finish();
-  switch (verdict) {
-    case FreshnessChecker::Verdict::kFresh:
-      break;
-    case FreshnessChecker::Verdict::kStale:
-      return reject(dom, ReceiveError::kStale);
-    case FreshnessChecker::Verdict::kReplay:
-      return reject(dom, ReceiveError::kReplay);
+void FbsEndpoint::unprotect_burst_into(WorkContext& ctx,
+                                       std::span<ReceiveBurstItem> items) {
+  constexpr std::size_t kMax = kBurstChunk;
+  for (std::size_t off = 0; off < items.size(); off += kMax)
+    unprotect_burst_chunk(
+        ctx, items.subspan(off, std::min(kMax, items.size() - off)));
+}
+
+void FbsEndpoint::unprotect_burst_chunk(WorkContext& ctx,
+                                        std::span<ReceiveBurstItem> items) {
+  constexpr std::size_t kMax = kBurstChunk;
+  const std::size_t n = items.size();
+  std::optional<FbsHeaderView> headers[kMax];
+  std::size_t shard[kMax];
+  bool grouped[kMax] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    headers[i] = FbsHeaderView::parse(items[i].wire);
+    shard[i] = recv_shard_of(*items[i].source,
+                             headers[i] ? headers[i]->sfl : 0);
   }
 
-  // (R5-6) recover the flow's crypto context from the sfl (RFKC-cached:
-  // a hit returns the ready DES schedule and keyed MAC state).
-  auto key_timer = dom.tracer.start(obs::Stage::kRecvKey);
-  FlowCryptoContext* fctx =
-      incoming_flow_context(dom, ctx, source, header->sfl, header->suite);
-  key_timer.finish();
-  if (!fctx) return reject(dom, ReceiveError::kUnknownPeer);
+  for (std::size_t first = 0; first < n; ++first) {
+    if (grouped[first]) continue;
+    FlowDomain& dom = *domains_[shard[first]];
+    // One critical section for the whole same-shard group (the pipeline
+    // feeds whole bursts from one shard's ring, so this is normally one
+    // lock per burst): freshness check ... batch decrypt ... MAC verify
+    // ... replay commit all execute atomically per shard, exactly as the
+    // per-item path does -- just amortized.
+    std::lock_guard<std::mutex> lock(dom.mu);
 
-  std::uint8_t prefix[kMacPrefixSize];
-  mac_prefix_into(header->flags_byte(), header->suite_byte(),
-                  header->confounder, header->timestamp_minutes, prefix);
-  std::uint8_t mac_buf[kMaxMacSize];
-  const std::size_t mac_n = fctx->mac->mac_size();
-
-  // (R10-11 first for secret datagrams -- see the header-comment deviation
-  // note): recover the plaintext the MAC was computed over, computing the
-  // expected MAC in the same pass where the suite allows it.
-  if (header->secret) {
-    const auto mode = crypto::cipher_mode(header->suite.cipher);
-    if (!mode || !fctx->des) return reject(dom, ReceiveError::kMalformed);
-    if (header->suite.mac == crypto::MacAlgorithm::kKeyedMd5 &&
-        header->suite.cipher == crypto::CipherAlgorithm::kDesCbc) {
-      auto fused_timer = dom.tracer.start(obs::Stage::kRecvFused);
-      const bool ok = crypto::fused_open_into(
-          *fctx->des, confounder_iv(header->confounder), *fctx->mac,
-          {prefix, kMacPrefixSize}, header->body, mac_buf, body_out);
-      fused_timer.finish();
-      if (!ok) return reject(dom, ReceiveError::kDecryptFailed);
-    } else {
-      auto cipher_timer = dom.tracer.start(obs::Stage::kRecvCipher);
-      const bool ok =
-          crypto::decrypt_into(*fctx->des, *mode,
-                               confounder_iv(header->confounder),
-                               header->body, body_out);
-      cipher_timer.finish();
-      if (!ok) return reject(dom, ReceiveError::kDecryptFailed);
-      auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
-      fctx->mac->begin();
-      fctx->mac->update({prefix, kMacPrefixSize});
-      fctx->mac->update(body_out);
-      fctx->mac->finish_into(mac_buf);
+    // Phase A, in submission order: header checks, freshness, flow-key
+    // resolution. Items the batch engine cannot serve (plaintext bodies,
+    // 3DES, stream modes, bad lengths, bitslice disabled) run the scalar
+    // path right here -- their context pointer is consumed before any later
+    // item's cache insert could evict it. Eligible items park only their
+    // index: the pointer is re-resolved in phase A2 once all inserts are
+    // done.
+    std::size_t pend[kMax];
+    std::size_t npend = 0;
+    for (std::size_t j = first; j < n; ++j) {
+      if (grouped[j] || shard[j] != shard[first]) continue;
+      grouped[j] = true;
+      ReceiveBurstItem& it = items[j];
+      if (!headers[j]) {
+        it.outcome = reject(dom, ReceiveError::kMalformed);
+        continue;
+      }
+      const FbsHeaderView& h = *headers[j];
+      const bool eligible =
+          config_.bitslice_crypto && h.secret &&
+          h.suite.cipher == crypto::CipherAlgorithm::kDesCbc &&
+          !h.body.empty() &&
+          h.body.size() % crypto::Des::kBlockSize == 0;
+      if (!eligible) {
+        it.outcome =
+            unprotect_item_locked(dom, ctx, *it.source, h, *it.body_out);
+        continue;
+      }
+      if (h.suite.mac == crypto::MacAlgorithm::kNull &&
+          config_.suite.mac != crypto::MacAlgorithm::kNull) {
+        it.outcome = reject(dom, ReceiveError::kMalformed);
+        continue;
+      }
+      auto fresh_timer = dom.tracer.start(obs::Stage::kRecvFreshness);
+      const auto verdict = dom.freshness.check(h.timestamp_minutes, h.mac);
+      fresh_timer.finish();
+      if (verdict == FreshnessChecker::Verdict::kStale) {
+        it.outcome = reject(dom, ReceiveError::kStale);
+        continue;
+      }
+      if (verdict == FreshnessChecker::Verdict::kReplay) {
+        it.outcome = reject(dom, ReceiveError::kReplay);
+        continue;
+      }
+      auto key_timer = dom.tracer.start(obs::Stage::kRecvKey);
+      FlowCryptoContext* fctx =
+          incoming_flow_context(dom, ctx, *it.source, h.sfl, h.suite);
+      key_timer.finish();
+      if (!fctx) {
+        it.outcome = reject(dom, ReceiveError::kUnknownPeer);
+        continue;
+      }
+      pend[npend++] = j;
     }
-  } else {
-    body_out.assign(header->body.begin(), header->body.end());
-    auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
-    fctx->mac->begin();
-    fctx->mac->update({prefix, kMacPrefixSize});
-    fctx->mac->update(body_out);
-    fctx->mac->finish_into(mac_buf);
+
+    // Phase A2: re-resolve each pending context with a peek -- no insert
+    // can evict from here on, so these pointers stay valid through the
+    // batch. An entry that a sibling flow's derive evicted mid-burst (set
+    // collision) is rebuilt into a local context instead of re-inserted.
+    std::optional<FlowCryptoContext> local[kMax];
+    crypto::CbcOpenJob jobs[kMax];
+    struct Live {
+      std::size_t item;
+      FlowCryptoContext* fctx;
+    };
+    Live live[kMax];
+    std::size_t njob = 0;
+    for (std::size_t k = 0; k < npend; ++k) {
+      const std::size_t j = pend[k];
+      ReceiveBurstItem& it = items[j];
+      const FbsHeaderView& h = *headers[j];
+      cache_key_into(h.sfl, *it.source, self_, ctx.key);
+      auto* fctx = const_cast<FlowCryptoContext*>(dom.rfkc.peek(ctx.key));
+      if (fctx) {
+        ensure_suite(*fctx, h.suite, suite_mac(h.suite.mac));
+      } else {
+        const auto master = keys_.master_key(*it.source);
+        if (!master) {
+          it.outcome = reject(dom, ReceiveError::kUnknownPeer);
+          continue;
+        }
+        util::Bytes key =
+            derive_flow_key(ctx.kdf_hash, h.sfl, *master, *it.source, self_);
+        local[j].emplace(make_flow_crypto_context(std::move(key), h.suite,
+                                                  suite_mac(h.suite.mac)));
+        fctx = &*local[j];
+      }
+      if (!fctx->des || !fctx->bitslice) {
+        it.outcome = reject(dom, ReceiveError::kMalformed);
+        continue;
+      }
+      it.body_out->resize(h.body.size());
+      jobs[njob] = crypto::CbcOpenJob{&*fctx->des, &*fctx->bitslice,
+                                      confounder_iv(h.confounder), h.body,
+                                      it.body_out->data()};
+      live[njob] = Live{j, fctx};
+      ++njob;
+    }
+
+    // Phase B: one cross-datagram bitsliced decrypt for the whole group,
+    // mixed flow keys included (per-lane key schedules).
+    if (njob > 0) {
+      auto batch_timer = dom.tracer.start(obs::Stage::kRecvBatchCrypto);
+      ctx.batch.open_cbc({jobs, njob});
+      batch_timer.finish();
+    }
+
+    // Phases C-D, in submission order: padding check, MAC over the
+    // recovered plaintext, constant-time compare, replay commit.
+    for (std::size_t k = 0; k < njob; ++k) {
+      const std::size_t j = live[k].item;
+      ReceiveBurstItem& it = items[j];
+      const FbsHeaderView& h = *headers[j];
+      FlowCryptoContext* fctx = live[k].fctx;
+      util::Bytes& body = *it.body_out;
+      if (!crypto::detail::pkcs7_unpad_in_place(body)) {
+        it.outcome = reject(dom, ReceiveError::kDecryptFailed);
+        continue;
+      }
+      std::uint8_t prefix[kMacPrefixSize];
+      mac_prefix_into(h.flags_byte(), h.suite_byte(), h.confounder,
+                      h.timestamp_minutes, prefix);
+      std::uint8_t mac_buf[kMaxMacSize];
+      const std::size_t mac_n = fctx->mac->mac_size();
+      {
+        auto mac_timer = dom.tracer.start(obs::Stage::kRecvMac);
+        fctx->mac->begin();
+        fctx->mac->update({prefix, kMacPrefixSize});
+        fctx->mac->update(body);
+        fctx->mac->finish_into(mac_buf);
+      }
+      if (!util::ct_equal({mac_buf, mac_n}, h.mac)) {
+        it.outcome = reject(dom, ReceiveError::kBadMac);
+        continue;
+      }
+      // Every item of this group passed check() before any committed; the
+      // non-counting probe catches the second copy of an intra-burst
+      // duplicate before it can double-commit.
+      if (dom.freshness.seen(h.timestamp_minutes, h.mac)) {
+        it.outcome = reject(dom, ReceiveError::kReplay);
+        continue;
+      }
+      dom.freshness.commit(h.timestamp_minutes, h.mac);
+      ++dom.receive_stats.accepted;
+      it.outcome = ReceivedInfo{h.sfl, h.secret, h.suite};
+    }
   }
-
-  // (R7-9) the MAC covers flags | suite | confounder | timestamp | plaintext
-  // body: every header bit is either authenticated here or validated by
-  // parse (version, reserved flags) or by key selection (sfl).
-  if (!util::ct_equal({mac_buf, mac_n}, header->mac))
-    return reject(dom, ReceiveError::kBadMac);
-
-  // Only a verified datagram may enter the strict-replay seen-set. Still
-  // inside this flow's critical section: check+commit is atomic per shard.
-  dom.freshness.commit(header->timestamp_minutes, header->mac);
-
-  ++dom.receive_stats.accepted;
-  return ReceivedInfo{header->sfl, header->secret, header->suite};
 }
 
 ReceiveIntoOutcome FbsEndpoint::unprotect_into(const Principal& source,

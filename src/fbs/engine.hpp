@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <variant>
 
 #include "crypto/algorithms.hpp"
@@ -43,6 +44,16 @@
 #include "util/rng.hpp"
 
 namespace fbs::core {
+
+/// One datagram of a receive burst (see FbsEndpoint::unprotect_burst_into).
+/// `source` and `body_out` are caller-owned and must outlive the call;
+/// `outcome` is written per item, exactly as unprotect_into would have.
+struct ReceiveBurstItem {
+  const Principal* source = nullptr;  // claimed sender of this wire
+  util::BytesView wire;               // FBSheader || body
+  util::Bytes* body_out = nullptr;    // receives the plaintext body
+  ReceiveIntoOutcome outcome = ReceiveError::kMalformed;
+};
 
 class FbsEndpoint {
  public:
@@ -89,6 +100,21 @@ class FbsEndpoint {
                                     util::BytesView wire,
                                     util::Bytes& body_out);
 
+  /// Burst FBSReceive: the batched counterpart of the re-entrant
+  /// unprotect_into, built for the pipeline workers' per-ring-visit bursts.
+  /// Items are grouped by owning shard and each group is processed under
+  /// ONE domain lock; within a group, every eligible ciphertext (secret
+  /// DES-CBC body of valid length, with config().bitslice_crypto set) is
+  /// decrypted by the 64-wide bitsliced batch engine in ctx.batch -- mixed
+  /// flow keys included -- before per-datagram MAC verification and the
+  /// replay commit. Ineligible items (plaintext, 3DES, stream modes, other
+  /// failures) take the scalar path inside the same critical section.
+  /// Outcome and plaintext land in each item. Observable results match
+  /// calling unprotect_into per item; only the grouping of lock
+  /// acquisitions and the cipher core differ.
+  void unprotect_burst_into(WorkContext& ctx,
+                            std::span<ReceiveBurstItem> items);
+
   /// Force the next datagram matching `attrs` onto a fresh flow (and hence
   /// a fresh key): rekeying "via the FAM by changing the sfl" (Section 5.2).
   void rekey(const FlowAttributes& attrs);
@@ -116,7 +142,8 @@ class FbsEndpoint {
   std::size_t max_wire_overhead() const {
     const bool pads =
         config_.suite.cipher == crypto::CipherAlgorithm::kDesCbc ||
-        config_.suite.cipher == crypto::CipherAlgorithm::kDesEcb;
+        config_.suite.cipher == crypto::CipherAlgorithm::kDesEcb ||
+        config_.suite.cipher == crypto::CipherAlgorithm::kDes3Ede;
     return header_overhead() + (pads ? crypto::Des::kBlockSize : 0);
   }
 
@@ -183,6 +210,17 @@ class FbsEndpoint {
   FlowCryptoContext* incoming_flow_context(FlowDomain& dom, WorkContext& ctx,
                                            const Principal& source, Sfl sfl,
                                            crypto::AlgorithmSuite suite);
+
+  /// The in-lock body of unprotect_into, from the post-parse header checks
+  /// through accept/reject. Caller holds dom.mu.
+  ReceiveIntoOutcome unprotect_item_locked(FlowDomain& dom, WorkContext& ctx,
+                                           const Principal& source,
+                                           const FbsHeaderView& header,
+                                           util::Bytes& body_out);
+  /// One ≤64-item slice of a burst (the batch engine's lane width bounds
+  /// the per-chunk stack state, not the lane assignment).
+  void unprotect_burst_chunk(WorkContext& ctx,
+                             std::span<ReceiveBurstItem> items);
   static void cache_key_into(Sfl sfl, const Principal& a, const Principal& b,
                              util::Bytes& out);
 

@@ -1,6 +1,9 @@
 #include "fbs/keying.hpp"
 
 #include <algorithm>
+#include <array>
+
+#include "crypto/md5.hpp"
 
 namespace fbs::core {
 
@@ -23,10 +26,26 @@ FlowCryptoContext make_flow_crypto_context(util::Bytes key,
   FlowCryptoContext ctx;
   ctx.key = std::move(key);
   ctx.suite = suite;
-  if (suite.cipher != crypto::CipherAlgorithm::kNone &&
-      ctx.key.size() >= crypto::Des::kKeySize)
-    ctx.des.emplace(
-        util::BytesView(ctx.key).subspan(0, crypto::Des::kKeySize));
+  if (suite.cipher == crypto::CipherAlgorithm::kDes3Ede &&
+      ctx.key.size() >= crypto::Des::kKeySize) {
+    // Stretch K_f to the 24-byte EDE key: K_f | MD5(K_f), truncated. The
+    // derivation is deterministic from K_f alone, so both ends agree
+    // without any extra negotiation.
+    std::array<std::uint8_t, crypto::Des3::kKeySize> k3{};
+    crypto::Md5 h;
+    h.update(ctx.key);
+    const util::Bytes ext = h.finish();
+    const std::size_t head = std::min(ctx.key.size(), k3.size());
+    std::copy_n(ctx.key.begin(), head, k3.begin());
+    for (std::size_t i = head; i < k3.size(); ++i) k3[i] = ext[i - head];
+    ctx.des3.emplace(util::BytesView(k3));
+  } else if (suite.cipher != crypto::CipherAlgorithm::kNone &&
+             ctx.key.size() >= crypto::Des::kKeySize) {
+    const auto des_key =
+        util::BytesView(ctx.key).subspan(0, crypto::Des::kKeySize);
+    ctx.des.emplace(des_key);
+    ctx.bitslice = crypto::DesBitsliceKeySchedule::from_key(des_key);
+  }
   ctx.mac = mac_alg.make_context(ctx.key);
   return ctx;
 }

@@ -28,6 +28,8 @@
 #include "cert/directory.hpp"
 #include "crypto/algorithms.hpp"
 #include "crypto/des.hpp"
+#include "crypto/des3.hpp"
+#include "crypto/des_bitslice.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/hash.hpp"
 #include "fbs/caches.hpp"
@@ -52,6 +54,14 @@ struct FlowCryptoContext {
   util::Bytes key;                  // K_f itself (kept for re-suiting)
   crypto::AlgorithmSuite suite{};   // what des/mac below were built for
   std::optional<crypto::Des> des;   // engaged unless the suite is cipherless
+  /// The same DES key expanded for the 64-wide bitsliced engine; derived
+  /// once per flow (one transpose of the subkeys) so the batch scheduler
+  /// can key lanes by pointer. Engaged exactly when `des` is and the suite
+  /// runs single DES (the bitslice core is single-algorithm).
+  std::optional<crypto::DesBitsliceKeySchedule> bitslice;
+  /// Engaged instead of `des` for the kDes3Ede suite: K_f (16 bytes) is
+  /// stretched to the 24-byte EDE key as K_f | MD5(K_f)[0..8).
+  std::optional<crypto::Des3> des3;
   std::unique_ptr<crypto::MacContext> mac;
 };
 

@@ -85,6 +85,9 @@ DatagramPipeline::DatagramPipeline(FbsEndpoint& endpoint,
     workers_[w]->index = w;
     workers_[w]->batch.reserve(config_.batch);
     workers_[w]->results.reserve(config_.batch);
+    workers_[w]->sources.resize(config_.batch);
+    workers_[w]->bodies.reserve(config_.batch);
+    workers_[w]->burst.reserve(config_.batch);
     for (std::size_t s = w; s < shards; s += workers)
       workers_[w]->shards.push_back(s);
   }
@@ -253,7 +256,7 @@ void DatagramPipeline::worker_loop(std::size_t w,
         wk.queued.fetch_sub(static_cast<std::int64_t>(n),
                             std::memory_order_relaxed);
         worked = true;
-        for (Item& item : wk.batch) process(wk, item);
+        process_burst(wk);
         flush_results(wk);
         if (stop.load(std::memory_order_relaxed)) {
           discard_residual_ingress(wk);
@@ -274,31 +277,48 @@ void DatagramPipeline::worker_loop(std::size_t w,
   }
 }
 
-void DatagramPipeline::process(Worker& wk, Item& item) {
+void DatagramPipeline::process_burst(Worker& wk) {
   const std::uint64_t t0 = thread_cpu_ns();
-  wk.source.assign_ipv4(item.header.source);
-  util::Bytes body = buffers_.acquire(wk.index);
-  const ReceiveIntoOutcome outcome =
-      endpoint_.unprotect_into(wk.ctx, wk.source, item.wire, body);
+  const std::size_t n = wk.batch.size();
+  wk.bodies.clear();
+  wk.burst.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    wk.sources[i].assign_ipv4(wk.batch[i].header.source);
+    wk.bodies.push_back(buffers_.acquire(wk.index));
+  }
+  // Descriptor pointers are taken only after every body is in place:
+  // bodies/burst are reserved to config.batch, so no push reallocates.
+  for (std::size_t i = 0; i < n; ++i) {
+    ReceiveBurstItem it;
+    it.source = &wk.sources[i];
+    it.wire = wk.batch[i].wire;
+    it.body_out = &wk.bodies[i];
+    wk.burst.push_back(it);
+  }
+  endpoint_.unprotect_burst_into(wk.ctx, {wk.burst.data(), n});
   wk.busy_ns.fetch_add(thread_cpu_ns() - t0, std::memory_order_relaxed);
 
-  if (const auto* err = std::get_if<ReceiveError>(&outcome)) {
-    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-    if (on_reject_) on_reject_(*err);
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    buffers_.release(wk.index, std::move(body));
+  for (std::size_t i = 0; i < n; ++i) {
+    Item& item = wk.batch[i];
+    util::Bytes& body = wk.bodies[i];
+    if (const auto* err = std::get_if<ReceiveError>(&wk.burst[i].outcome)) {
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      if (on_reject_) on_reject_(*err);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      buffers_.release(wk.index, std::move(body));
+      buffers_.release(wk.index, std::move(item.wire));
+      continue;
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    Result r;
+    r.header = item.header;
+    r.body = std::move(body);
+    wk.results.push_back(std::move(r));
+    // The drained wire buffer goes back to this worker's pool lane: steady
+    // state swaps one pooled body out for one consumed wire in, so the hot
+    // path never touches the global allocator or another core's cache.
     buffers_.release(wk.index, std::move(item.wire));
-    return;
   }
-  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
-  Result r;
-  r.header = item.header;
-  r.body = std::move(body);
-  wk.results.push_back(std::move(r));
-  // The drained wire buffer goes back to this worker's pool lane: steady
-  // state swaps one pooled body out for one consumed wire in, so the hot
-  // path never touches the global allocator or another core's cache.
-  buffers_.release(wk.index, std::move(item.wire));
 }
 
 void DatagramPipeline::flush_results(Worker& wk) {

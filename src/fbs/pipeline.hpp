@@ -7,8 +7,11 @@
 //        first, so each touched ring is locked once per burst.
 //   worker w drains the rings of shards s where s mod workers == w,
 //   popping up to config.batch items per ring visit
-//     -> FbsEndpoint::unprotect_into(ctx, ...) with w's own WorkContext and
-//        a body buffer from the worker's BufferPool lane
+//     -> FbsEndpoint::unprotect_burst_into(ctx, ...) with w's own
+//        WorkContext and body buffers from the worker's BufferPool lane:
+//        the whole popped burst enters the engine at once, so eligible
+//        DES-CBC ciphertexts are decrypted cross-datagram by the 64-wide
+//        bitsliced engine before per-datagram MAC verification
 //     -> accepted bodies go to the egress ring in one batched (blocking)
 //        push per burst -- work already paid for its cryptography;
 //        rejections are counted and reported
@@ -217,14 +220,19 @@ class DatagramPipeline {
     std::atomic<std::int64_t> queued{0};  // items across this worker's rings
     std::atomic<std::uint64_t> busy_ns{0};
     WorkContext ctx;
-    Principal source;             // rebuilt per item, storage reused
     std::vector<Item> batch;      // pop_batch staging
     std::vector<Result> results;  // egress staging, flushed per burst
     std::vector<std::size_t> shards;
+    /// Burst staging for unprotect_burst_into: per-item principals (storage
+    /// reused across bursts), the pool bodies the plaintexts land in, and
+    /// the engine's burst descriptors. Sized to config.batch once.
+    std::vector<Principal> sources;
+    std::vector<util::Bytes> bodies;
+    std::vector<ReceiveBurstItem> burst;
   };
 
   void worker_loop(std::size_t w, const std::atomic<bool>& stop);
-  void process(Worker& wk, Item& item);
+  void process_burst(Worker& wk);
   void flush_results(Worker& wk);
   void discard_residual_ingress(Worker& wk);
   void account_stranded(std::size_t shard);

@@ -31,6 +31,14 @@ FreshnessChecker::Verdict FreshnessChecker::check(
   return Verdict::kFresh;
 }
 
+bool FreshnessChecker::seen(std::uint32_t timestamp_minutes,
+                            util::BytesView mac) const {
+  if (!strict_replay_) return false;
+  const auto bucket = seen_.find(timestamp_minutes);
+  return bucket != seen_.end() &&
+         bucket->second.count(util::Bytes(mac.begin(), mac.end())) > 0;
+}
+
 void FreshnessChecker::commit(std::uint32_t timestamp_minutes,
                               util::BytesView mac) {
   if (!strict_replay_) return;

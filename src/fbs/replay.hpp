@@ -58,6 +58,14 @@ class FreshnessChecker {
   /// replay is enabled.
   void commit(std::uint32_t timestamp_minutes, util::BytesView mac);
 
+  /// Non-counting probe of the strict-replay seen-set alone. The burst
+  /// receive path needs it: every datagram of a burst passes check() before
+  /// any of them commits, so two copies of one wire inside a single locked
+  /// burst would otherwise both slip through. Always false when strict
+  /// replay is off (matching check(), which admits within-window duplicates
+  /// there by design).
+  bool seen(std::uint32_t timestamp_minutes, util::BytesView mac) const;
+
   /// Forget all recently seen MACs (crash/restart simulation). Degrades to
   /// the paper's window-only freshness check until the cache refills.
   void clear() { seen_.clear(); }

@@ -16,6 +16,7 @@ const char* to_string(Stage stage) {
     case Stage::kRecvCipher: return "recv.cipher";
     case Stage::kRecvMac: return "recv.mac";
     case Stage::kRecvFused: return "recv.fused";
+    case Stage::kRecvBatchCrypto: return "recv.batch_crypto";
   }
   return "unknown";
 }

@@ -30,8 +30,9 @@ enum class Stage {
   kRecvCipher,        // body decryption
   kRecvMac,           // MAC verification
   kRecvFused,         // fused decrypt+MAC pass (replaces kRecvCipher+kRecvMac)
+  kRecvBatchCrypto,   // cross-datagram bitsliced decrypt of a worker burst
 };
-inline constexpr std::size_t kStageCount = 12;
+inline constexpr std::size_t kStageCount = 13;
 
 const char* to_string(Stage stage);
 

@@ -17,7 +17,7 @@ TEST(Algorithms, EncodeDecodeRoundTripAllSuites) {
     for (auto cipher :
          {CipherAlgorithm::kNone, CipherAlgorithm::kDesCbc,
           CipherAlgorithm::kDesEcb, CipherAlgorithm::kDesCfb,
-          CipherAlgorithm::kDesOfb}) {
+          CipherAlgorithm::kDesOfb, CipherAlgorithm::kDes3Ede}) {
       const AlgorithmSuite suite{mac, cipher};
       const auto decoded = decode_suite(encode_suite(suite));
       ASSERT_TRUE(decoded.has_value());
@@ -30,6 +30,40 @@ TEST(Algorithms, DecodeRejectsUnknownValues) {
   EXPECT_FALSE(decode_suite(0x00).has_value());  // MAC 0 invalid
   EXPECT_FALSE(decode_suite(0xF1).has_value());  // MAC 15 invalid
   EXPECT_FALSE(decode_suite(0x1F).has_value());  // cipher 15 invalid
+}
+
+TEST(Algorithms, ExhaustiveWireByteSweep) {
+  // All 256 wire bytes: the decodable set is exactly {known MAC nibble} x
+  // {known cipher nibble}, every decode re-encodes to the same byte (no
+  // aliasing of unknown nibbles onto known suites), and every valid suite's
+  // MAC factory works. This is the suite-registry contract the fuzz corpus
+  // leans on: an attacker-controlled suite byte either round-trips exactly
+  // or is rejected.
+  for (unsigned wire = 0; wire < 256; ++wire) {
+    const auto byte = static_cast<std::uint8_t>(wire);
+    const unsigned mac_nibble = wire >> 4;
+    const unsigned cipher_nibble = wire & 0x0F;
+    const bool mac_known = mac_nibble >= 1 && mac_nibble <= 5;
+    const bool cipher_known = cipher_nibble <= 5;
+    const auto decoded = decode_suite(byte);
+    ASSERT_EQ(decoded.has_value(), mac_known && cipher_known)
+        << "wire byte 0x" << std::hex << wire;
+    if (!decoded) continue;
+    EXPECT_EQ(encode_suite(*decoded), byte) << "wire byte 0x" << std::hex
+                                            << wire;
+    EXPECT_EQ(static_cast<unsigned>(decoded->mac), mac_nibble);
+    EXPECT_EQ(static_cast<unsigned>(decoded->cipher), cipher_nibble);
+    EXPECT_NE(make_mac(decoded->mac), nullptr);
+  }
+}
+
+TEST(Algorithms, Des3EdeRegistryEntries) {
+  EXPECT_EQ(*cipher_mode(CipherAlgorithm::kDes3Ede), CipherMode::kCbc);
+  const AlgorithmSuite suite{MacAlgorithm::kKeyedMd5,
+                             CipherAlgorithm::kDes3Ede};
+  const auto decoded = decode_suite(encode_suite(suite));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, suite);
 }
 
 TEST(Algorithms, MacFactoryProducesWorkingMacs) {

@@ -1,0 +1,181 @@
+#include "crypto/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/block_modes.hpp"
+#include "crypto/des.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::crypto {
+namespace {
+
+struct Flow {
+  util::Bytes key;
+  Des des;
+  DesBitsliceKeySchedule schedule;
+
+  explicit Flow(util::Bytes k)
+      : key(std::move(k)),
+        des(key),
+        schedule(DesBitsliceKeySchedule::from_key(key)) {}
+};
+
+/// Build a burst of bodies with the given sizes, CBC-encrypt each with the
+/// scalar reference path, then check the batch planner both directions.
+void check_burst(std::uint64_t seed, const std::vector<std::size_t>& sizes,
+                 std::size_t flows) {
+  util::SplitMix64 rng(seed);
+  std::vector<Flow> flow_set;
+  flow_set.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) flow_set.emplace_back(rng.next_bytes(8));
+
+  std::vector<util::Bytes> bodies;
+  std::vector<util::Bytes> ciphertexts;
+  std::vector<std::uint64_t> ivs;
+  std::vector<std::size_t> owner;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    bodies.push_back(rng.next_bytes(sizes[i]));
+    ivs.push_back(rng.next_u64());
+    owner.push_back(i % flows);
+    const Flow& f = flow_set[owner.back()];
+    ciphertexts.push_back(encrypt(f.des, CipherMode::kCbc, ivs[i], bodies[i]));
+  }
+
+  // open: batch-decrypt the scalar ciphertexts, expect padded plaintexts.
+  CryptoBatch batch;
+  std::vector<util::Bytes> opened(sizes.size());
+  std::vector<CbcOpenJob> open_jobs;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Flow& f = flow_set[owner[i]];
+    opened[i].resize(ciphertexts[i].size());
+    open_jobs.push_back(CbcOpenJob{&f.des, &f.schedule, ivs[i],
+                                   ciphertexts[i], opened[i].data()});
+  }
+  batch.open_cbc(open_jobs);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    // Padded plaintext: body followed by PKCS#7 pad bytes.
+    const std::size_t pad = opened[i].size() - bodies[i].size();
+    ASSERT_GE(pad, 1u);
+    ASSERT_LE(pad, 8u);
+    ASSERT_TRUE(std::equal(bodies[i].begin(), bodies[i].end(),
+                           opened[i].begin()))
+        << "job " << i;
+    for (std::size_t k = bodies[i].size(); k < opened[i].size(); ++k) {
+      ASSERT_EQ(opened[i][k], pad) << "job " << i << " pad byte " << k;
+    }
+  }
+
+  // seal: batch-encrypt the bodies, expect the scalar ciphertexts.
+  std::vector<util::Bytes> sealed(sizes.size());
+  std::vector<CbcSealJob> seal_jobs;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Flow& f = flow_set[owner[i]];
+    sealed[i].resize(CryptoBatch::padded_size(bodies[i].size()));
+    seal_jobs.push_back(CbcSealJob{&f.des, &f.schedule, ivs[i], bodies[i],
+                                   sealed[i].data()});
+  }
+  batch.seal_cbc(seal_jobs);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_EQ(sealed[i], ciphertexts[i]) << "job " << i;
+  }
+}
+
+TEST(CryptoBatch, SingleLargeDatagramSingleFlow) {
+  // One 1408B datagram: decrypt splits its 177 blocks across lanes.
+  check_burst(1, {1408}, 1);
+}
+
+TEST(CryptoBatch, BurstOfEqualDatagramsOneFlow) {
+  check_burst(2, std::vector<std::size_t>(32, 512), 1);
+}
+
+TEST(CryptoBatch, BurstMixedSizesMixedFlows) {
+  check_burst(3, {0, 1, 7, 8, 9, 63, 64, 65, 512, 1408, 100, 333, 24, 8000},
+              5);
+}
+
+TEST(CryptoBatch, EveryJobDistinctFlow) {
+  std::vector<std::size_t> sizes(64, 96);
+  check_burst(4, sizes, 64);
+}
+
+TEST(CryptoBatch, MoreJobsThanLanes) {
+  check_burst(5, std::vector<std::size_t>(150, 40), 9);
+}
+
+TEST(CryptoBatch, SubThresholdBurstFallsBackToScalar) {
+  CryptoBatch probe;
+  // 2 jobs x 2 blocks = 4 blocks < threshold: scalar path, still correct.
+  check_burst(6, {10, 12}, 2);
+  // Verify the routing decision itself on a fresh batch.
+  util::SplitMix64 rng(7);
+  Flow f(rng.next_bytes(8));
+  util::Bytes body = rng.next_bytes(10);
+  util::Bytes ct = encrypt(f.des, CipherMode::kCbc, 99, body);
+  util::Bytes out(ct.size());
+  const CbcOpenJob job{&f.des, &f.schedule, 99, ct, out.data()};
+  probe.open_cbc({&job, 1});
+  EXPECT_EQ(probe.stats().bitsliced_blocks, 0u);
+  EXPECT_EQ(probe.stats().scalar_blocks, 2u);
+}
+
+TEST(CryptoBatch, LargeBurstUsesBitsliceEngine) {
+  util::SplitMix64 rng(8);
+  Flow f(rng.next_bytes(8));
+  util::Bytes body = rng.next_bytes(1408);
+  util::Bytes ct = encrypt(f.des, CipherMode::kCbc, 1234, body);
+  util::Bytes out(ct.size());
+  CryptoBatch batch;
+  const CbcOpenJob job{&f.des, &f.schedule, 1234, ct, out.data()};
+  batch.open_cbc({&job, 1});
+  EXPECT_EQ(batch.stats().bitsliced_blocks, ct.size() / 8);
+  EXPECT_EQ(batch.stats().scalar_blocks, 0u);
+  // All blocks covered in ceil(blocks / kLanes) full-width passes.
+  EXPECT_EQ(batch.stats().passes,
+            (ct.size() / 8 + CryptoBatch::kLanes - 1) / CryptoBatch::kLanes);
+}
+
+TEST(CryptoBatch, MixedKeyBurstRekeysLanesAtJobBoundaries) {
+  util::SplitMix64 rng(9);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 4; ++i) flows.emplace_back(rng.next_bytes(8));
+  std::vector<util::Bytes> bodies;
+  std::vector<util::Bytes> cts;
+  std::vector<util::Bytes> outs;
+  std::vector<CbcOpenJob> jobs;
+  bodies.reserve(8);
+  cts.reserve(8);
+  outs.reserve(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Flow& f = flows[i % flows.size()];
+    bodies.push_back(rng.next_bytes(200));
+    cts.push_back(encrypt(f.des, CipherMode::kCbc, i, bodies.back()));
+    outs.emplace_back(cts.back().size());
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Flow& f = flows[i % flows.size()];
+    jobs.push_back(CbcOpenJob{&f.des, &f.schedule, i, cts[i], outs[i].data()});
+  }
+  CryptoBatch batch;
+  batch.open_cbc(jobs);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(std::equal(bodies[i].begin(), bodies[i].end(),
+                           outs[i].begin()))
+        << "job " << i;
+  }
+  // 8 jobs spread over kLanes lanes: at most 7 boundary crossings can rekey.
+  EXPECT_LE(batch.stats().lane_rekeys, 7u);
+}
+
+TEST(CryptoBatch, EmptyAndZeroBlockJobsAreSafe) {
+  CryptoBatch batch;
+  batch.open_cbc({});
+  batch.seal_cbc({});
+  EXPECT_EQ(batch.stats().passes, 0u);
+}
+
+}  // namespace
+}  // namespace fbs::crypto

@@ -8,9 +8,11 @@
 // whole-program property and must not be linked into the other suites.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "fbs/engine.hpp"
 #include "fbs/pipeline.hpp"
@@ -177,6 +179,70 @@ TEST(ZeroAlloc, PipelinedReceiveSteadyState) {
   }
   EXPECT_EQ(pipe.buffer_pool().stats().heap_fallbacks, 0u);
   EXPECT_EQ(pipe.in_flight(), 0u);
+}
+
+TEST(ZeroAlloc, PipelinedBurstReceiveSteadyState) {
+  // The cross-datagram bitslice path end to end: one shard, several flows,
+  // whole bursts submitted at once, so the worker's ring visit hands
+  // unprotect_burst_into a multi-lane group (mixed keys) that decrypts
+  // through the 64-wide engine. Steady state must stay allocation-free on
+  // every thread -- lane state, batch cursors, burst descriptors and the
+  // A2 context re-resolution all live in pre-sized or stack storage.
+  constexpr std::size_t kFlows = 8;
+  TestWorld world(4244);
+  auto& a = world.add_node("a", "10.0.0.1");
+  auto& b = world.add_node("b", "10.0.0.2");
+  FbsConfig cfg;
+  cfg.shards = 1;  // one shard => the burst is one locked group
+  FbsEndpoint alice(a.principal, cfg, *a.keys, world.clock, world.rng);
+  FbsEndpoint bob(b.principal, cfg, *b.keys, world.clock, world.rng);
+
+  PipelineConfig pc;
+  pc.workers = 1;
+  pc.batch = kFlows;
+  DatagramPipeline pipe(bob, pc);
+
+  std::array<Datagram, kFlows> datagrams;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    datagrams[f] = make_datagram(a.principal, b.principal, 1400);
+    datagrams[f].attrs.source_port = static_cast<std::uint16_t>(6000 + f);
+  }
+  net::Ipv4Header header;
+  header.protocol = 17;
+  header.source = a.principal.ipv4();
+  header.destination = b.principal.ipv4();
+
+  std::vector<util::Bytes> wires(kFlows);
+  std::vector<util::Bytes> returned;
+  returned.reserve(kFlows);
+  const DatagramPipeline::Sink sink = [&](const net::Ipv4Header&,
+                                          util::Bytes body) {
+    returned.push_back(std::move(body));
+  };
+
+  auto cycle = [&] {
+    for (std::size_t f = 0; f < kFlows; ++f)
+      ASSERT_TRUE(alice.protect_into(datagrams[f], /*secret=*/true,
+                                     wires[f]));
+    ASSERT_EQ(pipe.submit_batch(header, wires), kFlows);
+    pipe.drain_all(sink);
+    ASSERT_EQ(returned.size(), kFlows);
+    for (std::size_t f = 0; f < kFlows; ++f)
+      wires[f] = std::move(returned[f]);  // bodies become next wire staging
+    returned.clear();
+  };
+
+  for (int i = 0; i < 8; ++i) cycle();
+
+  for (int i = 0; i < 16; ++i) {
+    CountingScope scope;
+    cycle();
+    EXPECT_EQ(scope.news(), 0u)
+        << "pipelined burst receive allocated (iteration " << i << ")";
+  }
+  EXPECT_EQ(pipe.buffer_pool().stats().heap_fallbacks, 0u);
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  EXPECT_EQ(pipe.stats().accepted.load(), 24u * kFlows);
 }
 
 TEST(ZeroAlloc, CountersActuallyCount) {

@@ -72,13 +72,17 @@ with open(os.path.join(out_dir, "current.json"), "w") as f:
     json.dump(combined, f, indent=1)
 EOF
   echo "== compare against BENCH_seed.json =="
-  # Besides the relative diff, assert the parallel pipeline's absolute
-  # acceptance gates: crit speedup @4 workers and the hardware-aware wall
-  # gate (wall speedup @8 normalized by what this host's core count makes
-  # achievable; see bench_parallel_throughput.cpp).
+  # Besides the relative diff, assert the absolute acceptance gates: crit
+  # speedup @4 workers and the hardware-aware wall gate (wall speedup @8
+  # normalized by what this host's core count makes achievable; see
+  # bench_parallel_throughput.cpp), plus the bitsliced DES gate -- the
+  # 64-datagram mixed-key CBC decrypt burst must hold >= 3x the scalar
+  # core's throughput, measured adjacently in-process by bench_crypto
+  # (min over interleaved wall/CPU-clock reps; see emit_metrics there).
   python3 tools/bench_compare.py BENCH_seed.json "$OUT_DIR/current.json" --all \
     --require "fbs_bench_parallel_throughput:parallel.speedup4=3.0" \
-    --require "fbs_bench_parallel_throughput:parallel.wall_gate=1.0"
+    --require "fbs_bench_parallel_throughput:parallel.wall_gate=1.0" \
+    --require "fbs_bench_crypto:crypto.des_bitslice_speedup=3.0"
   echo "Bench smoke passed."
   exit 0
 fi
