@@ -1,0 +1,338 @@
+// Million-flow control plane under an internet-scale trace (ROADMAP item 2,
+// DESIGN.md 5i): the budgeted flat-hash + timer-wheel FAM policy sustaining
+// FBS_MEGAFLOW_FLOWS (default 1M) concurrent flows across 8 shards under a
+// fixed per-shard memory budget, with the fig11-14 analyses regenerated at
+// that scale.
+//
+// The bench feeds the streaming internet trace straight into the FAM
+// policies (flow association is the subject here; datagram crypto would
+// only obscure the control-plane costs). Phases:
+//   ramp   [0, threshold):        table fills toward the target
+//   steady [threshold, duration): heap growth must be ZERO (rehashes and
+//                                 slab growth asserted flat), with a flash
+//                                 crowd and a spoofed-source DDoS window
+//                                 exercising eviction pressure
+//
+// Gates (also emitted as gauges; FBS_MEGAFLOW_ASSERT=1 makes them fatal):
+//   megaflow.steady_state_gate  -- zero heap-fallback growth in steady state
+//   megaflow.expiry_gate        -- wheel sweeps cost O(expired): total
+//                                  touches at least 8x below what
+//                                  scan-the-table sweepers would have paid
+//   memory ceiling              -- resident bytes within the fixed budget
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fbs/megaflow.hpp"
+#include "obs/metrics.hpp"
+#include "support/metrics_io.hpp"
+#include "trace/internet.hpp"
+#include "util/rng.hpp"
+
+using namespace fbs;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name))
+    if (*v) return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  return fallback;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v && *v && *v != '0';
+}
+
+struct Shards {
+  std::vector<std::unique_ptr<core::MegaflowPolicy>> policies;
+
+  core::MegaflowPolicy& of(const core::FlowAttributes& tuple) {
+    return *policies[core::FlowAttrsHash{}(tuple) % policies.size()];
+  }
+  std::size_t live() const {
+    std::size_t n = 0;
+    for (const auto& p : policies) n += p->live_flows();
+    return n;
+  }
+  core::MegaflowStats total() const {
+    core::MegaflowStats t;
+    for (const auto& p : policies) {
+      const core::MegaflowStats* m = p->mega_stats();
+      t.budget_evictions += m->budget_evictions;
+      t.wheel_cascades += m->wheel_cascades;
+      t.wheel_fires += m->wheel_fires;
+      t.sweep_touched += m->sweep_touched;
+      t.map_rehashes += m->map_rehashes;
+      t.slab_grows += m->slab_grows;
+      t.live_flows += m->live_flows;
+      t.peak_live_flows += m->peak_live_flows;
+      if (m->map_load_factor > t.map_load_factor)
+        t.map_load_factor = m->map_load_factor;
+      t.resident_bytes += m->resident_bytes;
+    }
+    return t;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t target = env_size("FBS_MEGAFLOW_FLOWS", 1u << 20);
+  const bool hard_assert = env_flag("FBS_MEGAFLOW_ASSERT");
+  const std::size_t kShards = 8;
+  const util::TimeUs threshold = util::seconds(600);
+  // Shard budget: even split plus 15% headroom for flow-hash imbalance.
+  const std::size_t budget = target / kShards + target / kShards / 7 + 16;
+
+  trace::InternetWorkloadConfig wl;
+  wl.seed = 1997;
+  wl.duration = util::seconds(720);
+  // Arrival rate chosen so ~target distinct flows are inside THRESHOLD
+  // once the ramp completes (15% overshoot absorbs five-tuple repeats).
+  wl.flows_per_second =
+      static_cast<double>(target) / 600.0 * 1.15;
+  wl.clients = static_cast<std::uint32_t>(target);
+  wl.servers = static_cast<std::uint32_t>(target / 8 + 1);
+  wl.flash_start = util::seconds(620);
+  wl.flash_length = util::seconds(30);
+  wl.flash_multiplier = 3.0;
+  wl.ddos_start = util::seconds(660);
+  wl.ddos_length = util::seconds(30);
+  wl.ddos_flows_per_second = static_cast<double>(target) / 300.0;
+
+  std::printf(
+      "megaflow: target %zu concurrent flows, %zu shards x budget %zu, "
+      "THRESHOLD %llds\n",
+      target, kShards, budget,
+      static_cast<long long>(threshold / util::kMicrosPerSecond));
+
+  util::SplitMix64 rng(42);
+  core::SflAllocator sfls(rng);
+  Shards shards;
+  for (std::size_t i = 0; i < kShards; ++i)
+    shards.policies.push_back(std::make_unique<core::MegaflowPolicy>(
+        budget, threshold, sfls));
+
+  // fig13 at scale: the same stream through two more thresholds (single
+  // unsharded policies -- threshold response, not peak throughput).
+  const std::vector<util::TimeUs> alt_thresholds = {util::seconds(60),
+                                                    util::seconds(1800)};
+  std::vector<std::unique_ptr<core::MegaflowPolicy>> fig13;
+  for (util::TimeUs th : alt_thresholds)
+    fig13.push_back(std::make_unique<core::MegaflowPolicy>(
+        target + target / 4, th, sfls));
+
+  // fig14 at scale: five-tuple recurrence by 64-bit fingerprint.
+  util::FlatMap<std::uint64_t, std::uint32_t> tuple_seen;
+  tuple_seen.reserve(target * 2);
+  std::uint64_t flow_starts = 0, repeat_starts = 0;
+
+  // fig11 at scale: flow-key cache replay at three sizes over a bounded
+  // prefix (the classifier's bounded stack keeps this O(1) per packet, but
+  // 14M packets x 3 caches is still pointless past a few million).
+  const std::vector<std::size_t> fig11_sizes = {64, 512, 4096};
+  std::vector<core::SetAssociativeCache<char>> fig11_caches;
+  for (std::size_t s : fig11_sizes) fig11_caches.emplace_back(s);
+  const std::uint64_t fig11_packet_cap = 4u << 20;
+  util::Bytes fig11_key;
+
+  trace::InternetTraceGenerator gen(wl);
+  trace::PacketRecord pkt;
+  core::Datagram d;
+
+  const util::TimeUs sweep_period = util::seconds(10);
+  const util::TimeUs steady_at = threshold;  // table full past one THRESHOLD
+  util::TimeUs next_sweep = sweep_period;
+  std::uint64_t packets = 0, sweeps = 0, total_expired = 0;
+  std::size_t peak_live = 0;
+
+  // Steady-state baselines, captured when the ramp ends.
+  bool steady_started = false;
+  std::uint64_t steady_rehashes = 0, steady_slab_grows = 0;
+  std::size_t steady_resident = 0;
+
+  // fig12 at scale: live-flow time series, one sample per simulated minute.
+  std::printf("\n--- fig12 at scale: live flows vs time ---\n");
+  util::TimeUs next_sample = util::seconds(60);
+
+  while (gen.next(pkt)) {
+    ++packets;
+    while (pkt.time >= next_sweep) {
+      for (auto& p : shards.policies) total_expired += p->sweep(next_sweep);
+      for (auto& p : fig13) p->sweep(next_sweep);
+      ++sweeps;
+      next_sweep += sweep_period;
+    }
+    if (!steady_started && pkt.time >= steady_at) {
+      const core::MegaflowStats t = shards.total();
+      steady_rehashes = t.map_rehashes;
+      steady_slab_grows = t.slab_grows;
+      steady_resident = t.resident_bytes;
+      steady_started = true;
+    }
+    if (pkt.time >= next_sample) {
+      std::printf("  t=%4llds  live=%zu\n",
+                  static_cast<long long>(pkt.time / util::kMicrosPerSecond),
+                  shards.live());
+      next_sample += util::seconds(60);
+    }
+
+    d.attrs = pkt.tuple;
+    const core::MapResult r = shards.of(pkt.tuple).map(d, pkt.time);
+    for (auto& p : fig13) p->map(d, pkt.time);
+
+    if (r.new_flow) {
+      ++flow_starts;
+      const std::uint64_t fp = core::FlowAttrsHash{}(pkt.tuple);
+      auto [count, inserted] = tuple_seen.try_emplace(fp, 0);
+      if (!inserted) ++repeat_starts;
+      ++*count;
+    }
+    if (packets <= fig11_packet_cap) {
+      pkt.tuple.encode_into(fig11_key);
+      for (auto& c : fig11_caches)
+        if (!c.lookup(fig11_key)) c.insert(fig11_key, 1);
+    }
+    const std::size_t live = shards.live();
+    if (live > peak_live) peak_live = live;
+  }
+
+  const core::MegaflowStats t = shards.total();
+  const std::uint64_t steady_rehash_delta =
+      (t.map_rehashes - steady_rehashes) + (t.slab_grows - steady_slab_grows);
+  const bool steady_ok = steady_started && steady_rehash_delta == 0 &&
+                         t.resident_bytes == steady_resident;
+  // O(expired) gate: a scan-based sweeper pays budget slots per shard per
+  // sweep; the wheel must come in at least 8x under that.
+  const std::uint64_t scan_cost = sweeps * kShards * budget;
+  const bool expiry_ok = t.sweep_touched * 8 < scan_cost;
+  // Fixed ceiling: per-flow structural cost (slab entry + map slot + wheel
+  // node + free-list id) across the reserved budget, plus 25% slack for
+  // power-of-two map rounding.
+  const std::size_t ceiling =
+      kShards * budget * (sizeof(core::FlowStateEntry) + 48 + 24 + 4) * 2;
+  const bool memory_ok = t.resident_bytes <= ceiling;
+
+  std::printf("\n--- megaflow control plane ---\n");
+  std::printf("packets           %llu\n",
+              static_cast<unsigned long long>(packets));
+  std::printf("flow starts       %llu (%.1f%% repeated five-tuples, fig14)\n",
+              static_cast<unsigned long long>(flow_starts),
+              flow_starts ? 100.0 * static_cast<double>(repeat_starts) /
+                                static_cast<double>(flow_starts)
+                          : 0.0);
+  std::printf("peak live flows   %zu (target %zu)\n", peak_live, target);
+  std::printf("sweeps            %llu, expired %llu, touched %llu "
+              "(scan sweeper: %llu)\n",
+              static_cast<unsigned long long>(sweeps),
+              static_cast<unsigned long long>(total_expired),
+              static_cast<unsigned long long>(t.sweep_touched),
+              static_cast<unsigned long long>(scan_cost));
+  std::printf("budget evictions  %llu (DDoS window pressure)\n",
+              static_cast<unsigned long long>(t.budget_evictions));
+  std::printf("resident          %.1f MB (ceiling %.1f MB), load factor "
+              "%.2f\n",
+              static_cast<double>(t.resident_bytes) / 1048576.0,
+              static_cast<double>(ceiling) / 1048576.0, t.map_load_factor);
+  std::printf("steady state      %s (rehash/slab growth delta %llu)\n",
+              steady_ok ? "OK: zero heap growth" : "VIOLATED",
+              static_cast<unsigned long long>(steady_rehash_delta));
+  std::printf("expiry            %s (touched %.2fx of expired)\n",
+              expiry_ok ? "OK: O(expired)" : "VIOLATED",
+              total_expired ? static_cast<double>(t.sweep_touched) /
+                                  static_cast<double>(total_expired)
+                            : 0.0);
+
+  std::printf("\n--- fig11 at scale: key cache miss rate (first %llu "
+              "packets) ---\n",
+              static_cast<unsigned long long>(fig11_packet_cap));
+  for (std::size_t i = 0; i < fig11_sizes.size(); ++i) {
+    const core::CacheStats& s = fig11_caches[i].stats();
+    std::printf("  size %5zu  miss %6.2f%%  (cold %llu capacity %llu "
+                "collision %llu)\n",
+                fig11_sizes[i], 100.0 * s.miss_rate(),
+                static_cast<unsigned long long>(s.cold_misses),
+                static_cast<unsigned long long>(s.capacity_misses),
+                static_cast<unsigned long long>(s.collision_misses));
+  }
+
+  std::printf("\n--- fig13 at scale: flows vs THRESHOLD ---\n");
+  auto print13 = [](const core::MegaflowPolicy& p) {
+    std::printf("  threshold %5llds  flows %llu  mapper_exp %llu\n",
+                static_cast<long long>(p.threshold() /
+                                       util::kMicrosPerSecond),
+                static_cast<unsigned long long>(p.stats().flows_created),
+                static_cast<unsigned long long>(
+                    p.stats().mapper_expirations));
+  };
+  print13(*fig13[0]);
+  {
+    // The main 600s policies, summed, stand in for the middle point.
+    std::uint64_t flows = 0, mexp = 0;
+    for (const auto& p : shards.policies) {
+      flows += p->stats().flows_created;
+      mexp += p->stats().mapper_expirations;
+    }
+    std::printf("  threshold   600s  flows %llu  mapper_exp %llu  (8 "
+                "shards)\n",
+                static_cast<unsigned long long>(flows),
+                static_cast<unsigned long long>(mexp));
+  }
+  print13(*fig13[1]);
+
+  obs::MetricsRegistry reg;
+  const double repeated_fraction =
+      flow_starts ? static_cast<double>(repeat_starts) /
+                        static_cast<double>(flow_starts)
+                  : 0.0;
+  reg.add_source([&](obs::MetricsRegistry::Emitter& emit) {
+    emit.counter("megaflow.packets", packets);
+    emit.counter("megaflow.flow_starts", flow_starts);
+    emit.counter("megaflow.budget_evictions", t.budget_evictions);
+    emit.counter("megaflow.wheel_cascades", t.wheel_cascades);
+    emit.counter("megaflow.wheel_fires", t.wheel_fires);
+    emit.counter("megaflow.sweep_touched", t.sweep_touched);
+    emit.counter("megaflow.expired", total_expired);
+    emit.gauge("megaflow.peak_live_flows", static_cast<double>(peak_live));
+    emit.gauge("megaflow.live_flows", static_cast<double>(t.live_flows));
+    emit.gauge("megaflow.map_load_factor", t.map_load_factor);
+    emit.gauge("megaflow.resident_bytes",
+               static_cast<double>(t.resident_bytes));
+    emit.gauge("megaflow.steady_state_gate", steady_ok ? 1 : 0);
+    emit.gauge("megaflow.expiry_gate", expiry_ok ? 1 : 0);
+    emit.gauge("megaflow.memory_gate", memory_ok ? 1 : 0);
+    emit.gauge("megaflow.fig14.repeated_fraction", repeated_fraction);
+    for (std::size_t i = 0; i < fig11_sizes.size(); ++i)
+      emit.gauge("megaflow.fig11.size" + std::to_string(fig11_sizes[i]) +
+                     ".miss_rate",
+                 fig11_caches[i].stats().miss_rate());
+    emit.gauge("megaflow.fig13.threshold60.flows",
+               static_cast<double>(fig13[0]->stats().flows_created));
+    emit.gauge("megaflow.fig13.threshold1800.flows",
+               static_cast<double>(fig13[1]->stats().flows_created));
+  });
+  bench::write_metrics(reg.snapshot(), "fbs_bench_megaflow");
+
+  if (hard_assert) {
+    if (!steady_ok) {
+      std::fprintf(stderr, "FATAL: heap growth in steady state\n");
+      return 1;
+    }
+    if (!expiry_ok) {
+      std::fprintf(stderr, "FATAL: sweep cost not O(expired)\n");
+      return 1;
+    }
+    if (!memory_ok) {
+      std::fprintf(stderr, "FATAL: resident over the memory ceiling\n");
+      return 1;
+    }
+    if (peak_live + peak_live / 4 < target) {
+      std::fprintf(stderr, "FATAL: never approached the flow target\n");
+      return 1;
+    }
+  }
+  return 0;
+}

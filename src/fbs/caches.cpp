@@ -48,13 +48,52 @@ std::size_t MissClassifier::stack_distance(util::BytesView key,
   return SIZE_MAX;
 }
 
+void MissClassifier::note_evicted(util::BytesView key) {
+  if (ever_evicted_.empty()) ever_evicted_.assign(kBloomWords, 0);
+  const std::uint64_t h1 = util::flow_hash64(key);
+  const std::uint64_t h2 = util::mix64(h1) | 1;  // odd stride
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % (kBloomWords * 64);
+    ever_evicted_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+}
+
+bool MissClassifier::ever_evicted(util::BytesView key) const {
+  if (ever_evicted_.empty()) return false;
+  const std::uint64_t h1 = util::flow_hash64(key);
+  const std::uint64_t h2 = util::mix64(h1) | 1;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % (kBloomWords * 64);
+    if (!(ever_evicted_[bit >> 6] & std::uint64_t{1} << (bit & 63)))
+      return false;
+  }
+  return true;
+}
+
+void MissClassifier::push_new(util::BytesView key) {
+  lru_.emplace_front(key.begin(), key.end());
+  pos_.try_emplace(lru_.front(), lru_.begin());
+  stack_key_bytes_ += key.size();
+  if (lru_.size() > max_depth_) {
+    const util::Bytes& victim = lru_.back();
+    note_evicted(victim);
+    stack_key_bytes_ -= victim.size();
+    pos_.erase(util::BytesView{victim});
+    lru_.pop_back();
+  }
+}
+
 MissClassifier::MissKind MissClassifier::classify_miss(util::BytesView key,
                                                        std::size_t capacity) {
-  const auto it = pos_.find(key);
-  if (it == pos_.end()) {
-    lru_.emplace_front(key.begin(), key.end());
-    pos_.emplace(lru_.front(), lru_.begin());
-    return MissKind::kCold;
+  auto* it = pos_.find(key);
+  if (it == nullptr) {
+    // Not on the bounded stack. A key that fell off the far end has reuse
+    // distance > max_depth >= capacity, so if it was ever evicted this is a
+    // capacity miss; a genuinely new key is compulsory.
+    const MissKind kind =
+        ever_evicted(key) ? MissKind::kCapacity : MissKind::kCold;
+    push_new(key);
+    return kind;
   }
   const MissKind kind = stack_distance(key, capacity) < capacity
                             // A fully-associative cache of the same size
@@ -62,7 +101,7 @@ MissClassifier::MissKind MissClassifier::classify_miss(util::BytesView key,
                             // conflicts only.
                             ? MissKind::kCollision
                             : MissKind::kCapacity;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  lru_.splice(lru_.begin(), lru_, *it);
   return kind;
 }
 
@@ -70,13 +109,12 @@ void MissClassifier::record_hit(util::BytesView key) {
   // The node is spliced to the stack top in place: a cache hit costs no
   // allocation here. (A hit on a key the classifier never saw miss -- e.g.
   // one pinned directly into the cache -- still enters the stack.)
-  const auto it = pos_.find(key);
-  if (it != pos_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  auto* it = pos_.find(key);
+  if (it != nullptr) {
+    lru_.splice(lru_.begin(), lru_, *it);
     return;
   }
-  lru_.emplace_front(key.begin(), key.end());
-  pos_.emplace(lru_.front(), lru_.begin());
+  push_new(key);
 }
 
 }  // namespace fbs::core

@@ -8,21 +8,28 @@
 // XOR-fold hashes it warns against, for the ablation bench.
 //
 // Misses are classified into the paper's three kinds -- compulsory (cold),
-// capacity, and collision (conflict) -- using an unbounded LRU-stack
+// capacity, and collision (conflict) -- using a *bounded* LRU-stack
 // simulator: a non-cold miss whose reuse distance fits within the cache's
 // total capacity would have hit in a fully-associative cache, so it is a
-// collision miss; otherwise it is a capacity miss.
+// collision miss; otherwise it is a capacity miss. The simulated stack is
+// capped (default kDefaultMaxDepth, covering the largest Figure 11
+// capacity), so classification memory and per-miss cost are bounded no
+// matter how many flows pass through -- the million-flow requirement of
+// DESIGN.md 5i. References deeper than the cap are capacity misses by
+// definition (reuse distance > depth >= capacity); cold detection for keys
+// that fell off the stack uses a fixed-size Bloom filter of everything ever
+// evicted, whose rare false positives shift a cold miss to capacity but
+// never perturb the hit/miss split.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <list>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "util/bytes.hpp"
 #include "util/crc32.hpp"
+#include "util/flat_map.hpp"
 
 namespace fbs::core {
 
@@ -63,10 +70,19 @@ struct ByteRangeLess {
   }
 };
 
-/// LRU-stack miss classifier (infinite cache simulator).
+/// Bounded LRU-stack miss classifier (fully-associative cache simulator,
+/// truncated at max_depth entries).
 class MissClassifier {
  public:
   enum class MissKind { kCold, kCapacity, kCollision };
+
+  /// Default stack cap: covers the largest Figure 11 cache capacity (512)
+  /// with 2x headroom, so every classification the paper's study makes is
+  /// still exact.
+  static constexpr std::size_t kDefaultMaxDepth = 1024;
+
+  explicit MissClassifier(std::size_t max_depth = kDefaultMaxDepth)
+      : max_depth_(max_depth ? max_depth : 1) {}
 
   /// Classify a miss on `key` for a cache holding `capacity` entries total,
   /// then push the reference onto the stack.
@@ -75,11 +91,36 @@ class MissClassifier {
   /// allocating: the list node is spliced, not reinserted).
   void record_hit(util::BytesView key);
 
- private:
-  std::size_t stack_distance(util::BytesView key, std::size_t limit) const;
+  std::size_t max_depth() const { return max_depth_; }
+  std::size_t stack_size() const { return lru_.size(); }
+  /// Footprint of the simulator: position map slots + Bloom filter + stack
+  /// nodes. Bounded by max_depth (plus the fixed filter), not by the number
+  /// of distinct keys ever seen -- the regression test pins this.
+  std::size_t approx_memory_bytes() const {
+    return pos_.memory_bytes() + ever_evicted_.capacity() * sizeof(std::uint64_t) +
+           stack_key_bytes_ +
+           lru_.size() * (sizeof(void*) * 2 + sizeof(util::Bytes));
+  }
 
+ private:
+  // Fixed-size blocked Bloom filter over evicted keys: 2^17 words = 1 MiB,
+  // 4 probes. At 10^6 distinct evicted keys the false-positive rate is a
+  // few percent of *cold* misses only; at the paper's trace scale it is
+  // effectively zero.
+  static constexpr std::size_t kBloomWords = std::size_t{1} << 17;
+
+  std::size_t stack_distance(util::BytesView key, std::size_t limit) const;
+  void push_new(util::BytesView key);
+  void note_evicted(util::BytesView key);
+  bool ever_evicted(util::BytesView key) const;
+
+  std::size_t max_depth_;
   std::list<util::Bytes> lru_;
-  std::map<util::Bytes, std::list<util::Bytes>::iterator, ByteRangeLess> pos_;
+  util::FlatMap<util::Bytes, std::list<util::Bytes>::iterator,
+                util::ByteRangeHash, util::ByteRangeEq>
+      pos_;
+  std::vector<std::uint64_t> ever_evicted_;  // Bloom bits, sized lazily
+  std::size_t stack_key_bytes_ = 0;
 };
 
 /// Set-associative software cache with LRU replacement within each set.

@@ -96,6 +96,15 @@ struct FbsConfig {
   /// a worker pool process distinct flows fully in parallel. 0 is treated
   /// as 1.
   std::size_t shards = 1;
+
+  /// Non-zero selects the million-flow control plane (megaflow.hpp): each
+  /// shard's FAM policy becomes a budgeted flat-hash table + timer wheel
+  /// holding at most this many concurrent flows, with exact five-tuple
+  /// matching and O(expired) sweeps. fst_size is then ignored by the FAM
+  /// (it still sizes nothing else), and the combined FST+TFKC path is
+  /// disabled -- the Section 7.2 merge assumes the FST is the small
+  /// direct-mapped array. Zero keeps the paper's FiveTuplePolicy.
+  std::size_t max_flows_per_shard = 0;
 };
 
 enum class ReceiveError : std::uint8_t {

@@ -113,6 +113,10 @@ FbsEndpoint::FbsEndpoint(Principal self, const FbsConfig& config,
       clock_(clock),
       sfl_alloc_(rng) {
   config_.shards = config_.shards == 0 ? 1 : config_.shards;
+  // The Section 7.2 merged FST+TFKC assumes the FST is the small
+  // direct-mapped array; the budgeted megaflow table replaces both halves
+  // of that bargain, so the split path is forced on.
+  if (config_.max_flows_per_shard != 0) config_.combined_fst_tfkc = false;
   // Every Mac the receive path could consult, built once. Mac instances are
   // immutable (make_context is const) so all domains and workers share
   // these; the mutable per-flow MacContexts live in domain caches under the
@@ -190,7 +194,7 @@ std::optional<std::pair<Sfl, FlowCryptoContext*>> FbsEndpoint::outgoing_flow(
         cache_index(config_.cache_hash, ctx.attrs, dom.combined.size());
     CombinedFlowEntry& e = dom.combined[idx];
     if (e.valid && e.attrs == d.attrs &&
-        now - e.last <= config_.flow_threshold) {
+        !flow_expired(e.last, now, config_.flow_threshold)) {
       if (key_worn_out(e, now)) {
         ++dom.send_stats.lifetime_rekeys;
         e.valid = false;  // retire the worn key; fall through to a new flow
@@ -825,6 +829,29 @@ const FamStats& FbsEndpoint::fam_stats() const {
     accumulate(agg_fam_, dom->policy->stats());
   }
   return agg_fam_;
+}
+
+const MegaflowStats* FbsEndpoint::megaflow_stats() const {
+  agg_mega_ = MegaflowStats{};
+  bool any = false;
+  for (const auto& dom : domains_) {
+    std::lock_guard<std::mutex> lock(dom->mu);
+    const MegaflowStats* m = dom->policy->mega_stats();
+    if (!m) continue;
+    any = true;
+    agg_mega_.budget_evictions += m->budget_evictions;
+    agg_mega_.wheel_cascades += m->wheel_cascades;
+    agg_mega_.wheel_fires += m->wheel_fires;
+    agg_mega_.sweep_touched += m->sweep_touched;
+    agg_mega_.map_rehashes += m->map_rehashes;
+    agg_mega_.slab_grows += m->slab_grows;
+    agg_mega_.live_flows += m->live_flows;
+    agg_mega_.peak_live_flows += m->peak_live_flows;
+    if (m->map_load_factor > agg_mega_.map_load_factor)
+      agg_mega_.map_load_factor = m->map_load_factor;
+    agg_mega_.resident_bytes += m->resident_bytes;
+  }
+  return any ? &agg_mega_ : nullptr;
 }
 
 }  // namespace fbs::core

@@ -178,6 +178,10 @@ class FbsEndpoint {
   const CacheStats& rfkc_stats() const;
   const FreshnessChecker::Stats& freshness_stats() const;
   const FamStats& fam_stats() const;
+  /// Aggregated megaflow control-plane counters; nullptr when the paper's
+  /// fixed-table policy is active (max_flows_per_shard == 0). Counters and
+  /// footprints sum across shards; map_load_factor reports the worst shard.
+  const MegaflowStats* megaflow_stats() const;
 
   /// Domain 0's tracer (per-domain tracers: shard(i).tracer).
   obs::StageTracer& tracer() { return domains_.front()->tracer; }
@@ -252,6 +256,7 @@ class FbsEndpoint {
   mutable CacheStats agg_rfkc_;
   mutable FreshnessChecker::Stats agg_freshness_;
   mutable FamStats agg_fam_;
+  mutable MegaflowStats agg_mega_;
 };
 
 }  // namespace fbs::core

@@ -15,7 +15,7 @@ MapResult table_map(std::vector<FlowStateEntry>& table, std::size_t index,
   FlowStateEntry& e = table[index];
 
   bool reusable = e.valid && e.attrs == attrs;
-  if (reusable && expire_in_mapper && now - e.last > threshold) {
+  if (reusable && expire_in_mapper && flow_expired(e.last, now, threshold)) {
     // Entry matches but went stale: same conversation boundary the sweeper
     // would have drawn; start a new flow (Section 7.2 combined behavior).
     ++stats.mapper_expirations;
@@ -41,13 +41,13 @@ MapResult table_map(std::vector<FlowStateEntry>& table, std::size_t index,
   return {e.sfl, true};
 }
 
-/// Figure 7's sweeper(): invalidate entries whose last datagram arrived
-/// more than `threshold` ago.
+/// Figure 7's sweeper(): invalidate entries the shared staleness predicate
+/// (flow_expired, the same one the mapper probe consults) says are gone.
 std::size_t table_sweep(std::vector<FlowStateEntry>& table, util::TimeUs now,
                         util::TimeUs threshold, FamStats& stats) {
   std::size_t expired = 0;
   for (FlowStateEntry& e : table) {
-    if (e.valid && now - e.last > threshold) {
+    if (e.valid && flow_expired(e.last, now, threshold)) {
       e.valid = false;
       ++expired;
     }
@@ -60,7 +60,7 @@ std::size_t table_active(const std::vector<FlowStateEntry>& table,
                          util::TimeUs now, util::TimeUs threshold) {
   std::size_t n = 0;
   for (const FlowStateEntry& e : table)
-    if (e.valid && now - e.last <= threshold) ++n;
+    if (e.valid && !flow_expired(e.last, now, threshold)) ++n;
   return n;
 }
 

@@ -24,6 +24,18 @@
 
 namespace fbs::core {
 
+/// THE staleness predicate (Section 7.1): a flow whose last datagram
+/// arrived strictly more than THRESHOLD ago has crossed a conversation
+/// boundary. Every consumer -- the mapper probe, the sweeper, active-flow
+/// accounting, the combined FST+TFKC fast path, and the timer-wheel expiry
+/// of the million-flow policy -- must call this one inline, so an entry can
+/// never be stale for the mapper yet alive for the sweeper (or vice versa).
+/// A gap of exactly THRESHOLD continues the flow.
+constexpr bool flow_expired(util::TimeUs last, util::TimeUs now,
+                            util::TimeUs threshold) {
+  return now - last > threshold;
+}
+
 /// One row of the flow state table (Figure 7's FSTEntry).
 struct FlowStateEntry {
   bool valid = false;
@@ -66,6 +78,23 @@ struct MapResult {
   bool new_flow = false;
 };
 
+/// Control-plane counters specific to the budgeted flat-hash/timer-wheel
+/// policy (DESIGN.md 5i). Exposed through FlowPolicy::mega_stats() so the
+/// obs registry can publish eviction pressure and wheel behaviour without
+/// the engine knowing the concrete policy type.
+struct MegaflowStats {
+  std::uint64_t budget_evictions = 0;  // live flows evicted at the budget
+  std::uint64_t wheel_cascades = 0;    // timer nodes re-placed across levels
+  std::uint64_t wheel_fires = 0;       // timer callbacks delivered
+  std::uint64_t sweep_touched = 0;     // entries + buckets examined expiring
+  std::uint64_t map_rehashes = 0;      // flat-map growths after reserve
+  std::uint64_t slab_grows = 0;        // entry-slab growths after reserve
+  std::size_t live_flows = 0;          // snapshot at stats() time
+  std::size_t peak_live_flows = 0;
+  double map_load_factor = 0;
+  std::size_t resident_bytes = 0;      // map + slab + wheel footprint
+};
+
 /// A pluggable mapper+sweeper pair with its flow state table.
 class FlowPolicy {
  public:
@@ -98,10 +127,16 @@ class FlowPolicy {
   virtual std::size_t active_flows(util::TimeUs now) const = 0;
 
   /// Drop the whole flow state table (crash/restart simulation). Soft
-  /// state: subsequent datagrams simply start fresh flows.
+  /// state: subsequent datagrams simply start fresh flows. This is the only
+  /// path allowed to walk the table; point expiry goes through
+  /// expire_flow()'s keyed erase.
   virtual void clear() {}
 
   virtual const FamStats& stats() const = 0;
+
+  /// Budget/wheel counters for policies that have them (the megaflow
+  /// policy); nullptr for the paper's fixed-table policies.
+  virtual const MegaflowStats* mega_stats() const { return nullptr; }
 };
 
 /// The paper's example IP security flow policy (Section 7.1, Figure 7): a

@@ -127,6 +127,21 @@ void FbsEndpoint::register_metrics(obs::MetricsRegistry& registry,
     emit_fresh(emit, prefix + ".freshness", freshness_stats());
     emit_fam(emit, prefix + ".fam", fam_stats());
     emit.gauge(prefix + ".shards", static_cast<double>(shard_count()));
+    if (const MegaflowStats* m = megaflow_stats()) {
+      const std::string mp = prefix + ".megaflow";
+      emit.counter(mp + ".budget_evictions", m->budget_evictions);
+      emit.counter(mp + ".wheel_cascades", m->wheel_cascades);
+      emit.counter(mp + ".wheel_fires", m->wheel_fires);
+      emit.counter(mp + ".sweep_touched", m->sweep_touched);
+      emit.counter(mp + ".map_rehashes", m->map_rehashes);
+      emit.counter(mp + ".slab_grows", m->slab_grows);
+      emit.gauge(mp + ".live_flows", static_cast<double>(m->live_flows));
+      emit.gauge(mp + ".peak_live_flows",
+                 static_cast<double>(m->peak_live_flows));
+      emit.gauge(mp + ".map_load_factor", m->map_load_factor);
+      emit.gauge(mp + ".resident_bytes",
+                 static_cast<double>(m->resident_bytes));
+    }
   });
   // Stage latencies stay per shard (LatencyRecorder is single-writer; each
   // domain's recorder is written only under that domain's lock). Keep the

@@ -2,27 +2,16 @@
 
 namespace fbs::core {
 
-void FreshnessChecker::prune(std::uint32_t now_minutes) {
-  const std::uint32_t floor =
-      now_minutes > window_ ? now_minutes - window_ : 0;
-  while (!seen_.empty() && seen_.begin()->first < floor)
-    seen_.erase(seen_.begin());
-}
-
 FreshnessChecker::Verdict FreshnessChecker::check(
     std::uint32_t timestamp_minutes, util::BytesView mac) {
   const std::uint32_t now_minutes = util::to_header_minutes(clock_.now());
-  const std::uint32_t lo = now_minutes > window_ ? now_minutes - window_ : 0;
-  const std::uint32_t hi = now_minutes + window_;
-  if (timestamp_minutes < lo || timestamp_minutes > hi) {
+  if (!in_window(timestamp_minutes, now_minutes)) {
     ++stats_.stale;
     return Verdict::kStale;
   }
   if (strict_replay_) {
-    prune(now_minutes);
-    const auto bucket = seen_.find(timestamp_minutes);
-    if (bucket != seen_.end() &&
-        bucket->second.count(util::Bytes(mac.begin(), mac.end()))) {
+    if (const Bucket* b = bucket_for(timestamp_minutes);
+        b && b->macs.find(MacKey::of(mac))) {
       ++stats_.replays;
       return Verdict::kReplay;
     }
@@ -34,16 +23,26 @@ FreshnessChecker::Verdict FreshnessChecker::check(
 bool FreshnessChecker::seen(std::uint32_t timestamp_minutes,
                             util::BytesView mac) const {
   if (!strict_replay_) return false;
-  const auto bucket = seen_.find(timestamp_minutes);
-  return bucket != seen_.end() &&
-         bucket->second.count(util::Bytes(mac.begin(), mac.end())) > 0;
+  const Bucket* b = bucket_for(timestamp_minutes);
+  return b && b->macs.find(MacKey::of(mac)) != nullptr;
 }
 
 void FreshnessChecker::commit(std::uint32_t timestamp_minutes,
                               util::BytesView mac) {
   if (!strict_replay_) return;
-  prune(util::to_header_minutes(clock_.now()));
-  seen_[timestamp_minutes].insert(util::Bytes(mac.begin(), mac.end()));
+  // Out-of-window commits are dropped: letting a stale minute claim a ring
+  // slot could evict a bucket an in-window minute is still using.
+  if (!in_window(timestamp_minutes, util::to_header_minutes(clock_.now())))
+    return;
+  Bucket& b = ring_[timestamp_minutes % ring_.size()];
+  if (b.minute != timestamp_minutes) {
+    // The slot's previous minute slid out of the window; repurpose in place
+    // (the FlatMap keeps its slot array, so a steady-state checker never
+    // reallocates).
+    b.minute = timestamp_minutes;
+    b.macs.clear();
+  }
+  b.macs.try_emplace(MacKey::of(mac), 1);
 }
 
 }  // namespace fbs::core

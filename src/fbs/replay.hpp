@@ -8,6 +8,13 @@
 // that also rejects within-window replays (off by default -- it is soft
 // state, so losing it degrades to the paper's behaviour, never worse).
 //
+// The seen-MAC store is a ring of minute buckets, one FlatMap per bucket,
+// keyed by a fixed-size MacKey (first bytes + a 64-bit hash of the whole
+// MAC). Probes never allocate -- the old std::map<minute, std::set<Bytes>>
+// materialized a util::Bytes per check(), which at a million datagrams a
+// second is the allocator, not the MAC, on the critical path. Buckets are
+// repurposed lazily as the window slides, so there is no prune walk either.
+//
 // Concurrency: a FreshnessChecker is not internally synchronized. Each
 // FlowDomain owns one, and the engine holds that domain's lock from before
 // check() until after commit() -- the check/commit pair executes as ONE
@@ -19,12 +26,14 @@
 // (every datagram of a flow hashes to the same domain; see domain.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
-#include <set>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
+#include "util/flat_map.hpp"
+#include "util/flow_hash.hpp"
 
 namespace fbs::core {
 
@@ -44,7 +53,11 @@ class FreshnessChecker {
                    bool strict_replay = false)
       : clock_(clock),
         window_(window_minutes),
-        strict_replay_(strict_replay) {}
+        strict_replay_(strict_replay) {
+    // [now - w, now + w] spans 2w+1 distinct minutes; 2w+2 slots guarantee
+    // no two in-window minutes share a ring slot.
+    if (strict_replay_) ring_.resize(2 * static_cast<std::size_t>(window_) + 2);
+  }
 
   /// Check a header timestamp; `mac` identifies the datagram for the
   /// optional within-window replay cache. Read-only: an unverified datagram
@@ -68,20 +81,75 @@ class FreshnessChecker {
 
   /// Forget all recently seen MACs (crash/restart simulation). Degrades to
   /// the paper's window-only freshness check until the cache refills.
-  void clear() { seen_.clear(); }
+  void clear() {
+    for (Bucket& b : ring_) {
+      b.minute = kNoMinute;
+      b.macs.clear();
+    }
+  }
 
   const Stats& stats() const { return stats_; }
 
+  /// Heap held by the seen-MAC store (slot arrays of the per-minute maps).
+  std::size_t approx_memory_bytes() const {
+    std::size_t n = ring_.capacity() * sizeof(Bucket);
+    for (const Bucket& b : ring_) n += b.macs.memory_bytes();
+    return n;
+  }
+
  private:
-  void prune(std::uint32_t now_minutes);
+  /// Fixed-footprint MAC identity: the leading bytes plus a 64-bit hash of
+  /// the full MAC, so MACs longer than the inline head still compare
+  /// distinctly (up to a 2^-64 hash collision, which at worst flags one
+  /// extra soft-state replay -- never weaker than the paper's window-only
+  /// scheme).
+  struct MacKey {
+    std::uint64_t full_hash = 0;
+    std::array<std::uint8_t, 24> head{};
+    std::uint8_t len = 0;
+
+    static MacKey of(util::BytesView mac) {
+      MacKey k;
+      k.full_hash = util::flow_hash64(mac);
+      const std::size_t n = mac.size() < k.head.size() ? mac.size() : k.head.size();
+      for (std::size_t i = 0; i < n; ++i) k.head[i] = mac[i];
+      k.len = static_cast<std::uint8_t>(
+          mac.size() > 0xFF ? 0xFF : mac.size());
+      return k;
+    }
+    bool operator==(const MacKey& o) const {
+      return full_hash == o.full_hash && len == o.len && head == o.head;
+    }
+  };
+  struct MacKeyHash {
+    std::uint64_t operator()(const MacKey& k) const { return k.full_hash; }
+  };
+
+  static constexpr std::uint32_t kNoMinute = 0xFFFFFFFFu;
+
+  struct Bucket {
+    std::uint32_t minute = kNoMinute;
+    util::FlatMap<MacKey, char, MacKeyHash> macs;
+  };
+
+  bool in_window(std::uint32_t timestamp_minutes,
+                 std::uint32_t now_minutes) const {
+    const std::uint32_t lo = now_minutes > window_ ? now_minutes - window_ : 0;
+    return timestamp_minutes >= lo &&
+           timestamp_minutes <= now_minutes + window_;
+  }
+
+  const Bucket* bucket_for(std::uint32_t minute) const {
+    if (ring_.empty()) return nullptr;
+    const Bucket& b = ring_[minute % ring_.size()];
+    return b.minute == minute ? &b : nullptr;
+  }
 
   const util::Clock& clock_;
   std::uint32_t window_;
   bool strict_replay_;
   Stats stats_;
-  // minute bucket -> MACs accepted in that minute (soft state, pruned as
-  // the window slides).
-  std::map<std::uint32_t, std::set<util::Bytes>> seen_;
+  std::vector<Bucket> ring_;  // minute-bucket ring, lazily repurposed
 };
 
 }  // namespace fbs::core

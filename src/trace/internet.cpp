@@ -1,0 +1,206 @@
+#include "trace/internet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/flow_hash.hpp"
+
+namespace fbs::trace {
+
+namespace {
+
+constexpr std::uint8_t kTcp = 6;
+constexpr std::uint8_t kUdp = 17;
+constexpr util::TimeUs kNever = std::numeric_limits<util::TimeUs>::max();
+
+// Address plan: clients in 10/8, servers in 198.96/11-ish, spoofed DDoS
+// sources in 64/8 -- three disjoint ranges so analyses can attribute any
+// packet to its process by address alone.
+constexpr std::uint32_t kClientBase = 0x0A000000u;
+constexpr std::uint32_t kServerBase = 0xC6600000u;
+constexpr std::uint32_t kSpoofBase = 0x40000000u;
+
+constexpr std::uint16_t kServerPorts[] = {80, 443, 25, 53};
+
+util::TimeUs exp_gap(util::RandomSource& rng, double mean_us) {
+  double u = rng.next_double();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<util::TimeUs>(-mean_us * std::log(u)) + 1;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double exponent) {
+  cdf_.reserve(n ? n : 1);
+  double total = 0;
+  for (std::uint32_t r = 0; r < (n ? n : 1); ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_.push_back(total);
+  }
+}
+
+std::uint32_t ZipfSampler::sample(util::RandomSource& rng) const {
+  const double u = rng.next_double() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t idx = static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<std::uint32_t>(idx < cdf_.size() ? idx
+                                                      : cdf_.size() - 1);
+}
+
+InternetTraceGenerator::InternetTraceGenerator(
+    const InternetWorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      client_ranks_(config.clients, config.client_zipf),
+      server_ranks_(config.servers, config.server_zipf) {
+  next_flow_ = exp_gap(rng_, 1e6 / config_.flows_per_second);
+  next_ddos_ = kNever;
+  if (config_.ddos_flows_per_second > 0 && config_.ddos_length > 0)
+    schedule_next_ddos(config_.ddos_start);
+}
+
+bool InternetTraceGenerator::in_flash(util::TimeUs t) const {
+  return config_.flash_multiplier > 1.0 && config_.flash_length > 0 &&
+         t >= config_.flash_start &&
+         t < config_.flash_start + config_.flash_length;
+}
+
+bool InternetTraceGenerator::in_ddos(util::TimeUs t) const {
+  return t >= config_.ddos_start &&
+         t < config_.ddos_start + config_.ddos_length;
+}
+
+void InternetTraceGenerator::schedule_next_flow(util::TimeUs from) {
+  // Piecewise-constant rate: the gap is drawn at the window's rate at
+  // `from`; a draw straddling the window edge is approximated, which keeps
+  // the process deterministic and single-pass.
+  const double rate = config_.flows_per_second *
+                      (in_flash(from) ? config_.flash_multiplier : 1.0);
+  next_flow_ = from + exp_gap(rng_, 1e6 / rate);
+}
+
+void InternetTraceGenerator::schedule_next_ddos(util::TimeUs from) {
+  if (from < config_.ddos_start) from = config_.ddos_start;
+  const util::TimeUs t =
+      from + exp_gap(rng_, 1e6 / config_.ddos_flows_per_second);
+  next_ddos_ =
+      t < config_.ddos_start + config_.ddos_length ? t : kNever;
+}
+
+std::uint32_t InternetTraceGenerator::packet_size() {
+  // Pareto(xm=64, alpha=1.3) capped at an ethernet MTU payload.
+  double u = rng_.next_double();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<std::uint32_t>(
+      std::min(1460.0, 64.0 * std::pow(u, -1.0 / 1.3)));
+}
+
+InternetTraceGenerator::Session InternetTraceGenerator::make_session(
+    util::TimeUs at, bool flash_excess) {
+  Session s;
+  s.next_time = at;
+  s.seq = seq_++;
+  const std::uint32_t client = client_ranks_.sample(rng_);
+  const std::uint32_t server =
+      flash_excess ? 0 : server_ranks_.sample(rng_);
+  s.tuple.source_address = kClientBase + client;
+  s.tuple.destination_address = kServerBase + server;
+  s.tuple.destination_port = kServerPorts[server % 4];
+  s.tuple.protocol = s.tuple.destination_port == 53 ? kUdp : kTcp;
+  // Ephemeral port from the client's small fixed pool: a deterministic
+  // function of (client, slot), so sessions from one client recur on the
+  // same five-tuples (the repeated flows of Figure 14).
+  const int pool = config_.ephemeral_pool > 0 ? config_.ephemeral_pool : 1;
+  const std::uint64_t slot = rng_.next_below(static_cast<std::uint64_t>(pool));
+  s.tuple.source_port = static_cast<std::uint16_t>(
+      1024 + util::mix64(client * 131ull + slot) % 60000);
+  double u = rng_.next_double();
+  if (u < 1e-12) u = 1e-12;
+  s.remaining = static_cast<std::uint32_t>(std::min(
+      10000.0, 1.0 - (config_.mean_packets_per_flow - 1.0) * std::log(u)));
+  // Per-session pacing around the configured mean.
+  s.gap_mean_us =
+      config_.mean_packet_gap_ms * 1000.0 * (0.5 + rng_.next_double());
+  return s;
+}
+
+void InternetTraceGenerator::emit(PacketRecord& out, util::TimeUs t,
+                                  const core::FlowAttributes& tuple,
+                                  std::uint32_t size) {
+  out.time = t;
+  out.tuple = tuple;
+  out.size = size;
+}
+
+bool InternetTraceGenerator::next(PacketRecord& out) {
+  const util::TimeUs t_session =
+      active_.empty() ? kNever : active_.top().next_time;
+  const util::TimeUs t = std::min({t_session, next_flow_, next_ddos_});
+  if (t >= config_.duration) return false;
+
+  if (t == next_ddos_ && next_ddos_ <= t_session && next_ddos_ <= next_flow_) {
+    // Spoofed single-packet flow at the victim: pure flow-table poison.
+    core::FlowAttributes tuple;
+    tuple.protocol = kTcp;
+    tuple.source_address =
+        kSpoofBase + static_cast<std::uint32_t>(rng_.next_below(
+                         config_.ddos_spoof_population
+                             ? config_.ddos_spoof_population
+                             : 1));
+    tuple.source_port =
+        static_cast<std::uint16_t>(1024 + rng_.next_below(60000));
+    tuple.destination_address = kServerBase;  // server rank 0
+    tuple.destination_port = 80;
+    emit(out, t, tuple, 40);
+    ++ddos_flows_;
+    schedule_next_ddos(t);
+    return true;
+  }
+
+  if (t == next_flow_ && next_flow_ <= t_session) {
+    // New flow: the excess probability mass of a flash window all lands on
+    // the top-ranked server.
+    bool flash_excess = false;
+    if (in_flash(t)) {
+      const double m = config_.flash_multiplier;
+      flash_excess = rng_.next_double() < (m - 1.0) / m;
+    }
+    Session s = make_session(t, flash_excess);
+    ++flows_started_;
+    emit(out, t, s.tuple, 40);  // opening packet (SYN-sized)
+    if (s.remaining > 1) {
+      --s.remaining;
+      s.next_time = t + exp_gap(rng_, s.gap_mean_us);
+      active_.push(std::move(s));
+    }
+    schedule_next_flow(t);
+    return true;
+  }
+
+  // In-flight session continues.
+  Session s = active_.top();
+  active_.pop();
+  emit(out, s.next_time, s.tuple, packet_size());
+  if (s.remaining > 1) {
+    --s.remaining;
+    s.next_time += exp_gap(rng_, s.gap_mean_us);
+    active_.push(std::move(s));
+  }
+  return true;
+}
+
+std::size_t InternetTraceGenerator::approx_memory_bytes() const {
+  return (client_ranks_.size() + server_ranks_.size()) * sizeof(double) +
+         active_.size() * sizeof(Session);
+}
+
+Trace generate_internet_trace(const InternetWorkloadConfig& config) {
+  InternetTraceGenerator gen(config);
+  Trace trace;
+  PacketRecord r;
+  while (gen.next(r)) trace.push_back(r);
+  return trace;
+}
+
+}  // namespace fbs::trace

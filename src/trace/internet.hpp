@@ -1,0 +1,132 @@
+// Internet-scale synthetic workload (the million-flow control-plane input).
+//
+// The paper's traces are a campus LAN and a lightly hit WWW server; ROADMAP
+// item 2 asks what the same FBS mechanisms do at an internet vantage point
+// -- a backbone or large-site aggregation link where a million flows are
+// concurrently inside THRESHOLD. This generator synthesizes that regime
+// with the structure measurement studies agree on:
+//
+//   - Zipf-ranked client and server populations (a few busy principals
+//     carry most sessions, with a long tail of one-flow hosts).
+//   - Poisson flow arrivals; per-flow packet counts are heavy-tailed-ish
+//     (geometric body), packet sizes Pareto with an MTU cap.
+//   - A flash crowd window: arrivals multiply and skew toward the
+//     top-ranked server (everyone fetching the same page).
+//   - A DDoS window: spoofed single-packet flows at a configured rate
+//     toward a victim server -- the worst case for per-flow state, since
+//     every packet is a new flow that will never repeat.
+//
+// The generator is STREAMING: next() produces packets one at a time in
+// nondecreasing timestamp order from O(active sessions) state, so a
+// 10M-packet trace never materializes unless a caller asks
+// generate_internet_trace() to collect it. Determinism: every draw comes
+// from one SplitMix64 chain, so the same config yields the identical packet
+// sequence, call for call.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::trace {
+
+struct InternetWorkloadConfig {
+  std::uint64_t seed = 2047;
+  util::TimeUs duration = util::minutes(10);
+
+  std::uint32_t clients = 200000;   // Zipf-ranked source population
+  std::uint32_t servers = 20000;    // Zipf-ranked destination population
+  double client_zipf = 1.0;         // rank exponent (0 = uniform)
+  double server_zipf = 0.9;
+
+  double flows_per_second = 2000.0;   // baseline new-flow Poisson rate
+  double mean_packets_per_flow = 12.0;
+  double mean_packet_gap_ms = 50.0;   // within a flow
+  int ephemeral_pool = 4;             // per-client port pool (repeat flows)
+
+  /// Flash crowd: during [flash_start, flash_start + flash_length) the
+  /// arrival rate is multiplied by flash_multiplier and the excess arrivals
+  /// all target the top-ranked server. multiplier <= 1 disables.
+  util::TimeUs flash_start = 0;
+  util::TimeUs flash_length = 0;
+  double flash_multiplier = 1.0;
+
+  /// DDoS: during [ddos_start, ddos_start + ddos_length), spoofed
+  /// single-packet flows arrive at ddos_flows_per_second targeting the
+  /// victim (server rank 0). Sources are drawn uniformly from a spoof
+  /// population far larger than the client space. Rate 0 disables.
+  util::TimeUs ddos_start = 0;
+  util::TimeUs ddos_length = 0;
+  double ddos_flows_per_second = 0.0;
+  std::uint32_t ddos_spoof_population = 1u << 22;
+};
+
+/// Zipf(s) sampler over ranks [0, n): O(n) doubles once, O(log n) per draw
+/// via binary search of the cumulative weight table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double exponent);
+  std::uint32_t sample(util::RandomSource& rng) const;
+  std::uint32_t size() const { return static_cast<std::uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+class InternetTraceGenerator {
+ public:
+  explicit InternetTraceGenerator(const InternetWorkloadConfig& config);
+
+  /// Produce the next packet (nondecreasing time). False once every source
+  /// process has run past `duration`; the generator stays exhausted.
+  bool next(PacketRecord& out);
+
+  const InternetWorkloadConfig& config() const { return config_; }
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t ddos_flows() const { return ddos_flows_; }
+  /// Upper bound on generator state (CDF tables + session heap).
+  std::size_t approx_memory_bytes() const;
+
+ private:
+  struct Session {
+    util::TimeUs next_time = 0;
+    std::uint64_t seq = 0;  // tie-break: deterministic order at equal times
+    core::FlowAttributes tuple;
+    std::uint32_t remaining = 0;
+    double gap_mean_us = 0;
+    bool operator>(const Session& o) const {
+      return next_time != o.next_time ? next_time > o.next_time
+                                      : seq > o.seq;
+    }
+  };
+
+  bool in_flash(util::TimeUs t) const;
+  bool in_ddos(util::TimeUs t) const;
+  void schedule_next_flow(util::TimeUs from);
+  void schedule_next_ddos(util::TimeUs from);
+  Session make_session(util::TimeUs at, bool flash_excess);
+  std::uint32_t packet_size();
+  void emit(PacketRecord& out, util::TimeUs t,
+            const core::FlowAttributes& tuple, std::uint32_t size);
+
+  InternetWorkloadConfig config_;
+  util::SplitMix64 rng_;
+  ZipfSampler client_ranks_;
+  ZipfSampler server_ranks_;
+  std::priority_queue<Session, std::vector<Session>, std::greater<>> active_;
+  util::TimeUs next_flow_ = 0;
+  util::TimeUs next_ddos_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t ddos_flows_ = 0;
+};
+
+/// Collect the whole stream (tests and small configs only: a full
+/// million-flow run is ~10M packets, several hundred MB materialized).
+Trace generate_internet_trace(const InternetWorkloadConfig& config);
+
+}  // namespace fbs::trace

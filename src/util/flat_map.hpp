@@ -1,0 +1,250 @@
+// Open-addressing flat hash table for million-flow bookkeeping.
+//
+// The paper's tables are sized for a campus LAN (~872 flows); the
+// production-scale control plane (ROADMAP item 2, DESIGN.md 5i) keeps per-flow
+// state for millions of concurrent flows, where node-based containers
+// (std::map, std::list splice LRU) thrash the allocator and the cache. This
+// is the one hash table all of that bookkeeping sits on: linear probing in a
+// single contiguous slot array, tombstone-free backward-shift erasure, and a
+// rehash counter so callers with a memory budget can assert the table never
+// grows after warm-up ("zero heap-fallback growth in steady state").
+//
+// Design points:
+//   - Slots store the mixed 64-bit hash alongside key/value; 0 marks an
+//     empty slot (computed hashes are forced non-zero). Probes compare the
+//     hash word first, so misses rarely touch the key bytes.
+//   - The caller's Hash is finalized with mix64(), so identity-like hashes
+//     (std::hash<uint64_t> on libstdc++) still probe uniformly.
+//   - Erase backward-shifts the displaced run instead of leaving tombstones,
+//     preserving the invariant that every element is reachable from its home
+//     slot without crossing an empty slot -- lookups never degrade under
+//     churn, which matters for flow tables that turn over continuously.
+//   - Heterogeneous lookup (find/erase on any K the Hash/Eq accept) keeps
+//     BytesView probes allocation-free, mirroring ByteRangeLess in caches.hpp.
+//
+// Not thread-safe; every user shards first (FlowDomain) and locks around the
+// shard, exactly like the rest of the per-flow state.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/flow_hash.hpp"
+
+namespace fbs::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  /// Pre-size so `n` elements fit without rehashing. A budgeted caller
+  /// reserves its budget up front and then asserts rehashes() stays flat.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    // Grow until n fits under the max load factor (7/8).
+    while (want - want / 8 < n) want <<= 1;
+    if (want > slots_.size()) rehash(want, /*count=*/!slots_.empty());
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+  double load_factor() const {
+    return slots_.empty() ? 0.0
+                          : static_cast<double>(size_) /
+                                static_cast<double>(slots_.size());
+  }
+  /// Number of times the slot array was reallocated after initial use.
+  std::uint64_t rehashes() const { return rehashes_; }
+  /// Footprint of the slot array (the table's only heap block).
+  std::size_t memory_bytes() const { return slots_.size() * sizeof(Slot); }
+
+  template <typename K>
+  Value* find(const K& key) {
+    if (slots_.empty()) return nullptr;
+    const std::uint64_t h = hash_of(key);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.hash == 0) return nullptr;
+      if (s.hash == h && Eq{}(s.key, key)) return &s.value;
+    }
+  }
+  template <typename K>
+  const Value* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Insert `key` if absent; returns {slot value, inserted}. The pointer is
+  /// valid until the next rehash or an erase that shifts the slot.
+  std::pair<Value*, bool> try_emplace(const Key& key, Value value = Value{}) {
+    maybe_grow();
+    const std::uint64_t h = hash_of(key);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.hash == 0) {
+        s.hash = h;
+        s.key = key;
+        s.value = std::move(value);
+        ++size_;
+        return {&s.value, true};
+      }
+      if (s.hash == h && Eq{}(s.key, key)) return {&s.value, false};
+    }
+  }
+
+  /// Insert or overwrite.
+  Value* insert(const Key& key, Value value) {
+    auto [slot, inserted] = try_emplace(key, std::move(value));
+    if (!inserted) *slot = std::move(value);
+    return slot;
+  }
+
+  /// Point-erase with backward shift; true if the key was present.
+  template <typename K>
+  bool erase(const K& key) {
+    if (slots_.empty()) return false;
+    const std::uint64_t h = hash_of(key);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.hash == 0) return false;
+      if (s.hash == h && Eq{}(s.key, key)) {
+        shift_out(i);
+        --size_;
+        return true;
+      }
+    }
+  }
+
+  /// Visit every element as fn(const Key&, Value&). Erasing/inserting
+  /// during the walk is not allowed.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_)
+      if (s.hash != 0) fn(static_cast<const Key&>(s.key), s.value);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.hash != 0) fn(s.key, s.value);
+  }
+
+  /// Drop every element, keeping the slot array (a budgeted table stays at
+  /// its reserved footprint).
+  void clear() {
+    for (Slot& s : slots_) {
+      if (s.hash != 0) {
+        s.key = Key{};
+        s.value = Value{};
+        s.hash = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Test hook: every element must be reachable from its home slot without
+  /// crossing an empty slot (the linear-probe invariant backward-shift
+  /// erasure exists to preserve). O(capacity * probe length).
+  bool check_invariants() const {
+    if (slots_.empty()) return size_ == 0;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].hash == 0) continue;
+      ++live;
+      for (std::size_t j = slots_[i].hash & mask; j != i; j = (j + 1) & mask)
+        if (slots_[j].hash == 0) return false;  // hole between home and slot
+    }
+    return live == size_;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;  // mixed, non-zero when occupied
+    Key key{};
+    Value value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  template <typename K>
+  static std::uint64_t hash_of(const K& key) {
+    const std::uint64_t h = mix64(static_cast<std::uint64_t>(Hash{}(key)));
+    return h == 0 ? 0x9E3779B97F4A7C15ull : h;
+  }
+
+  void maybe_grow() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity, /*count=*/false);
+    } else if (size_ + 1 > slots_.size() - slots_.size() / 8) {
+      rehash(slots_.size() * 2, /*count=*/true);
+    }
+  }
+
+  void rehash(std::size_t new_capacity, bool count) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const std::size_t mask = new_capacity - 1;
+    for (Slot& s : old) {
+      if (s.hash == 0) continue;
+      std::size_t i = s.hash & mask;
+      while (slots_[i].hash != 0) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+    if (count) ++rehashes_;
+  }
+
+  /// Backward-shift deletion: walk the probe run after the vacated slot,
+  /// pulling each element back into the hole unless its home slot lies
+  /// cyclically within (hole, element] -- moving such an element would put
+  /// it BEFORE its home. (Stopping at the first at-home element is the
+  /// classic wrong shortcut: a later element of the run may have wrapped
+  /// past it and still need rescue.) The run ends at the first empty slot.
+  /// No tombstones, so probe lengths never accrete.
+  void shift_out(std::size_t i) {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t j = (i + 1) & mask;; j = (j + 1) & mask) {
+      Slot& n = slots_[j];
+      if (n.hash == 0) break;
+      const std::size_t home = n.hash & mask;
+      // home cyclically in (i, j] <=> n may not move back to i.
+      const bool blocked = i <= j ? (i < home && home <= j)
+                                  : (i < home || home <= j);
+      if (blocked) continue;
+      slots_[i] = std::move(n);
+      i = j;
+    }
+    slots_[i].key = Key{};
+    slots_[i].value = Value{};
+    slots_[i].hash = 0;
+  }
+
+  std::vector<Slot> slots_;  // power-of-two size
+  std::size_t size_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+/// Transparent hash over raw byte ranges (util::Bytes keys probed with
+/// BytesView), the FlatMap analogue of caches.hpp's ByteRangeLess.
+struct ByteRangeHash {
+  using is_transparent = void;
+  std::uint64_t operator()(BytesView b) const { return flow_hash64(b); }
+};
+
+/// Transparent equality over raw byte ranges.
+struct ByteRangeEq {
+  using is_transparent = void;
+  bool operator()(BytesView a, BytesView b) const {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+};
+
+}  // namespace fbs::util

@@ -1,0 +1,232 @@
+// Hierarchical timer wheel: O(expired) flow expiry for the million-flow
+// control plane (DESIGN.md 5i).
+//
+// The paper's sweeper() (Figure 7) walks the whole flow state table to find
+// entries whose last datagram is older than THRESHOLD. At 256 entries that
+// is the right simplicity; at a million flows a sweep must cost what it
+// expires, not what it stores. This is the classic hashed hierarchical
+// wheel (Varghese & Lauck): kLevels wheels of kSlots buckets each, level L
+// spanning kSlots^(L+1) ticks, with per-node cascading when a higher wheel's
+// bucket comes due. advance() costs O(ticks elapsed + nodes fired + nodes
+// cascaded) -- independent of how many timers are merely pending.
+//
+// Nodes are identified by dense caller-chosen 32-bit ids (the flow slab
+// index of the owning table), so the wheel needs no id map of its own:
+// node state lives in one flat vector indexed by id, links are 32-bit
+// indices, and the whole structure is 24 bytes per node with no per-timer
+// allocation.
+//
+// Not thread-safe; shard first, like every other piece of per-flow state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fbs::util {
+
+class TimerWheel {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr unsigned kLevelBits = 6;             // 64 slots per level
+  static constexpr std::size_t kSlots = std::size_t{1} << kLevelBits;
+  static constexpr unsigned kLevels = 4;                // 64^4 ticks of range
+  static constexpr std::uint64_t kMaxDelta =
+      (std::uint64_t{1} << (kLevelBits * kLevels)) - 1;
+
+  struct Stats {
+    std::uint64_t scheduled = 0;    // schedule() calls (inserts + moves)
+    std::uint64_t fired = 0;        // nodes delivered to advance()'s callback
+    std::uint64_t cascaded = 0;     // nodes re-placed from a higher level
+    std::uint64_t slot_visits = 0;  // buckets examined by advance()
+  };
+
+  /// `tick_shift`: log2 of the tick length in time units (20 with
+  /// microsecond time gives ~1.05 s ticks, so minute-scale THRESHOLDs live
+  /// on levels 0-1). `start`: current time; deadlines at or before the
+  /// cursor are clamped one tick into the future.
+  explicit TimerWheel(unsigned tick_shift = 20, std::int64_t start = 0)
+      : tick_shift_(tick_shift),
+        now_tick_(static_cast<std::uint64_t>(start < 0 ? 0 : start) >>
+                  tick_shift) {
+    for (auto& level : heads_) level.fill(kNil);
+  }
+
+  std::size_t live() const { return live_; }
+  const Stats& stats() const { return stats_; }
+  bool armed(std::uint32_t id) const {
+    return id < nodes_.size() && nodes_[id].slot != kUnlinked;
+  }
+
+  /// Memory held by the node slab (slot heads are inline members).
+  std::size_t memory_bytes() const { return nodes_.capacity() * sizeof(Node); }
+
+  /// Pre-size the node slab for ids < n (budgeted callers allocate once).
+  void reserve(std::uint32_t n) { nodes_.reserve(n); }
+
+  /// Arm (or re-arm) timer `id` for `deadline`.
+  void schedule(std::uint32_t id, std::int64_t deadline) {
+    if (id >= nodes_.size()) nodes_.resize(id + 1);
+    Node& n = nodes_[id];
+    if (n.slot != kUnlinked) {
+      unlink(id, n);
+    } else {
+      ++live_;
+    }
+    std::uint64_t tick =
+        static_cast<std::uint64_t>(deadline < 0 ? 0 : deadline) >> tick_shift_;
+    // Strictly-future placement: the currently processed tick never grows
+    // new due work, so a callback re-arming its own id cannot loop.
+    if (tick <= now_tick_) tick = now_tick_ + 1;
+    n.deadline_tick = tick;
+    link(id, n);
+    ++stats_.scheduled;
+  }
+
+  /// Pop the armed timer with the (approximately) earliest deadline: scan
+  /// level-0 buckets forward from the cursor, then each higher level's.
+  /// Budgeted flow tables use this to evict the longest-idle flow; cost is
+  /// O(kLevels * kSlots) worst case, independent of the number of timers.
+  /// Returns kNil when nothing is armed. Ordering is approximate (bucket
+  /// granularity within a level, head-of-bucket within a slot), which is
+  /// exactly as much precision as an eviction heuristic needs.
+  std::uint32_t pop_earliest() {
+    for (unsigned level = 0; level < kLevels; ++level) {
+      const std::size_t base = slot_of(now_tick_, level);
+      for (std::size_t s = 1; s <= kSlots; ++s) {
+        const std::size_t slot = (base + s) & (kSlots - 1);
+        const std::uint32_t id = heads_[level][slot];
+        if (id == kNil) continue;
+        Node& n = nodes_[id];
+        unlink(id, n);
+        n.slot = kUnlinked;
+        --live_;
+        return id;
+      }
+    }
+    return kNil;
+  }
+
+  /// Drop every armed timer; the cursor and node-slab capacity are kept, so
+  /// a cleared wheel re-arms without allocating (crash/restart soft-state
+  /// semantics).
+  void clear() {
+    for (auto& level : heads_) level.fill(kNil);
+    nodes_.clear();
+    live_ = 0;
+  }
+
+  /// Disarm `id` if armed (point-cancel: O(1), no scan).
+  void cancel(std::uint32_t id) {
+    if (id >= nodes_.size()) return;
+    Node& n = nodes_[id];
+    if (n.slot == kUnlinked) return;
+    unlink(id, n);
+    n.slot = kUnlinked;
+    --live_;
+  }
+
+  /// Advance the cursor to `now`, invoking fire(id) for every timer whose
+  /// deadline tick has been reached, in tick order. A fired timer is
+  /// disarmed before its callback runs, so the callback may re-schedule the
+  /// same id (the lazy re-arm idiom flow expiry uses).
+  template <typename Fn>
+  void advance(std::int64_t now, Fn&& fire) {
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(now < 0 ? 0 : now) >> tick_shift_;
+    while (now_tick_ < target) {
+      ++now_tick_;
+      // When a wheel wraps to slot 0, pull the next higher wheel's current
+      // bucket down: each node re-places itself by its own deadline.
+      for (unsigned level = 1; level < kLevels; ++level) {
+        if (slot_of(now_tick_, level - 1) != 0) break;
+        cascade(level);
+      }
+      // Level 0's current bucket is due exactly now.
+      const std::size_t slot = slot_of(now_tick_, 0);
+      ++stats_.slot_visits;
+      std::uint32_t id = heads_[0][slot];
+      heads_[0][slot] = kNil;
+      while (id != kNil) {
+        Node& n = nodes_[id];
+        const std::uint32_t next = n.next;
+        n.prev = n.next = kNil;
+        n.slot = kUnlinked;
+        --live_;
+        ++stats_.fired;
+        fire(id);
+        id = next;
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    std::uint64_t deadline_tick = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint16_t slot = kUnlinked;  // level * kSlots + slot when linked
+    std::uint16_t pad = 0;
+  };
+  static constexpr std::uint16_t kUnlinked = 0xFFFF;
+
+  static std::size_t slot_of(std::uint64_t tick, unsigned level) {
+    return (tick >> (kLevelBits * level)) & (kSlots - 1);
+  }
+
+  /// Place a node by its deadline relative to the cursor: level L holds
+  /// deltas in [kSlots^L, kSlots^(L+1)); beyond the top level's span the
+  /// node parks in the top wheel and re-cascades until its delta fits.
+  void link(std::uint32_t id, Node& n) {
+    std::uint64_t delta =
+        n.deadline_tick > now_tick_ ? n.deadline_tick - now_tick_ : 1;
+    if (delta > kMaxDelta) delta = kMaxDelta;
+    const std::uint64_t placed_tick = now_tick_ + delta;
+    unsigned level = 0;
+    while (level + 1 < kLevels && (delta >> (kLevelBits * (level + 1))))
+      ++level;
+    const std::size_t slot = slot_of(placed_tick, level);
+    const std::size_t head = level * kSlots + slot;
+    n.slot = static_cast<std::uint16_t>(head);
+    n.prev = kNil;
+    n.next = heads_[level][slot];
+    if (n.next != kNil) nodes_[n.next].prev = id;
+    heads_[level][slot] = id;
+  }
+
+  void unlink(std::uint32_t id, Node& n) {
+    (void)id;
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      heads_[n.slot / kSlots][n.slot % kSlots] = n.next;
+    }
+    if (n.next != kNil) nodes_[n.next].prev = n.prev;
+    n.prev = n.next = kNil;
+  }
+
+  /// Move every node of `level`'s current bucket down by its own deadline.
+  void cascade(unsigned level) {
+    const std::size_t slot = slot_of(now_tick_, level);
+    ++stats_.slot_visits;
+    std::uint32_t id = heads_[level][slot];
+    heads_[level][slot] = kNil;
+    while (id != kNil) {
+      Node& n = nodes_[id];
+      const std::uint32_t next = n.next;
+      n.prev = n.next = kNil;
+      link(id, n);
+      ++stats_.cascaded;
+      id = next;
+    }
+  }
+
+  unsigned tick_shift_;
+  std::uint64_t now_tick_;
+  std::vector<Node> nodes_;
+  std::array<std::array<std::uint32_t, kSlots>, kLevels> heads_;
+  std::size_t live_ = 0;
+  Stats stats_;
+};
+
+}  // namespace fbs::util

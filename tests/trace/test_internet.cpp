@@ -1,0 +1,212 @@
+// Internet-scale trace generator: determinism (same seed, same packets),
+// streaming-vs-collected equivalence, timestamp monotonicity, and the
+// distinguishing structure of each regime -- Zipf skew, the flash-crowd
+// window pulling excess arrivals to the top server, and the DDoS window
+// emitting never-repeating spoofed single-packet flows.
+#include "trace/internet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/record.hpp"
+
+namespace fbs::trace {
+namespace {
+
+constexpr std::uint32_t kClientBase = 0x0A000000u;
+constexpr std::uint32_t kServerBase = 0xC6600000u;
+constexpr std::uint32_t kSpoofBase = 0x40000000u;
+
+InternetWorkloadConfig small_config() {
+  InternetWorkloadConfig cfg;
+  cfg.seed = 1234;
+  cfg.duration = util::seconds(30);
+  cfg.clients = 500;
+  cfg.servers = 50;
+  cfg.flows_per_second = 100.0;
+  cfg.mean_packets_per_flow = 6.0;
+  cfg.mean_packet_gap_ms = 20.0;
+  return cfg;
+}
+
+bool same_record(const PacketRecord& a, const PacketRecord& b) {
+  return a.time == b.time && a.size == b.size &&
+         a.tuple.protocol == b.tuple.protocol &&
+         a.tuple.source_address == b.tuple.source_address &&
+         a.tuple.source_port == b.tuple.source_port &&
+         a.tuple.destination_address == b.tuple.destination_address &&
+         a.tuple.destination_port == b.tuple.destination_port;
+}
+
+TEST(InternetTrace, SameSeedSameTrace) {
+  const Trace a = generate_internet_trace(small_config());
+  const Trace b = generate_internet_trace(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_TRUE(same_record(a[i], b[i])) << "packet " << i;
+}
+
+TEST(InternetTrace, DifferentSeedDifferentTrace) {
+  InternetWorkloadConfig other = small_config();
+  other.seed = 4321;
+  const Trace a = generate_internet_trace(small_config());
+  const Trace b = generate_internet_trace(other);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = !same_record(a[i], b[i]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(InternetTrace, StreamingMatchesCollected) {
+  const Trace collected = generate_internet_trace(small_config());
+  InternetTraceGenerator gen(small_config());
+  PacketRecord r;
+  std::size_t i = 0;
+  while (gen.next(r)) {
+    ASSERT_LT(i, collected.size());
+    ASSERT_TRUE(same_record(r, collected[i])) << "packet " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, collected.size());
+  // Exhaustion is sticky.
+  EXPECT_FALSE(gen.next(r));
+}
+
+TEST(InternetTrace, TimestampsNondecreasingAndWithinDuration) {
+  const InternetWorkloadConfig cfg = small_config();
+  InternetTraceGenerator gen(cfg);
+  PacketRecord r;
+  util::TimeUs prev = 0;
+  while (gen.next(r)) {
+    EXPECT_GE(r.time, prev);
+    prev = r.time;
+  }
+  EXPECT_LE(prev, cfg.duration);
+  EXPECT_GT(gen.flows_started(), 0u);
+}
+
+TEST(InternetTrace, AddressPlanSeparatesPopulations) {
+  const Trace t = generate_internet_trace(small_config());
+  for (const PacketRecord& r : t) {
+    EXPECT_GE(r.tuple.source_address, kClientBase);
+    EXPECT_LT(r.tuple.source_address, kClientBase + 500);
+    EXPECT_GE(r.tuple.destination_address, kServerBase);
+    EXPECT_LT(r.tuple.destination_address, kServerBase + 50);
+    EXPECT_GT(r.size, 0u);
+    EXPECT_LE(r.size, 1460u);
+  }
+}
+
+TEST(InternetTrace, ZipfSkewsTowardLowRanks) {
+  util::SplitMix64 rng(99);
+  ZipfSampler zipf(1000, 1.0);
+  std::uint64_t low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t r = zipf.sample(rng);
+    ASSERT_LT(r, 1000u);
+    if (r < 10) ++low;
+    if (r >= 500) ++high;
+  }
+  // With s=1 over 1000 ranks, the top 10 ranks carry ~39% of the mass and
+  // the bottom half ~9%; leave wide margins.
+  EXPECT_GT(low, 4000u);
+  EXPECT_LT(high, 4000u);
+}
+
+TEST(InternetTrace, UniformExponentIsUnskewed) {
+  util::SplitMix64 rng(100);
+  ZipfSampler uniform(1000, 0.0);
+  std::uint64_t low = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (uniform.sample(rng) < 100) ++low;
+  EXPECT_NEAR(static_cast<double>(low), 2000.0, 400.0);
+}
+
+TEST(InternetTrace, FlashCrowdRaisesArrivalsTowardTopServer) {
+  InternetWorkloadConfig cfg = small_config();
+  cfg.duration = util::seconds(60);
+  cfg.flash_start = util::seconds(30);
+  cfg.flash_length = util::seconds(20);
+  cfg.flash_multiplier = 5.0;
+  const Trace t = generate_internet_trace(cfg);
+
+  // Compare the flash window against an equal-length quiet window. Every
+  // flow opens with a 40-byte first packet (data packets are >= 64 bytes),
+  // so size == 40 is an exact flow-arrival marker.
+  std::uint64_t quiet_arrivals = 0, flash_arrivals = 0, flash_to_victim = 0;
+  for (const PacketRecord& r : t) {
+    if (r.size != 40) continue;
+    if (r.time < util::seconds(20)) {
+      ++quiet_arrivals;
+    } else if (r.time >= cfg.flash_start &&
+               r.time < cfg.flash_start + cfg.flash_length) {
+      ++flash_arrivals;
+      if (r.tuple.destination_address == kServerBase) ++flash_to_victim;
+    }
+  }
+  EXPECT_GT(flash_arrivals, quiet_arrivals * 3);  // 5x rate, wide margin
+  // The excess (4/5 of flash arrivals) all targets server rank 0.
+  EXPECT_GT(flash_to_victim * 2, flash_arrivals);
+}
+
+TEST(InternetTrace, DdosWindowEmitsSpoofedSinglePacketFlows) {
+  InternetWorkloadConfig cfg = small_config();
+  cfg.duration = util::seconds(60);
+  cfg.ddos_start = util::seconds(30);
+  cfg.ddos_length = util::seconds(10);
+  cfg.ddos_flows_per_second = 500.0;
+  const Trace t = generate_internet_trace(cfg);
+
+  // Spoofed sources sit in [kSpoofBase, kSpoofBase + population), disjoint
+  // from the (much lower) client block.
+  std::map<std::uint32_t, std::uint32_t> spoof_packets;  // per spoofed source
+  std::uint64_t outside_window = 0;
+  for (const PacketRecord& r : t) {
+    if (r.tuple.source_address < kSpoofBase) continue;  // legit traffic
+    EXPECT_LT(r.tuple.source_address, kSpoofBase + cfg.ddos_spoof_population);
+    EXPECT_EQ(r.tuple.destination_address, kServerBase);  // the victim
+    EXPECT_EQ(r.size, 40u);
+    if (r.time < cfg.ddos_start || r.time >= cfg.ddos_start + cfg.ddos_length)
+      ++outside_window;
+    ++spoof_packets[r.tuple.source_address];
+  }
+  EXPECT_EQ(outside_window, 0u);
+  // ~5000 attack flows drawn from a 4M spoof space: virtually all sources
+  // appear exactly once (each packet is a fresh flow).
+  EXPECT_GT(spoof_packets.size(), 4000u);
+  std::uint64_t repeats = 0;
+  for (const auto& [src, n] : spoof_packets)
+    if (n > 1) ++repeats;
+  EXPECT_LT(repeats, spoof_packets.size() / 100);
+}
+
+TEST(InternetTrace, DdosCounterTracksAttackFlows) {
+  InternetWorkloadConfig cfg = small_config();
+  cfg.ddos_start = util::seconds(5);
+  cfg.ddos_length = util::seconds(5);
+  cfg.ddos_flows_per_second = 200.0;
+  InternetTraceGenerator gen(cfg);
+  PacketRecord r;
+  std::uint64_t spoofed = 0;
+  while (gen.next(r))
+    if (r.tuple.source_address >= kSpoofBase) ++spoofed;
+  EXPECT_EQ(gen.ddos_flows(), spoofed);
+  EXPECT_NEAR(static_cast<double>(spoofed), 1000.0, 300.0);
+}
+
+TEST(InternetTrace, StreamingStateStaysSmall) {
+  // The point of streaming generation: state is CDF tables + active
+  // sessions, not the trace. 30 s at 100 flows/s with ~6-packet flows
+  // keeps well under a thousand concurrent sessions.
+  InternetTraceGenerator gen(small_config());
+  PacketRecord r;
+  std::size_t packets = 0;
+  while (gen.next(r)) ++packets;
+  EXPECT_GT(packets, 1000u);
+  EXPECT_LT(gen.approx_memory_bytes(), std::size_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace fbs::trace

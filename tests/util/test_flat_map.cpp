@@ -1,0 +1,167 @@
+// FlatMap: open-addressing invariants under churn, checked against a
+// std::unordered_map oracle. The backward-shift erase is the part with
+// sharp edges (a wrapped probe run whose elements must be rescued past an
+// at-home neighbor), so the property test hammers erase-heavy mixes at
+// high load factors and validates check_invariants() -- every element
+// reachable from its home slot without crossing a hole -- after every
+// phase.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::util {
+namespace {
+
+TEST(FlatMap, InsertFindEraseBasics) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7u), nullptr);
+
+  auto [v, inserted] = m.try_emplace(7, 42);
+  ASSERT_TRUE(inserted);
+  EXPECT_EQ(*v, 42);
+  auto [v2, again] = m.try_emplace(7, 99);
+  EXPECT_FALSE(again);
+  EXPECT_EQ(*v2, 42);  // try_emplace does not overwrite
+
+  m.insert(7, 99);  // insert does
+  EXPECT_EQ(*m.find(7u), 99);
+  EXPECT_EQ(m.size(), 1u);
+
+  EXPECT_TRUE(m.erase(7u));
+  EXPECT_FALSE(m.erase(7u));
+  EXPECT_EQ(m.find(7u), nullptr);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(FlatMap, ReserveMakesSteadyStateRehashFree) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  m.reserve(10000);
+  const std::size_t cap = m.capacity();
+  for (std::uint64_t i = 0; i < 10000; ++i) m.try_emplace(i, i);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.rehashes(), 0u);
+  // Churn at full size: erase+insert cycles must never grow either.
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    m.erase(i % 10000);
+    m.try_emplace(100000 + i, i);
+    m.erase(100000 + i);
+    m.try_emplace(i % 10000, i);
+  }
+  EXPECT_EQ(m.rehashes(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(FlatMap, GrowsAndCountsRehashesWithoutReserve) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t i = 0; i < 5000; ++i) m.try_emplace(i, 1);
+  EXPECT_GT(m.rehashes(), 0u);
+  for (std::uint64_t i = 0; i < 5000; ++i)
+    ASSERT_NE(m.find(i), nullptr) << i;
+  EXPECT_TRUE(m.check_invariants());
+}
+
+// The oracle property test: random insert/erase/overwrite churn, with the
+// flat map checked against std::unordered_map after every operation batch.
+TEST(FlatMap, ChurnMatchesUnorderedMapOracle) {
+  SplitMix64 rng(0xF1A7);
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+
+  // Small key universe => constant collisions and long probe runs; the
+  // erase-heavy phases push wrapped-run rescue cases.
+  const std::uint64_t kUniverse = 512;
+  for (int phase = 0; phase < 40; ++phase) {
+    const bool erase_heavy = phase % 2 == 1;
+    for (int op = 0; op < 400; ++op) {
+      const std::uint64_t key = rng.next_below(kUniverse);
+      const int kind = static_cast<int>(rng.next_below(erase_heavy ? 2 : 3));
+      if (kind == 0 && erase_heavy) {
+        EXPECT_EQ(m.erase(key), oracle.erase(key) > 0);
+      } else if (kind == 2) {
+        const std::uint64_t val = rng.next_u64();
+        m.insert(key, val);
+        oracle[key] = val;
+      } else {
+        const std::uint64_t val = rng.next_u64();
+        auto [slot, inserted] = m.try_emplace(key, val);
+        auto [it, oinserted] = oracle.try_emplace(key, val);
+        EXPECT_EQ(inserted, oinserted);
+        EXPECT_EQ(*slot, it->second);
+      }
+    }
+    ASSERT_TRUE(m.check_invariants()) << "phase " << phase;
+    ASSERT_EQ(m.size(), oracle.size()) << "phase " << phase;
+    for (const auto& [k, v] : oracle) {
+      const std::uint64_t* found = m.find(k);
+      ASSERT_NE(found, nullptr) << "phase " << phase << " key " << k;
+      ASSERT_EQ(*found, v);
+    }
+    for (std::uint64_t k = 0; k < kUniverse; ++k) {
+      if (!oracle.count(k)) {
+        ASSERT_EQ(m.find(k), nullptr) << k;
+      }
+    }
+  }
+}
+
+TEST(FlatMap, ForEachVisitsEveryElementOnce) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.try_emplace(i, i * 3);
+  for (std::uint64_t i = 0; i < 100; i += 2) m.erase(i);
+  std::uint64_t count = 0, sum = 0;
+  m.for_each([&](const std::uint64_t& k, std::uint64_t& v) {
+    ++count;
+    sum += v;
+    EXPECT_EQ(v, k * 3);
+  });
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(m.size(), 50u);
+  (void)sum;
+}
+
+TEST(FlatMap, ClearKeepsCapacity) {
+  FlatMap<std::uint64_t, int> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  for (std::uint64_t i = 0; i < 1000; ++i) m.try_emplace(i, 1);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.find(1u), nullptr);
+  for (std::uint64_t i = 0; i < 1000; ++i) m.try_emplace(i, 2);
+  EXPECT_EQ(m.rehashes(), 0u);
+}
+
+TEST(FlatMap, HeterogeneousByteRangeLookupDoesNotAllocate) {
+  FlatMap<Bytes, int, ByteRangeHash, ByteRangeEq> m;
+  const Bytes key = {1, 2, 3, 4, 5};
+  m.try_emplace(key, 7);
+  // Probe with a non-owning view over different storage.
+  const std::uint8_t raw[] = {1, 2, 3, 4, 5};
+  EXPECT_NE(m.find(BytesView(raw, 5)), nullptr);
+  EXPECT_EQ(*m.find(BytesView(raw, 5)), 7);
+  const std::uint8_t other[] = {1, 2, 3, 4, 6};
+  EXPECT_EQ(m.find(BytesView(other, 5)), nullptr);
+  EXPECT_TRUE(m.erase(BytesView(raw, 5)));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, MemoryBytesTracksSlotArray) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  m.reserve(1 << 16);
+  const std::size_t bytes = m.memory_bytes();
+  EXPECT_GE(bytes, (1u << 16) * (sizeof(std::uint64_t) * 3));
+  for (std::uint64_t i = 0; i < (1u << 16); ++i) m.try_emplace(i, i);
+  EXPECT_EQ(m.memory_bytes(), bytes);
+}
+
+}  // namespace
+}  // namespace fbs::util

@@ -1,0 +1,198 @@
+// TimerWheel: hierarchical (Varghese & Lauck) wheel behind O(expired) flow
+// expiry. The tests run with tick_shift=0 so one time unit == one tick and
+// deadline arithmetic is exact at level 0; multi-level behavior is exercised
+// with deadlines beyond 64 and 4096 ticks, which must cascade down and still
+// fire in deadline order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer_wheel.hpp"
+
+namespace fbs::util {
+namespace {
+
+std::vector<std::uint32_t> drain(TimerWheel& w, std::int64_t until) {
+  std::vector<std::uint32_t> fired;
+  w.advance(until, [&](std::uint32_t id) { fired.push_back(id); });
+  return fired;
+}
+
+TEST(TimerWheel, FiresAtDeadlineNotBefore) {
+  TimerWheel w(/*tick_shift=*/0);
+  w.schedule(1, 10);
+  EXPECT_TRUE(w.armed(1));
+  EXPECT_TRUE(drain(w, 9).empty());
+  EXPECT_TRUE(w.armed(1));
+  auto fired = drain(w, 10);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_FALSE(w.armed(1));
+  EXPECT_EQ(w.live(), 0u);
+}
+
+TEST(TimerWheel, CancelDisarms) {
+  TimerWheel w(0);
+  w.schedule(3, 5);
+  w.schedule(4, 5);
+  w.cancel(3);
+  EXPECT_FALSE(w.armed(3));
+  EXPECT_TRUE(w.armed(4));
+  EXPECT_EQ(w.live(), 1u);
+  auto fired = drain(w, 100);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 4u);
+  w.cancel(3);   // double-cancel is a no-op
+  w.cancel(99);  // unknown id is a no-op
+}
+
+TEST(TimerWheel, RescheduleMovesDeadline) {
+  TimerWheel w(0);
+  w.schedule(7, 5);
+  w.schedule(7, 500);  // re-arm further out; must not fire at 5
+  EXPECT_EQ(w.live(), 1u);
+  EXPECT_TRUE(drain(w, 499).empty());
+  auto fired = drain(w, 500);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 7u);
+}
+
+// Far-future timers land on higher wheels and must cascade down level by
+// level, firing in deadline order regardless of insertion order.
+TEST(TimerWheel, CascadeFiresInDeadlineOrderAcrossLevels) {
+  TimerWheel w(0);
+  // Deadlines spanning level 0 (<64), level 1 (<4096), level 2 (<262144)
+  // and level 3, inserted shuffled.
+  struct Item {
+    std::uint32_t id;
+    std::int64_t deadline;
+  };
+  std::vector<Item> items;
+  SplitMix64 rng(0x7EE1);
+  for (std::uint32_t id = 0; id < 400; ++id) {
+    const unsigned level = id % 4;
+    const std::int64_t base = level == 0   ? 1
+                              : level == 1 ? 64
+                              : level == 2 ? 4096
+                                           : 262144;
+    items.push_back({id, base + static_cast<std::int64_t>(
+                                    rng.next_below(base * 3))});
+  }
+  for (std::size_t i = items.size(); i > 1; --i)
+    std::swap(items[i - 1], items[rng.next_below(i)]);
+  for (const Item& it : items) w.schedule(it.id, it.deadline);
+  EXPECT_EQ(w.live(), items.size());
+
+  std::vector<std::uint32_t> fired;
+  std::int64_t last_deadline = -1;
+  std::vector<std::int64_t> deadline_of(400);
+  for (const Item& it : items) deadline_of[it.id] = it.deadline;
+  // Advance in odd-sized strides to hit mid-wheel cursor positions, then a
+  // final drain past every deadline. A timer whose deadline tick lands
+  // exactly on a cascade boundary is re-placed strictly-future and fires one
+  // tick late, so the assertions allow a 1-tick skew.
+  const std::int64_t limit = 262144 * 4 + 2048;
+  auto on_fire = [&](std::int64_t now) {
+    return [&, now](std::uint32_t id) {
+      fired.push_back(id);
+      EXPECT_LE(deadline_of[id], now);           // never early
+      EXPECT_GE(deadline_of[id], now - 978);     // never > stride+skew late
+      EXPECT_GE(deadline_of[id] + 1, last_deadline);  // ordered mod skew
+      last_deadline = std::max(last_deadline, deadline_of[id]);
+    };
+  };
+  for (std::int64_t now = 0; now < limit; now += 977)
+    w.advance(now, on_fire(now));
+  w.advance(limit, on_fire(limit));
+  EXPECT_EQ(fired.size(), items.size());
+  EXPECT_EQ(w.live(), 0u);
+  EXPECT_GT(w.stats().cascaded, 0u);  // higher levels really were used
+  // Every id fired exactly once.
+  std::sort(fired.begin(), fired.end());
+  for (std::uint32_t id = 0; id < 400; ++id) EXPECT_EQ(fired[id], id);
+}
+
+// The lazy re-arm idiom: a fired callback re-schedules its own id. The wheel
+// disarms before firing, so this must neither loop nor lose the timer.
+TEST(TimerWheel, CallbackMayRearmOwnId) {
+  TimerWheel w(0);
+  w.schedule(1, 10);
+  int fires = 0;
+  w.advance(10, [&](std::uint32_t id) {
+    ++fires;
+    w.schedule(id, 20);  // flow turned out to still be fresh
+  });
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(w.armed(1));
+  auto fired = drain(w, 20);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+// The point of the wheel: advancing over a sea of pending timers costs ticks
+// walked plus work delivered, not timers stored.
+TEST(TimerWheel, AdvanceCostIndependentOfPendingTimers) {
+  TimerWheel w(0);
+  w.reserve(100000);
+  // 100k timers all far in the future (level 3).
+  for (std::uint32_t id = 0; id < 100000; ++id)
+    w.schedule(id, 1 << 20);
+  const std::uint64_t visits_before = w.stats().slot_visits;
+  auto fired = drain(w, 4000);  // walk 4000 ticks; nothing is due
+  EXPECT_TRUE(fired.empty());
+  const std::uint64_t visits = w.stats().slot_visits - visits_before;
+  // 4000 level-0 buckets + ~62 level-1 cascade visits + 1 level-2; far less
+  // than one visit per pending timer.
+  EXPECT_LT(visits, 4100u);
+  EXPECT_EQ(w.stats().fired, 0u);
+  EXPECT_EQ(w.live(), 100000u);
+}
+
+TEST(TimerWheel, PopEarliestReturnsApproximateOldestFirst) {
+  TimerWheel w(0);
+  w.schedule(10, 5000);   // level 1/2 territory
+  w.schedule(11, 30);     // level 0: earliest
+  w.schedule(12, 200000); // level 2/3
+  EXPECT_EQ(w.pop_earliest(), 11u);
+  EXPECT_FALSE(w.armed(11));
+  EXPECT_EQ(w.pop_earliest(), 10u);
+  EXPECT_EQ(w.pop_earliest(), 12u);
+  EXPECT_EQ(w.pop_earliest(), TimerWheel::kNil);
+  EXPECT_EQ(w.live(), 0u);
+  // Popped timers never fire.
+  EXPECT_TRUE(drain(w, 1 << 20).empty());
+}
+
+TEST(TimerWheel, ClearDropsAllTimers) {
+  TimerWheel w(0);
+  for (std::uint32_t id = 0; id < 100; ++id) w.schedule(id, 10 + id * 100);
+  w.clear();
+  EXPECT_EQ(w.live(), 0u);
+  EXPECT_FALSE(w.armed(5));
+  EXPECT_TRUE(drain(w, 1 << 20).empty());
+  // The wheel is reusable after clear().
+  w.schedule(1, (1 << 20) + 7);
+  auto fired = drain(w, (1 << 20) + 7);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(TimerWheel, TickShiftCoarsensDeadlines) {
+  // tick_shift=20 (the FAM default): microsecond deadlines quantize DOWN to
+  // ~1.05 s ticks, so a timer may fire up to one tick early but never
+  // before its deadline's tick begins (which is why the flow policy
+  // re-checks flow_expired() on fire instead of trusting the wheel).
+  TimerWheel w(20);
+  const std::int64_t deadline = 3'000'000;  // 3 s in us, tick 2
+  const std::int64_t tick_start = (deadline >> 20) << 20;
+  w.schedule(1, deadline);
+  EXPECT_TRUE(drain(w, tick_start - 1).empty());
+  auto fired = drain(w, deadline + (1 << 20));
+  ASSERT_EQ(fired.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fbs::util

@@ -29,9 +29,10 @@ import json
 import sys
 
 HIGHER_BETTER = ("kbps", "kBps", "Bps", "per_sec", "throughput", "hits",
-                 "speedup", "gate")
+                 "speedup", "gate", "load_factor")
 LOWER_BETTER = ("us_per_pkt", "_us", ".us", "_ns", ".ns", "seconds",
-                "misses", "evictions", "cost")
+                "misses", "miss_rate", "evictions", "cost", "cascades",
+                "touched", "pressure")
 
 
 def direction(name: str):

@@ -20,6 +20,12 @@
 #                                 # unit tests plus the routed-topology
 #                                 # survival scenarios (congestion, rekey
 #                                 # failover, rebinding, 30-node soaks)
+#   tools/check.sh --megaflow-smoke  # ASan+UBSan build, run the million-flow
+#                                 # control-plane suites (ctest -L megaflow:
+#                                 # flat map, timer wheel, megaflow policy,
+#                                 # internet trace), then the megaflow bench
+#                                 # at 64k flows with its steady-state /
+#                                 # expiry / memory-ceiling gates asserted
 #   FBS_CHECK_JOBS=8 tools/check.sh   # override parallelism (default: nproc)
 #
 # Exit status is non-zero as soon as any step fails.
@@ -117,6 +123,28 @@ if [ "${1:-}" = "--mesh-smoke" ]; then
   echo "== mesh suites (ctest -L mesh) =="
   ctest --test-dir "$BUILD_DIR" -L mesh -j "$JOBS" --output-on-failure
   echo "Mesh smoke passed."
+  exit 0
+fi
+
+if [ "${1:-}" = "--megaflow-smoke" ]; then
+  # Million-flow control plane gate (DESIGN.md 5i): the budgeted flat-hash +
+  # timer-wheel suites under ASan+UBSan, then the megaflow bench scaled down
+  # to 64k flows -- still enough to exercise budget eviction, the flash
+  # crowd and the DDoS window -- with its hard gates (zero steady-state heap
+  # growth, O(expired) sweeps, per-shard memory ceiling) asserted in-process.
+  BUILD_DIR=build-sanitize
+  echo "== configure ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFBS_SANITIZE=ON
+  echo "== build megaflow suites + bench =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target test_megaflow_structures test_megaflow_policy \
+             test_internet_trace fbs_bench_megaflow
+  echo "== megaflow suites (ctest -L megaflow) =="
+  ctest --test-dir "$BUILD_DIR" -L megaflow -j "$JOBS" --output-on-failure
+  echo "== megaflow bench @ 64k flows (gates asserted) =="
+  FBS_MEGAFLOW_FLOWS=65536 FBS_MEGAFLOW_ASSERT=1 \
+    "$BUILD_DIR/bench/fbs_bench_megaflow"
+  echo "Megaflow smoke passed."
   exit 0
 fi
 
