@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cert/certificate.hpp"
+#include "net/simnet.hpp"
 #include "cert/directory.hpp"
 #include "crypto/dh.hpp"
 #include "fbs/ip_map.hpp"

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "crypto/dh.hpp"
+#include "net/simnet.hpp"
 #include "fbs/app_map.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "cert/certificate.hpp"
+#include "net/simnet.hpp"
 #include "cert/directory.hpp"
 #include "crypto/dh.hpp"
 #include "fbs/ip_map.hpp"

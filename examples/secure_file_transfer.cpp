@@ -12,6 +12,7 @@
 #include <map>
 
 #include "cert/certificate.hpp"
+#include "net/simnet.hpp"
 #include "cert/directory.hpp"
 #include "crypto/dh.hpp"
 #include "fbs/ip_map.hpp"

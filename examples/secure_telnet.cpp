@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "crypto/dh.hpp"
+#include "net/simnet.hpp"
 #include "fbs/ip_map.hpp"
 #include "net/tcp.hpp"
 #include "util/clock.hpp"

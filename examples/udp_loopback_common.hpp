@@ -1,0 +1,126 @@
+// Shared world for the cross-process UDP loopback pair (udp_loopback_responder
+// / udp_loopback_initiator): the first time FBS moves real packets.
+//
+// FBS keying is zero-message (Section 4): a flow key derives from the
+// *certified public values* of the two parties, so two processes can
+// interoperate with no key-exchange traffic as long as they agree on the
+// certificate world. Both binaries build that world identically from one
+// fixed seed -- same CA, same two Diffie-Hellman keypairs generated in the
+// same order, same certificates published to each process's local directory
+// (the directory fetch is a local bypass in the paper too). Each process
+// then keeps only its OWN private value for its master-key daemon; the
+// peer's key never crosses the process boundary, exactly as deployed hosts
+// would hold their own long-term secrets. Everything after that -- flow
+// setup, MACs, DES-CBC bodies, replay windows -- happens over the real UDP
+// socket between the processes.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cert/certificate.hpp"
+#include "cert/directory.hpp"
+#include "crypto/dh.hpp"
+#include "fbs/ip_map.hpp"
+#include "net/pcap.hpp"
+#include "net/udp.hpp"
+#include "net/udp_transport.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fbs::examples {
+
+// One seed, one world: both processes must use the same value.
+constexpr std::uint64_t kWorldSeed = 0xFB5'96'01'01;
+
+// FBS-layer addresses (what the IP headers and flow attributes carry); the
+// socket layer underneath is 127.0.0.1:<ephemeral>.
+inline net::Ipv4Address initiator_address() {
+  return *net::Ipv4Address::parse("10.77.0.1");
+}
+inline net::Ipv4Address responder_address() {
+  return *net::Ipv4Address::parse("10.77.0.2");
+}
+
+constexpr std::uint16_t kInitiatorPort = 4000;  // FBS-layer UDP ports
+constexpr std::uint16_t kResponderPort = 7777;
+
+struct LoopbackHost {
+  util::SteadyClock clock;
+  util::SplitMix64 rng{kWorldSeed};
+  std::unique_ptr<cert::CertificateAuthority> ca;
+  std::unique_ptr<cert::DirectoryService> directory;
+  std::unique_ptr<net::UdpTransport> transport;
+  std::unique_ptr<core::MasterKeyDaemon> mkd;
+  std::unique_ptr<core::KeyManager> keys;
+  std::unique_ptr<net::IpStack> stack;
+  std::unique_ptr<core::FbsIpMapping> fbs;
+  std::unique_ptr<net::UdpService> udp;
+  std::unique_ptr<net::PcapWriter> pcap;
+};
+
+/// Build one side of the deterministic world. `initiator` picks which of
+/// the two enrolled identities this process embodies; `bind_port` 0 asks
+/// the kernel for an ephemeral socket port (read it back via
+/// host.transport->local_port()).
+inline bool make_loopback_host(LoopbackHost& host, bool initiator,
+                               std::uint16_t bind_port,
+                               const std::string& pcap_path) {
+  // Identical derivation in both processes: CA first, then the initiator's
+  // DH keypair, then the responder's, all off the one seeded generator.
+  host.ca = std::make_unique<cert::CertificateAuthority>(512, host.rng);
+  host.directory = std::make_unique<cert::DirectoryService>();
+  const auto& group = crypto::oakley_group1();
+  const crypto::DhKeyPair dh_init = crypto::dh_generate(group, host.rng);
+  const crypto::DhKeyPair dh_resp = crypto::dh_generate(group, host.rng);
+
+  const auto enroll = [&](net::Ipv4Address addr,
+                          const crypto::DhKeyPair& dh) {
+    host.directory->publish(host.ca->issue(
+        core::Principal::from_ipv4(addr).address, group.name,
+        dh.public_value.to_bytes_be(group.element_size()), 0,
+        host.clock.now() + util::minutes(60 * 24)));
+  };
+  enroll(initiator_address(), dh_init);
+  enroll(responder_address(), dh_resp);
+
+  const net::Ipv4Address self =
+      initiator ? initiator_address() : responder_address();
+  const crypto::DhKeyPair& own = initiator ? dh_init : dh_resp;
+
+  // The world derivation above must be byte-identical in both processes;
+  // everything after it (sfl draws, confounders) must NOT be -- fork the
+  // session generator per role so the two sides' flow labels differ.
+  host.rng = util::SplitMix64(kWorldSeed ^ (initiator ? 0x1111u : 0x2222u));
+
+  net::UdpTransportConfig tcfg;
+  tcfg.bind_port = bind_port;
+  host.transport = std::make_unique<net::UdpTransport>(host.clock, tcfg);
+  if (!host.transport->ok()) {
+    std::fprintf(stderr, "transport: %s\n", host.transport->error().c_str());
+    return false;
+  }
+  if (!pcap_path.empty()) {
+    host.pcap = std::make_unique<net::PcapWriter>(pcap_path, host.clock);
+    if (!host.pcap->ok()) {
+      std::fprintf(stderr, "pcap: cannot write %s\n", pcap_path.c_str());
+      return false;
+    }
+  }
+
+  host.mkd = std::make_unique<core::MasterKeyDaemon>(
+      core::Principal::from_ipv4(self), own.private_value, group, *host.ca,
+      *host.directory, host.clock);
+  host.keys = std::make_unique<core::KeyManager>(*host.mkd);
+  host.stack = std::make_unique<net::IpStack>(*host.transport, host.clock,
+                                              self);
+  core::IpMappingConfig mcfg;
+  mcfg.fbs.strict_replay = true;  // the interop test injects replays
+  host.fbs = std::make_unique<core::FbsIpMapping>(
+      *host.stack, mcfg, *host.keys, host.clock, host.rng);
+  host.udp = std::make_unique<net::UdpService>(*host.stack);
+  return true;
+}
+
+}  // namespace fbs::examples

@@ -1,0 +1,110 @@
+// Initiator half of the cross-process FBS loopback pair.
+//
+// Connects to the responder's real UDP socket, establishes an FBS flow with
+// zero key-exchange messages (the first protected datagram carries
+// everything), sends `count` datagrams, and waits for every echo to come
+// back MAC-verified. It then replays `replays` of its own captured wire
+// frames verbatim -- the classic recorded-datagram attack -- which the
+// responder's strict replay cache must reject. Exits 0 only when all echoes
+// arrived and the replays were put on the wire.
+//
+//   udp_loopback_initiator --peer-port P [--count N] [--replays M]
+//                          [--pcap FILE] [--timeout-ms T]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "examples/udp_loopback_common.hpp"
+
+using namespace fbs;
+
+int main(int argc, char** argv) {
+  std::uint16_t peer_port = 0;
+  std::uint64_t count = 8;
+  std::uint64_t replays = 0;
+  std::string pcap_path;
+  long timeout_ms = 30'000;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--peer-port") peer_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    else if (flag == "--count") count = std::strtoull(argv[i + 1], nullptr, 10);
+    else if (flag == "--replays") replays = std::strtoull(argv[i + 1], nullptr, 10);
+    else if (flag == "--pcap") pcap_path = argv[i + 1];
+    else if (flag == "--timeout-ms") timeout_ms = std::atol(argv[i + 1]);
+    else { std::fprintf(stderr, "unknown flag %s\n", flag.c_str()); return 2; }
+  }
+  if (peer_port == 0) {
+    std::fprintf(stderr, "--peer-port is required\n");
+    return 2;
+  }
+
+  examples::LoopbackHost host;
+  if (!examples::make_loopback_host(host, /*initiator=*/true, 0, pcap_path)) {
+    return 1;
+  }
+  host.transport->add_peer(examples::responder_address(), "127.0.0.1",
+                           peer_port);
+
+  // Capture both for the pcap and for the replay attack: outbound wire
+  // frames toward the responder are exactly what an on-path recorder would
+  // hold.
+  std::vector<util::Bytes> recorded;
+  host.transport->set_capture([&](net::Ipv4Address, net::Ipv4Address to,
+                                  const util::Bytes& frame, bool outbound) {
+    if (host.pcap) host.pcap->record(frame);
+    if (outbound && to == examples::responder_address() &&
+        recorded.size() < replays) {
+      recorded.push_back(frame);
+    }
+  });
+
+  std::uint64_t echoes = 0;
+  host.udp->bind(examples::kInitiatorPort,
+                 [&](net::Ipv4Address, std::uint16_t, util::Bytes) {
+                   ++echoes;
+                 });
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    char msg[64];
+    std::snprintf(msg, sizeof msg, "fbs over real udp #%llu",
+                  static_cast<unsigned long long>(i));
+    host.udp->send(examples::responder_address(), examples::kInitiatorPort,
+                   examples::kResponderPort, util::to_bytes(msg));
+    host.transport->poll(util::TimeUs{1000});
+  }
+
+  const util::TimeUs deadline =
+      host.clock.now() + util::TimeUs{timeout_ms} * 1000;
+  while (host.clock.now() < deadline && echoes < count) {
+    host.transport->poll(util::TimeUs{20'000});
+  }
+
+  // The recorded-datagram attack: identical bytes, straight to the wire.
+  for (const util::Bytes& frame : recorded) {
+    host.transport->send(examples::initiator_address(),
+                         examples::responder_address(), frame);
+    host.transport->poll(util::TimeUs{1000});
+  }
+  if (host.pcap) host.pcap->flush();
+
+  const auto& send_stats = host.fbs->endpoint().send_stats();
+  std::printf("RESULT sent=%llu echoes=%llu replayed=%zu encrypted=%llu "
+              "flow_keys=%llu tx_wire=%llu\n",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(echoes), recorded.size(),
+              static_cast<unsigned long long>(send_stats.encrypted),
+              static_cast<unsigned long long>(send_stats.flow_keys_derived),
+              static_cast<unsigned long long>(
+                  host.transport->counters().tx_wire.load()));
+  std::fflush(stdout);
+  if (echoes < count || recorded.size() < replays) {
+    std::fprintf(stderr, "initiator: %llu/%llu echoes, %zu/%llu replays\n",
+                 static_cast<unsigned long long>(echoes),
+                 static_cast<unsigned long long>(count), recorded.size(),
+                 static_cast<unsigned long long>(replays));
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "crypto/dh.hpp"
+#include "net/simnet.hpp"
 #include "fbs/tunnel.hpp"
 #include "net/udp.hpp"
 #include "util/clock.hpp"

@@ -17,6 +17,7 @@
 #include "net/headers.hpp"
 #include "net/icmp.hpp"
 #include "net/ip.hpp"
+#include "net/pcap.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
@@ -294,6 +295,108 @@ std::vector<util::Bytes> seeds_fragment() {
   };
 }
 
+// --- pcap capture files ---------------------------------------------------
+
+bool run_pcap(util::BytesView wire) {
+  const auto cap = net::PcapReader::parse(wire);
+  if (!cap) return false;
+  // Bounded-parse contract: claimed lengths never buy allocation or reads
+  // beyond the bytes actually present.
+  FUZZ_CHECK(cap->snaplen > 0, wire);
+  for (const auto& r : cap->records) {
+    FUZZ_CHECK(r.frame.size() <= cap->snaplen, wire);
+    FUZZ_CHECK(r.frame.size() <= r.orig_len, wire);
+    FUZZ_CHECK(r.frame.size() <= wire.size(), wire);
+  }
+
+  // Round trip through the writer: replaying every recorded frame must
+  // yield a capture the reader accepts with byte-identical bodies -- these
+  // are exactly the framing assumptions tools/fbs_dissect.py makes.
+  // (Timestamps are the writer's clock, not the original's, so they are not
+  // compared; frames above the writer's snap length truncate like a kernel
+  // capture.)
+  util::VirtualClock clock(util::minutes(1));
+  util::Bytes re;
+  net::PcapWriter writer(&re, clock);
+  for (const auto& r : cap->records) writer.record(r.frame);
+  const auto back = net::PcapReader::parse(re);
+  FUZZ_CHECK(back.has_value(), wire);
+  FUZZ_CHECK(!back->swapped, wire);
+  FUZZ_CHECK(back->linktype == net::kPcapLinktypeRaw, wire);
+  FUZZ_CHECK(back->records.size() == cap->records.size(), wire);
+  for (std::size_t i = 0; i < back->records.size(); ++i) {
+    const util::Bytes& orig = cap->records[i].frame;
+    const net::PcapReader::Record& rt = back->records[i];
+    const std::size_t kept =
+        std::min<std::size_t>(orig.size(), net::kPcapSnapLen);
+    FUZZ_CHECK(rt.orig_len == orig.size(), wire);
+    FUZZ_CHECK(rt.frame.size() == kept, wire);
+    FUZZ_CHECK(std::equal(rt.frame.begin(), rt.frame.end(), orig.begin()),
+               wire);
+  }
+  return true;
+}
+
+std::vector<util::Bytes> seeds_pcap() {
+  util::VirtualClock clock(util::minutes(1));
+  std::vector<util::Bytes> out;
+
+  // Header-only capture (legal: zero records).
+  out.emplace_back();
+  { net::PcapWriter w(&out.back(), clock); }
+
+  // Two records, IPv4-shaped bodies of different sizes.
+  out.emplace_back();
+  {
+    net::PcapWriter w(&out.back(), clock);
+    util::Bytes frame(20, 0);
+    frame[0] = 0x45;
+    frame[3] = 20;
+    w.record(frame);
+    frame.resize(48, 0xEE);
+    frame[3] = 48;
+    w.record(frame);
+  }
+
+  // The same capture with every header field byte-swapped: the
+  // other-endianness path, which random mutation almost never reaches from
+  // a native-order seed (the magic must flip wholesale).
+  {
+    util::Bytes swapped = out.back();
+    const auto swap32 = [&](std::size_t at) {
+      std::swap(swapped[at], swapped[at + 3]);
+      std::swap(swapped[at + 1], swapped[at + 2]);
+    };
+    const auto swap16 = [&](std::size_t at) {
+      std::swap(swapped[at], swapped[at + 1]);
+    };
+    swap32(0);             // magic
+    swap16(4);             // version major
+    swap16(6);             // version minor
+    swap32(8);             // thiszone
+    swap32(12);            // sigfigs
+    swap32(16);            // snaplen
+    swap32(20);            // linktype
+    std::size_t at = 24;   // record headers: 4 x u32 each
+    while (at + 16 <= swapped.size()) {
+      const std::uint32_t incl = static_cast<std::uint32_t>(swapped[at + 8]) |
+                                 (static_cast<std::uint32_t>(swapped[at + 9])
+                                  << 8) |
+                                 (static_cast<std::uint32_t>(swapped[at + 10])
+                                  << 16) |
+                                 (static_cast<std::uint32_t>(swapped[at + 11])
+                                  << 24);
+      swap32(at);
+      swap32(at + 4);
+      swap32(at + 8);
+      swap32(at + 12);
+      at += 16 + incl;
+    }
+    out.push_back(std::move(swapped));
+  }
+  return out;
+}
+
 // --- Certificate / directory (keying-plane bypass messages) --------------
 
 bool run_certificate(util::BytesView wire) {
@@ -505,6 +608,7 @@ const std::vector<FuzzTarget>& all_targets() {
       {"certificate", run_certificate, seeds_certificate},
       {"keying", run_keying, seeds_keying},
       {"engine", run_engine, seeds_engine},
+      {"pcap", run_pcap, seeds_pcap},
   };
   return targets;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "net/queue.hpp"
+#include "net/simnet.hpp"
 #include "net/stack.hpp"
 #include "obs/metrics.hpp"
 
@@ -57,7 +58,7 @@ class TransitRouter {
   /// watermarks; the mesh wires it to pause/resume upstream neighbors.
   using CongestionSignal = std::function<void(Ipv4Address reporter, bool on)>;
 
-  TransitRouter(SimNetwork& net, const util::Clock& clock, Ipv4Address addr,
+  TransitRouter(Transport& net, const util::Clock& clock, Ipv4Address addr,
                 util::RandomSource& rng, std::size_t mtu = 1500);
 
   /// Declare `neighbor` reachable through an egress queue + serializer.
@@ -133,7 +134,7 @@ class TransitRouter {
   void start_tx(Link& link);
   void update_congestion(Link& link);
 
-  SimNetwork& net_;
+  Transport& net_;
   const util::Clock& clock_;
   IpStack stack_;
   util::RandomSource& rng_;
@@ -148,9 +149,17 @@ class TransitRouter {
 /// router-granularity fault scheduling.
 class MeshNetwork {
  public:
-  MeshNetwork(SimNetwork& net, const util::Clock& clock,
+  /// The mesh is transport-generic for forwarding and timers; the
+  /// wire-fault APIs (per-hop LinkParams, partitions) exist only on the
+  /// sim backend and are reached through a dynamic_cast -- on any other
+  /// Transport they are documented no-ops (the real wire supplies its own
+  /// faults).
+  MeshNetwork(Transport& net, const util::Clock& clock,
               util::RandomSource& rng)
-      : net_(net), clock_(clock), rng_(rng) {}
+      : net_(net),
+        sim_(dynamic_cast<SimNetwork*>(&net)),
+        clock_(clock),
+        rng_(rng) {}
 
   TransitRouter& add_router(Ipv4Address addr);
   /// Bidirectional router<->router adjacency (one egress queue each way).
@@ -212,7 +221,8 @@ class MeshNetwork {
   void set_edge_state(Ipv4Address a, Ipv4Address b, bool down);
   void schedule(util::TimeUs at, std::function<void()> fn);
 
-  SimNetwork& net_;
+  Transport& net_;
+  SimNetwork* sim_;  // non-null only on the sim backend (wire faults)
   const util::Clock& clock_;
   util::RandomSource& rng_;
   std::map<Ipv4Address, std::unique_ptr<TransitRouter>> routers_;

@@ -1,0 +1,132 @@
+#include "net/pcap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fbs::net {
+namespace {
+
+void put_u16(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(util::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(util::BytesView data, std::size_t at, bool swapped) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data[at + (swapped ? 3 - i : i)];
+  return v;
+}
+
+std::uint16_t get_u16(util::BytesView data, std::size_t at, bool swapped) {
+  return swapped
+             ? static_cast<std::uint16_t>((data[at] << 8) | data[at + 1])
+             : static_cast<std::uint16_t>((data[at + 1] << 8) | data[at]);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, const util::Clock& clock)
+    : clock_(clock), file_(path, std::ios::binary | std::ios::trunc) {
+  ok_ = file_.good();
+  if (ok_) write_header();
+}
+
+PcapWriter::PcapWriter(util::Bytes* out, const util::Clock& clock)
+    : clock_(clock), sink_(out), ok_(out != nullptr) {
+  if (ok_) write_header();
+}
+
+void PcapWriter::write(const void* data, std::size_t size) {
+  if (sink_ != nullptr) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    sink_->insert(sink_->end(), p, p + size);
+  } else {
+    file_.write(static_cast<const char*>(data), static_cast<long>(size));
+    ok_ = ok_ && file_.good();
+  }
+}
+
+void PcapWriter::write_header() {
+  // Little-endian on the wire; PcapReader and the dissector accept either.
+  util::Bytes h;
+  put_u32(h, kPcapMagic);
+  put_u16(h, kPcapVersionMajor);
+  put_u16(h, kPcapVersionMinor);
+  put_u32(h, 0);  // thiszone
+  put_u32(h, 0);  // sigfigs
+  put_u32(h, kPcapSnapLen);
+  put_u32(h, kPcapLinktypeRaw);
+  write(h.data(), h.size());
+}
+
+void PcapWriter::record(util::BytesView frame) {
+  if (!ok_) return;
+  const std::int64_t unix_us =
+      clock_.now() + util::kFbsEpochUnixSeconds * util::kMicrosPerSecond;
+  const std::size_t incl =
+      std::min<std::size_t>(frame.size(), kPcapSnapLen);
+  util::Bytes h;
+  put_u32(h, static_cast<std::uint32_t>(unix_us / util::kMicrosPerSecond));
+  put_u32(h, static_cast<std::uint32_t>(unix_us % util::kMicrosPerSecond));
+  put_u32(h, static_cast<std::uint32_t>(incl));
+  put_u32(h, static_cast<std::uint32_t>(frame.size()));
+  write(h.data(), h.size());
+  write(frame.data(), incl);
+  ++frames_;
+}
+
+Transport::CaptureFn PcapWriter::capture_fn() {
+  return [this](Ipv4Address, Ipv4Address, const util::Bytes& frame, bool) {
+    record(frame);
+  };
+}
+
+void PcapWriter::flush() {
+  if (sink_ == nullptr) file_.flush();
+}
+
+std::optional<PcapReader::Capture> PcapReader::parse(util::BytesView data) {
+  constexpr std::size_t kFileHeader = 24;
+  constexpr std::size_t kRecordHeader = 16;
+  if (data.size() < kFileHeader) return std::nullopt;
+
+  bool swapped = false;
+  const std::uint32_t magic = get_u32(data, 0, false);
+  if (magic != kPcapMagic) {
+    if (get_u32(data, 0, true) != kPcapMagic) return std::nullopt;
+    swapped = true;
+  }
+  Capture cap;
+  cap.swapped = swapped;
+  const std::uint16_t major = get_u16(data, 4, swapped);
+  if (major != kPcapVersionMajor) return std::nullopt;
+  cap.snaplen = get_u32(data, 16, swapped);
+  cap.linktype = get_u32(data, 20, swapped);
+  if (cap.snaplen == 0 || cap.snaplen > 0x1000000) return std::nullopt;
+
+  std::size_t at = kFileHeader;
+  while (at < data.size()) {
+    if (data.size() - at < kRecordHeader) return std::nullopt;
+    Record rec;
+    rec.ts_sec = get_u32(data, at, swapped);
+    rec.ts_usec = get_u32(data, at + 4, swapped);
+    const std::uint32_t incl = get_u32(data, at + 8, swapped);
+    rec.orig_len = get_u32(data, at + 12, swapped);
+    at += kRecordHeader;
+    if (incl > cap.snaplen || incl > data.size() - at) return std::nullopt;
+    if (rec.orig_len < incl) return std::nullopt;
+    rec.frame.assign(data.begin() + static_cast<long>(at),
+                     data.begin() + static_cast<long>(at + incl));
+    at += incl;
+    cap.records.push_back(std::move(rec));
+  }
+  return cap;
+}
+
+}  // namespace fbs::net

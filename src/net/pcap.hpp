@@ -1,0 +1,90 @@
+// Standard pcap capture of FBS wire frames.
+//
+// Frames on the Transport seam are whole IPv4 packets, so captures use
+// LINKTYPE_RAW (101): each record body starts at the IP version nibble and
+// any stock tool (tcpdump -r, Wireshark, tools/fbs_dissect.py) reads them
+// directly. Timestamps convert the session clock to Unix time via the FBS
+// epoch, so records line up with wall-clock tooling.
+//
+// PcapWriter attaches to any Transport through capture_fn(); PcapReader is
+// the bounded parser the dissector's framing assumptions are modeled on --
+// it backs the `pcap` fuzz target and the round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace fbs::net {
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr std::uint16_t kPcapVersionMajor = 2;
+constexpr std::uint16_t kPcapVersionMinor = 4;
+constexpr std::uint32_t kPcapLinktypeRaw = 101;  // raw IPv4/IPv6
+constexpr std::uint32_t kPcapSnapLen = 65535;
+
+class PcapWriter {
+ public:
+  /// Capture to a file; ok() reports whether the header was written.
+  PcapWriter(const std::string& path, const util::Clock& clock);
+  /// Capture into a caller-owned buffer (tests, fuzz round-trips).
+  PcapWriter(util::Bytes* out, const util::Clock& clock);
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  std::uint64_t frames_written() const { return frames_; }
+
+  /// Append one record stamped with the clock's current time. Frames longer
+  /// than the snap length are truncated on disk (orig_len keeps the truth),
+  /// exactly like a kernel capture would.
+  void record(util::BytesView frame);
+
+  /// Adapter for Transport::set_capture: records every frame crossing the
+  /// seam, both directions.
+  Transport::CaptureFn capture_fn();
+
+  void flush();
+
+ private:
+  void write(const void* data, std::size_t size);
+  void write_header();
+
+  const util::Clock& clock_;
+  std::ofstream file_;
+  util::Bytes* sink_ = nullptr;
+  bool ok_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+/// Bounded pcap parser: one pass, no allocation proportional to claimed
+/// (attacker-controlled) lengths -- record bodies are copied only up to the
+/// bytes actually present.
+class PcapReader {
+ public:
+  struct Record {
+    std::uint32_t ts_sec = 0;
+    std::uint32_t ts_usec = 0;
+    std::uint32_t orig_len = 0;
+    util::Bytes frame;  // incl_len bytes
+  };
+  struct Capture {
+    std::uint32_t linktype = 0;
+    std::uint32_t snaplen = 0;
+    bool swapped = false;  // file written on the other endianness
+    std::vector<Record> records;
+  };
+
+  /// nullopt on malformed input: bad magic, truncated header, a record
+  /// whose incl_len exceeds the snap length or the bytes remaining.
+  static std::optional<Capture> parse(util::BytesView data);
+};
+
+}  // namespace fbs::net

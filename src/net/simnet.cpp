@@ -74,11 +74,13 @@ void SimNetwork::schedule(Ipv4Address to, util::Bytes frame,
   ev.seq = next_seq_++;
   ev.to = to;
   ev.frame = std::move(frame);
+  ++counters_.in_flight;
   queue_.push(std::move(ev));
 }
 
 void SimNetwork::send(Ipv4Address from, Ipv4Address to, util::Bytes frame) {
   ++counters_.sent;
+  capture(from, to, frame, /*outbound=*/true);
   if (tap_) {
     if (tap_(from, to, frame) == TapVerdict::kDrop) {
       ++counters_.tap_dropped;
@@ -127,6 +129,7 @@ void SimNetwork::send(Ipv4Address from, Ipv4Address to, util::Bytes frame) {
 }
 
 void SimNetwork::inject(Ipv4Address to, util::Bytes frame, util::TimeUs delay) {
+  ++counters_.injected;
   schedule(to, std::move(frame), delay);
 }
 
@@ -148,6 +151,7 @@ bool SimNetwork::step() {
     return true;
   }
   const auto it = hosts_.find(ev.to);
+  --counters_.in_flight;
   if (it == hosts_.end()) {
     ++counters_.no_such_host;
     return true;
@@ -155,6 +159,19 @@ bool SimNetwork::step() {
   ++counters_.delivered;
   it->second(std::move(ev.frame));
   return true;
+}
+
+Transport::Totals SimNetwork::totals() const {
+  Totals t;
+  t.sent = counters_.sent;
+  t.duplicated = counters_.duplicated;
+  t.injected = counters_.injected;
+  t.delivered = counters_.delivered;
+  t.dropped = counters_.lost + counters_.burst_lost +
+              counters_.partition_dropped + counters_.tap_dropped +
+              counters_.no_such_host;
+  t.in_flight = counters_.in_flight;
+  return t;
 }
 
 void SimNetwork::run() {
@@ -175,7 +192,9 @@ void SimNetwork::register_metrics(obs::MetricsRegistry& registry,
     emit.counter(prefix + ".duplicated", counters_.duplicated);
     emit.counter(prefix + ".tap_dropped", counters_.tap_dropped);
     emit.counter(prefix + ".no_such_host", counters_.no_such_host);
+    emit.counter(prefix + ".injected", counters_.injected);
   });
+  register_transport_metrics(registry, prefix);
 }
 
 }  // namespace fbs::net

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/ip.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
@@ -45,9 +46,9 @@ struct LinkParams {
   double corrupt = 0.0;
 };
 
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
-  using ReceiveFn = std::function<void(util::Bytes frame)>;
+  using ReceiveFn = Transport::ReceiveFn;
 
   /// Verdict from the attacker tap for each frame entering the wire.
   enum class TapVerdict { kPass, kDrop };
@@ -59,8 +60,8 @@ class SimNetwork {
 
   /// Attach a host. Frames addressed (at the simnet layer) to `addr` are
   /// handed to `receive`.
-  void attach(Ipv4Address addr, ReceiveFn receive);
-  void detach(Ipv4Address addr);
+  void attach(Ipv4Address addr, ReceiveFn receive) override;
+  void detach(Ipv4Address addr) override;
 
   /// Link characteristics between a specific pair (symmetric), else default.
   void set_default_link(const LinkParams& params) { default_link_ = params; }
@@ -81,7 +82,7 @@ class SimNetwork {
   void clear_partitions() { partitions_.clear(); }
 
   /// Transmit a frame. Link effects (tap, loss, duplication, delay) apply.
-  void send(Ipv4Address from, Ipv4Address to, util::Bytes frame);
+  void send(Ipv4Address from, Ipv4Address to, util::Bytes frame) override;
 
   /// Inject a frame directly to a destination after `delay` -- bypasses the
   /// tap and link effects; this is the attacker's transmitter.
@@ -91,7 +92,7 @@ class SimNetwork {
   /// Schedule an arbitrary callback on the simulation clock (protocol
   /// timers: TCP retransmission, sweepers, ...). Runs in event order with
   /// frame deliveries.
-  void call_later(util::TimeUs delay, std::function<void()> fn);
+  void call_later(util::TimeUs delay, std::function<void()> fn) override;
 
   /// Deliver the earliest pending frame (advancing the clock to its time).
   /// Returns false when idle.
@@ -112,13 +113,21 @@ class SimNetwork {
     std::atomic<std::uint64_t> duplicated{0};
     std::atomic<std::uint64_t> tap_dropped{0};
     std::atomic<std::uint64_t> no_such_host{0};
+    std::atomic<std::uint64_t> injected{0};   // frames via inject()
+    std::atomic<std::uint64_t> in_flight{0};  // queued frames (not timers)
   };
   const Counters& counters() const { return counters_; }
 
+  /// Uniform transport accounting (see Transport::Totals): received and
+  /// tx_wire stay zero -- every frame either reaches a local sink or lands
+  /// in one of the fault buckets folded into `dropped`.
+  Totals totals() const override;
+
   /// Publish the fault counters as a pull source under `<prefix>.` names
-  /// (e.g. `net.delivered`, `net.burst_lost`).
+  /// (e.g. `net.delivered`, `net.burst_lost`), plus the uniform
+  /// `<prefix>.transport.*` family shared with every backend.
   void register_metrics(obs::MetricsRegistry& registry,
-                        const std::string& prefix) const;
+                        const std::string& prefix) const override;
 
  private:
   struct Event {

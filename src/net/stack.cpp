@@ -2,7 +2,7 @@
 
 namespace fbs::net {
 
-IpStack::IpStack(SimNetwork& network, const util::Clock& clock,
+IpStack::IpStack(Transport& network, const util::Clock& clock,
                  Ipv4Address address, std::size_t mtu)
     : network_(network),
       address_(address),

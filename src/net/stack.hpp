@@ -18,7 +18,7 @@
 
 #include "net/fragment.hpp"
 #include "net/ip.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
 
 namespace fbs::net {
 
@@ -74,7 +74,7 @@ class IpStack {
     std::atomic<std::uint64_t> deferred_in{0};  // consumed by deferred hook
   };
 
-  IpStack(SimNetwork& network, const util::Clock& clock, Ipv4Address address,
+  IpStack(Transport& network, const util::Clock& clock, Ipv4Address address,
           std::size_t mtu = 1500);
   ~IpStack();
 
@@ -126,7 +126,7 @@ class IpStack {
 
   /// Seam between the stack and the wire: when set, every frame this stack
   /// emits (locally originated and forwarded alike) is handed to the hook
-  /// instead of SimNetwork::send. A transit router installs its egress
+  /// instead of Transport::send. A transit router installs its egress
   /// queue/serialization model here; the hook owns the frame and decides
   /// whether it is queued, delayed, or dropped (with its own accounting).
   using TransmitHook =
@@ -159,7 +159,7 @@ class IpStack {
     Ipv4Address next_hop;
   };
 
-  SimNetwork& network_;
+  Transport& network_;
   Ipv4Address address_;
   std::size_t mtu_;
   Reassembler reassembler_;

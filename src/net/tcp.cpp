@@ -286,7 +286,7 @@ void TcpConnection::on_segment(const TcpHeader& header, util::Bytes payload) {
     pump_output();
 }
 
-TcpService::TcpService(IpStack& stack, SimNetwork& network,
+TcpService::TcpService(IpStack& stack, Transport& network,
                        util::RandomSource& rng)
     : stack_(stack), network_(network), rng_(rng) {
   next_ephemeral_ = static_cast<std::uint16_t>(32768 + rng_.next_below(16384));

@@ -24,7 +24,8 @@
 #include <memory>
 
 #include "net/headers.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
 #include "net/stack.hpp"
 
 namespace fbs::net {
@@ -127,7 +128,7 @@ class TcpService {
   using AcceptFn = std::function<void(std::shared_ptr<TcpConnection>)>;
 
   /// `network` supplies protocol timers (call_later).
-  TcpService(IpStack& stack, SimNetwork& network, util::RandomSource& rng);
+  TcpService(IpStack& stack, Transport& network, util::RandomSource& rng);
 
   /// Accept connections on `port`.
   void listen(std::uint16_t port, AcceptFn on_accept);
@@ -162,7 +163,7 @@ class TcpService {
   std::uint16_t ephemeral_port();
 
   IpStack& stack_;
-  SimNetwork& network_;
+  Transport& network_;
   util::RandomSource& rng_;
   std::map<ConnKey, std::shared_ptr<TcpConnection>> connections_;
   std::map<std::uint16_t, AcceptFn> listeners_;

@@ -12,4 +12,18 @@ TimeUs SystemClock::now() const {
   return unix_us - kFbsEpochUnixSeconds * kMicrosPerSecond;
 }
 
+SteadyClock::SteadyClock()
+    : base_(SystemClock{}.now()),
+      steady_origin_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now()
+                                .time_since_epoch())
+                            .count()) {}
+
+TimeUs SteadyClock::now() const {
+  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return base_ + (now_ns - steady_origin_ns_) / 1000;
+}
+
 }  // namespace fbs::util

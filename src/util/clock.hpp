@@ -64,4 +64,21 @@ class SystemClock final : public Clock {
   TimeUs now() const override;
 };
 
+/// Monotonic wall time anchored to the FBS epoch: the system FBS time is
+/// sampled once at construction and advances by std::chrono::steady_clock
+/// deltas from there. now() never goes backwards (NTP steps and daylight
+/// jumps cannot reorder protocol timers or replay windows), yet two
+/// processes constructed around the same wall instant agree to within the
+/// clock-step slop -- well inside the header timestamp's minute-granularity
+/// freshness window, which is what cross-process interop needs.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  TimeUs now() const override;
+
+ private:
+  TimeUs base_;
+  std::int64_t steady_origin_ns_;
+};
+
 }  // namespace fbs::util

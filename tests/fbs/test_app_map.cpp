@@ -2,6 +2,7 @@
 // conversations as flows -- the Section 3/4 layer-independence claim made
 // executable.
 #include "fbs/app_map.hpp"
+#include "net/simnet.hpp"
 
 #include <gtest/gtest.h>
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fbs/app_map.hpp"
+#include "net/simnet.hpp"
 #include "fbs/tunnel.hpp"
 #include "net/udp.hpp"
 #include "support/world.hpp"

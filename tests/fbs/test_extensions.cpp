@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fbs/ip_map.hpp"
+#include "net/simnet.hpp"
 #include "net/icmp.hpp"
 #include "support/world.hpp"
 

@@ -1,4 +1,5 @@
 #include "fbs/ip_map.hpp"
+#include "net/simnet.hpp"
 
 #include <gtest/gtest.h>
 

@@ -2,6 +2,7 @@
 // integrity across worker threads, the deferred-input hook under IpStack,
 // and rejection accounting through the RejectHook.
 #include "fbs/pipeline.hpp"
+#include "net/simnet.hpp"
 
 #include <gtest/gtest.h>
 

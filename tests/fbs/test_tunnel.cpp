@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "fbs/tunnel.hpp"
+#include "net/simnet.hpp"
 #include "net/udp.hpp"
 #include "support/world.hpp"
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "fbs/metrics.hpp"
+#include "net/simnet.hpp"
 #include "fbs/tunnel.hpp"
 #include "support/chaos.hpp"
 
@@ -38,6 +39,22 @@ void expect_counters_monotonic(const obs::MetricsSnapshot& before,
     ASSERT_NE(it, after.counters.end()) << name << " vanished";
     EXPECT_GE(it->second, value) << name << " decreased";
   }
+}
+
+// The Transport seam's uniform counter family (emitted identically by the
+// sim and UDP backends via register_transport_metrics) must close its
+// conservation equation in any snapshot:
+//   sent + received + duplicated + injected ==
+//       delivered + tx_wire + dropped + in_flight
+void expect_transport_conserves(const obs::MetricsSnapshot& snap,
+                                const std::string& prefix) {
+  const auto c = [&](const char* name) {
+    return snap.counters.at(prefix + ".transport." + name);
+  };
+  EXPECT_EQ(c("sent") + c("received") + c("duplicated") + c("injected"),
+            c("delivered") + c("tx_wire") + c("dropped") +
+                static_cast<std::uint64_t>(
+                    snap.gauges.at(prefix + ".transport.in_flight")));
 }
 
 class ChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
@@ -93,6 +110,9 @@ TEST_P(ChaosSoak, TwoHostSoftStateSurvivesFaultSchedule) {
                 fault_snap.counters.at("net.tap_dropped") +
                 fault_snap.counters.at("net.partition_dropped") +
                 fault_snap.counters.at("net.no_such_host"));
+  // The same conservation restated through the backend-neutral transport
+  // family, which any Transport implementation must satisfy.
+  expect_transport_conserves(fault_snap, "net");
 
   // Invariant: once the faults cease, delivery converges to 100% -- every
   // cache and table re-derives from the datagrams themselves.
@@ -107,6 +127,7 @@ TEST_P(ChaosSoak, TwoHostSoftStateSurvivesFaultSchedule) {
   // and the cross-layer tallies still agree after recovery.
   const obs::MetricsSnapshot recovery_snap = reg.snapshot();
   expect_counters_monotonic(fault_snap, recovery_snap);
+  expect_transport_conserves(recovery_snap, "net");
   EXPECT_EQ(recovery_snap.counters.at("b.recv.accepted") +
                 sum_with_prefix(recovery_snap, "b.recv.rejected."),
             recovery_snap.counters.at("b.ip.in.accepted") +
@@ -158,6 +179,7 @@ TEST_P(PipelinedChaosSoak, InvariantsHoldWithPipelineWorkers) {
                 fault_snap.counters.at("net.tap_dropped") +
                 fault_snap.counters.at("net.partition_dropped") +
                 fault_snap.counters.at("net.no_such_host"));
+  expect_transport_conserves(fault_snap, "net");
 
   // Pipeline conservation: everything submitted was accepted, rejected, or
   // dropped for backpressure; everything accepted was drained to the stack.
@@ -175,6 +197,7 @@ TEST_P(PipelinedChaosSoak, InvariantsHoldWithPipelineWorkers) {
 
   const obs::MetricsSnapshot recovery_snap = reg.snapshot();
   expect_counters_monotonic(fault_snap, recovery_snap);
+  expect_transport_conserves(recovery_snap, "net");
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedSweep, PipelinedChaosSoak,

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -282,10 +283,17 @@ TEST(MeshRebinding, TrafficResumesUnderNewAddressAndOldFramesAreDeadOnReplay) {
 
 // --- Family 4: 30-node random mesh soak ------------------------------------
 
-class MeshSoak : public ::testing::TestWithParam<std::uint64_t> {};
+// Parameterized over (seed, FbsConfig::max_flows_per_shard): budget 0 is
+// the paper's fixed flow table, a non-zero budget runs every endpoint on
+// the million-flow control plane (MegaflowPolicy), whose
+// `<prefix>.megaflow.*` gauges must stay sane through the faults.
+class MeshSoak
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
 
 TEST_P(MeshSoak, ThirtyNodeMeshConservesFramesAndRecovers) {
-  const std::uint64_t seed = GetParam();
+  const std::uint64_t seed = std::get<0>(GetParam());
+  const std::size_t flow_budget = std::get<1>(GetParam());
   MeshScenarioRig rig(seed);
   TransitLinkConfig transit;
   transit.wire.duplicate = 0.02;  // the fabric occasionally replays by itself
@@ -294,6 +302,7 @@ TEST_P(MeshSoak, ThirtyNodeMeshConservesFramesAndRecovers) {
 
   core::IpMappingConfig strict;
   strict.fbs.strict_replay = true;
+  strict.fbs.max_flows_per_shard = flow_budget;
   core::IpMappingConfig piped = strict;
   piped.fbs.shards = 4;
   piped.pipeline_workers = 2;
@@ -433,10 +442,59 @@ TEST_P(MeshSoak, ThirtyNodeMeshConservesFramesAndRecovers) {
   EXPECT_EQ(t.depth, 0u);
   EXPECT_GT(t.tail_dropped, 0u);  // the t=0 noise burst really overflowed
   EXPECT_EQ(monotonic_violations, 0u);
+
+  // Megaflow control-plane sanity, per endpoint: with a budget the gauges
+  // must exist and respect the budget; without one the fixed-table policy
+  // must not emit the family at all.
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    for (const std::string side : {"a", "b"}) {
+      const std::string mp = side + std::to_string(p) + ".megaflow.";
+      const auto gauge = [&](const std::string& name) {
+        const auto it = snap.gauges.find(mp + name);
+        EXPECT_NE(it, snap.gauges.end()) << mp << name;
+        return it == snap.gauges.end() ? -1.0 : it->second;
+      };
+      if (flow_budget == 0) {
+        EXPECT_EQ(snap.gauges.count(mp + "live_flows"), 0u) << mp;
+        continue;
+      }
+      // Per-shard budget: the aggregate can never exceed budget x shards
+      // (the pipelined receiver b1 runs 4 shards, everyone else 1).
+      const double shards =
+          side == "b" && p == 1 ? 4.0 : 1.0;
+      const double live = gauge("live_flows");
+      const double peak = gauge("peak_live_flows");
+      EXPECT_GE(live, 0.0) << mp;
+      EXPECT_LE(live, flow_budget * shards) << mp;
+      EXPECT_LE(peak, flow_budget * shards) << mp;
+      EXPECT_GE(peak, live) << mp;
+      // The flow table is the *send-side* attribute mapper, so only the
+      // sender of each pair is guaranteed to have populated it.
+      if (side == "a") EXPECT_GT(peak, 0.0) << mp;
+      const double load = gauge("map_load_factor");
+      EXPECT_GE(load, 0.0) << mp;
+      EXPECT_LE(load, 1.0) << mp;
+      EXPECT_GT(gauge("resident_bytes"), 0.0) << mp;
+      // The counters ride the same monotonic sweep as everything else; here
+      // just pin that the family was present for the sampler to watch.
+      EXPECT_EQ(snap.counters.count(mp + "budget_evictions"), 1u) << mp;
+      EXPECT_EQ(snap.counters.count(mp + "wheel_fires"), 1u) << mp;
+    }
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MeshSoak,
-                         ::testing::Range<std::uint64_t>(1, 9));
+// Budget 0 = the paper's fixed table; 4 = a tight per-shard MegaflowPolicy
+// budget (each endpoint carries one live peer flow plus rekey churn, so the
+// control plane runs near its cap without licensing replay-cache loss).
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MeshSoak,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
+                       ::testing::Values<std::size_t>(0, 4)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_budget" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace fbs::testing

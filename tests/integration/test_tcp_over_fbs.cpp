@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "fbs/ip_map.hpp"
+#include "net/simnet.hpp"
 #include "net/tcp.hpp"
 #include "support/world.hpp"
 

@@ -1,4 +1,5 @@
 #include "net/icmp.hpp"
+#include "net/simnet.hpp"
 
 #include <gtest/gtest.h>
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/udp.hpp"
+#include "net/simnet.hpp"
 
 namespace fbs::net {
 namespace {

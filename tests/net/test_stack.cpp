@@ -1,3 +1,4 @@
+#include "net/simnet.hpp"
 #include "net/stack.hpp"
 
 #include <gtest/gtest.h>

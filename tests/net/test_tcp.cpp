@@ -1,4 +1,5 @@
 #include "net/tcp.hpp"
+#include "net/simnet.hpp"
 
 #include <gtest/gtest.h>
 

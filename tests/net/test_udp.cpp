@@ -1,4 +1,5 @@
 #include "net/udp.hpp"
+#include "net/simnet.hpp"
 
 #include <gtest/gtest.h>
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cert/directory.hpp"
+#include "net/simnet.hpp"
 #include "fbs/ip_map.hpp"
 #include "net/udp.hpp"
 #include "support/world.hpp"

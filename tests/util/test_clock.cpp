@@ -44,5 +44,25 @@ TEST(SystemClock, IsAfterFbsEpoch) {
   EXPECT_GT(c.now(), minutes(1));
 }
 
+TEST(SteadyClock, IsMonotonicNonDecreasing) {
+  SteadyClock c;
+  TimeUs last = c.now();
+  for (int i = 0; i < 1000; ++i) {
+    const TimeUs t = c.now();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(SteadyClock, TracksSystemClockWithinSlop) {
+  // Anchored to the system FBS time at construction; two clocks (or two
+  // processes) constructed around the same instant must agree far inside
+  // the header timestamp's minute-granularity freshness window.
+  SteadyClock steady;
+  SystemClock system;
+  const TimeUs diff = steady.now() - system.now();
+  EXPECT_LT(diff < 0 ? -diff : diff, seconds(2));
+}
+
 }  // namespace
 }  // namespace fbs::util

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Decode FBS wire frames from a pcap capture.
+
+Captures come from net::PcapWriter (LINKTYPE_RAW: every record body is a
+raw IPv4 packet, stdlib-only parsing -- no scapy). For each record the
+dissector prints the IPv4 five-tuple-bearing summary, then, when the bytes
+after the IP header carry a security flow header (version nibble 1,
+reserved flag bits zero, a known algorithm suite, and room for the suite's
+MAC), the FBS fields octet-for-octet:
+
+    flags(1) suite(1) sfl(8 BE) confounder(4 BE) timestamp(4 BE, minutes
+    since 1996-01-01T00:00Z) mac(16 for MD5 suites / 20 for SHS)
+
+followed by the (possibly encrypted) body. Cleartext bodies are parsed one
+level further (UDP/TCP ports) so the flow attributes the sfl names are
+visible. Tunnel-mode frames (IP proto 253) carry a full inner IP datagram
+after the FBS header; the inner header is summarized too.
+
+Usage:
+    tools/fbs_dissect.py capture.pcap [--hex] [--expect-fbs N]
+
+--expect-fbs N exits non-zero unless at least N FBS datagrams were decoded
+(the cross-process interop harness uses this to assert the capture).
+
+The trailing summary line is machine-readable:
+    fbs_dissect: <records> records, <fbs> fbs (<secret> secret), <plain> plain
+"""
+
+import argparse
+import datetime
+import struct
+import sys
+
+FBS_EPOCH = datetime.datetime(1996, 1, 1, tzinfo=datetime.timezone.utc)
+FBS_FIXED_SIZE = 18
+FBS_TUNNEL_PROTO = 253
+
+MAC_NAMES = {1: "keyed-md5", 2: "hmac-md5", 3: "keyed-sha1", 4: "hmac-sha1",
+             5: "null"}
+MAC_SIZES = {1: 16, 2: 16, 3: 20, 4: 20, 5: 16}
+CIPHER_NAMES = {0: "none", 1: "des-cbc", 2: "des-ecb", 3: "des-cfb",
+                4: "des-ofb", 5: "des3-ede"}
+PROTO_NAMES = {1: "icmp", 6: "tcp", 17: "udp", FBS_TUNNEL_PROTO: "fbs-tunnel"}
+
+
+def parse_pcap(data):
+    """Yield (ts_sec, ts_usec, frame) records; handles both endians."""
+    if len(data) < 24:
+        raise ValueError("truncated pcap file header")
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic == 0xA1B2C3D4:
+        end = "<"
+    elif magic == 0xD4C3B2A1:
+        end = ">"
+    else:
+        raise ValueError("bad pcap magic 0x%08x" % magic)
+    snaplen, linktype = struct.unpack(end + "II", data[16:24])
+    records = []
+    at = 24
+    while at < len(data):
+        if len(data) - at < 16:
+            raise ValueError("truncated record header at offset %d" % at)
+        ts_sec, ts_usec, incl, orig = struct.unpack(
+            end + "IIII", data[at:at + 16])
+        at += 16
+        if incl > snaplen or incl > len(data) - at:
+            raise ValueError("record body overruns capture at offset %d" % at)
+        records.append((ts_sec, ts_usec, orig, data[at:at + incl]))
+        at += incl
+    return linktype, records
+
+
+def ip_str(b):
+    return ".".join(str(x) for x in b)
+
+
+def parse_ipv4(frame):
+    """Return (header dict, payload bytes) or None."""
+    if len(frame) < 20 or frame[0] >> 4 != 4:
+        return None
+    ihl = (frame[0] & 0xF) * 4
+    if ihl < 20 or len(frame) < ihl:
+        return None
+    total_len = struct.unpack(">H", frame[2:4])[0]
+    if total_len < ihl or total_len > len(frame):
+        return None
+    return ({
+        "proto": frame[9],
+        "src": ip_str(frame[12:16]),
+        "dst": ip_str(frame[16:20]),
+        "total_len": total_len,
+    }, frame[ihl:total_len])
+
+
+def try_parse_fbs(payload):
+    """Return a dict of FBS header fields + body, or None (not FBS)."""
+    if len(payload) < FBS_FIXED_SIZE:
+        return None
+    flags, suite = payload[0], payload[1]
+    if flags >> 4 != 1:        # version nibble
+        return None
+    if flags & 0x0E:           # reserved bits must be zero
+        return None
+    mac_alg, cipher_alg = suite >> 4, suite & 0xF
+    if mac_alg not in MAC_NAMES or cipher_alg not in CIPHER_NAMES:
+        return None
+    mac_len = MAC_SIZES[mac_alg]
+    if len(payload) < FBS_FIXED_SIZE + mac_len:
+        return None
+    sfl, confounder, ts_min = struct.unpack(">QII", payload[2:18])
+    return {
+        "flags": flags,
+        "secret": bool(flags & 0x01),
+        "mac_alg": mac_alg,
+        "cipher_alg": cipher_alg,
+        "sfl": sfl,
+        "confounder": confounder,
+        "timestamp_minutes": ts_min,
+        "mac": payload[FBS_FIXED_SIZE:FBS_FIXED_SIZE + mac_len],
+        "body": payload[FBS_FIXED_SIZE + mac_len:],
+    }
+
+
+def summarize_transport(proto, body):
+    """One-line summary of a cleartext transport payload."""
+    if proto == 17 and len(body) >= 8:
+        sport, dport, length = struct.unpack(">HHH", body[:6])
+        return "udp %d > %d len %d" % (sport, dport, length)
+    if proto == 6 and len(body) >= 20:
+        sport, dport = struct.unpack(">HH", body[:4])
+        return "tcp %d > %d" % (sport, dport)
+    if proto == 1 and len(body) >= 4:
+        return "icmp type %d code %d" % (body[0], body[1])
+    return "%s %d bytes" % (PROTO_NAMES.get(proto, "proto %d" % proto),
+                            len(body))
+
+
+def hexdump(data, indent="      "):
+    lines = []
+    for off in range(0, len(data), 16):
+        chunk = data[off:off + 16]
+        hexpart = " ".join("%02x" % b for b in chunk)
+        lines.append("%s%04x  %s" % (indent, off, hexpart))
+    return "\n".join(lines)
+
+
+def dissect_record(index, ts_sec, ts_usec, orig_len, frame, show_hex):
+    """Print one record; returns (is_fbs, is_secret)."""
+    when = datetime.datetime.fromtimestamp(
+        ts_sec, tz=datetime.timezone.utc) + datetime.timedelta(
+            microseconds=ts_usec)
+    parsed = parse_ipv4(frame)
+    if parsed is None:
+        print("#%d %s  [not IPv4] %d bytes" %
+              (index, when.strftime("%Y-%m-%d %H:%M:%S.%f"), len(frame)))
+        return False, False
+    ip, payload = parsed
+    proto_name = PROTO_NAMES.get(ip["proto"], "proto %d" % ip["proto"])
+    print("#%d %s  %s > %s %s len %d" %
+          (index, when.strftime("%Y-%m-%d %H:%M:%S.%f"), ip["src"],
+           ip["dst"], proto_name, ip["total_len"]))
+
+    fbs = try_parse_fbs(payload)
+    if fbs is None:
+        print("    %s" % summarize_transport(ip["proto"], payload))
+        return False, False
+
+    ts = FBS_EPOCH + datetime.timedelta(minutes=fbs["timestamp_minutes"])
+    print("    fbs: ver 1%s suite 0x%02x (mac %s, cipher %s)" %
+          (" secret" if fbs["secret"] else "",
+           (fbs["mac_alg"] << 4) | fbs["cipher_alg"],
+           MAC_NAMES[fbs["mac_alg"]], CIPHER_NAMES[fbs["cipher_alg"]]))
+    print("    sfl 0x%016x confounder 0x%08x" %
+          (fbs["sfl"], fbs["confounder"]))
+    print("    timestamp %d min (%s)" %
+          (fbs["timestamp_minutes"], ts.strftime("%Y-%m-%d %H:%MZ")))
+    print("    mac %s" % fbs["mac"].hex())
+
+    body = fbs["body"]
+    if fbs["secret"]:
+        print("    body %d bytes (encrypted)" % len(body))
+    elif ip["proto"] == FBS_TUNNEL_PROTO:
+        inner = parse_ipv4(body)
+        if inner is None:
+            print("    body %d bytes (tunnel, inner not IPv4)" % len(body))
+        else:
+            ih, ipayload = inner
+            print("    tunnel inner: %s > %s %s; %s" %
+                  (ih["src"], ih["dst"],
+                   PROTO_NAMES.get(ih["proto"], "proto %d" % ih["proto"]),
+                   summarize_transport(ih["proto"], ipayload)))
+    else:
+        print("    body: %s" % summarize_transport(ip["proto"], body))
+    if show_hex:
+        print(hexdump(payload))
+    return True, fbs["secret"]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Decode FBS wire frames from a pcap capture.")
+    ap.add_argument("capture", help="pcap file written by net::PcapWriter")
+    ap.add_argument("--hex", action="store_true",
+                    help="hex-dump each FBS datagram (IP payload)")
+    ap.add_argument("--expect-fbs", type=int, metavar="N", default=None,
+                    help="exit non-zero unless >= N FBS datagrams decoded")
+    args = ap.parse_args()
+
+    with open(args.capture, "rb") as f:
+        data = f.read()
+    try:
+        linktype, records = parse_pcap(data)
+    except ValueError as e:
+        print("fbs_dissect: %s" % e, file=sys.stderr)
+        return 2
+    if linktype != 101:
+        print("fbs_dissect: linktype %d is not RAW(101)" % linktype,
+              file=sys.stderr)
+        return 2
+
+    fbs_count = secret_count = 0
+    for i, (ts_sec, ts_usec, orig, frame) in enumerate(records, 1):
+        is_fbs, is_secret = dissect_record(i, ts_sec, ts_usec, orig, frame,
+                                           args.hex)
+        fbs_count += is_fbs
+        secret_count += is_secret
+
+    plain = len(records) - fbs_count
+    print("fbs_dissect: %d records, %d fbs (%d secret), %d plain" %
+          (len(records), fbs_count, secret_count, plain))
+    if args.expect_fbs is not None and fbs_count < args.expect_fbs:
+        print("fbs_dissect: expected >= %d fbs datagrams, saw %d" %
+              (args.expect_fbs, fbs_count), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
